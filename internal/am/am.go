@@ -1,0 +1,319 @@
+// Package am implements the Active Messages layer both language runtimes are
+// built on, following the SP port described in Chang et al. (SC 1996) that
+// the paper uses: 4-word request/reply messages, bulk transfers, and
+// polling-based reception (each send also polls; a blocked node parks until
+// the next arrival).
+//
+// A handler runs to completion on the receiving node, inline in whichever
+// thread performed the poll. Handlers must not block; they may send replies
+// and mark other threads runnable (that is how both runtimes complete
+// synchronous operations).
+package am
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/threads"
+)
+
+// HandlerID names a registered handler. IDs are identical on every node
+// (handlers are registered machine-wide before the simulation starts), which
+// mirrors the SPMD assumption of the AM layer itself; the MPMD runtime's
+// method-name indirection is layered above this.
+type HandlerID int
+
+// Msg is one active message as seen by a handler.
+type Msg struct {
+	// Bulk reports whether the message used the bulk-transfer path.
+	Bulk bool
+	// Src and Dst are node IDs.
+	Src, Dst int
+	// H is the handler this message targets.
+	H HandlerID
+	// A holds the four word-sized arguments of a short AM.
+	A [4]uint64
+	// Payload is the bulk payload (nil for short messages). It is the
+	// receiver's copy; handlers may retain it.
+	Payload []byte
+	// Obj carries a simulation-side object reference. On real hardware
+	// this would be a raw address packed into the word arguments; in the
+	// simulator it lets handlers touch the destination object directly
+	// while the word arguments continue to model the wire format.
+	Obj any
+	// RecvExtra is additional receiver-side CPU charged when the message is
+	// polled, set by slow transports (the Nexus/TCP profile) to model their
+	// protocol stacks.
+	RecvExtra time.Duration
+}
+
+// SendOpts parameterizes Request for transports layered over the AM engine.
+type SendOpts struct {
+	// Bulk selects the bulk-transfer path (payload allowed, bulk setup cost).
+	Bulk bool
+	// ExtraSendCPU is charged to the sender on top of the profile overheads.
+	ExtraSendCPU time.Duration
+	// ExtraWire delays delivery beyond the configured wire latency.
+	ExtraWire time.Duration
+	// ExtraRecvCPU is charged to the receiver when the message is polled.
+	ExtraRecvCPU time.Duration
+	// GapPerByte overrides the per-byte sender occupancy when non-zero.
+	GapPerByte time.Duration
+}
+
+// Handler is the code run at the receiving node. It executes inline in the
+// polling thread and must not block.
+type Handler func(t *threads.Thread, m Msg)
+
+// Endpoint is one node's attachment to the network.
+type Endpoint struct {
+	net     *Net
+	node    *machine.Node
+	sched   *threads.Scheduler
+	waiters []*threads.Thread
+	polling bool
+	stopped bool
+
+	// interruptCost, when non-zero, switches the endpoint to the
+	// interrupt-driven reception model: every received message additionally
+	// charges this kernel-delivery cost, and sends no longer poll (the
+	// interrupt provides progress instead).
+	interruptCost time.Duration
+}
+
+// SetInterruptCost enables the interrupt-driven reception model with the
+// given per-message kernel cost (zero restores polling).
+func (ep *Endpoint) SetInterruptCost(d time.Duration) { ep.interruptCost = d }
+
+// Net wires one Endpoint per machine node and owns the handler table.
+type Net struct {
+	m        *machine.Machine
+	eps      []*Endpoint
+	handlers []Handler
+	names    []string
+}
+
+// NewNet creates endpoints for every node of m and installs arrival hooks.
+// Each node needs a scheduler already attached via Attach before messages
+// can be received.
+func NewNet(m *machine.Machine) *Net {
+	n := &Net{m: m}
+	for _, node := range m.Nodes() {
+		ep := &Endpoint{net: n, node: node}
+		node.OnArrival = ep.onArrival
+		n.eps = append(n.eps, ep)
+	}
+	return n
+}
+
+// Machine returns the underlying machine.
+func (n *Net) Machine() *machine.Machine { return n.m }
+
+// Endpoint returns node i's endpoint.
+func (n *Net) Endpoint(i int) *Endpoint { return n.eps[i] }
+
+// Register adds a handler to the machine-wide table and returns its ID.
+// Must be called before the simulation starts (or at least before any
+// message targeting it is sent).
+func (n *Net) Register(name string, h Handler) HandlerID {
+	n.handlers = append(n.handlers, h)
+	n.names = append(n.names, name)
+	return HandlerID(len(n.handlers) - 1)
+}
+
+// HandlerName returns the debug name of a handler ID.
+func (n *Net) HandlerName(id HandlerID) string {
+	if int(id) < 0 || int(id) >= len(n.names) {
+		return fmt.Sprintf("handler(%d)", int(id))
+	}
+	return n.names[id]
+}
+
+// Attach binds the endpoint to the node's thread scheduler. It must be
+// called once per node before receiving.
+func (ep *Endpoint) Attach(s *threads.Scheduler) { ep.sched = s }
+
+// Node returns the endpoint's node.
+func (ep *Endpoint) Node() *machine.Node { return ep.node }
+
+// Stop marks the endpoint as shut down and wakes every thread parked in
+// WaitMessage, letting service loops observe their exit condition.
+func (ep *Endpoint) Stop() {
+	ep.stopped = true
+	ws := ep.waiters
+	ep.waiters = nil
+	for _, w := range ws {
+		ep.sched.MakeReady(w)
+	}
+}
+
+// Stopped reports whether Stop has been called.
+func (ep *Endpoint) Stopped() bool { return ep.stopped }
+
+// onArrival wakes the most recent waiter only (LIFO): an actively waiting
+// computation thread registered after the background polling thread, so it
+// gets the message and handles its own reply inline — the polling thread
+// stays parked and no context switches are paid, matching the paper's
+// "0-Word Simple" sender. KickService re-arms the remaining waiters if a
+// woken thread leaves messages behind.
+func (ep *Endpoint) onArrival() { ep.wakeOne() }
+
+func (ep *Endpoint) wakeOne() {
+	n := len(ep.waiters)
+	if n == 0 {
+		return
+	}
+	w := ep.waiters[n-1]
+	ep.waiters = ep.waiters[:n-1]
+	ep.sched.MakeReady(w)
+}
+
+// KickService wakes a parked waiter if undelivered messages remain — called
+// when a thread exits a wait loop early (its condition was satisfied before
+// the inbox drained) so pending messages are not starved.
+func (ep *Endpoint) KickService() {
+	if ep.node.InboxLen() > 0 {
+		ep.wakeOne()
+	}
+}
+
+// RequestShort sends a 4-word active message to dst, charging the sender's
+// overhead, and then polls the local endpoint once (the paper's layer polls
+// on every send to guarantee progress without interrupts).
+func (ep *Endpoint) RequestShort(t *threads.Thread, dst int, h HandlerID, a [4]uint64, obj any) {
+	ep.Request(t, dst, h, a, obj, nil, SendOpts{})
+}
+
+// RequestBulk sends a bulk-transfer active message carrying payload.
+func (ep *Endpoint) RequestBulk(t *threads.Thread, dst int, h HandlerID, payload []byte, a [4]uint64, obj any) {
+	ep.Request(t, dst, h, a, obj, payload, SendOpts{Bulk: true})
+}
+
+// Request is the parameterized send path. The payload (if any) is copied at
+// send time (value semantics: the sender may reuse its buffer immediately),
+// the sender pays its overheads plus per-byte occupancy, and wire delivery is
+// delayed by the serialization time plus opts.ExtraWire.
+func (ep *Endpoint) Request(t *threads.Thread, dst int, h HandlerID, a [4]uint64, obj any, payload []byte, opts SendOpts) {
+	cfg := t.Cfg()
+	n := len(payload)
+	if n > 0 && !opts.Bulk {
+		panic("am: payload requires the bulk path")
+	}
+	gap := cfg.GapPerByte
+	if opts.GapPerByte > 0 {
+		gap = opts.GapPerByte
+	}
+	ser := time.Duration(n) * gap
+	over := cfg.SendOverhead + opts.ExtraSendCPU + ser
+	wire := int64(shortWireBytes)
+	if opts.Bulk {
+		over += cfg.BulkExtraSend
+		wire += int64(n)
+		ep.node.Acct.Count(machine.CntMsgBulk, 1)
+	} else {
+		ep.node.Acct.Count(machine.CntMsgShort, 1)
+	}
+	ep.node.Acct.Count(machine.CntBytesSent, wire)
+	t.Charge(machine.CatNet, over)
+	var cp []byte
+	if n > 0 {
+		cp = make([]byte, n)
+		copy(cp, payload)
+	}
+	msg := Msg{
+		Bulk: opts.Bulk, Src: ep.node.ID, Dst: dst, H: h, A: a,
+		Payload: cp, Obj: obj, RecvExtra: opts.ExtraRecvCPU,
+	}
+	ep.send(dst, ser+opts.ExtraWire, int(wire), msg)
+	ep.pollOnSend(t)
+}
+
+// shortWireBytes models the wire footprint of a short AM (header + 4 words).
+const shortWireBytes = 48
+
+func (ep *Endpoint) send(dst int, extraWire time.Duration, size int, msg Msg) {
+	if dst == ep.node.ID {
+		ep.node.Loopback(size, msg)
+		return
+	}
+	ep.node.Send(dst, extraWire, size, msg)
+}
+
+// pollOnSend drains any pending arrivals after a send, unless this send was
+// itself issued from inside a handler (reply from a poll), which would
+// otherwise recurse.
+func (ep *Endpoint) pollOnSend(t *threads.Thread) {
+	if ep.polling || ep.interruptCost > 0 {
+		return
+	}
+	ep.PollAll(t)
+}
+
+// Poll services at most one pending message, charging the receive overhead
+// and running its handler inline in t. It reports whether a message was
+// handled.
+func (ep *Endpoint) Poll(t *threads.Thread) bool {
+	ep.node.Acct.Count(machine.CntPolls, 1)
+	pkt, ok := ep.node.PopInbox()
+	if !ok {
+		return false
+	}
+	msg, ok := pkt.Payload.(Msg)
+	if !ok {
+		panic(fmt.Sprintf("am: foreign packet in inbox of node %d: %T", ep.node.ID, pkt.Payload))
+	}
+	cfg := t.Cfg()
+	over := cfg.RecvOverhead + msg.RecvExtra + ep.interruptCost
+	if msg.Bulk {
+		over += cfg.BulkExtraRecv
+	}
+	t.Charge(machine.CatNet, over)
+	ep.node.Acct.Count(machine.CntHandlersRun, 1)
+	ep.node.M.Emit(ep.node.ID, "recv", ep.net.names[msg.H], 0)
+	h := ep.net.handlers[msg.H]
+	wasPolling := ep.polling
+	ep.polling = true
+	h(t, msg)
+	ep.polling = wasPolling
+	return true
+}
+
+// PollAll services pending messages until the inbox is empty.
+func (ep *Endpoint) PollAll(t *threads.Thread) {
+	for ep.Poll(t) {
+	}
+}
+
+// WaitMessage parks the thread until a message arrives at the node (or the
+// endpoint is stopped). It returns immediately if the inbox is non-empty.
+// Callers poll after it returns.
+func (ep *Endpoint) WaitMessage(t *threads.Thread) {
+	if ep.node.InboxLen() > 0 || ep.stopped {
+		return
+	}
+	ep.waiters = append(ep.waiters, t)
+	t.Block()
+}
+
+// PollUntil polls (parking while idle) until cond reports true. It is the
+// building block for every blocking operation in the Split-C runtime and for
+// the CC++ runtime's simple (non-threaded) RMIs: the calling thread itself
+// services the network while it waits. Ready peer threads get the CPU before
+// the caller parks, since one of them may be what makes cond true.
+func (ep *Endpoint) PollUntil(t *threads.Thread, cond func() bool) {
+	for !cond() {
+		if ep.Poll(t) {
+			continue
+		}
+		if ep.sched != nil && ep.sched.ReadyLen() > 0 {
+			t.Yield()
+			continue
+		}
+		if ep.stopped {
+			panic("am: PollUntil on stopped endpoint")
+		}
+		ep.WaitMessage(t)
+	}
+	ep.KickService()
+}

@@ -1,0 +1,77 @@
+package appstat
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/machine"
+)
+
+func snap(cpu, net, rt time.Duration) machine.Snapshot {
+	var s machine.Snapshot
+	s.Counters = map[string]int64{}
+	s.Buckets[machine.CatCPU] = cpu
+	s.Buckets[machine.CatNet] = net
+	s.Buckets[machine.CatRuntime] = rt
+	return s
+}
+
+func TestMeasureAndComponents(t *testing.T) {
+	r := &Result{Lang: "cc++", Variant: "x", Work: 100}
+	deltas := []machine.Snapshot{
+		snap(10*time.Microsecond, 5*time.Microsecond, 0),
+		snap(20*time.Microsecond, 5*time.Microsecond, 10*time.Microsecond),
+	}
+	r.Measure(100*time.Microsecond, 200*time.Microsecond, deltas)
+	if r.Elapsed != 100*time.Microsecond || r.Procs != 2 {
+		t.Fatalf("elapsed %v procs %d", r.Elapsed, r.Procs)
+	}
+	if r.PerUnit != time.Microsecond {
+		t.Fatalf("per unit %v", r.PerUnit)
+	}
+	// Total processor-time 200µs; busy 50µs; wait 150µs lands in net.
+	if got := r.Wait(); got != 150*time.Microsecond {
+		t.Fatalf("wait %v", got)
+	}
+	if got := r.Component(machine.CatNet); got != 160*time.Microsecond {
+		t.Fatalf("net component %v", got)
+	}
+	if got := r.Component(machine.CatCPU); got != 30*time.Microsecond {
+		t.Fatalf("cpu component %v", got)
+	}
+	// Fractions sum to 1.
+	sum := 0.0
+	for _, c := range machine.Categories() {
+		sum += r.Fraction(c)
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("fractions sum to %v", sum)
+	}
+}
+
+func TestRatioAndName(t *testing.T) {
+	a := &Result{Lang: "split-c", Variant: "v", Elapsed: 50 * time.Microsecond, Procs: 4}
+	b := &Result{Lang: "cc++", Variant: "v", Elapsed: 125 * time.Microsecond, Procs: 4}
+	if got := b.Ratio(a); got != 2.5 {
+		t.Fatalf("ratio %v", got)
+	}
+	if a.Name() != "split-c/v" {
+		t.Fatalf("name %q", a.Name())
+	}
+}
+
+func TestBreakdownRowNormalizesAgainstBaseline(t *testing.T) {
+	base := &Result{Elapsed: 100 * time.Microsecond, Procs: 2}
+	base.Busy = machine.MergeSnapshots(snap(50*time.Microsecond, 0, 0))
+	r := &Result{Elapsed: 200 * time.Microsecond, Procs: 2}
+	r.Busy = machine.MergeSnapshots(snap(50*time.Microsecond, 0, 50*time.Microsecond))
+	row := r.BreakdownRow(base)
+	if !strings.Contains(row, "total=2.000") {
+		t.Fatalf("row %q missing 2x total", row)
+	}
+	if !strings.Contains(row, "runtime=0.250") {
+		t.Fatalf("row %q missing runtime fraction", row)
+	}
+}

@@ -1,0 +1,240 @@
+package em3d
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/apps/appstat"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/threads"
+)
+
+// em3dObj is the per-processor CC++ processor object: it owns the ghost
+// arrays and counts bulk deliveries (the one-way-RMI replacement for
+// Split-C's store counters).
+type em3dObj struct {
+	ghostsE, ghostsH []float64
+	recvd            int
+}
+
+// em3dClass defines the remotely invocable interface of em3dObj. The bulk
+// variant's aggregated transfer is the "deliver" method: a threaded RMI
+// whose arguments are the packed values plus the destination region.
+func em3dClass() *core.Class {
+	return &core.Class{
+		Name: "Em3d",
+		New:  func() any { return &em3dObj{} },
+		Methods: []*core.Method{
+			{
+				// The aggregated ghost bundle travels as a user-marshalled
+				// byte buffer (CC++ "programmers have to provide their own
+				// data marshalling operations for complex data structures"):
+				// a single shallow copy, not per-element serializer calls.
+				Name:     "deliverE",
+				Threaded: true,
+				NewArgs:  func() []core.Arg { return []core.Arg{&core.I64{}, &core.Bytes{}} },
+				Fn: func(t *threads.Thread, self any, args []core.Arg, ret core.Arg) {
+					o := self.(*em3dObj)
+					deliver(o.ghostsE, &o.recvd, args)
+				},
+			},
+			{
+				Name:     "deliverH",
+				Threaded: true,
+				NewArgs:  func() []core.Arg { return []core.Arg{&core.I64{}, &core.Bytes{}} },
+				Fn: func(t *threads.Thread, self any, args []core.Arg, ret core.Arg) {
+					o := self.(*em3dObj)
+					deliver(o.ghostsH, &o.recvd, args)
+				},
+			},
+		},
+	}
+}
+
+func deliver(ghosts []float64, recvd *int, args []core.Arg) {
+	base := int(args[0].(*core.I64).V)
+	raw := args[1].(*core.Bytes).V
+	n := len(raw) / 8
+	for k := 0; k < n; k++ {
+		ghosts[base+k] = math.Float64frombits(leU64(raw[k*8:]))
+	}
+	*recvd += n
+}
+
+func packF64(vals []float64) []byte {
+	out := make([]byte, len(vals)*8)
+	for k, v := range vals {
+		putLeU64(out[k*8:], math.Float64bits(v))
+	}
+	return out
+}
+
+func leU64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func putLeU64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}
+
+// RunCCXX executes the CC++ version of EM3D over the given transport options
+// (zero Options means CC++/ThAM; pass a Nexus transport for the §6
+// comparison), mutating g's values and returning the measurement.
+func RunCCXX(cfg machine.Config, g *Graph, variant Variant, mkOpts func(m *machine.Machine) core.Options) (*appstat.Result, error) {
+	m := machine.New(cfg, g.P.Procs)
+	var opts core.Options
+	if mkOpts != nil {
+		opts = mkOpts(m)
+	}
+	rt := core.NewRuntimeOpts(m, opts)
+	rt.RegisterClass(em3dClass())
+
+	ePlan := buildGhostPlan(g.P.Procs, g.EDeps)
+	hPlan := buildGhostPlan(g.P.Procs, g.HDeps)
+
+	objs := make([]core.GPtr, g.P.Procs)
+	for pc := 0; pc < g.P.Procs; pc++ {
+		objs[pc] = rt.CreateObject(pc, "Em3d")
+		o := rt.Object(objs[pc]).(*em3dObj)
+		o.ghostsE = make([]float64, ePlan.ghostCount(pc))
+		o.ghostsH = make([]float64, hPlan.ghostCount(pc))
+	}
+	bar := rt.NewBarrier(0, g.P.Procs)
+
+	res := &appstat.Result{
+		Lang:      "cc++",
+		Variant:   string(variant),
+		Transport: rt.TransportName(),
+		Work:      int64(g.P.Iters) * int64(g.EdgesPerProc()) * 2,
+	}
+	var starts []machine.Snapshot
+	var startT time.Duration
+
+	for pc := 0; pc < g.P.Procs; pc++ {
+		me := pc
+		rt.OnNode(me, func(t *threads.Thread) {
+			self := rt.Object(objs[me]).(*em3dObj)
+			expect := 0
+
+			bar.Arrive(t)
+			if me == 0 {
+				startT = time.Duration(t.Now())
+				starts = starts[:0]
+				for _, n := range m.Nodes() {
+					starts = append(starts, n.Acct.Snapshot())
+				}
+			}
+			bar.Arrive(t)
+
+			for it := 0; it < g.P.Iters; it++ {
+				expect = ccPhase(rt, t, g, variant, me, objs, self, "deliverE",
+					g.EVals[me], g.EDeps[me], g.HVals, ePlan, self.ghostsE, expect)
+				bar.Arrive(t)
+				expect = ccPhase(rt, t, g, variant, me, objs, self, "deliverH",
+					g.HVals[me], g.HDeps[me], g.EVals, hPlan, self.ghostsH, expect)
+				bar.Arrive(t)
+			}
+
+			if me == 0 {
+				var deltas []machine.Snapshot
+				for i, n := range m.Nodes() {
+					deltas = append(deltas, n.Acct.Delta(starts[i]))
+				}
+				res.Measure(startT, time.Duration(t.Now()), deltas)
+				res.Checksum = g.Checksum()
+			}
+		})
+	}
+	if err := rt.Run(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// ccPhase is one half-step of the CC++ program.
+func ccPhase(rt *core.Runtime, t *threads.Thread, g *Graph, variant Variant, me int, objs []core.GPtr, self *em3dObj, deliverMethod string, dst []float64, deps [][]edge, src [][]float64, plan *ghostPlan, ghosts []float64, expect int) int {
+	cfg := t.Cfg()
+
+	switch variant {
+	case Base:
+		// Every neighbour access dereferences a global pointer — including
+		// local ones, which still pay the runtime's locality check (the
+		// em3d-base effect at low remote percentages).
+		for i := range dst {
+			acc := dst[i]
+			for _, e := range deps[i] {
+				v := rt.ReadF64(t, core.NewGPF64(e.from.pc, &src[e.from.pc][e.from.idx]))
+				acc -= e.weight * v
+			}
+			t.Charge(machine.CatCPU, nodeUpdateCost(len(deps[i]), cfg.FlopCost))
+			dst[i] = acc
+		}
+		return expect
+
+	case Ghost:
+		// Prefetch all ghost values with a parfor of global-pointer reads
+		// (the CC++ latency-hiding idiom; cf. the Prefetch micro-benchmark).
+		refs := plan.lists[me]
+		core.ParFor(t, len(refs), func(t2 *threads.Thread, s int) {
+			r := refs[s]
+			ghosts[s] = rt.ReadF64(t2, core.NewGPF64(r.pc, &src[r.pc][r.idx]))
+		})
+		ccComputeLocal(t, g, me, dst, deps, src, plan, ghosts, cfg)
+		return expect
+
+	case Bulk:
+		// Aggregate: one one-way RMI per consumer carrying the packed
+		// values; then wait for our own deliveries.
+		for q := 0; q < g.P.Procs; q++ {
+			idxs := plan.exports[me][q]
+			if q == me || len(idxs) == 0 {
+				continue
+			}
+			packed := make([]float64, len(idxs))
+			for k, idx := range idxs {
+				packed[k] = src[me][idx]
+			}
+			t.Charge(machine.CatCPU, time.Duration(len(idxs)*8)*cfg.MemCopyPerByte)
+			rt.CallOneWay(t, objs[q], deliverMethod, []core.Arg{
+				&core.I64{V: int64(plan.importBase[q][me])},
+				&core.Bytes{V: packF64(packed)},
+			})
+		}
+		expect += plan.ghostCount(me)
+		rt.WaitLocal(t, func() bool { return self.recvd >= expect })
+		ccComputeLocal(t, g, me, dst, deps, src, plan, ghosts, cfg)
+		return expect
+	}
+	panic("em3d: unknown variant " + string(variant))
+}
+
+// ccComputeLocal is the purely local update loop of the ghost and bulk
+// variants.
+func ccComputeLocal(t *threads.Thread, g *Graph, me int, dst []float64, deps [][]edge, src [][]float64, plan *ghostPlan, ghosts []float64, cfg machine.Config) {
+	slots := plan.slot[me]
+	for i := range dst {
+		acc := dst[i]
+		for _, e := range deps[i] {
+			var v float64
+			if e.from.pc == me {
+				v = src[me][e.from.idx]
+			} else {
+				v = ghosts[slots[e.from]]
+			}
+			acc -= e.weight * v
+		}
+		t.Charge(machine.CatCPU, nodeUpdateCost(len(deps[i]), cfg.FlopCost))
+		dst[i] = acc
+	}
+}

@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/threads"
+)
+
+// AblationRow measures the warm null-RMI and warm 20-double bulk RMI under
+// one runtime configuration, quantifying the §4 design choices.
+type AblationRow struct {
+	Config   string
+	NullRMI  time.Duration
+	BulkRMI  time.Duration
+	ColdRMIs int64
+	Allocs   int64
+}
+
+// RunAblations toggles the paper's §4 optimizations one at a time:
+//
+//   - stub caching off: every RMI carries the method name and resolves
+//     remotely (the cold path, always);
+//   - persistent buffers off: every invocation pays the staging copy from
+//     the static buffer area into a fresh R-buffer;
+//   - spin senders: blocking calls poll inline instead of handing off to the
+//     polling thread (trading thread switches for CPU occupancy).
+func RunAblations(cfg machine.Config, sc Scale) []AblationRow {
+	iters := sc.MicroIters / 2
+	if iters < 50 {
+		iters = 50
+	}
+	configs := []struct {
+		name string
+		opts core.Options
+	}{
+		{"tuned (paper §4)", core.Options{}},
+		{"no stub cache", core.Options{DisableStubCache: true}},
+		{"no persistent bufs", core.Options{DisablePersistentBuffers: true}},
+		{"spin senders", core.Options{SpinSenders: true}},
+		{"no cache + no bufs", core.Options{DisableStubCache: true, DisablePersistentBuffers: true}},
+	}
+	var rows []AblationRow
+	for _, c := range configs {
+		rows = append(rows, runAblation(cfg, iters, c.name, c.opts))
+	}
+	// Interrupt-driven reception — the paper's rejected alternative at the
+	// 1997 software-interrupt cost, and its projected future ("reducing the
+	// cost of software interrupts ... eliminates the need for the polling
+	// thread") at a cheap-interrupt cost.
+	rows = append(rows, runAblation(cfg, iters, "interrupts @60µs", core.Options{InterruptDriven: true}))
+	cheap := cfg
+	cheap.InterruptCost = 2 * time.Microsecond
+	rows = append(rows, runAblation(cheap, iters, "interrupts @2µs", core.Options{InterruptDriven: true}))
+	return rows
+}
+
+func runAblation(cfg machine.Config, iters int, name string, opts core.Options) AblationRow {
+	m := machine.New(cfg, 2)
+	rt := core.NewRuntimeOpts(m, opts)
+	rt.RegisterClass(benchClass())
+	gp := rt.CreateObject(1, "Bench")
+	row := AblationRow{Config: name}
+	arr := make([]float64, 20)
+	rt.OnNode(0, func(t *threads.Thread) {
+		rt.Call(t, gp, "foo", nil, nil) // settle cold path when caching is on
+		rt.Call(t, gp, "put", []core.Arg{&core.F64Slice{V: arr}}, nil)
+
+		start := t.Now()
+		for i := 0; i < iters; i++ {
+			rt.Call(t, gp, "foo", nil, nil)
+		}
+		row.NullRMI = time.Duration(t.Now()-start) / time.Duration(iters)
+
+		start = t.Now()
+		for i := 0; i < iters; i++ {
+			rt.Call(t, gp, "put", []core.Arg{&core.F64Slice{V: arr}}, nil)
+		}
+		row.BulkRMI = time.Duration(t.Now()-start) / time.Duration(iters)
+	})
+	if err := rt.Run(); err != nil {
+		panic(err)
+	}
+	row.ColdRMIs = m.Node(0).Acct.Counter(machine.CntRMICold)
+	row.Allocs, _ = rt.BufStats()
+	return row
+}
+
+// FormatAblations renders the ablation table.
+func FormatAblations(rows []AblationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablations of the §4 design choices (warm per-RMI times)\n")
+	fmt.Fprintf(&b, "%-20s | %10s %10s | %9s %9s\n", "configuration", "null RMI", "bulk RMI", "cold RMIs", "R-allocs")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-20s | %10v %10v | %9d %9d\n", r.Config, r.NullRMI, r.BulkRMI, r.ColdRMIs, r.Allocs)
+	}
+	return b.String()
+}

@@ -1,0 +1,197 @@
+// Package core implements the paper's primary contribution: a lean CC++
+// runtime ("CC++/ThAM") layered directly on Active Messages and the
+// non-preemptive threads package, providing MPMD remote method invocation
+// with method-stub caching, persistent receive buffers, and a polling thread.
+//
+// CC++'s front-end translator is replaced by an explicit registration API
+// (see Class and Method); the generated stubs it would emit correspond to
+// the marshal/dispatch path in rmi.go, which is the code path the paper
+// measures.
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Arg is one marshallable RMI argument or return value. Encode and Decode
+// move the value through the wire representation; WireSize is the encoded
+// byte count; MarshalUnits is how many serializer invocations the CC++
+// compiler would emit for the value (one per scalar, one per element for
+// arrays — the paper: "the compiler must invoke a method to serialize each
+// argument", which is why marshalling arrays is expensive).
+type Arg interface {
+	WireSize() int
+	MarshalUnits() int
+	Encode(b []byte) int
+	Decode(b []byte) int
+}
+
+// F64 is a double argument.
+type F64 struct{ V float64 }
+
+// WireSize implements Arg.
+func (*F64) WireSize() int { return 8 }
+
+// MarshalUnits implements Arg.
+func (*F64) MarshalUnits() int { return 1 }
+
+// Encode implements Arg.
+func (a *F64) Encode(b []byte) int { putU64(b, math.Float64bits(a.V)); return 8 }
+
+// Decode implements Arg.
+func (a *F64) Decode(b []byte) int { a.V = math.Float64frombits(getU64(b)); return 8 }
+
+// I64 is a word (integer) argument.
+type I64 struct{ V int64 }
+
+// WireSize implements Arg.
+func (*I64) WireSize() int { return 8 }
+
+// MarshalUnits implements Arg.
+func (*I64) MarshalUnits() int { return 1 }
+
+// Encode implements Arg.
+func (a *I64) Encode(b []byte) int { putU64(b, uint64(a.V)); return 8 }
+
+// Decode implements Arg.
+func (a *I64) Decode(b []byte) int { a.V = int64(getU64(b)); return 8 }
+
+// F64Slice is an array-of-double argument (the paper's ARRAYOFDOUBLE). Its
+// length is part of the wire format, so the receiving stub can size the
+// destination; each element costs one serializer invocation.
+type F64Slice struct{ V []float64 }
+
+// WireSize implements Arg.
+func (a *F64Slice) WireSize() int { return 8 + 8*len(a.V) }
+
+// MarshalUnits implements Arg.
+func (a *F64Slice) MarshalUnits() int { return len(a.V) }
+
+// Encode implements Arg.
+func (a *F64Slice) Encode(b []byte) int {
+	putU64(b, uint64(len(a.V)))
+	off := 8
+	for _, v := range a.V {
+		putU64(b[off:], math.Float64bits(v))
+		off += 8
+	}
+	return off
+}
+
+// Decode implements Arg.
+func (a *F64Slice) Decode(b []byte) int {
+	n := int(getU64(b))
+	if cap(a.V) < n {
+		a.V = make([]float64, n)
+	}
+	a.V = a.V[:n]
+	off := 8
+	for i := 0; i < n; i++ {
+		a.V[i] = math.Float64frombits(getU64(b[off:]))
+		off += 8
+	}
+	return off
+}
+
+// Bytes is a raw byte-buffer argument with a single serializer invocation
+// (a user-provided shallow marshal, the cheapest possible CC++ argument).
+type Bytes struct{ V []byte }
+
+// WireSize implements Arg.
+func (a *Bytes) WireSize() int { return 8 + len(a.V) }
+
+// MarshalUnits implements Arg.
+func (*Bytes) MarshalUnits() int { return 1 }
+
+// Encode implements Arg.
+func (a *Bytes) Encode(b []byte) int {
+	putU64(b, uint64(len(a.V)))
+	copy(b[8:], a.V)
+	return 8 + len(a.V)
+}
+
+// Decode implements Arg.
+func (a *Bytes) Decode(b []byte) int {
+	n := int(getU64(b))
+	if cap(a.V) < n {
+		a.V = make([]byte, n)
+	}
+	a.V = a.V[:n]
+	copy(a.V, b[8:8+n])
+	return 8 + n
+}
+
+// Str is a string argument (used by the built-in object-creation method).
+type Str struct{ V string }
+
+// WireSize implements Arg.
+func (a *Str) WireSize() int { return 8 + len(a.V) }
+
+// MarshalUnits implements Arg.
+func (*Str) MarshalUnits() int { return 1 }
+
+// Encode implements Arg.
+func (a *Str) Encode(b []byte) int {
+	putU64(b, uint64(len(a.V)))
+	copy(b[8:], a.V)
+	return 8 + len(a.V)
+}
+
+// Decode implements Arg.
+func (a *Str) Decode(b []byte) int {
+	n := int(getU64(b))
+	a.V = string(b[8 : 8+n])
+	return 8 + n
+}
+
+// encodeArgs marshals args into a fresh buffer, returning it along with the
+// total serializer-invocation count.
+func encodeArgs(args []Arg) (buf []byte, units int) {
+	total := 0
+	for _, a := range args {
+		total += a.WireSize()
+		units += a.MarshalUnits()
+	}
+	buf = make([]byte, total)
+	off := 0
+	for _, a := range args {
+		off += a.Encode(buf[off:])
+	}
+	if off != total {
+		panic(fmt.Sprintf("core: encode size mismatch: wrote %d of %d", off, total))
+	}
+	return buf, units
+}
+
+// decodeArgs unmarshals buf into the given argument instances, returning the
+// serializer-invocation count.
+func decodeArgs(buf []byte, args []Arg) (units int) {
+	off := 0
+	for _, a := range args {
+		off += a.Decode(buf[off:])
+		units += a.MarshalUnits()
+	}
+	if off != len(buf) {
+		panic(fmt.Sprintf("core: decode size mismatch: read %d of %d", off, len(buf)))
+	}
+	return units
+}
+
+func putU64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}
+
+func getU64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}

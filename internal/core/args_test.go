@@ -1,0 +1,173 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// roundTrip encodes a set of arguments and decodes into fresh instances,
+// returning the decoded set.
+func roundTrip(t *testing.T, args []Arg, fresh []Arg) []Arg {
+	t.Helper()
+	buf, units := encodeArgs(args)
+	if units <= 0 && len(args) > 0 {
+		t.Fatalf("marshal units = %d", units)
+	}
+	if got := decodeArgs(buf, fresh); got != units {
+		t.Fatalf("decode units %d != encode units %d", got, units)
+	}
+	return fresh
+}
+
+func TestScalarRoundTrip(t *testing.T) {
+	out := roundTrip(t,
+		[]Arg{&F64{V: -3.75}, &I64{V: -42}, &Str{V: "hé"}, &Bytes{V: []byte{0, 255, 7}}},
+		[]Arg{&F64{}, &I64{}, &Str{}, &Bytes{}})
+	if out[0].(*F64).V != -3.75 || out[1].(*I64).V != -42 {
+		t.Fatal("scalar round trip failed")
+	}
+	if out[2].(*Str).V != "hé" {
+		t.Fatalf("string: %q", out[2].(*Str).V)
+	}
+	b := out[3].(*Bytes).V
+	if len(b) != 3 || b[0] != 0 || b[1] != 255 || b[2] != 7 {
+		t.Fatalf("bytes: %v", b)
+	}
+}
+
+// Property: F64 survives the wire bit-exactly, including NaN and infinities.
+func TestF64RoundTripProperty(t *testing.T) {
+	f := func(bits uint64) bool {
+		in := F64{V: math.Float64frombits(bits)}
+		var out F64
+		buf, _ := encodeArgs([]Arg{&in})
+		decodeArgs(buf, []Arg{&out})
+		return math.Float64bits(out.V) == bits
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), 0, math.Copysign(0, -1)} {
+		in := F64{V: v}
+		var out F64
+		buf, _ := encodeArgs([]Arg{&in})
+		decodeArgs(buf, []Arg{&out})
+		if math.Float64bits(out.V) != math.Float64bits(v) {
+			t.Fatalf("special value %v corrupted to %v", v, out.V)
+		}
+	}
+}
+
+// Property: I64 round trip over the full range.
+func TestI64RoundTripProperty(t *testing.T) {
+	f := func(v int64) bool {
+		in := I64{V: v}
+		var out I64
+		buf, _ := encodeArgs([]Arg{&in})
+		decodeArgs(buf, []Arg{&out})
+		return out.V == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: slices of arbitrary doubles round trip with matching lengths and
+// bits, and per-element marshal units.
+func TestF64SliceRoundTripProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		in := F64Slice{V: vals}
+		var out F64Slice
+		buf, units := encodeArgs([]Arg{&in})
+		if units != len(vals) {
+			return false
+		}
+		decodeArgs(buf, []Arg{&out})
+		if len(out.V) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if math.Float64bits(out.V[i]) != math.Float64bits(vals[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: strings and byte blobs round trip byte-exactly.
+func TestBytesStrRoundTripProperty(t *testing.T) {
+	f := func(b []byte, s string) bool {
+		inB, inS := Bytes{V: b}, Str{V: s}
+		var outB Bytes
+		var outS Str
+		buf, _ := encodeArgs([]Arg{&inB, &inS})
+		decodeArgs(buf, []Arg{&outB, &outS})
+		if outS.V != s || len(outB.V) != len(b) {
+			return false
+		}
+		for i := range b {
+			if outB.V[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mixed argument lists round trip through one buffer.
+func TestMixedArgsRoundTripProperty(t *testing.T) {
+	f := func(a int64, b float64, c []float64, d string) bool {
+		in := []Arg{&I64{V: a}, &F64{V: b}, &F64Slice{V: c}, &Str{V: d}}
+		out := []Arg{&I64{}, &F64{}, &F64Slice{}, &Str{}}
+		buf, _ := encodeArgs(in)
+		decodeArgs(buf, out)
+		if out[0].(*I64).V != a || out[3].(*Str).V != d {
+			return false
+		}
+		if math.Float64bits(out[1].(*F64).V) != math.Float64bits(b) {
+			return false
+		}
+		if len(out[2].(*F64Slice).V) != len(c) {
+			return false
+		}
+		for i := range c {
+			if math.Float64bits(out[2].(*F64Slice).V[i]) != math.Float64bits(c[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeSizeMismatchPanics(t *testing.T) {
+	buf, _ := encodeArgs([]Arg{&I64{V: 1}, &I64{V: 2}})
+	defer func() {
+		if recover() == nil {
+			t.Error("short decode did not panic")
+		}
+	}()
+	decodeArgs(buf, []Arg{&I64{}}) // one arg short
+}
+
+func TestWireSizeMatchesEncoding(t *testing.T) {
+	args := []Arg{&F64{}, &I64{}, &F64Slice{V: make([]float64, 7)}, &Bytes{V: make([]byte, 13)}, &Str{V: "abc"}}
+	total := 0
+	for _, a := range args {
+		total += a.WireSize()
+	}
+	buf, _ := encodeArgs(args)
+	if len(buf) != total {
+		t.Fatalf("encoded %d bytes, WireSize sum %d", len(buf), total)
+	}
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/threads"
+)
+
+type sink struct{ recvd int }
+
+func sinkClass() *Class {
+	return &Class{
+		Name: "Sink",
+		New:  func() any { return &sink{} },
+		Methods: []*Method{{
+			Name:     "deliver",
+			Threaded: true,
+			NewArgs:  func() []Arg { return []Arg{&F64Slice{}} },
+			Fn: func(t *threads.Thread, self any, args []Arg, ret Arg) {
+				self.(*sink).recvd += len(args[0].(*F64Slice).V)
+			},
+		}},
+	}
+}
+
+// Regression test: one-way threaded RMIs satisfy a WaitLocal condition via
+// a locally spawned thread, not a message — the waiter must yield to ready
+// threads instead of parking for a message (deadlock found during EM3D bulk).
+func TestBarrierWithOneWayDeliveries(t *testing.T) {
+	rt := NewRuntimeOpts(machine.New(machine.SP1997(), 4), Options{})
+	rt.RegisterClass(sinkClass())
+	objs := make([]GPtr, 4)
+	for i := range objs {
+		objs[i] = rt.CreateObject(i, "Sink")
+	}
+	bar := rt.NewBarrier(0, 4)
+	for i := 0; i < 4; i++ {
+		me := i
+		rt.OnNode(me, func(th *threads.Thread) {
+			self := rt.Object(objs[me]).(*sink)
+			expect := 0
+			for k := 0; k < 3; k++ {
+				for q := 0; q < 4; q++ {
+					if q == me {
+						continue
+					}
+					rt.CallOneWay(th, objs[q], "deliver", []Arg{&F64Slice{V: make([]float64, 5)}})
+				}
+				expect += 15
+				rt.WaitLocal(th, func() bool { return self.recvd >= expect })
+				bar.Arrive(th)
+			}
+		})
+	}
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

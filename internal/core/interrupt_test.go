@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/threads"
+)
+
+// nullRMITime measures the warm null RMI under the given machine config and
+// runtime options.
+func nullRMITime(t *testing.T, cfg machine.Config, opts Options) time.Duration {
+	t.Helper()
+	rt := NewRuntimeOpts(machine.New(cfg, 2), opts)
+	rt.RegisterClass(counterClass())
+	gp := rt.CreateObject(1, "Counter")
+	var warm time.Duration
+	rt.OnNode(0, func(th *threads.Thread) {
+		rt.Call(th, gp, "nop", nil, nil)
+		start := th.Now()
+		rt.Call(th, gp, "nop", nil, nil)
+		warm = time.Duration(th.Now() - start)
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return warm
+}
+
+func TestInterruptModelCorrectAndSlowerAt1997Cost(t *testing.T) {
+	// Interrupt-driven reception must be semantically identical, and at the
+	// 1997 software-interrupt cost it must lose to polling — the paper's §4
+	// rationale for the polling thread.
+	polling := nullRMITime(t, machine.SP1997(), Options{})
+	interrupt := nullRMITime(t, machine.SP1997(), Options{InterruptDriven: true})
+	if interrupt <= polling {
+		t.Fatalf("interrupts at 60µs (%v) not slower than polling (%v)", interrupt, polling)
+	}
+	// Two messages per round trip: roughly +2×InterruptCost.
+	if delta := interrupt - polling; delta < 100*time.Microsecond {
+		t.Fatalf("interrupt surcharge %v, want >= 100µs for two messages", delta)
+	}
+}
+
+func TestInterruptModelCompetitiveWhenCheap(t *testing.T) {
+	// The paper's projection: cheap interrupts make the model viable.
+	cheap := machine.SP1997()
+	cheap.InterruptCost = 1 * time.Microsecond
+	polling := nullRMITime(t, machine.SP1997(), Options{})
+	interrupt := nullRMITime(t, cheap, Options{InterruptDriven: true})
+	if interrupt > polling+5*time.Microsecond {
+		t.Fatalf("cheap interrupts (%v) not competitive with polling (%v)", interrupt, polling)
+	}
+}
+
+func TestInterruptModelDataIntegrity(t *testing.T) {
+	rt := NewRuntimeOpts(machine.New(machine.SP1997(), 2), Options{InterruptDriven: true})
+	rt.RegisterClass(counterClass())
+	gp := rt.CreateObject(1, "Counter")
+	var got int64
+	rt.OnNode(0, func(th *threads.Thread) {
+		for i := 0; i < 7; i++ {
+			rt.Call(th, gp, "add", []Arg{&I64{V: int64(i)}}, nil)
+		}
+		var ret I64
+		rt.Call(th, gp, "get", nil, &ret)
+		got = ret.V
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 21 {
+		t.Fatalf("counter = %d, want 21", got)
+	}
+}

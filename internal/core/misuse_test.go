@@ -1,0 +1,119 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/threads"
+)
+
+// Misuse guards: the runtime turns API contract violations into panics with
+// actionable messages rather than silent misbehaviour. Each test captures
+// the panic inside the simulated node program.
+
+func TestUnknownMethodPanics(t *testing.T) {
+	rt := newRig(2, Options{})
+	gp := rt.CreateObject(1, "Counter")
+	var recovered any
+	rt.OnNode(0, func(th *threads.Thread) {
+		defer func() { recovered = recover() }()
+		rt.Call(th, gp, "noSuchMethod", nil, nil)
+	})
+	_ = rt.Run()
+	if recovered == nil {
+		t.Error("unknown method did not panic")
+	}
+}
+
+func TestNilPointerCallPanics(t *testing.T) {
+	rt := newRig(2, Options{})
+	var recovered any
+	rt.OnNode(0, func(th *threads.Thread) {
+		defer func() { recovered = recover() }()
+		rt.Call(th, NilGPtr, "nop", nil, nil)
+	})
+	_ = rt.Run()
+	if recovered == nil {
+		t.Error("nil global pointer did not panic")
+	}
+}
+
+func TestZeroGPtrPanics(t *testing.T) {
+	rt := newRig(2, Options{})
+	var recovered any
+	rt.OnNode(0, func(th *threads.Thread) {
+		defer func() { recovered = recover() }()
+		var zero GPtr
+		rt.Call(th, zero, "nop", nil, nil)
+	})
+	_ = rt.Run()
+	if recovered == nil {
+		t.Error("zero-value global pointer did not panic")
+	}
+}
+
+func TestRetForVoidMethodPanics(t *testing.T) {
+	rt := newRig(2, Options{})
+	gp := rt.CreateObject(1, "Counter")
+	var recovered any
+	rt.OnNode(0, func(th *threads.Thread) {
+		defer func() { recovered = recover() }()
+		var ret I64
+		rt.Call(th, gp, "nop", nil, &ret) // nop has no return value
+	})
+	_ = rt.Run()
+	if recovered == nil {
+		t.Error("return destination for void method did not panic")
+	}
+}
+
+func TestOneWayWithReturnPanics(t *testing.T) {
+	rt := newRig(2, Options{})
+	gp := rt.CreateObject(1, "Counter")
+	var recovered any
+	rt.OnNode(0, func(th *threads.Thread) {
+		defer func() { recovered = recover() }()
+		rt.CallOneWay(th, gp, "get", nil) // get declares a return value
+	})
+	_ = rt.Run()
+	if recovered == nil {
+		t.Error("one-way call to value-returning method did not panic")
+	}
+}
+
+func TestUnknownClassPanics(t *testing.T) {
+	rt := newRig(1, Options{})
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown class did not panic")
+		}
+	}()
+	rt.CreateObject(0, "NoSuchClass")
+}
+
+func TestDuplicateClassPanics(t *testing.T) {
+	rt := newRig(1, Options{})
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate class registration did not panic")
+		}
+	}()
+	rt.RegisterClass(counterClass())
+}
+
+func TestDuplicateNodeProgramPanics(t *testing.T) {
+	rt := newRig(1, Options{})
+	rt.OnNode(0, func(*threads.Thread) {})
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate node program did not panic")
+		}
+	}()
+	rt.OnNode(0, func(*threads.Thread) {})
+}
+
+func TestRunWithoutProgramsErrors(t *testing.T) {
+	rt := newRig(1, Options{})
+	if err := rt.Run(); err == nil {
+		t.Error("Run without node programs did not error")
+	}
+}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/threads"
+)
+
+// Par runs the given blocks concurrently, as CC++'s par construct: each
+// block gets its own thread; the parent blocks until all complete.
+func Par(t *threads.Thread, blocks ...func(*threads.Thread)) {
+	var wg threads.WaitGroup
+	wg.Add(len(blocks))
+	for i, b := range blocks {
+		b := b
+		t.Spawn(fmt.Sprintf("par%d", i), func(t2 *threads.Thread) {
+			b(t2)
+			wg.Done(t2)
+		})
+	}
+	wg.Wait(t)
+}
+
+// ParFor runs n loop iterations concurrently, as CC++'s parfor construct:
+// one thread per iteration (which is exactly why the paper's CC++ prefetch
+// micro-benchmark pays ~21 µs of thread time per element), joining before
+// returning.
+func ParFor(t *threads.Thread, n int, body func(t2 *threads.Thread, i int)) {
+	var wg threads.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		i := i
+		t.Spawn(fmt.Sprintf("parfor%d", i), func(t2 *threads.Thread) {
+			body(t2, i)
+			wg.Done(t2)
+		})
+	}
+	wg.Wait(t)
+}
+
+// Spawn launches fn on a new thread without joining, as CC++'s spawn.
+// The returned handle allows an explicit later join via its sync variable.
+func Spawn(t *threads.Thread, name string, fn func(*threads.Thread)) *threads.SyncVar {
+	done := new(threads.SyncVar)
+	t.Spawn(name, func(t2 *threads.Thread) {
+		fn(t2)
+		done.Write(t2, nil)
+	})
+	return done
+}

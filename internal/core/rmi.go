@@ -1,0 +1,488 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/am"
+	"repro/internal/machine"
+	"repro/internal/tham"
+	"repro/internal/threads"
+)
+
+// callMode selects how the initiator of an RMI waits for completion.
+type callMode int
+
+const (
+	// modeSpin: the calling thread itself polls the network until the reply
+	// lands — the paper's "0-Word Simple" fast path with no thread switches.
+	modeSpin callMode = iota
+	// modeBlock: the caller blocks on a sync variable and the polling
+	// thread completes it — the paper's standard sender path.
+	modeBlock
+	// modeFuture: the call returns immediately; Future.Wait joins later.
+	modeFuture
+	// modeOneWay: fire-and-forget, no reply message at all.
+	modeOneWay
+)
+
+// invocation flag bits (wire word A[0]).
+const (
+	flagCold      = 1 << 0
+	flagWantReply = 1 << 1
+)
+
+// completion is the sender-side landing pad for an RMI's reply.
+type completion struct {
+	mode callMode
+	done bool
+	sv   threads.SyncVar
+}
+
+// rmiMsg is the simulation-side envelope carried by invocation messages:
+// the sender's completion state and return destination ride along so the
+// reply handler can find them (on hardware these would be a request ID
+// indexing a table; the word arguments still model the wire format).
+type rmiMsg struct {
+	from *nodeRT
+	comp *completion
+	ret  Arg
+	rbuf *tham.RBuf
+}
+
+// resolveUpdate is the payload of a stub-cache update message (cold path).
+type resolveUpdate struct {
+	proc int
+	hash tham.NameHash
+	rbuf *tham.RBuf
+}
+
+// Future is the join handle of an asynchronous RMI.
+type Future struct {
+	rt   *Runtime
+	comp *completion
+}
+
+// Wait blocks until the RMI's reply has landed.
+func (f *Future) Wait(t *threads.Thread) {
+	if f.comp.mode != modeFuture {
+		panic("core: Wait on non-future completion")
+	}
+	f.comp.sv.Read(t)
+}
+
+// Done reports (without blocking) whether the reply has landed.
+func (f *Future) Done() bool { return f.comp.done }
+
+// Call performs a synchronous RMI: marshal args, transfer, run the method
+// remotely, and wait for its completion (and return value, when the method
+// declares one; pass the matching ret instance or nil). The sender blocks on
+// a sync variable and the polling thread drives completion, unless the
+// runtime was configured with SpinSenders.
+func (rt *Runtime) Call(t *threads.Thread, gp GPtr, method string, args []Arg, ret Arg) {
+	mode := modeBlock
+	if rt.opts.SpinSenders {
+		mode = modeSpin
+	}
+	rt.invoke(t, gp, method, args, ret, mode)
+}
+
+// CallSimple performs a synchronous RMI in which the calling thread itself
+// polls for the reply: no thread switches at the sender (the paper's
+// "0-Word Simple" variant).
+func (rt *Runtime) CallSimple(t *threads.Thread, gp GPtr, method string, args []Arg, ret Arg) {
+	rt.invoke(t, gp, method, args, ret, modeSpin)
+}
+
+// CallAsync starts an RMI and returns a Future to join on. ret, if non-nil,
+// is filled in by the time Wait returns.
+func (rt *Runtime) CallAsync(t *threads.Thread, gp GPtr, method string, args []Arg, ret Arg) *Future {
+	comp := rt.invoke(t, gp, method, args, ret, modeFuture)
+	return &Future{rt: rt, comp: comp}
+}
+
+// CallOneWay starts an RMI with no completion reply at all (the CC++
+// analogue of a one-way store). The method must not declare a return value.
+func (rt *Runtime) CallOneWay(t *threads.Thread, gp GPtr, method string, args []Arg) {
+	rt.invoke(t, gp, method, args, nil, modeOneWay)
+}
+
+// invoke is the common sender path.
+func (rt *Runtime) invoke(t *threads.Thread, gp GPtr, method string, args []Arg, ret Arg, mode callMode) *completion {
+	if gp.Nil() {
+		panic("core: RMI through nil global pointer")
+	}
+	n := rt.nodeOf(t)
+	cfg := t.Cfg()
+	bm := rt.lookupMethod(gp, method)
+	if bm.m.NewRet == nil && ret != nil {
+		panic("core: method " + bm.qname + " has no return value")
+	}
+	if bm.m.NewRet != nil && ret == nil && mode != modeOneWay {
+		ret = bm.m.NewRet()
+	}
+	if mode == modeOneWay && bm.m.NewRet != nil {
+		panic("core: one-way RMI to method with return value: " + bm.qname)
+	}
+	n.node.Acct.Count(machine.CntRMI, 1)
+
+	// Runtime bookkeeping under the runtime lock.
+	lockPair(t, &n.rtLock)
+
+	// Local invocations short-circuit the network but still pay the
+	// global-pointer locality check and dispatch.
+	if int(gp.node) == n.node.ID {
+		n.node.Acct.Count(machine.CntLocalDeref, 1)
+		t.Charge(machine.CatRuntime, cfg.LocalGPDeref+cfg.StubLookup)
+		rt.dispatchLocal(t, n, bm, gp, args, ret, mode)
+		return nil
+	}
+
+	// Method-stub cache lookup (§4: indexed by processor number and method
+	// name hash).
+	t.Charge(machine.CatRuntime, cfg.StubLookup)
+	var entry *tham.CacheEntry
+	cold := true
+	if !rt.opts.DisableStubCache {
+		if e, ok := n.cache.Lookup(int(gp.node), bm.hash); ok {
+			entry = e
+			cold = false
+		}
+	}
+	if cold {
+		n.node.Acct.Count(machine.CntStubMiss, 1)
+		n.node.Acct.Count(machine.CntRMICold, 1)
+	} else {
+		n.node.Acct.Count(machine.CntStubHit, 1)
+	}
+
+	// Marshal arguments into the S-buffer.
+	payload, units := encodeArgs(args)
+	t.Charge(machine.CatRuntime,
+		time.Duration(units)*cfg.MarshalPerArg+
+			time.Duration(len(payload))*cfg.MemCopyPerByte)
+	lockPair(t, &n.bufLock) // S-buffer pool
+
+	comp := &completion{mode: mode}
+	msg := &rmiMsg{from: n, comp: comp, ret: ret}
+	var flags uint64
+	if mode != modeOneWay {
+		flags |= flagWantReply
+	}
+	a := [4]uint64{0, uint64(gp.obj), 0, 0}
+	if cold {
+		// The whole method name travels and resolution happens remotely.
+		flags |= flagCold
+		a[2] = uint64(bm.hash)
+		a[3] = uint64(len(bm.qname))
+		payload = append(payload, bm.qname...)
+	} else {
+		a[2] = uint64(bm.stub)
+		msg.rbuf = entry.RBuf
+	}
+	a[0] = flags
+
+	// Hand to the (thread-safe) message layer. Zero-argument warm
+	// invocations fit a short AM; anything carrying marshalled data uses
+	// the bulk path — this is why the paper's 1-Word RMI jumps to the
+	// 70 µs bulk AM cost.
+	lockPair(t, &n.commLock)
+	rt.tr.Send(t, n.node.ID, int(gp.node), rt.hInvoke, a, msg, payload, false)
+
+	switch mode {
+	case modeSpin:
+		rt.pollUntil(t, n.node.ID, func() bool { return comp.done })
+	case modeBlock:
+		comp.sv.Read(t)
+	}
+	return comp
+}
+
+// lookupMethod resolves the sender-side stub info (the translator would have
+// compiled this into the call site; no extra virtual cost beyond StubLookup,
+// which invoke charges).
+func (rt *Runtime) lookupMethod(gp GPtr, method string) *boundMethod {
+	if gp.cls == nil {
+		panic("core: global pointer has no class (zero GPtr?)")
+	}
+	for _, m := range rt.methods {
+		if m.class == gp.cls && m.m.Name == method {
+			return m
+		}
+	}
+	panic(fmt.Sprintf("core: class %s has no method %q", gp.cls.Name, method))
+}
+
+// dispatchLocal runs an RMI whose target lives on the calling node: no
+// marshalling, no messages, but threaded/atomic semantics are preserved.
+func (rt *Runtime) dispatchLocal(t *threads.Thread, n *nodeRT, bm *boundMethod, gp GPtr, args []Arg, ret Arg, mode callMode) {
+	self := n.objs.Get(gp.obj)
+	run := func(t2 *threads.Thread) {
+		if bm.m.Atomic {
+			l := n.objLock(gp.obj)
+			l.Lock(t2)
+			defer l.Unlock(t2)
+		}
+		bm.m.Fn(t2, self, args, ret)
+	}
+	if !bm.m.Threaded && !bm.m.Atomic {
+		run(t)
+		return
+	}
+	switch mode {
+	case modeOneWay, modeFuture:
+		done := &completion{mode: mode}
+		t.Spawn("lrmi:"+bm.m.Name, func(t2 *threads.Thread) {
+			run(t2)
+			if mode == modeFuture {
+				done.done = true
+				done.sv.Write(t2, nil)
+			}
+		})
+		// Note: local futures reuse the spawned thread's completion.
+		_ = done
+	default:
+		// Synchronous local threaded call: spawn and join.
+		var wg threads.WaitGroup
+		wg.Add(1)
+		t.Spawn("lrmi:"+bm.m.Name, func(t2 *threads.Thread) {
+			run(t2)
+			wg.Done(t2)
+		})
+		wg.Wait(t)
+	}
+}
+
+// objLock returns (lazily creating) the per-object lock used by atomic
+// methods.
+func (n *nodeRT) objLock(obj int32) *threads.Mutex {
+	l, ok := n.objLocks[obj]
+	if !ok {
+		l = new(threads.Mutex)
+		n.objLocks[obj] = l
+	}
+	return l
+}
+
+// pollUntil drives the transport until cond holds (the calling thread
+// services the network itself). Ready local threads get the CPU before the
+// caller parks: a threaded RMI spawned by a poll may be the very thing that
+// makes cond true, and parking for a *message* would miss it.
+func (rt *Runtime) pollUntil(t *threads.Thread, me int, cond func() bool) {
+	for !cond() {
+		if rt.tr.Poll(t, me) {
+			continue
+		}
+		if t.Scheduler().ReadyLen() > 0 {
+			t.Yield()
+			continue
+		}
+		rt.tr.WaitMessage(t, me)
+	}
+	rt.tr.KickService(me)
+}
+
+// chargeRuntime charges d to the runtime-overhead bucket.
+func chargeRuntime(t *threads.Thread, d time.Duration) {
+	t.Charge(machine.CatRuntime, d)
+}
+
+// registerHandlers installs the runtime's message handlers.
+func (rt *Runtime) registerHandlers() {
+	rt.hReply = rt.tr.Register("cc.reply", rt.handleReply)
+	rt.hResolveUpdate = rt.tr.Register("cc.resolve.update", rt.handleResolveUpdate)
+	rt.hInvoke = rt.tr.Register("cc.invoke", rt.handleInvoke)
+	rt.registerGPHandlers()
+}
+
+// handleInvoke is the generic invocation handler on the receiving node.
+func (rt *Runtime) handleInvoke(t *threads.Thread, m am.Msg) {
+	n := rt.nodes[m.Dst]
+	cfg := t.Cfg()
+	lockPair(t, &n.commLock) // message-layer thread safety
+
+	flags := m.A[0]
+	cold := flags&flagCold != 0
+	wantReply := flags&flagWantReply != 0
+	msg := m.Obj.(*rmiMsg)
+
+	argBytes := m.Payload
+	var bm *boundMethod
+	if cold {
+		nameLen := int(m.A[3])
+		argBytes = m.Payload[:len(m.Payload)-nameLen]
+		// Resolve the name against the local registry and send the cache
+		// update (stub entry point + freshly allocated persistent R-buffer)
+		// back to the sender.
+		chargeRuntime(t, cfg.StubLookup)
+		stub, ok := n.reg.Resolve(tham.NameHash(m.A[2]))
+		if !ok {
+			panic(fmt.Sprintf("core: node %d cannot resolve method hash %#x", m.Dst, m.A[2]))
+		}
+		bm = rt.methods[stub]
+		rb := n.bufs.AllocRBuf(len(argBytes))
+		n.node.Acct.Count(machine.CntBufAlloc, 1)
+		lockPair(t, &n.commLock)
+		rt.tr.Send(t, m.Dst, m.Src, rt.hResolveUpdate, [4]uint64{uint64(stub)},
+			&resolveUpdate{proc: m.Dst, hash: bm.hash, rbuf: rb}, nil, false)
+		// Cold invocations land in the static buffer area and must be
+		// copied into the new R-buffer before dispatch.
+		rt.stage(t, n, rb, argBytes)
+	} else {
+		bm = rt.methods[tham.StubID(m.A[2])]
+		if msg.rbuf != nil && !rt.opts.DisablePersistentBuffers {
+			// Warm path: the sender targeted the persistent R-buffer, so
+			// the data is already in place — no staging copy.
+			n.bufs.Reuse(msg.rbuf, len(argBytes))
+			copy(msg.rbuf.Data, argBytes)
+			n.node.Acct.Count(machine.CntBufReuse, 1)
+		} else {
+			rb := n.bufs.AllocRBuf(len(argBytes))
+			n.node.Acct.Count(machine.CntBufAlloc, 1)
+			rt.stage(t, n, rb, argBytes)
+		}
+	}
+
+	body := func(t2 *threads.Thread) { rt.runMethod(t2, n, bm, m, msg, argBytes, wantReply) }
+	if bm.m.Threaded || bm.m.Atomic {
+		// "the invocation message is always sent to a generic active
+		// message handler who creates a new thread and then calls the
+		// desired method" (§4).
+		t.Spawn("rmi:"+bm.m.Name, body)
+		return
+	}
+	body(t)
+}
+
+// stage models the cold-path copy from the static buffer area into an
+// R-buffer.
+func (rt *Runtime) stage(t *threads.Thread, n *nodeRT, rb *tham.RBuf, argBytes []byte) {
+	lockPair(t, &n.bufLock)
+	chargeRuntime(t, time.Duration(len(argBytes))*t.Cfg().MemCopyPerByte)
+	if cap(rb.Data) < len(argBytes) {
+		rb.Data = make([]byte, len(argBytes))
+	}
+	copy(rb.Data, argBytes)
+}
+
+// runMethod unmarshals, executes, and (when requested) replies.
+func (rt *Runtime) runMethod(t *threads.Thread, n *nodeRT, bm *boundMethod, m am.Msg, msg *rmiMsg, argBytes []byte, wantReply bool) {
+	cfg := t.Cfg()
+	var args []Arg
+	if bm.m.NewArgs != nil {
+		args = bm.m.NewArgs()
+		units := decodeArgs(argBytes, args)
+		chargeRuntime(t, time.Duration(units)*cfg.MarshalPerArg+
+			time.Duration(len(argBytes))*cfg.MemCopyPerByte)
+	} else if len(argBytes) != 0 {
+		panic("core: arguments sent to method without parameters: " + bm.qname)
+	}
+
+	var ret Arg
+	if bm.m.NewRet != nil {
+		ret = bm.m.NewRet()
+	}
+	self := n.objs.Get(int32(m.A[1]))
+	if bm.m.Atomic {
+		l := n.objLock(int32(m.A[1]))
+		l.Lock(t)
+		bm.m.Fn(t, self, args, ret)
+		l.Unlock(t)
+	} else {
+		bm.m.Fn(t, self, args, ret)
+	}
+
+	if !wantReply {
+		return
+	}
+	var payload []byte
+	if ret != nil {
+		var units int
+		payload, units = encodeArgs([]Arg{ret})
+		chargeRuntime(t, time.Duration(units)*cfg.MarshalPerArg+
+			time.Duration(len(payload))*cfg.MemCopyPerByte)
+	}
+	lockPair(t, &n.commLock)
+	rt.tr.Send(t, m.Dst, m.Src, rt.hReply, [4]uint64{}, msg, payload, false)
+}
+
+// handleReply lands an RMI completion (and return value) at the initiator.
+func (rt *Runtime) handleReply(t *threads.Thread, m am.Msg) {
+	msg := m.Obj.(*rmiMsg)
+	n := msg.from
+	cfg := t.Cfg()
+	lockPair(t, &n.commLock)
+	if msg.ret != nil {
+		// Return data is copied twice at the initiator: static buffer area
+		// -> receive buffer (raw copy), then receive buffer -> the CC++
+		// object, which for structured types runs the per-element assignment
+		// (§6: "Bulk reads cost more than bulk writes in CC++ because the
+		// return data has to be copied twice"; the initiator never passes an
+		// R-buffer address, so this cost is unavoidable in the design).
+		units := decodeArgs(m.Payload, []Arg{msg.ret})
+		chargeRuntime(t, 2*time.Duration(len(m.Payload))*cfg.MemCopyPerByte+
+			2*time.Duration(units)*cfg.MarshalPerArg)
+	}
+	comp := msg.comp
+	comp.done = true
+	switch comp.mode {
+	case modeBlock, modeFuture:
+		comp.sv.Write(t, nil)
+	}
+}
+
+// handleResolveUpdate installs a stub-cache entry after a cold invocation.
+func (rt *Runtime) handleResolveUpdate(t *threads.Thread, m am.Msg) {
+	up := m.Obj.(*resolveUpdate)
+	n := rt.nodes[m.Dst]
+	lockPair(t, &n.rtLock)
+	n.cache.Update(up.proc, up.hash, &tham.CacheEntry{
+		Stub: tham.StubID(m.A[0]),
+		RBuf: up.rbuf,
+	})
+}
+
+// --- built-in system class (remote object creation) -------------------------
+
+const sysClassName = "__sys"
+
+type sysObj struct{}
+
+// sysClass defines the built-in per-node system object, whose "create"
+// method instantiates processor objects at runtime — CC++'s processor-object
+// startup expressed through the runtime's own RMI machinery.
+func (rt *Runtime) sysClass() *Class {
+	return &Class{
+		Name: sysClassName,
+		New:  func() any { return &sysObj{} },
+		Methods: []*Method{{
+			Name:     "create",
+			Threaded: true,
+			NewArgs:  func() []Arg { return []Arg{&Str{}} },
+			NewRet:   func() Arg { return &I64{} },
+			Fn: func(t *threads.Thread, self any, args []Arg, ret Arg) {
+				className := args[0].(*Str).V
+				gp := rt.CreateObject(t.Node().ID, className)
+				ret.(*I64).V = int64(gp.obj)
+			},
+		}},
+	}
+}
+
+// SysGPtr returns the global pointer to a node's system object.
+func (rt *Runtime) SysGPtr(node int) GPtr {
+	return GPtr{node: int32(node), obj: 0, cls: rt.classes[sysClassName]}
+}
+
+// NewObjOn creates an object of the named class on a remote node at runtime
+// via a real RMI (CC++'s dynamic processor-object creation) and returns a
+// global pointer to it.
+func (rt *Runtime) NewObjOn(t *threads.Thread, node int, className string) GPtr {
+	cls, ok := rt.classes[className]
+	if !ok {
+		panic("core: unknown class " + className)
+	}
+	var ret I64
+	rt.Call(t, rt.SysGPtr(node), "create", []Arg{&Str{V: className}}, &ret)
+	return GPtr{node: int32(node), obj: int32(ret.V), cls: cls}
+}

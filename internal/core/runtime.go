@@ -1,0 +1,407 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/am"
+	"repro/internal/machine"
+	"repro/internal/tham"
+	"repro/internal/threads"
+)
+
+// GPtr is a CC++ global pointer to a processor object. Unlike Split-C's
+// global pointers, it is opaque: applications cannot see or compute with the
+// address part; all access goes through RMI.
+type GPtr struct {
+	node int32
+	obj  int32
+	cls  *Class
+}
+
+// NilGPtr is the zero global pointer.
+var NilGPtr = GPtr{node: -1, obj: -1}
+
+// Nil reports whether the pointer is the nil global pointer. The zero GPtr
+// value also counts as nil (it carries no class).
+func (g GPtr) Nil() bool { return g.node < 0 || g.cls == nil }
+
+// NodeID exposes the placement of the object; CC++ programs may ask an
+// object where it lives (the runtime knows), they just cannot forge pointers.
+func (g GPtr) NodeID() int { return int(g.node) }
+
+// String formats the pointer for debugging.
+func (g GPtr) String() string { return fmt.Sprintf("gptr{n%d:o%d}", g.node, g.obj) }
+
+// Method describes one remotely invocable method of a Class — the
+// registration-time stand-in for the stubs CC++'s translator generates.
+type Method struct {
+	// Name is the unqualified method name.
+	Name string
+	// Threaded makes the receiving node run the method on a fresh thread
+	// (required whenever the method may block). Non-threaded methods run
+	// inline in the handler and must not block.
+	Threaded bool
+	// Atomic runs the method holding the target object's lock; per the
+	// paper's micro-benchmarks, atomic implies a threaded invocation.
+	Atomic bool
+	// NewArgs returns fresh argument instances for the receiving stub to
+	// decode into; nil means the method takes no arguments.
+	NewArgs func() []Arg
+	// NewRet returns a fresh return-value instance; nil means no result.
+	NewRet func() Arg
+	// Fn is the method body. self is the target object; ret (when non-nil)
+	// must be filled in before returning.
+	Fn func(t *threads.Thread, self any, args []Arg, ret Arg)
+}
+
+// Class is a processor-object class: a constructor plus its remotely
+// invocable methods.
+type Class struct {
+	Name    string
+	New     func() any
+	Methods []*Method
+}
+
+// boundMethod pairs a method with its class and machine-wide stub identity.
+type boundMethod struct {
+	class *Class
+	m     *Method
+	qname string
+	hash  tham.NameHash
+	stub  tham.StubID
+}
+
+// Options configure the runtime; the zero value is the paper's tuned
+// configuration. The Disable* switches exist for the ablation benchmarks of
+// the paper's §4 design choices.
+type Options struct {
+	// DisableStubCache forces every RMI down the cold name-resolution path.
+	DisableStubCache bool
+	// DisablePersistentBuffers forces the receiver staging copy (static
+	// buffer area -> fresh R-buffer) on every invocation.
+	DisablePersistentBuffers bool
+	// SpinSenders makes blocking calls spin-poll instead of handing off to
+	// the polling thread (the "Simple" sender mode applied globally).
+	SpinSenders bool
+	// InterruptDriven switches message reception from polling to software
+	// interrupts, charging Config.InterruptCost per received message — the
+	// alternative the paper rejects for 1997 hardware and projects as future
+	// work once interrupts get cheap. Only supported on the AM transport.
+	InterruptDriven bool
+	// Grace is how long after the last node program finishes the runtime
+	// keeps polling before shutting down (drains in-flight one-way RMIs).
+	Grace time.Duration
+	// Transport overrides the message layer; nil uses Active Messages.
+	Transport Transport
+}
+
+// Transport abstracts the message layer under the runtime so the Nexus/TCP
+// profile can be swapped in for the paper's §6 comparison.
+type Transport interface {
+	// Register installs a handler on every node, returning its ID.
+	Register(name string, h am.Handler) am.HandlerID
+	// Send transmits a message (bulk when payload is non-nil or forceBulk).
+	Send(t *threads.Thread, src, dst int, h am.HandlerID, a [4]uint64, obj any, payload []byte, forceBulk bool)
+	// Poll services at most one pending message on node me.
+	Poll(t *threads.Thread, me int) bool
+	// WaitMessage parks until a message arrives at node me (or Stop).
+	WaitMessage(t *threads.Thread, me int)
+	// KickService wakes a parked waiter on node me if messages remain
+	// undelivered (see am.Endpoint.KickService).
+	KickService(me int)
+	// Stop shuts down node me's reception, waking parked waiters.
+	Stop(me int)
+	// Stopped reports whether node me's reception is shut down.
+	Stopped(me int) bool
+	// Name identifies the transport in reports.
+	Name() string
+}
+
+// AMTransport is the default message layer: the am package directly.
+type AMTransport struct{ net *am.Net }
+
+// NewAMTransport wraps an am.Net as a runtime transport.
+func NewAMTransport(net *am.Net) *AMTransport { return &AMTransport{net: net} }
+
+// Net exposes the underlying AM net (used by the runtime to attach
+// schedulers to endpoints).
+func (tr *AMTransport) Net() *am.Net { return tr.net }
+
+// Name implements Transport.
+func (tr *AMTransport) Name() string { return "ThAM" }
+
+// Register implements Transport.
+func (tr *AMTransport) Register(name string, h am.Handler) am.HandlerID {
+	return tr.net.Register(name, h)
+}
+
+// Send implements Transport.
+func (tr *AMTransport) Send(t *threads.Thread, src, dst int, h am.HandlerID, a [4]uint64, obj any, payload []byte, forceBulk bool) {
+	tr.net.Endpoint(src).Request(t, dst, h, a, obj, payload, am.SendOpts{Bulk: forceBulk || len(payload) > 0})
+}
+
+// Poll implements Transport.
+func (tr *AMTransport) Poll(t *threads.Thread, me int) bool { return tr.net.Endpoint(me).Poll(t) }
+
+// WaitMessage implements Transport.
+func (tr *AMTransport) WaitMessage(t *threads.Thread, me int) { tr.net.Endpoint(me).WaitMessage(t) }
+
+// KickService implements Transport.
+func (tr *AMTransport) KickService(me int) { tr.net.Endpoint(me).KickService() }
+
+// Stop implements Transport.
+func (tr *AMTransport) Stop(me int) { tr.net.Endpoint(me).Stop() }
+
+// Stopped implements Transport.
+func (tr *AMTransport) Stopped(me int) bool { return tr.net.Endpoint(me).Stopped() }
+
+// Runtime is one CC++ program instance over a machine.
+type Runtime struct {
+	m    *machine.Machine
+	tr   Transport
+	opts Options
+
+	classes map[string]*Class
+	methods []*boundMethod // indexed by StubID (identical on all nodes)
+
+	nodes []*nodeRT
+	progs []func(t *threads.Thread)
+
+	mainsLeft int
+
+	hInvoke, hResolveUpdate am.HandlerID
+	hReply                  am.HandlerID
+	hGPRead, hGPReadReply   am.HandlerID
+	hGPWrite, hGPAck        am.HandlerID
+}
+
+// nodeRT is the per-node runtime state.
+type nodeRT struct {
+	rt    *Runtime
+	node  *machine.Node
+	sched *threads.Scheduler
+
+	reg   *tham.Registry
+	cache *tham.StubCache
+	bufs  *tham.BufMgr
+	objs  tham.ObjTable
+
+	objLocks map[int32]*threads.Mutex
+
+	// Runtime-internal locks. Their lock/unlock pairs are where the paper's
+	// "98-99% of [sync] overhead is to ensure consistency of shared data and
+	// thread-safety in the runtime and communication layers" comes from.
+	rtLock   threads.Mutex // stub cache, registry, object table
+	bufLock  threads.Mutex // S-/R-buffer pool
+	commLock threads.Mutex // message-layer thread safety
+}
+
+// NewRuntime builds a CC++ runtime over machine m with default options.
+func NewRuntime(m *machine.Machine) *Runtime { return NewRuntimeOpts(m, Options{}) }
+
+// NewRuntimeOpts builds a CC++ runtime with explicit options.
+func NewRuntimeOpts(m *machine.Machine, opts Options) *Runtime {
+	if opts.Grace == 0 {
+		opts.Grace = time.Millisecond
+	}
+	rt := &Runtime{
+		m:       m,
+		opts:    opts,
+		classes: make(map[string]*Class),
+		progs:   make([]func(*threads.Thread), m.NumNodes()),
+	}
+	tr := opts.Transport
+	if tr == nil {
+		tr = NewAMTransport(am.NewNet(m))
+	}
+	rt.tr = tr
+	for i := 0; i < m.NumNodes(); i++ {
+		n := &nodeRT{
+			rt:       rt,
+			node:     m.Node(i),
+			sched:    threads.NewScheduler(m.Node(i)),
+			reg:      tham.NewRegistry(),
+			cache:    tham.NewStubCache(),
+			bufs:     tham.NewBufMgr(i),
+			objLocks: make(map[int32]*threads.Mutex),
+		}
+		rt.nodes = append(rt.nodes, n)
+	}
+	if amt, ok := tr.(*AMTransport); ok {
+		for i := 0; i < m.NumNodes(); i++ {
+			amt.net.Endpoint(i).Attach(rt.nodes[i].sched)
+			if opts.InterruptDriven {
+				amt.net.Endpoint(i).SetInterruptCost(m.Cfg.InterruptCost)
+			}
+		}
+	}
+	if att, ok := tr.(SchedulerAttacher); ok {
+		for i := 0; i < m.NumNodes(); i++ {
+			att.Attach(i, rt.nodes[i].sched)
+		}
+	}
+	rt.registerHandlers()
+	rt.RegisterClass(rt.sysClass())
+	for i := range rt.nodes {
+		// Object 0 on every node is the system object (object creation).
+		gp := rt.CreateObject(i, sysClassName)
+		if gp.obj != 0 {
+			panic("core: system object must be object 0")
+		}
+	}
+	return rt
+}
+
+// SchedulerAttacher is implemented by transports that need per-node
+// scheduler attachment (the Nexus transport does).
+type SchedulerAttacher interface {
+	Attach(node int, s *threads.Scheduler)
+}
+
+// Machine returns the underlying machine.
+func (rt *Runtime) Machine() *machine.Machine { return rt.m }
+
+// TransportName reports the active message layer ("ThAM" or "Nexus").
+func (rt *Runtime) TransportName() string { return rt.tr.Name() }
+
+// Scheduler returns node i's thread scheduler.
+func (rt *Runtime) Scheduler(i int) *threads.Scheduler { return rt.nodes[i].sched }
+
+// StubCacheStats sums stub-cache hits and misses across nodes.
+func (rt *Runtime) StubCacheStats() (hits, misses int64) {
+	for _, n := range rt.nodes {
+		h, m := n.cache.Stats()
+		hits += h
+		misses += m
+	}
+	return hits, misses
+}
+
+// BufStats sums persistent-buffer allocations and reuses across nodes.
+func (rt *Runtime) BufStats() (allocs, reuses int64) {
+	for _, n := range rt.nodes {
+		a, r := n.bufs.Stats()
+		allocs += a
+		reuses += r
+	}
+	return allocs, reuses
+}
+
+// RegisterClass makes a class invocable. Must be called before Run. Stubs
+// are registered into every node's local registry (each program image
+// carries its own copy of the code, as in CC++'s separately compiled
+// images); stub IDs come out identical everywhere because registration
+// order is identical.
+func (rt *Runtime) RegisterClass(c *Class) {
+	if _, dup := rt.classes[c.Name]; dup {
+		panic("core: class registered twice: " + c.Name)
+	}
+	if c.New == nil {
+		panic("core: class " + c.Name + " has no constructor")
+	}
+	rt.classes[c.Name] = c
+	for _, m := range c.Methods {
+		qname := c.Name + "::" + m.Name
+		bm := &boundMethod{class: c, m: m, qname: qname, hash: tham.HashName(qname)}
+		var stub tham.StubID
+		for _, n := range rt.nodes {
+			stub = n.reg.Register(qname)
+		}
+		bm.stub = stub
+		if int(stub) != len(rt.methods) {
+			panic("core: stub id mismatch across nodes")
+		}
+		rt.methods = append(rt.methods, bm)
+	}
+}
+
+// CreateObject instantiates className's class on the given node at setup
+// time (no virtual cost) and returns a global pointer to it. For creation
+// from inside a running program, use NewObjOn, which performs a real RMI.
+func (rt *Runtime) CreateObject(node int, className string) GPtr {
+	c, ok := rt.classes[className]
+	if !ok {
+		panic("core: unknown class " + className)
+	}
+	n := rt.nodes[node]
+	id := n.objs.Add(c.New())
+	return GPtr{node: int32(node), obj: id, cls: c}
+}
+
+// Object returns the live object behind a global pointer (test/inspection
+// use; programs go through RMI).
+func (rt *Runtime) Object(gp GPtr) any { return rt.nodes[gp.node].objs.Get(gp.obj) }
+
+// OnNode installs the program to run on node i. Nodes without programs run
+// only the runtime's polling thread — the MPMD "server" configuration.
+func (rt *Runtime) OnNode(i int, prog func(t *threads.Thread)) {
+	if rt.progs[i] != nil {
+		panic(fmt.Sprintf("core: node %d already has a program", i))
+	}
+	rt.progs[i] = prog
+	rt.mainsLeft++
+}
+
+// Run starts the polling thread on every node plus the installed node
+// programs, and drives the simulation until completion. After the last
+// program finishes, reception keeps draining for Options.Grace of virtual
+// time before the pollers shut down.
+func (rt *Runtime) Run() error {
+	if rt.mainsLeft == 0 {
+		return fmt.Errorf("core: no node programs installed")
+	}
+	for i := range rt.nodes {
+		n := rt.nodes[i]
+		// "In order to avoid deadlocks when there is no runnable thread, a
+		// polling thread is forked at initialization." (§4)
+		n.sched.Start("poller", func(t *threads.Thread) { rt.pollerLoop(t, n) })
+	}
+	for i := range rt.nodes {
+		if rt.progs[i] == nil {
+			continue
+		}
+		n := rt.nodes[i]
+		prog := rt.progs[i]
+		n.sched.Start("main", func(t *threads.Thread) {
+			prog(t)
+			rt.mainsLeft--
+			if rt.mainsLeft == 0 {
+				rt.m.Eng.After(rt.opts.Grace, func() {
+					for j := range rt.nodes {
+						rt.tr.Stop(j)
+					}
+				})
+			}
+		})
+	}
+	return rt.m.Run()
+}
+
+// pollerLoop is the per-node polling thread: service everything pending,
+// then park until the next arrival. Parking hands the CPU to whichever
+// thread the handlers made ready (the scheduler dispatches on block), so the
+// poller never busy-yields against a spinning computation thread.
+func (rt *Runtime) pollerLoop(t *threads.Thread, n *nodeRT) {
+	me := n.node.ID
+	for {
+		for rt.tr.Poll(t, me) {
+		}
+		if rt.tr.Stopped(me) {
+			for rt.tr.Poll(t, me) {
+			}
+			return
+		}
+		rt.tr.WaitMessage(t, me)
+	}
+}
+
+// nodeOf returns the per-node state for the node t runs on.
+func (rt *Runtime) nodeOf(t *threads.Thread) *nodeRT { return rt.nodes[t.Node().ID] }
+
+// lockPair charges a lock/unlock pair on mu — the runtime's thread-safety
+// tax. Contention is possible (and counted) like any other mutex.
+func lockPair(t *threads.Thread, mu *threads.Mutex) {
+	mu.Lock(t)
+	mu.Unlock(t)
+}

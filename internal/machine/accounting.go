@@ -1,0 +1,196 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Category labels where a node's virtual time went. The set mirrors the
+// breakdown bars of Figures 5 and 6 in the paper: cpu, net, thread mgmt,
+// thread sync, and (CC++) runtime.
+type Category int
+
+const (
+	// CatCPU is application computation (flops, local data structure work).
+	CatCPU Category = iota
+	// CatNet is time spent in the message layer: send/receive overheads,
+	// bulk setup, and per-byte occupancy.
+	CatNet
+	// CatThreadMgmt is thread creation and context switching.
+	CatThreadMgmt
+	// CatThreadSync is locks, unlocks, signals, and sync-variable operations.
+	CatThreadSync
+	// CatRuntime is language-runtime overhead: marshalling, stub lookup,
+	// buffer management, global-pointer bookkeeping.
+	CatRuntime
+	numCategories
+)
+
+// String returns the label used in reports.
+func (c Category) String() string {
+	switch c {
+	case CatCPU:
+		return "cpu"
+	case CatNet:
+		return "net"
+	case CatThreadMgmt:
+		return "thread-mgmt"
+	case CatThreadSync:
+		return "thread-sync"
+	case CatRuntime:
+		return "runtime"
+	default:
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+}
+
+// Categories lists all categories in report order.
+func Categories() []Category {
+	return []Category{CatNet, CatCPU, CatThreadMgmt, CatThreadSync, CatRuntime}
+}
+
+// Counter names used by the instrumentation. Layers bump these via
+// Node.Count; the benchmark harness reads them to reconstruct the paper's
+// "Yield / Create / Sync" columns and message statistics.
+const (
+	CntThreadCreate  = "thread.create"
+	CntContextSwitch = "thread.switch"
+	CntSyncOp        = "thread.sync"
+	CntLockContended = "thread.lock.contended"
+	CntMsgShort      = "am.msg.short"
+	CntMsgBulk       = "am.msg.bulk"
+	CntBytesSent     = "am.bytes.sent"
+	CntPolls         = "am.polls"
+	CntHandlersRun   = "am.handlers"
+	CntRMI           = "core.rmi"
+	CntRMICold       = "core.rmi.cold"
+	CntStubHit       = "tham.stub.hit"
+	CntStubMiss      = "tham.stub.miss"
+	CntBufReuse      = "tham.buf.reuse"
+	CntBufAlloc      = "tham.buf.alloc"
+	CntRemoteRead    = "gp.remote.read"
+	CntRemoteWrite   = "gp.remote.write"
+	CntLocalDeref    = "gp.local.deref"
+)
+
+// Accounting accumulates per-category virtual time and named event counters
+// for one node. It is manipulated only from inside the simulation (single
+// logical thread), so it needs no locking.
+type Accounting struct {
+	buckets  [numCategories]time.Duration
+	counters map[string]int64
+}
+
+func newAccounting() *Accounting {
+	return &Accounting{counters: make(map[string]int64)}
+}
+
+// Add charges d to category c.
+func (a *Accounting) Add(c Category, d time.Duration) {
+	if c < 0 || c >= numCategories {
+		panic("machine: bad category")
+	}
+	a.buckets[c] += d
+}
+
+// Get returns the accumulated time in category c.
+func (a *Accounting) Get(c Category) time.Duration { return a.buckets[c] }
+
+// Count adds n to the named counter.
+func (a *Accounting) Count(name string, n int64) { a.counters[name] += n }
+
+// Counter returns the value of the named counter (zero if never bumped).
+func (a *Accounting) Counter(name string) int64 { return a.counters[name] }
+
+// Counters returns a copy of all counters.
+func (a *Accounting) Counters() map[string]int64 {
+	out := make(map[string]int64, len(a.counters))
+	for k, v := range a.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// Reset zeroes all buckets and counters. The benchmark harness resets
+// between warm-up and measurement phases.
+func (a *Accounting) Reset() {
+	a.buckets = [numCategories]time.Duration{}
+	a.counters = make(map[string]int64)
+}
+
+// Snapshot is a point-in-time copy of an Accounting, used to compute deltas
+// over a measured region.
+type Snapshot struct {
+	Buckets  [numCategories]time.Duration
+	Counters map[string]int64
+}
+
+// Snapshot captures the current state.
+func (a *Accounting) Snapshot() Snapshot {
+	return Snapshot{Buckets: a.buckets, Counters: a.Counters()}
+}
+
+// Delta returns a snapshot holding the difference now-minus-then.
+func (a *Accounting) Delta(then Snapshot) Snapshot {
+	d := Snapshot{Counters: make(map[string]int64)}
+	for i := range d.Buckets {
+		d.Buckets[i] = a.buckets[i] - then.Buckets[i]
+	}
+	for k, v := range a.counters {
+		if dv := v - then.Counters[k]; dv != 0 {
+			d.Counters[k] = dv
+		}
+	}
+	for k, v := range then.Counters {
+		if _, ok := a.counters[k]; !ok && v != 0 {
+			d.Counters[k] = -v
+		}
+	}
+	return d
+}
+
+// Get returns the time in category c recorded by the snapshot.
+func (s Snapshot) Get(c Category) time.Duration { return s.Buckets[c] }
+
+// Busy returns the sum of all category buckets.
+func (s Snapshot) Busy() time.Duration {
+	var t time.Duration
+	for _, b := range s.Buckets {
+		t += b
+	}
+	return t
+}
+
+// String formats the snapshot for debugging.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	for _, c := range Categories() {
+		fmt.Fprintf(&b, "%s=%v ", c, s.Buckets[c])
+	}
+	keys := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%d ", k, s.Counters[k])
+	}
+	return strings.TrimSpace(b.String())
+}
+
+// MergeSnapshots sums per-category times and counters across nodes, e.g. to
+// build a whole-machine breakdown.
+func MergeSnapshots(snaps ...Snapshot) Snapshot {
+	out := Snapshot{Counters: make(map[string]int64)}
+	for _, s := range snaps {
+		for i, b := range s.Buckets {
+			out.Buckets[i] += b
+		}
+		for k, v := range s.Counters {
+			out.Counters[k] += v
+		}
+	}
+	return out
+}

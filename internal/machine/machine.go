@@ -1,0 +1,152 @@
+package machine
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Machine is a simulated multicomputer: a discrete-event engine, a cost
+// configuration, and a set of nodes.
+type Machine struct {
+	Eng   *sim.Engine
+	Cfg   Config
+	nodes []*Node
+
+	// Trace, when non-nil, receives instrumentation callbacks from the
+	// layers above (kind is "send", "recv", "spawn", "switch", or "charge";
+	// dur is non-zero for charges). Install via the trace package's Attach.
+	Trace func(at time.Duration, node int, kind, label string, dur time.Duration)
+}
+
+// Emit forwards an instrumentation event to the tracer, if one is installed.
+func (m *Machine) Emit(node int, kind, label string, dur time.Duration) {
+	if m.Trace != nil {
+		m.Trace(m.Eng.Now(), node, kind, label, dur)
+	}
+}
+
+// New builds a machine with n nodes over a fresh engine.
+func New(cfg Config, n int) *Machine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if n <= 0 {
+		panic("machine: need at least one node")
+	}
+	m := &Machine{Eng: sim.New(), Cfg: cfg}
+	for i := 0; i < n; i++ {
+		m.nodes = append(m.nodes, &Node{
+			ID:   i,
+			M:    m,
+			Acct: newAccounting(),
+		})
+	}
+	return m
+}
+
+// NumNodes returns the number of nodes.
+func (m *Machine) NumNodes() int { return len(m.nodes) }
+
+// Node returns node i.
+func (m *Machine) Node(i int) *Node {
+	if i < 0 || i >= len(m.nodes) {
+		panic(fmt.Sprintf("machine: node %d out of range [0,%d)", i, len(m.nodes)))
+	}
+	return m.nodes[i]
+}
+
+// Nodes returns all nodes in ID order.
+func (m *Machine) Nodes() []*Node { return m.nodes }
+
+// Run drives the simulation to completion. It returns an error if the
+// simulation deadlocks (parked processes with an empty event queue).
+func (m *Machine) Run() error { return m.Eng.Run() }
+
+// Snapshot returns a merged accounting snapshot across all nodes.
+func (m *Machine) Snapshot() Snapshot {
+	snaps := make([]Snapshot, 0, len(m.nodes))
+	for _, n := range m.nodes {
+		snaps = append(snaps, n.Acct.Snapshot())
+	}
+	return MergeSnapshots(snaps...)
+}
+
+// Packet is a network-level message in flight. Payload is opaque to the
+// machine layer; the messaging layers (am, mpl, nexus) define its contents.
+// Size is the modelled wire size in bytes, used only for reporting — timing
+// charges are made explicitly by the messaging layer.
+type Packet struct {
+	Src, Dst int
+	Size     int
+	Payload  any
+}
+
+// Node is one processor of the multicomputer. The messaging layer installs
+// OnArrival to be notified (inside an event callback, at the virtual arrival
+// instant) when a packet lands in the node's inbound queue.
+type Node struct {
+	ID   int
+	M    *Machine
+	Acct *Accounting
+
+	inbox []Packet
+
+	// OnArrival, if non-nil, runs after each packet is appended to the
+	// inbox. It executes in event-callback context: it must not sleep or
+	// block, only mark threads runnable.
+	OnArrival func()
+}
+
+// Cfg returns the machine's cost configuration.
+func (n *Node) Cfg() Config { return n.M.Cfg }
+
+// InboxLen reports the number of undelivered packets queued at the node.
+func (n *Node) InboxLen() int { return len(n.inbox) }
+
+// PopInbox removes and returns the oldest queued packet. ok is false when
+// the inbox is empty.
+func (n *Node) PopInbox() (pkt Packet, ok bool) {
+	if len(n.inbox) == 0 {
+		return Packet{}, false
+	}
+	pkt = n.inbox[0]
+	// Slide rather than re-slice forever; inboxes stay small.
+	copy(n.inbox, n.inbox[1:])
+	n.inbox = n.inbox[:len(n.inbox)-1]
+	return pkt, true
+}
+
+// Send puts a packet on the wire from node n to dst, arriving after the
+// configured wire latency plus extraWire (e.g. serialization time of a bulk
+// payload on a slower path). Sender-side CPU costs must already have been
+// charged by the caller; Send itself consumes no CPU.
+//
+// Delivery order between a given (src,dst) pair is FIFO because latency is
+// uniform and the event queue breaks ties in schedule order.
+func (n *Node) Send(dst int, extraWire time.Duration, size int, payload any) {
+	m := n.M
+	target := m.Node(dst)
+	m.Emit(n.ID, "send", fmt.Sprintf("->n%d %dB", dst, size), 0)
+	pkt := Packet{Src: n.ID, Dst: dst, Size: size, Payload: payload}
+	m.Eng.After(m.Cfg.WireLatency+extraWire, func() {
+		target.inbox = append(target.inbox, pkt)
+		if target.OnArrival != nil {
+			target.OnArrival()
+		}
+	})
+}
+
+// Loopback enqueues a packet to the node itself with zero latency. Some
+// runtimes route node-local operations through the same handler path to keep
+// semantics uniform; the machine model charges no wire time for them.
+func (n *Node) Loopback(size int, payload any) {
+	pkt := Packet{Src: n.ID, Dst: n.ID, Size: size, Payload: payload}
+	n.M.Eng.After(0, func() {
+		n.inbox = append(n.inbox, pkt)
+		if n.OnArrival != nil {
+			n.OnArrival()
+		}
+	})
+}

@@ -1,0 +1,98 @@
+package mpl
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/threads"
+)
+
+func rig(n int) (*machine.Machine, *World, []*threads.Scheduler) {
+	m := machine.New(machine.SP1997(), n)
+	w := New(m)
+	scheds := make([]*threads.Scheduler, n)
+	for i := 0; i < n; i++ {
+		scheds[i] = threads.NewScheduler(m.Node(i))
+		w.Attach(i, scheds[i])
+	}
+	return m, w, scheds
+}
+
+func TestPingPongRTTIs88us(t *testing.T) {
+	m, w, scheds := rig(2)
+	var rtt time.Duration
+	scheds[0].Start("rank0", func(th *threads.Thread) {
+		start := th.Now()
+		w.Send(th, 0, 1, 1, nil)
+		w.Recv(th, 0, 1, 2)
+		rtt = time.Duration(th.Now() - start)
+	})
+	scheds[1].Start("rank1", func(th *threads.Thread) {
+		w.Recv(th, 1, 0, 1)
+		w.Send(th, 1, 0, 2, nil)
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rtt != 88*time.Microsecond {
+		t.Fatalf("MPL RTT = %v, want 88µs (paper's reference)", rtt)
+	}
+}
+
+func TestPayloadRoundTrip(t *testing.T) {
+	m, w, scheds := rig(2)
+	var got []byte
+	scheds[0].Start("rank0", func(th *threads.Thread) {
+		w.Send(th, 0, 1, 7, []byte("hello"))
+	})
+	scheds[1].Start("rank1", func(th *threads.Thread) {
+		got, _ = w.Recv(th, 1, 0, 7)
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestTagMatching(t *testing.T) {
+	// Receive tag 2 first even though tag 1 arrives first.
+	m, w, scheds := rig(2)
+	var order []int
+	scheds[0].Start("rank0", func(th *threads.Thread) {
+		w.Send(th, 0, 1, 1, []byte{1})
+		w.Send(th, 0, 1, 2, []byte{2})
+	})
+	scheds[1].Start("rank1", func(th *threads.Thread) {
+		b2, _ := w.Recv(th, 1, 0, 2)
+		order = append(order, int(b2[0]))
+		b1, _ := w.Recv(th, 1, 0, 1)
+		order = append(order, int(b1[0]))
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != 2 || order[1] != 1 {
+		t.Fatalf("tag matching broken: %v", order)
+	}
+}
+
+func TestAnySource(t *testing.T) {
+	m, w, scheds := rig(3)
+	var from int
+	scheds[0].Start("rank0", func(th *threads.Thread) {
+		_, from = w.Recv(th, 0, AnySource, 5)
+	})
+	scheds[2].Start("rank2", func(th *threads.Thread) {
+		th.Compute(time.Microsecond)
+		w.Send(th, 2, 0, 5, nil)
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if from != 2 {
+		t.Fatalf("source = %d, want 2", from)
+	}
+}

@@ -1,0 +1,73 @@
+// Package nexus models the communication profile of the original CC++
+// implementation: CC++ v0.4 over Nexus v3.0 configured with the TCP/IP
+// protocol running over the SP2 high-performance switch (the paper's §6
+// "Comparison with CC++/Nexus"; footnote 2 notes MPL could not be used).
+//
+// It implements core.Transport by reusing the Active-Messages engine but
+// surcharging every message with TCP-era protocol-stack CPU on both sides,
+// a much higher wire latency, and a lower effective bandwidth. The paper's
+// observed 5–35× application-level gaps between CC++/ThAM and CC++/Nexus
+// follow from these per-message constants, not from any structural change —
+// which is exactly the paper's argument for building the lean runtime.
+package nexus
+
+import (
+	"repro/internal/am"
+	"repro/internal/machine"
+	"repro/internal/threads"
+)
+
+// Transport is the Nexus/TCP message layer. It satisfies core.Transport and
+// core.SchedulerAttacher.
+type Transport struct {
+	m   *machine.Machine
+	net *am.Net
+}
+
+// New builds a Nexus transport over machine m. Pass it in core.Options
+// .Transport to build a CC++/Nexus runtime.
+func New(m *machine.Machine) *Transport {
+	return &Transport{m: m, net: am.NewNet(m)}
+}
+
+// Name implements core.Transport.
+func (tr *Transport) Name() string { return "Nexus" }
+
+// Attach implements core.SchedulerAttacher.
+func (tr *Transport) Attach(node int, s *threads.Scheduler) {
+	tr.net.Endpoint(node).Attach(s)
+}
+
+// Register implements core.Transport.
+func (tr *Transport) Register(name string, h am.Handler) am.HandlerID {
+	return tr.net.Register(name, h)
+}
+
+// Send implements core.Transport: every message pays the TCP protocol stack
+// on both sides and rides the slow path through the switch.
+func (tr *Transport) Send(t *threads.Thread, src, dst int, h am.HandlerID, a [4]uint64, obj any, payload []byte, forceBulk bool) {
+	cfg := t.Cfg()
+	opts := am.SendOpts{
+		Bulk:         forceBulk || len(payload) > 0,
+		ExtraSendCPU: cfg.NexusPerMsgCPU,
+		ExtraWire:    cfg.NexusLatency - cfg.WireLatency,
+		ExtraRecvCPU: cfg.NexusPerMsgCPU,
+		GapPerByte:   cfg.NexusGapPerByte,
+	}
+	tr.net.Endpoint(src).Request(t, dst, h, a, obj, payload, opts)
+}
+
+// Poll implements core.Transport.
+func (tr *Transport) Poll(t *threads.Thread, me int) bool { return tr.net.Endpoint(me).Poll(t) }
+
+// WaitMessage implements core.Transport.
+func (tr *Transport) WaitMessage(t *threads.Thread, me int) { tr.net.Endpoint(me).WaitMessage(t) }
+
+// KickService implements core.Transport.
+func (tr *Transport) KickService(me int) { tr.net.Endpoint(me).KickService() }
+
+// Stop implements core.Transport.
+func (tr *Transport) Stop(me int) { tr.net.Endpoint(me).Stop() }
+
+// Stopped implements core.Transport.
+func (tr *Transport) Stopped(me int) bool { return tr.net.Endpoint(me).Stopped() }

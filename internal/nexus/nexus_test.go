@@ -1,0 +1,106 @@
+package nexus
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/threads"
+)
+
+func pingClass() *core.Class {
+	return &core.Class{
+		Name: "Ping",
+		New:  func() any { return &struct{}{} },
+		Methods: []*core.Method{
+			{Name: "nop", Fn: func(t *threads.Thread, self any, args []core.Arg, ret core.Arg) {}},
+			{
+				Name:    "echo",
+				NewArgs: func() []core.Arg { return []core.Arg{&core.F64{}} },
+				NewRet:  func() core.Arg { return &core.F64{} },
+				Fn: func(t *threads.Thread, self any, args []core.Arg, ret core.Arg) {
+					ret.(*core.F64).V = args[0].(*core.F64).V * 2
+				},
+			},
+		},
+	}
+}
+
+// nullRMI measures the warm null-RMI time over the transport built by mk
+// (nil means the default AM transport).
+func nullRMI(t *testing.T, mk func(*machine.Machine) core.Transport) time.Duration {
+	m := machine.New(machine.SP1997(), 2)
+	var opts core.Options
+	if mk != nil {
+		opts.Transport = mk(m)
+	}
+	rt := core.NewRuntimeOpts(m, opts)
+	rt.RegisterClass(pingClass())
+	gp := rt.CreateObject(1, "Ping")
+	var warm time.Duration
+	rt.OnNode(0, func(th *threads.Thread) {
+		rt.CallSimple(th, gp, "nop", nil, nil)
+		start := th.Now()
+		rt.CallSimple(th, gp, "nop", nil, nil)
+		warm = time.Duration(th.Now() - start)
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return warm
+}
+
+func TestNexusOrderOfMagnitudeSlower(t *testing.T) {
+	tham := nullRMI(t, nil)
+	nex := nullRMI(t, func(m *machine.Machine) core.Transport { return New(m) })
+	ratio := float64(nex) / float64(tham)
+	// The paper reports 5-35x application gaps; the null RMI itself should
+	// be well over an order of magnitude apart.
+	if ratio < 10 {
+		t.Fatalf("Nexus/ThAM null-RMI ratio = %.1f, want >= 10 (tham=%v nexus=%v)", ratio, tham, nex)
+	}
+	if ratio > 100 {
+		t.Fatalf("Nexus/ThAM null-RMI ratio = %.1f, implausibly large", ratio)
+	}
+}
+
+func TestNexusCorrectness(t *testing.T) {
+	// Semantics must be identical to ThAM: only costs change.
+	m := machine.New(machine.SP1997(), 2)
+	rt := core.NewRuntimeOpts(m, core.Options{Transport: New(m)})
+	rt.RegisterClass(pingClass())
+	gp := rt.CreateObject(1, "Ping")
+	var got float64
+	rt.OnNode(0, func(th *threads.Thread) {
+		var ret core.F64
+		rt.Call(th, gp, "echo", []core.Arg{&core.F64{V: 21}}, &ret)
+		got = ret.V
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Fatalf("echo returned %v", got)
+	}
+	if rt.TransportName() != "Nexus" {
+		t.Fatalf("transport %q", rt.TransportName())
+	}
+}
+
+func TestNexusGPReads(t *testing.T) {
+	m := machine.New(machine.SP1997(), 2)
+	rt := core.NewRuntimeOpts(m, core.Options{Transport: New(m)})
+	rt.RegisterClass(pingClass())
+	x := 6.5
+	var got float64
+	rt.OnNode(0, func(th *threads.Thread) {
+		got = rt.ReadF64(th, core.NewGPF64(1, &x))
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 6.5 {
+		t.Fatalf("GP read over Nexus returned %v", got)
+	}
+}

@@ -1,0 +1,282 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := New()
+	var got []int
+	e.At(30*time.Microsecond, func() { got = append(got, 3) })
+	e.At(10*time.Microsecond, func() { got = append(got, 1) })
+	e.At(20*time.Microsecond, func() { got = append(got, 2) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30*time.Microsecond {
+		t.Fatalf("final time %v", e.Now())
+	}
+}
+
+func TestEqualTimesFIFO(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.At(time.Microsecond, func() { got = append(got, i) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("events at equal time reordered: got[%d]=%d", i, got[i])
+		}
+	}
+}
+
+// Property: popping random events always yields a non-decreasing time series.
+func TestRandomEventsSorted(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := New()
+		var times []time.Duration
+		for i := 0; i < int(n); i++ {
+			d := time.Duration(rng.Intn(1000)) * time.Microsecond
+			e.At(d, func() { times = append(times, e.Now()) })
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAfterNested(t *testing.T) {
+	e := New()
+	var fired time.Duration
+	e.After(5*time.Microsecond, func() {
+		e.After(7*time.Microsecond, func() { fired = e.Now() })
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 12*time.Microsecond {
+		t.Fatalf("nested After fired at %v, want 12µs", fired)
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	e := New()
+	e.At(10*time.Microsecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5*time.Microsecond, func() {})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcSleepAdvancesTime(t *testing.T) {
+	e := New()
+	var marks []time.Duration
+	e.Go("p", func(p *Proc) {
+		marks = append(marks, p.Now())
+		p.Sleep(4 * time.Microsecond)
+		marks = append(marks, p.Now())
+		p.Sleep(0)
+		marks = append(marks, p.Now())
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if marks[0] != 0 || marks[1] != 4*time.Microsecond || marks[2] != 4*time.Microsecond {
+		t.Fatalf("marks = %v", marks)
+	}
+}
+
+func TestTwoProcsInterleave(t *testing.T) {
+	e := New()
+	var got []string
+	e.Go("a", func(p *Proc) {
+		got = append(got, "a0")
+		p.Sleep(10 * time.Microsecond)
+		got = append(got, "a10")
+	})
+	e.Go("b", func(p *Proc) {
+		got = append(got, "b0")
+		p.Sleep(5 * time.Microsecond)
+		got = append(got, "b5")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a0", "b0", "b5", "a10"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestParkUnpark(t *testing.T) {
+	e := New()
+	var woke time.Duration
+	p := e.Go("sleeper", func(p *Proc) {
+		p.Park()
+		woke = p.Now()
+	})
+	e.At(25*time.Microsecond, func() { p.Unpark() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woke != 25*time.Microsecond {
+		t.Fatalf("woke at %v, want 25µs", woke)
+	}
+}
+
+func TestUnparkBeforeParkPermit(t *testing.T) {
+	e := New()
+	done := false
+	var p *Proc
+	p = e.Go("p", func(pr *Proc) {
+		pr.Sleep(10 * time.Microsecond) // let the unpark land first
+		pr.Park()                       // must consume the permit, not block
+		done = true
+	})
+	e.At(2*time.Microsecond, func() { p.Unpark() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("proc never finished; permit lost")
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	e := New()
+	e.Go("stuck", func(p *Proc) { p.Park() })
+	err := e.Run()
+	de, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("want DeadlockError, got %v", err)
+	}
+	if len(de.Procs) != 1 {
+		t.Fatalf("want 1 stuck proc, got %v", de.Procs)
+	}
+}
+
+func TestRunUntilPausesWithoutDeadlock(t *testing.T) {
+	e := New()
+	fired := false
+	e.At(100*time.Microsecond, func() { fired = true })
+	if err := e.RunUntil(50 * time.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("event beyond limit fired")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("event never fired after resume")
+	}
+}
+
+func TestNegativeSleepPanics(t *testing.T) {
+	e := New()
+	var recovered any
+	e.Go("p", func(p *Proc) {
+		defer func() { recovered = recover() }()
+		p.Sleep(-time.Microsecond)
+	})
+	_ = e.Run()
+	if recovered == nil {
+		t.Fatal("negative sleep did not panic")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []time.Duration {
+		e := New()
+		var trace []time.Duration
+		for i := 0; i < 3; i++ {
+			e.Go("worker", func(p *Proc) {
+				for j := 0; j < 5; j++ {
+					p.Sleep(3 * time.Microsecond)
+					trace = append(trace, p.Now())
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("trace lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestEventsRunCounter(t *testing.T) {
+	e := New()
+	for i := 0; i < 7; i++ {
+		e.At(time.Duration(i)*time.Microsecond, func() {})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.EventsRun() != 7 {
+		t.Fatalf("EventsRun = %d, want 7", e.EventsRun())
+	}
+}
+
+func TestManyProcsStress(t *testing.T) {
+	e := New()
+	const n = 200
+	total := 0
+	for i := 0; i < n; i++ {
+		i := i
+		e.Go("w", func(p *Proc) {
+			p.Sleep(time.Duration(i%17) * time.Microsecond)
+			total++
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if total != n {
+		t.Fatalf("only %d of %d procs completed", total, n)
+	}
+	if e.LiveProcs() != 0 {
+		t.Fatalf("%d procs still live", e.LiveProcs())
+	}
+}

@@ -1,0 +1,161 @@
+package splitc
+
+import (
+	"math"
+
+	"repro/internal/am"
+	"repro/internal/machine"
+	"repro/internal/threads"
+)
+
+// This file provides the Split-C library layer above the raw global-access
+// primitives: spread arrays (the language's `A[i]::` distributed arrays) and
+// the usual collectives (all_bcast, all_reduce) built from the same AM
+// traffic a Split-C library would generate.
+
+// SpreadF64 is a distributed array of doubles in the cyclic layout Split-C
+// gives `double A[n]::` — element i lives on processor i%PROCS. The
+// structure is visible, as in Split-C: Index returns a (processor, address)
+// global pointer usable with every access primitive.
+type SpreadF64 struct {
+	procs int
+	parts [][]float64
+}
+
+// NewSpreadF64 allocates a spread array of n doubles over procs processors:
+// processor pc owns elements pc, pc+procs, pc+2*procs, … — that is,
+// ceil((n-pc)/procs) of them.
+func NewSpreadF64(procs, n int) *SpreadF64 {
+	s := &SpreadF64{procs: procs, parts: make([][]float64, procs)}
+	for pc := 0; pc < procs; pc++ {
+		sz := 0
+		if n > pc {
+			sz = (n - pc + procs - 1) / procs
+		}
+		s.parts[pc] = make([]float64, sz)
+	}
+	return s
+}
+
+// Len returns the global element count.
+func (s *SpreadF64) Len() int {
+	n := 0
+	for _, p := range s.parts {
+		n += len(p)
+	}
+	return n
+}
+
+// Owner returns the processor owning global index i (cyclic layout).
+func (s *SpreadF64) Owner(i int) int { return i % s.procs }
+
+// Index returns the global pointer to element i, as Split-C's A[i]:: does.
+func (s *SpreadF64) Index(i int) GPF {
+	return GPF{PC: i % s.procs, P: &s.parts[i%s.procs][i/s.procs]}
+}
+
+// LocalSlice returns the processor-local part (Split-C's &A[MYPROC]::).
+func (s *SpreadF64) LocalSlice(pc int) []float64 { return s.parts[pc] }
+
+// LocalVec returns the local part as a global vector for bulk operations.
+func (s *SpreadF64) LocalVec(pc int) GVF { return GVF{PC: pc, S: s.parts[pc]} }
+
+// --- collectives -------------------------------------------------------------
+
+// collective state per World, allocated lazily on first use. Node 0
+// coordinates; values travel in the existing short-AM format.
+type collectives struct {
+	hContrib am.HandlerID
+	hResult  am.HandlerID
+	acc      float64
+	count    int
+	gen      int
+	results  []float64
+	haveGen  []int
+}
+
+type contribMsg struct {
+	op ReduceOp
+}
+
+// ReduceOp selects the all_reduce combiner.
+type ReduceOp int
+
+// The reduction operators Split-C's library provides for doubles.
+const (
+	OpSum ReduceOp = iota
+	OpMax
+	OpMin
+)
+
+func (w *World) initCollectives() {
+	if w.coll != nil {
+		return
+	}
+	c := &collectives{
+		results: make([]float64, w.m.NumNodes()),
+		haveGen: make([]int, w.m.NumNodes()),
+	}
+	w.coll = c
+	c.hResult = w.net.Register("sc.coll.result", func(t *threads.Thread, m am.Msg) {
+		c.results[m.Dst] = math.Float64frombits(m.A[0])
+		c.haveGen[m.Dst] = int(m.A[1])
+	})
+	c.hContrib = w.net.Register("sc.coll.contrib", func(t *threads.Thread, m am.Msg) {
+		v := math.Float64frombits(m.A[0])
+		op := m.Obj.(*contribMsg).op
+		if c.count == 0 {
+			c.acc = v
+		} else {
+			switch op {
+			case OpSum:
+				c.acc += v
+			case OpMax:
+				if v > c.acc {
+					c.acc = v
+				}
+			case OpMin:
+				if v < c.acc {
+					c.acc = v
+				}
+			}
+		}
+		c.count++
+		if c.count == w.m.NumNodes() {
+			c.count = 0
+			c.gen++
+			for q := 0; q < w.m.NumNodes(); q++ {
+				w.ep(t).RequestShort(t, q, c.hResult,
+					[4]uint64{math.Float64bits(c.acc), uint64(c.gen)}, nil)
+			}
+		}
+	})
+}
+
+// AllReduce combines v across all processors with op and returns the result
+// on every processor (Split-C's all_reduce_to_all). It synchronizes like a
+// barrier: all processors must call it.
+func (p *Proc) AllReduce(v float64, op ReduceOp) float64 {
+	w := p.w
+	c := w.coll
+	if c == nil {
+		panic("splitc: collectives not initialized (World.New does this; did you build World by hand?)")
+	}
+	target := c.haveGen[p.me] + 1
+	p.T.Charge(machine.CatRuntime, issueCost)
+	p.ep.RequestShort(p.T, 0, c.hContrib, [4]uint64{math.Float64bits(v)}, &contribMsg{op: op})
+	p.ep.PollUntil(p.T, func() bool { return c.haveGen[p.me] >= target })
+	return c.results[p.me]
+}
+
+// AllBcast distributes v from the root processor to every processor
+// (Split-C's all_bcast): implemented as a reduction in which only the root
+// contributes its value (the combiner ignores non-root contributions by
+// summing zeros).
+func (p *Proc) AllBcast(root int, v float64) float64 {
+	contrib := 0.0
+	if p.me == root {
+		contrib = v
+	}
+	return p.AllReduce(contrib, OpSum)
+}

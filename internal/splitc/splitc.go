@@ -1,0 +1,494 @@
+// Package splitc implements the Split-C runtime of the paper's SPMD baseline:
+// a global address space over Active Messages with synchronous reads/writes,
+// split-phase gets/puts, one-way stores, bulk transfers, and barriers.
+//
+// The SPMD model is preserved: Run launches the same program function on
+// every node; each node is single-threaded (the paper: "Split-C takes an even
+// more radical approach — offering only a single computation thread — and
+// relies on split-phase remote accesses to tolerate latencies"). Message
+// reception happens by polling: on every send, and whenever the program
+// blocks waiting for a reply, a sync counter, or a barrier.
+//
+// Global pointers expose their structure (processor number + address), as in
+// Split-C; pointer arithmetic on the processor part is the application's
+// business. Since all simulated nodes share one OS process, the "address" is
+// a real Go pointer that only the owning node's handlers dereference.
+package splitc
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/am"
+	"repro/internal/machine"
+	"repro/internal/threads"
+)
+
+// Fixed runtime-library costs per global-access operation, calibrated so the
+// Split-C "Runtime" column of Table 4 lands at its measured 4–6 µs.
+const (
+	issueCost    = 2 * time.Microsecond // building and issuing a request
+	completeCost = 2 * time.Microsecond // landing a reply / completion flagging
+)
+
+// GPF is a Split-C global pointer to a double: a (processor, address) pair.
+type GPF struct {
+	PC int
+	P  *float64
+}
+
+// GVF is a global pointer to a vector of doubles (for bulk operations).
+type GVF struct {
+	PC int
+	S  []float64
+}
+
+// OnProc reports whether the pointer is local to processor pc.
+func (g GPF) OnProc(pc int) bool { return g.PC == pc }
+
+// OnProc reports whether the vector is local to processor pc.
+func (g GVF) OnProc(pc int) bool { return g.PC == pc }
+
+// World is one SPMD program instance over a machine.
+type World struct {
+	m      *machine.Machine
+	net    *am.Net
+	scheds []*threads.Scheduler
+	procs  []*Proc
+
+	hReadReq, hReadReply     am.HandlerID
+	hWriteReq, hAck          am.HandlerID
+	hStore, hAtomicAdd       am.HandlerID
+	hBulkReadReq, hBulkReply am.HandlerID
+	hBulkWriteReq            am.HandlerID
+	hBulkStore               am.HandlerID
+	hBarrierArrive, hRelease am.HandlerID
+
+	// Central barrier state, owned by node 0.
+	barrierCount int
+	barrierGen   int
+
+	// coll is the collective-operation state (collectives.go).
+	coll *collectives
+}
+
+// Proc is the per-node program context handed to the SPMD function.
+type Proc struct {
+	w  *World
+	me int
+
+	// T is the node's single computation thread, valid while the program
+	// function runs.
+	T  *threads.Thread
+	ep *am.Endpoint
+
+	outstanding int // split-phase gets+puts not yet completed
+	storesRecvd int // one-way store values landed at this node
+	releasedGen int // last barrier generation this node was released from
+}
+
+// New builds a Split-C world over machine m.
+func New(m *machine.Machine) *World {
+	w := &World{m: m, net: am.NewNet(m)}
+	for i := 0; i < m.NumNodes(); i++ {
+		s := threads.NewScheduler(m.Node(i))
+		w.scheds = append(w.scheds, s)
+		ep := w.net.Endpoint(i)
+		ep.Attach(s)
+		w.procs = append(w.procs, &Proc{w: w, me: i, ep: ep})
+	}
+	w.registerHandlers()
+	w.initCollectives()
+	return w
+}
+
+// Machine returns the underlying machine.
+func (w *World) Machine() *machine.Machine { return w.m }
+
+// Proc returns the per-node context for node i (useful in tests).
+func (w *World) Proc(i int) *Proc { return w.procs[i] }
+
+// Run starts prog on every node and drives the simulation to completion.
+func (w *World) Run(prog func(p *Proc)) error {
+	for i := range w.procs {
+		p := w.procs[i]
+		w.scheds[i].Start("main", func(t *threads.Thread) {
+			p.T = t
+			prog(p)
+		})
+	}
+	return w.m.Run()
+}
+
+// MyPC returns this node's processor number (Split-C's MYPROC).
+func (p *Proc) MyPC() int { return p.me }
+
+// Procs returns the number of processors (Split-C's PROCS).
+func (p *Proc) Procs() int { return p.w.m.NumNodes() }
+
+// --- message bodies --------------------------------------------------------
+
+type readReq struct {
+	ptr  *float64
+	dst  *float64
+	from *Proc
+	done *bool // nil for split-phase gets (counter used instead)
+}
+
+type writeReq struct {
+	ptr  *float64
+	from *Proc
+	done *bool // nil for split-phase puts
+}
+
+type bulkReadReq struct {
+	src  []float64
+	dst  []float64
+	from *Proc
+	done *bool
+}
+
+type bulkWriteReq struct {
+	dst  []float64
+	from *Proc
+	done *bool
+}
+
+type storeReq struct {
+	ptr *float64
+}
+
+type bulkStoreReq struct {
+	dst []float64
+	n   int
+}
+
+func (w *World) registerHandlers() {
+	w.hReadReply = w.net.Register("sc.read.reply", func(t *threads.Thread, m am.Msg) {
+		rq := m.Obj.(*readReq)
+		*rq.dst = math.Float64frombits(m.A[0])
+		rq.from.complete(t, rq.done)
+	})
+	w.hReadReq = w.net.Register("sc.read.req", func(t *threads.Thread, m am.Msg) {
+		rq := m.Obj.(*readReq)
+		bits := math.Float64bits(*rq.ptr)
+		w.ep(t).RequestShort(t, m.Src, w.hReadReply, [4]uint64{bits}, rq)
+	})
+	w.hAck = w.net.Register("sc.ack", func(t *threads.Thread, m am.Msg) {
+		rq := m.Obj.(*writeReq)
+		rq.from.complete(t, rq.done)
+	})
+	w.hWriteReq = w.net.Register("sc.write.req", func(t *threads.Thread, m am.Msg) {
+		rq := m.Obj.(*writeReq)
+		*rq.ptr = math.Float64frombits(m.A[0])
+		w.ep(t).RequestShort(t, m.Src, w.hAck, [4]uint64{}, rq)
+	})
+	w.hAtomicAdd = w.net.Register("sc.atomic.add", func(t *threads.Thread, m am.Msg) {
+		rq := m.Obj.(*writeReq)
+		*rq.ptr += math.Float64frombits(m.A[0])
+		w.ep(t).RequestShort(t, m.Src, w.hAck, [4]uint64{}, rq)
+	})
+	w.hStore = w.net.Register("sc.store", func(t *threads.Thread, m am.Msg) {
+		rq := m.Obj.(*storeReq)
+		*rq.ptr = math.Float64frombits(m.A[0])
+		w.procs[m.Dst].storesRecvd++
+	})
+	w.hBulkReply = w.net.Register("sc.bulk.reply", func(t *threads.Thread, m am.Msg) {
+		rq := m.Obj.(*bulkReadReq)
+		decodeF64(t, m.Payload, rq.dst)
+		rq.from.complete(t, rq.done)
+	})
+	w.hBulkReadReq = w.net.Register("sc.bulk.read.req", func(t *threads.Thread, m am.Msg) {
+		rq := m.Obj.(*bulkReadReq)
+		payload := encodeF64(t, rq.src)
+		w.ep(t).RequestBulk(t, m.Src, w.hBulkReply, payload, [4]uint64{}, rq)
+	})
+	w.hBulkWriteReq = w.net.Register("sc.bulk.write.req", func(t *threads.Thread, m am.Msg) {
+		rq := m.Obj.(*bulkWriteReq)
+		decodeF64(t, m.Payload, rq.dst)
+		// Acks reuse the scalar ack path via a writeReq envelope.
+		w.ep(t).RequestShort(t, m.Src, w.hAck, [4]uint64{}, &writeReq{from: rq.from, done: rq.done})
+	})
+	w.hBulkStore = w.net.Register("sc.bulk.store", func(t *threads.Thread, m am.Msg) {
+		rq := m.Obj.(*bulkStoreReq)
+		decodeF64(t, m.Payload, rq.dst)
+		w.procs[m.Dst].storesRecvd += rq.n
+	})
+	w.hRelease = w.net.Register("sc.barrier.release", func(t *threads.Thread, m am.Msg) {
+		w.procs[m.Dst].releasedGen = int(m.A[0])
+	})
+	w.hBarrierArrive = w.net.Register("sc.barrier.arrive", func(t *threads.Thread, m am.Msg) {
+		w.barrierCount++
+		if w.barrierCount == w.m.NumNodes() {
+			w.barrierCount = 0
+			w.barrierGen++
+			for i := 0; i < w.m.NumNodes(); i++ {
+				w.ep(t).RequestShort(t, i, w.hRelease, [4]uint64{uint64(w.barrierGen)}, nil)
+			}
+		}
+	})
+}
+
+// ep returns the endpoint of the node the thread is running on.
+func (w *World) ep(t *threads.Thread) *am.Endpoint { return w.net.Endpoint(t.Node().ID) }
+
+// complete lands one reply on the requesting processor: either flips the
+// blocking-op flag or decrements the split-phase counter.
+func (p *Proc) complete(t *threads.Thread, done *bool) {
+	t.Charge(machine.CatRuntime, completeCost)
+	if done != nil {
+		*done = true
+		return
+	}
+	p.outstanding--
+	if p.outstanding < 0 {
+		panic("splitc: completion underflow")
+	}
+}
+
+// encodeF64 serializes doubles for a bulk payload, charging the copy.
+func encodeF64(t *threads.Thread, src []float64) []byte {
+	t.Charge(machine.CatRuntime, time.Duration(len(src)*8)*t.Cfg().MemCopyPerByte)
+	out := make([]byte, len(src)*8)
+	for i, v := range src {
+		putU64(out[i*8:], math.Float64bits(v))
+	}
+	return out
+}
+
+// decodeF64 lands a bulk payload in dst, charging the copy.
+func decodeF64(t *threads.Thread, payload []byte, dst []float64) {
+	if len(payload) != len(dst)*8 {
+		panic(fmt.Sprintf("splitc: bulk size mismatch: %d bytes for %d doubles", len(payload), len(dst)))
+	}
+	t.Charge(machine.CatRuntime, time.Duration(len(payload))*t.Cfg().MemCopyPerByte)
+	for i := range dst {
+		dst[i] = math.Float64frombits(getU64(payload[i*8:]))
+	}
+}
+
+func putU64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}
+
+func getU64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+// --- scalar global accesses -------------------------------------------------
+
+// Read performs a synchronous read through a global pointer (lx = *gp).
+// Local pointers dereference directly at zero cost, as compiled Split-C does.
+func (p *Proc) Read(gp GPF) float64 {
+	if gp.PC == p.me {
+		p.node().Acct.Count(machine.CntLocalDeref, 1)
+		return *gp.P
+	}
+	p.node().Acct.Count(machine.CntRemoteRead, 1)
+	p.T.Charge(machine.CatRuntime, issueCost)
+	done := false
+	rq := &readReq{ptr: gp.P, dst: new(float64), from: p, done: &done}
+	p.ep.RequestShort(p.T, gp.PC, p.w.hReadReq, [4]uint64{}, rq)
+	p.ep.PollUntil(p.T, func() bool { return done })
+	return *rq.dst
+}
+
+// Write performs a synchronous write through a global pointer (*gp = v),
+// returning once the remote ack arrives.
+func (p *Proc) Write(gp GPF, v float64) {
+	if gp.PC == p.me {
+		p.node().Acct.Count(machine.CntLocalDeref, 1)
+		*gp.P = v
+		return
+	}
+	p.node().Acct.Count(machine.CntRemoteWrite, 1)
+	p.T.Charge(machine.CatRuntime, issueCost)
+	done := false
+	rq := &writeReq{ptr: gp.P, from: p, done: &done}
+	p.ep.RequestShort(p.T, gp.PC, p.w.hWriteReq, [4]uint64{math.Float64bits(v)}, rq)
+	p.ep.PollUntil(p.T, func() bool { return done })
+}
+
+// Get issues a split-phase read (dst := *gp); completion is observed by Sync.
+func (p *Proc) Get(dst *float64, gp GPF) {
+	if gp.PC == p.me {
+		p.node().Acct.Count(machine.CntLocalDeref, 1)
+		*dst = *gp.P
+		return
+	}
+	p.node().Acct.Count(machine.CntRemoteRead, 1)
+	p.T.Charge(machine.CatRuntime, issueCost)
+	p.outstanding++
+	rq := &readReq{ptr: gp.P, dst: dst, from: p}
+	p.ep.RequestShort(p.T, gp.PC, p.w.hReadReq, [4]uint64{}, rq)
+}
+
+// Put issues a split-phase write (*gp := v); completion is observed by Sync.
+func (p *Proc) Put(gp GPF, v float64) {
+	if gp.PC == p.me {
+		p.node().Acct.Count(machine.CntLocalDeref, 1)
+		*gp.P = v
+		return
+	}
+	p.node().Acct.Count(machine.CntRemoteWrite, 1)
+	p.T.Charge(machine.CatRuntime, issueCost)
+	p.outstanding++
+	rq := &writeReq{ptr: gp.P, from: p}
+	p.ep.RequestShort(p.T, gp.PC, p.w.hWriteReq, [4]uint64{math.Float64bits(v)}, rq)
+}
+
+// Store issues a one-way store (*gp :- v): no acknowledgement travels back;
+// the target's store counter observes arrival (WaitStores).
+func (p *Proc) Store(gp GPF, v float64) {
+	if gp.PC == p.me {
+		p.node().Acct.Count(machine.CntLocalDeref, 1)
+		*gp.P = v
+		p.storesRecvd++
+		return
+	}
+	p.node().Acct.Count(machine.CntRemoteWrite, 1)
+	p.T.Charge(machine.CatRuntime, issueCost)
+	p.ep.RequestShort(p.T, gp.PC, p.w.hStore, [4]uint64{math.Float64bits(v)}, &storeReq{ptr: gp.P})
+}
+
+// AtomicAdd issues a split-phase atomic read-modify-write (*gp += v): the
+// addition executes atomically at the owning processor (AM handlers run to
+// completion) and the acknowledgement is observed by Sync. This is the
+// Split-C idiom behind `atomic(foo, ...)` used by the Water application's
+// remote force accumulation.
+func (p *Proc) AtomicAdd(gp GPF, v float64) {
+	if gp.PC == p.me {
+		p.node().Acct.Count(machine.CntLocalDeref, 1)
+		*gp.P += v
+		return
+	}
+	p.node().Acct.Count(machine.CntRemoteWrite, 1)
+	p.T.Charge(machine.CatRuntime, issueCost)
+	p.outstanding++
+	rq := &writeReq{ptr: gp.P, from: p}
+	p.ep.RequestShort(p.T, gp.PC, p.w.hAtomicAdd, [4]uint64{math.Float64bits(v)}, rq)
+}
+
+// Sync blocks until all of this processor's outstanding split-phase
+// operations have completed (Split-C's sync()).
+func (p *Proc) Sync() {
+	p.T.Charge(machine.CatRuntime, completeCost)
+	p.ep.PollUntil(p.T, func() bool { return p.outstanding == 0 })
+}
+
+// Outstanding reports the number of incomplete split-phase operations.
+func (p *Proc) Outstanding() int { return p.outstanding }
+
+// --- bulk transfers ----------------------------------------------------------
+
+// BulkRead synchronously copies a remote vector into dst
+// (bulk_read(&lA, gpA, n)). Lengths must match.
+func (p *Proc) BulkRead(dst []float64, gp GVF) {
+	if len(dst) != len(gp.S) {
+		panic("splitc: BulkRead length mismatch")
+	}
+	if gp.PC == p.me {
+		p.node().Acct.Count(machine.CntLocalDeref, 1)
+		copy(dst, gp.S)
+		p.T.Charge(machine.CatRuntime, time.Duration(len(dst)*8)*p.T.Cfg().MemCopyPerByte)
+		return
+	}
+	p.node().Acct.Count(machine.CntRemoteRead, 1)
+	p.T.Charge(machine.CatRuntime, issueCost)
+	done := false
+	rq := &bulkReadReq{src: gp.S, dst: dst, from: p, done: &done}
+	p.ep.RequestShort(p.T, gp.PC, p.w.hBulkReadReq, [4]uint64{uint64(len(dst))}, rq)
+	p.ep.PollUntil(p.T, func() bool { return done })
+}
+
+// BulkWrite synchronously copies src into a remote vector
+// (bulk_write(gpA, &lA, n)).
+func (p *Proc) BulkWrite(gp GVF, src []float64) {
+	if len(src) != len(gp.S) {
+		panic("splitc: BulkWrite length mismatch")
+	}
+	if gp.PC == p.me {
+		p.node().Acct.Count(machine.CntLocalDeref, 1)
+		copy(gp.S, src)
+		p.T.Charge(machine.CatRuntime, time.Duration(len(src)*8)*p.T.Cfg().MemCopyPerByte)
+		return
+	}
+	p.node().Acct.Count(machine.CntRemoteWrite, 1)
+	p.T.Charge(machine.CatRuntime, issueCost)
+	done := false
+	rq := &bulkWriteReq{dst: gp.S, from: p, done: &done}
+	payload := encodeF64(p.T, src)
+	p.ep.RequestBulk(p.T, gp.PC, p.w.hBulkWriteReq, payload, [4]uint64{}, rq)
+	p.ep.PollUntil(p.T, func() bool { return done })
+}
+
+// BulkGet issues a split-phase bulk read; completion is observed by Sync.
+func (p *Proc) BulkGet(dst []float64, gp GVF) {
+	if len(dst) != len(gp.S) {
+		panic("splitc: BulkGet length mismatch")
+	}
+	if gp.PC == p.me {
+		p.node().Acct.Count(machine.CntLocalDeref, 1)
+		copy(dst, gp.S)
+		p.T.Charge(machine.CatRuntime, time.Duration(len(dst)*8)*p.T.Cfg().MemCopyPerByte)
+		return
+	}
+	p.node().Acct.Count(machine.CntRemoteRead, 1)
+	p.T.Charge(machine.CatRuntime, issueCost)
+	p.outstanding++
+	rq := &bulkReadReq{src: gp.S, dst: dst, from: p}
+	p.ep.RequestShort(p.T, gp.PC, p.w.hBulkReadReq, [4]uint64{uint64(len(dst))}, rq)
+}
+
+// BulkStore issues a one-way bulk store; the target's store counter advances
+// by the element count on arrival.
+func (p *Proc) BulkStore(gp GVF, src []float64) {
+	if len(src) != len(gp.S) {
+		panic("splitc: BulkStore length mismatch")
+	}
+	if gp.PC == p.me {
+		p.node().Acct.Count(machine.CntLocalDeref, 1)
+		copy(gp.S, src)
+		p.T.Charge(machine.CatRuntime, time.Duration(len(src)*8)*p.T.Cfg().MemCopyPerByte)
+		p.storesRecvd += len(src)
+		return
+	}
+	p.node().Acct.Count(machine.CntRemoteWrite, 1)
+	p.T.Charge(machine.CatRuntime, issueCost)
+	payload := encodeF64(p.T, src)
+	p.ep.RequestBulk(p.T, gp.PC, p.w.hBulkStore, payload, [4]uint64{}, &bulkStoreReq{dst: gp.S, n: len(src)})
+}
+
+// WaitStores blocks until at least n store values have landed at this node
+// since the last ResetStores.
+func (p *Proc) WaitStores(n int) {
+	p.T.Charge(machine.CatRuntime, completeCost)
+	p.ep.PollUntil(p.T, func() bool { return p.storesRecvd >= n })
+}
+
+// ResetStores zeroes the local store-arrival counter.
+func (p *Proc) ResetStores() { p.storesRecvd = 0 }
+
+// --- barrier ------------------------------------------------------------------
+
+// Barrier blocks until every processor has entered the barrier. It is the
+// Split-C barrier(): a central counter on node 0 plus a release broadcast.
+func (p *Proc) Barrier() {
+	target := p.releasedGen + 1
+	p.T.Charge(machine.CatRuntime, issueCost)
+	p.ep.RequestShort(p.T, 0, p.w.hBarrierArrive, [4]uint64{}, nil)
+	p.ep.PollUntil(p.T, func() bool { return p.releasedGen >= target })
+}
+
+func (p *Proc) node() *machine.Node { return p.w.m.Node(p.me) }

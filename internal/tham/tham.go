@@ -1,0 +1,217 @@
+// Package tham is the small support library the paper writes alongside its
+// new CC++ runtime ("ThAM"): processor-object startup, method-name mapping
+// with a per-node stub cache, and persistent send/receive buffer management.
+//
+// The three mechanisms correspond to the paper's named optimizations:
+//
+//   - Method stub caching (§4): each node keeps a table indexed by
+//     (processor number, method-name hash). A valid entry yields the remote
+//     stub's entry-point "address" (here: stub ID) so it can be shipped in
+//     the message; an invalid entry forces the whole method name onto the
+//     wire and a resolution reply updates the cache.
+//   - Persistent buffers (§4): receive buffers for recently invoked methods
+//     stay allocated and are managed by the sender, eliminating the staging
+//     copy out of the per-node static buffer area on warm invocations.
+//   - Processor-object startup: object tables mapping small object IDs to
+//     live objects, per node.
+package tham
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// NameHash is the 32-bit hash of a method name used as the wire/key form of
+// method identity across separately compiled program images.
+type NameHash uint32
+
+// HashName hashes a fully qualified method name ("Class::method").
+func HashName(name string) NameHash {
+	h := fnv.New32a()
+	// Writing to an fnv hash cannot fail.
+	_, _ = h.Write([]byte(name))
+	return NameHash(h.Sum32())
+}
+
+// StubID is a resolved entry-point index into a node's registry — the
+// simulator's stand-in for a remote stub's entry-point address.
+type StubID int32
+
+// InvalidStub marks an unresolved cache entry.
+const InvalidStub StubID = -1
+
+// Registry is a node's local method registry: stubs registered during
+// runtime initialization, looked up by name hash when a resolution request
+// arrives from a node with a cold cache.
+type Registry struct {
+	byHash map[NameHash]StubID
+	names  []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byHash: make(map[NameHash]StubID)}
+}
+
+// Register adds a local stub for the named method and returns its StubID.
+// Registering the same name twice returns the existing ID (idempotent, as
+// multiple processor objects of one class share stubs). Distinct names that
+// collide in the 32-bit hash space panic: the paper's runtime assumes
+// collision-free hashes within one application, and we surface a violation
+// rather than silently misdispatch.
+func (r *Registry) Register(name string) StubID {
+	h := HashName(name)
+	if id, ok := r.byHash[h]; ok {
+		if r.names[id] != name {
+			panic(fmt.Sprintf("tham: method name hash collision: %q vs %q", name, r.names[id]))
+		}
+		return id
+	}
+	id := StubID(len(r.names))
+	r.names = append(r.names, name)
+	r.byHash[h] = id
+	return id
+}
+
+// Resolve looks up a stub by name hash, as the resolution handler does.
+func (r *Registry) Resolve(h NameHash) (StubID, bool) {
+	id, ok := r.byHash[h]
+	return id, ok
+}
+
+// Name returns the registered name of a stub.
+func (r *Registry) Name(id StubID) string { return r.names[id] }
+
+// Len reports the number of registered stubs.
+func (r *Registry) Len() int { return len(r.names) }
+
+// stubKey indexes the cache by processor number and method-name hash,
+// exactly as §4 describes.
+type stubKey struct {
+	proc int
+	hash NameHash
+}
+
+// CacheEntry is one slot of the stub cache. RBuf is the sender-managed
+// persistent receive buffer attached to the remote method once resolved.
+type CacheEntry struct {
+	Stub StubID
+	RBuf *RBuf
+}
+
+// StubCache is a node's table of remote stub addresses.
+type StubCache struct {
+	entries map[stubKey]*CacheEntry
+	hits    int64
+	misses  int64
+}
+
+// NewStubCache returns an empty cache.
+func NewStubCache() *StubCache {
+	return &StubCache{entries: make(map[stubKey]*CacheEntry)}
+}
+
+// Lookup returns the cache entry for (proc, hash) if it is valid.
+func (c *StubCache) Lookup(proc int, hash NameHash) (*CacheEntry, bool) {
+	e, ok := c.entries[stubKey{proc, hash}]
+	if ok {
+		c.hits++
+		return e, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// Update installs or overwrites the entry for (proc, hash) after a
+// resolution reply.
+func (c *StubCache) Update(proc int, hash NameHash, e *CacheEntry) {
+	c.entries[stubKey{proc, hash}] = e
+}
+
+// Invalidate removes the entry (used by ablation studies and by tests).
+func (c *StubCache) Invalidate(proc int, hash NameHash) {
+	delete(c.entries, stubKey{proc, hash})
+}
+
+// Stats reports lookup hits and misses since creation.
+func (c *StubCache) Stats() (hits, misses int64) { return c.hits, c.misses }
+
+// RBuf is a persistent receive buffer attached to one (sender, method) pair
+// on the receiving node. Data is the landing area for marshalled arguments;
+// InUse guards against a second invocation arriving while a threaded method
+// is still consuming the previous contents (the sender manages the buffer,
+// so the runtime serializes on it).
+type RBuf struct {
+	Node  int
+	Data  []byte
+	InUse bool
+}
+
+// BufMgr manages a node's buffer pool: a static landing area for cold
+// invocations and the set of persistent R-buffers handed out to senders.
+type BufMgr struct {
+	node       int
+	staticArea []byte
+	rbufs      []*RBuf
+	allocs     int64
+	reuses     int64
+}
+
+// StaticAreaSize is the per-node landing area for cold invocations, matching
+// the "per-node static buffer area" of §4.
+const StaticAreaSize = 64 * 1024
+
+// NewBufMgr creates the buffer manager for a node.
+func NewBufMgr(node int) *BufMgr {
+	return &BufMgr{node: node, staticArea: make([]byte, StaticAreaSize)}
+}
+
+// StaticArea returns the cold-path landing area.
+func (b *BufMgr) StaticArea() []byte { return b.staticArea }
+
+// AllocRBuf allocates a persistent receive buffer of at least n bytes for a
+// newly resolved method and records the allocation.
+func (b *BufMgr) AllocRBuf(n int) *RBuf {
+	if n < 256 {
+		n = 256
+	}
+	rb := &RBuf{Node: b.node, Data: make([]byte, n)}
+	b.rbufs = append(b.rbufs, rb)
+	b.allocs++
+	return rb
+}
+
+// Reuse records a warm invocation landing directly in a persistent buffer,
+// growing it if the arguments outgrew the original allocation.
+func (b *BufMgr) Reuse(rb *RBuf, n int) {
+	if cap(rb.Data) < n {
+		rb.Data = make([]byte, n)
+	}
+	rb.Data = rb.Data[:cap(rb.Data)]
+	b.reuses++
+}
+
+// Stats reports persistent-buffer allocations and reuses.
+func (b *BufMgr) Stats() (allocs, reuses int64) { return b.allocs, b.reuses }
+
+// ObjTable maps small object IDs to live processor objects on one node.
+type ObjTable struct {
+	objs []any
+}
+
+// Add registers an object and returns its ID.
+func (o *ObjTable) Add(obj any) int32 {
+	o.objs = append(o.objs, obj)
+	return int32(len(o.objs) - 1)
+}
+
+// Get returns the object with the given ID.
+func (o *ObjTable) Get(id int32) any {
+	if id < 0 || int(id) >= len(o.objs) {
+		panic(fmt.Sprintf("tham: bad object id %d (node has %d objects)", id, len(o.objs)))
+	}
+	return o.objs[id]
+}
+
+// Len reports the number of registered objects.
+func (o *ObjTable) Len() int { return len(o.objs) }

@@ -1,0 +1,119 @@
+package tham
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashNameDeterministic(t *testing.T) {
+	if HashName("Foo::bar") != HashName("Foo::bar") {
+		t.Fatal("hash not deterministic")
+	}
+	if HashName("Foo::bar") == HashName("Foo::baz") {
+		t.Fatal("distinct names collided (unlucky but investigate)")
+	}
+}
+
+func TestRegistryRegisterResolve(t *testing.T) {
+	r := NewRegistry()
+	id1 := r.Register("A::m1")
+	id2 := r.Register("A::m2")
+	if id1 == id2 {
+		t.Fatal("distinct methods share a stub")
+	}
+	if again := r.Register("A::m1"); again != id1 {
+		t.Fatal("re-registration changed the stub id")
+	}
+	got, ok := r.Resolve(HashName("A::m2"))
+	if !ok || got != id2 {
+		t.Fatalf("resolve = %v %v", got, ok)
+	}
+	if _, ok := r.Resolve(HashName("A::unknown")); ok {
+		t.Fatal("resolved unregistered method")
+	}
+	if r.Name(id1) != "A::m1" || r.Len() != 2 {
+		t.Fatal("registry bookkeeping wrong")
+	}
+}
+
+// Property: registration order fixes stub IDs densely from zero.
+func TestRegistryDenseIDs(t *testing.T) {
+	f := func(n uint8) bool {
+		r := NewRegistry()
+		for i := 0; i < int(n); i++ {
+			if r.Register(fmt.Sprintf("C::m%d", i)) != StubID(i) {
+				return false
+			}
+		}
+		return r.Len() == int(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStubCacheLookupUpdateInvalidate(t *testing.T) {
+	c := NewStubCache()
+	h := HashName("A::m")
+	if _, ok := c.Lookup(2, h); ok {
+		t.Fatal("hit on empty cache")
+	}
+	rb := &RBuf{Node: 2, Data: make([]byte, 64)}
+	c.Update(2, h, &CacheEntry{Stub: 7, RBuf: rb})
+	e, ok := c.Lookup(2, h)
+	if !ok || e.Stub != 7 || e.RBuf != rb {
+		t.Fatalf("lookup after update: %+v %v", e, ok)
+	}
+	// Same method, different processor: separate entry.
+	if _, ok := c.Lookup(3, h); ok {
+		t.Fatal("cache confused processors")
+	}
+	c.Invalidate(2, h)
+	if _, ok := c.Lookup(2, h); ok {
+		t.Fatal("entry survived invalidation")
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 3 {
+		t.Fatalf("stats %d/%d, want 1/3", hits, misses)
+	}
+}
+
+func TestBufMgrAllocReuse(t *testing.T) {
+	b := NewBufMgr(0)
+	if len(b.StaticArea()) != StaticAreaSize {
+		t.Fatalf("static area %d", len(b.StaticArea()))
+	}
+	rb := b.AllocRBuf(100)
+	if len(rb.Data) < 100 {
+		t.Fatalf("rbuf too small: %d", len(rb.Data))
+	}
+	b.Reuse(rb, 50)
+	b.Reuse(rb, 4096) // grows
+	if cap(rb.Data) < 4096 {
+		t.Fatalf("rbuf did not grow: %d", cap(rb.Data))
+	}
+	allocs, reuses := b.Stats()
+	if allocs != 1 || reuses != 2 {
+		t.Fatalf("stats %d/%d", allocs, reuses)
+	}
+}
+
+func TestObjTable(t *testing.T) {
+	var o ObjTable
+	a := &struct{ x int }{1}
+	b := &struct{ x int }{2}
+	ia, ib := o.Add(a), o.Add(b)
+	if ia == ib || o.Len() != 2 {
+		t.Fatal("ids not distinct")
+	}
+	if o.Get(ia) != any(a) || o.Get(ib) != any(b) {
+		t.Fatal("lookup returned wrong object")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("bad id did not panic")
+		}
+	}()
+	o.Get(99)
+}

@@ -1,0 +1,158 @@
+package threads
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/machine"
+)
+
+// Property: under random interleavings of spawn/yield/compute/lock, the
+// scheduler preserves its core invariants — every spawned thread eventually
+// runs to completion, mutual exclusion holds, and the run is deterministic.
+func TestSchedulerRandomOpsProperty(t *testing.T) {
+	run := func(seed int64) (completed int, critMax int, end time.Duration, ok bool) {
+		rng := rand.New(rand.NewSource(seed))
+		m, s := testRig()
+		var mu Mutex
+		inCrit, maxIn := 0, 0
+		done := 0
+		var body func(depth int) func(*Thread)
+		body = func(depth int) func(*Thread) {
+			return func(th *Thread) {
+				ops := 2 + rng.Intn(4)
+				for i := 0; i < ops; i++ {
+					switch rng.Intn(4) {
+					case 0:
+						th.Compute(time.Duration(rng.Intn(10)) * time.Microsecond)
+					case 1:
+						th.Yield()
+					case 2:
+						mu.Lock(th)
+						inCrit++
+						if inCrit > maxIn {
+							maxIn = inCrit
+						}
+						th.Yield() // widen the race window
+						inCrit--
+						mu.Unlock(th)
+					case 3:
+						if depth < 2 {
+							th.Spawn("child", body(depth+1))
+						}
+					}
+				}
+				done++
+			}
+		}
+		for i := 0; i < 4; i++ {
+			s.Start("root", body(0))
+		}
+		if err := m.Run(); err != nil {
+			return 0, 0, 0, false
+		}
+		return done, maxIn, m.Eng.Now(), true
+	}
+	f := func(seed int64) bool {
+		d1, c1, e1, ok1 := run(seed)
+		d2, c2, e2, ok2 := run(seed)
+		if !ok1 || !ok2 {
+			return false
+		}
+		// Deterministic replay, all threads completed, mutual exclusion.
+		return d1 == d2 && d1 >= 4 && c1 <= 1 && c2 <= 1 && e1 == e2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnlockByNonOwnerPanics(t *testing.T) {
+	m, s := testRig()
+	var mu Mutex
+	var recovered any
+	s.Start("a", func(th *Thread) { mu.Lock(th) })
+	s.Start("b", func(th *Thread) {
+		th.Compute(time.Microsecond)
+		defer func() { recovered = recover() }()
+		mu.Unlock(th)
+	})
+	_ = m.Run()
+	if recovered == nil {
+		t.Fatal("unlock by non-owner did not panic")
+	}
+}
+
+func TestWaitGroupNegativePanics(t *testing.T) {
+	m, s := testRig()
+	var recovered any
+	s.Start("a", func(th *Thread) {
+		var wg WaitGroup
+		wg.Add(1)
+		wg.Done(th)
+		defer func() { recovered = recover() }()
+		wg.Done(th)
+	})
+	_ = m.Run()
+	if recovered == nil {
+		t.Fatal("WaitGroup underflow did not panic")
+	}
+}
+
+func TestDeepSpawnChain(t *testing.T) {
+	// A chain of 100 threads, each spawning the next, must complete with
+	// exactly 100 creations charged.
+	m, s := testRig()
+	const depth = 100
+	reached := 0
+	var spawnNext func(d int) func(*Thread)
+	spawnNext = func(d int) func(*Thread) {
+		return func(th *Thread) {
+			reached = d
+			if d < depth {
+				th.Spawn("next", spawnNext(d+1))
+			}
+		}
+	}
+	s.Start("root", spawnNext(1))
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if reached != depth {
+		t.Fatalf("chain reached %d of %d", reached, depth)
+	}
+	if n := m.Node(0).Acct.Counter(machine.CntThreadCreate); n != depth-1 {
+		t.Fatalf("creates = %d, want %d", n, depth-1)
+	}
+}
+
+func TestManyBlockedThreadsWakeInOrder(t *testing.T) {
+	m, s := testRig()
+	var sv SyncVar
+	var order []int
+	const n = 20
+	for i := 0; i < n; i++ {
+		i := i
+		s.Start("w", func(th *Thread) {
+			_ = sv.Read(th)
+			order = append(order, i)
+		})
+	}
+	s.Start("writer", func(th *Thread) {
+		th.Compute(time.Microsecond)
+		sv.Write(th, true)
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != n {
+		t.Fatalf("only %d of %d woke", len(order), n)
+	}
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("wake order %v not FIFO", order)
+		}
+	}
+}

@@ -1,0 +1,297 @@
+// Package threads implements the lightweight, non-preemptive threads package
+// the paper's CC++ runtime is built on, as cooperative green threads over the
+// discrete-event simulator.
+//
+// Each machine node owns one Scheduler. A thread runs until it yields,
+// blocks, or exits; the scheduler then dispatches the next ready thread.
+// Every operation charges its calibrated virtual-time cost (Config.ThreadCreate,
+// Config.ContextSwitch, Config.SyncOp) to the node's accounting and bumps the
+// corresponding counter, which is exactly how the paper reconstructs the
+// "Threads" columns of its Table 4 (counts × unit costs).
+package threads
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// State is a thread's lifecycle state.
+type State int
+
+const (
+	// Ready means queued, waiting for the CPU.
+	Ready State = iota
+	// Running means currently executing on the node's CPU.
+	Running
+	// Blocked means waiting on a mutex, condition, sync variable, or
+	// message arrival.
+	Blocked
+	// Dead means the thread function returned.
+	Dead
+)
+
+func (s State) String() string {
+	switch s {
+	case Ready:
+		return "ready"
+	case Running:
+		return "running"
+	case Blocked:
+		return "blocked"
+	case Dead:
+		return "dead"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Scheduler multiplexes cooperative threads onto one node's CPU.
+type Scheduler struct {
+	node    *machine.Node
+	ready   []*Thread
+	current *Thread
+	nlive   int
+	seq     int
+}
+
+// NewScheduler creates the scheduler for a node. Exactly one scheduler per
+// node should exist; runtimes create it during initialization.
+func NewScheduler(node *machine.Node) *Scheduler {
+	return &Scheduler{node: node}
+}
+
+// Node returns the node this scheduler runs on.
+func (s *Scheduler) Node() *machine.Node { return s.node }
+
+// Current returns the thread currently on the CPU (nil when the node idles).
+func (s *Scheduler) Current() *Thread { return s.current }
+
+// ReadyLen reports how many threads are queued ready.
+func (s *Scheduler) ReadyLen() int { return len(s.ready) }
+
+// Live reports how many threads exist (ready, running, or blocked).
+func (s *Scheduler) Live() int { return s.nlive }
+
+// Thread is one cooperative thread of control.
+type Thread struct {
+	s    *Scheduler
+	p    *sim.Proc
+	name string
+
+	state State
+}
+
+// Name returns the debug name.
+func (t *Thread) Name() string { return t.name }
+
+// State returns the lifecycle state.
+func (t *Thread) State() State { return t.state }
+
+// Scheduler returns the owning scheduler.
+func (t *Thread) Scheduler() *Scheduler { return t.s }
+
+// Node returns the node the thread runs on.
+func (t *Thread) Node() *machine.Node { return t.s.node }
+
+// Cfg returns the machine cost configuration.
+func (t *Thread) Cfg() machine.Config { return t.s.node.Cfg() }
+
+// Now returns the current virtual time.
+func (t *Thread) Now() sim.Time { return t.p.Now() }
+
+func (s *Scheduler) cfg() machine.Config { return s.node.Cfg() }
+
+func (s *Scheduler) popReady() *Thread {
+	if len(s.ready) == 0 {
+		return nil
+	}
+	t := s.ready[0]
+	copy(s.ready, s.ready[1:])
+	s.ready = s.ready[:len(s.ready)-1]
+	return t
+}
+
+// newThread builds the thread object and its backing sim process. The
+// process immediately parks, waiting for its first dispatch.
+func (s *Scheduler) newThread(name string, fn func(*Thread)) *Thread {
+	s.seq++
+	t := &Thread{s: s, name: fmt.Sprintf("n%d/%s#%d", s.node.ID, name, s.seq)}
+	s.nlive++
+	t.p = s.node.M.Eng.Go(t.name, func(p *sim.Proc) {
+		p.Park() // wait for first dispatch
+		fn(t)
+		t.exit()
+	})
+	return t
+}
+
+// Start creates and enqueues a thread without charging creation cost; it is
+// the bootstrap entry point used before the simulation begins (the "main"
+// thread of each node, the runtime's service threads at init).
+func (s *Scheduler) Start(name string, fn func(*Thread)) *Thread {
+	t := s.newThread(name, fn)
+	s.makeReadyNoCharge(t)
+	return t
+}
+
+// Spawn forks a new thread from a running thread, charging the configured
+// creation cost to the node and counting it. The new thread is enqueued
+// ready; the caller keeps the CPU (threads run to completion until they
+// yield or block, as in the paper's non-preemptive package).
+func (t *Thread) Spawn(name string, fn func(*Thread)) *Thread {
+	t.mustBeRunning("Spawn")
+	t.Charge(machine.CatThreadMgmt, t.Cfg().ThreadCreate)
+	t.s.node.Acct.Count(machine.CntThreadCreate, 1)
+	t.s.node.M.Emit(t.s.node.ID, "spawn", name, 0)
+	nt := t.s.newThread(name, fn)
+	t.s.makeReadyNoCharge(nt)
+	return nt
+}
+
+func (t *Thread) mustBeRunning(op string) {
+	if t.s.current != t || t.state != Running {
+		panic(fmt.Sprintf("threads: %s called on %s which is %s (current=%v)",
+			op, t.name, t.state, currentName(t.s)))
+	}
+}
+
+func currentName(s *Scheduler) string {
+	if s.current == nil {
+		return "<idle>"
+	}
+	return s.current.name
+}
+
+// Charge advances virtual time by d and attributes it to category c on the
+// node's accounting. Other nodes' events proceed during the charge; no other
+// thread on this node can run (the CPU is held).
+func (t *Thread) Charge(c machine.Category, d time.Duration) {
+	if d == 0 {
+		return
+	}
+	t.s.node.Acct.Add(c, d)
+	t.p.Sleep(d)
+	t.s.node.M.Emit(t.s.node.ID, "charge", c.String(), d)
+}
+
+// Compute charges application CPU time.
+func (t *Thread) Compute(d time.Duration) { t.Charge(machine.CatCPU, d) }
+
+// ChargeFlops charges n floating-point operations at the configured rate.
+func (t *Thread) ChargeFlops(n int) {
+	t.Charge(machine.CatCPU, time.Duration(n)*t.Cfg().FlopCost)
+}
+
+// chargeSync charges one synchronization operation (lock/unlock/signal/sync
+// variable access) and counts it.
+func (t *Thread) chargeSync() {
+	t.s.node.Acct.Count(machine.CntSyncOp, 1)
+	t.Charge(machine.CatThreadSync, t.Cfg().SyncOp)
+}
+
+// ChargeSyncOp exposes chargeSync to runtimes that implement their own
+// synchronization objects but want them accounted identically.
+func (t *Thread) ChargeSyncOp() { t.chargeSync() }
+
+// chargeSwitch charges one context switch and counts it.
+//
+// Accounting policy (matches the thread-op counts the paper reports in
+// Table 4): a switch is charged only on a genuine thread-to-thread CPU
+// handoff — a yield to a ready peer, or a block that dispatches a ready
+// peer. Dispatch after a thread exits (no context to save) and dispatch out
+// of the scheduler's idle loop (no context to restore from) are free.
+func (t *Thread) chargeSwitch() {
+	t.s.node.Acct.Count(machine.CntContextSwitch, 1)
+	t.Charge(machine.CatThreadMgmt, t.Cfg().ContextSwitch)
+	t.s.node.M.Emit(t.s.node.ID, "switch", t.name, 0)
+}
+
+// Yield gives up the CPU if another thread is ready, charging one context
+// switch; with no other ready thread it returns immediately at zero cost
+// (the paper's package only pays on a real switch).
+func (t *Thread) Yield() {
+	t.mustBeRunning("Yield")
+	next := t.s.popReady()
+	if next == nil {
+		return
+	}
+	t.state = Ready
+	t.s.ready = append(t.s.ready, t)
+	t.chargeSwitch()
+	t.s.runNext(next)
+	t.p.Park()
+	t.state = Running
+}
+
+// Block suspends the thread until MakeReady is called on it. The caller is
+// responsible for having registered the thread somewhere it will be woken
+// from (mutex waiter list, sync variable, message arrival list). A context
+// switch is charged if another thread takes over.
+func (t *Thread) Block() {
+	t.mustBeRunning("Block")
+	t.state = Blocked
+	if next := t.s.popReady(); next != nil {
+		t.chargeSwitch()
+		t.s.runNext(next)
+	} else {
+		t.s.current = nil
+	}
+	t.p.Park()
+	t.state = Running
+}
+
+// runNext installs next as the running thread and unparks its process.
+func (s *Scheduler) runNext(next *Thread) {
+	next.state = Running
+	s.current = next
+	next.p.Unpark()
+}
+
+// makeReadyNoCharge enqueues a freshly created thread (state Ready via zero
+// value quirk: new threads report Ready before first dispatch) without
+// charging a context switch, dispatching immediately if the node is idle.
+func (s *Scheduler) makeReadyNoCharge(t *Thread) {
+	if s.current == nil {
+		s.runNext(t)
+		return
+	}
+	t.state = Ready
+	s.ready = append(s.ready, t)
+}
+
+// MakeReady marks a blocked thread runnable. If the node is idle the thread
+// is dispatched immediately (paying its context switch upon resumption);
+// otherwise it joins the ready queue. Safe to call from event callbacks
+// (message arrivals) and from other threads on the same node.
+func (s *Scheduler) MakeReady(t *Thread) {
+	switch t.state {
+	case Dead:
+		panic("threads: MakeReady on dead thread " + t.name)
+	case Running:
+		panic("threads: MakeReady on running thread " + t.name)
+	case Ready:
+		return // already queued (benign double wake)
+	}
+	if s.current == nil {
+		s.runNext(t)
+		return
+	}
+	t.state = Ready
+	s.ready = append(s.ready, t)
+}
+
+// exit terminates the thread, dispatching the next ready thread if any.
+func (t *Thread) exit() {
+	t.mustBeRunning("exit")
+	t.state = Dead
+	t.s.nlive--
+	if next := t.s.popReady(); next != nil {
+		t.s.runNext(next)
+	} else {
+		t.s.current = nil
+	}
+	// The sim proc returns after this, handing control to the engine.
+}

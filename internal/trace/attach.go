@@ -1,0 +1,30 @@
+package trace
+
+import (
+	"time"
+
+	"repro/internal/machine"
+)
+
+// Attach installs the log as machine m's tracer. Call before running the
+// simulation; pass the same log to the renderers afterwards.
+func Attach(m *machine.Machine, l *Log) {
+	m.Trace = func(at time.Duration, node int, kind, label string, dur time.Duration) {
+		var k Kind
+		switch kind {
+		case "send":
+			k = KindSend
+		case "recv":
+			k = KindRecv
+		case "spawn":
+			k = KindSpawn
+		case "switch":
+			k = KindSwitch
+		case "charge":
+			k = KindCharge
+		default:
+			k = KindMark
+		}
+		l.Add(Event{At: at, Node: node, Kind: k, Label: label, Dur: dur})
+	}
+}

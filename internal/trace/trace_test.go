@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/threads"
+)
+
+func TestLogLimitAndDrop(t *testing.T) {
+	l := New(3)
+	for i := 0; i < 5; i++ {
+		l.Add(Event{At: time.Duration(i), Node: 0, Kind: KindMark})
+	}
+	if len(l.Events()) != 3 || l.Dropped() != 2 {
+		t.Fatalf("events %d dropped %d", len(l.Events()), l.Dropped())
+	}
+	if !strings.Contains(l.Listing(0), "dropped") {
+		t.Error("listing does not mention dropped events")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	l := New(0)
+	l.Add(Event{Node: 0, Kind: KindSend})
+	l.Add(Event{Node: 1, Kind: KindSend})
+	l.Add(Event{Node: 0, Kind: KindRecv})
+	if got := len(l.Filter(KindSend, -1)); got != 2 {
+		t.Fatalf("sends %d", got)
+	}
+	if got := len(l.Filter(KindSend, 1)); got != 1 {
+		t.Fatalf("node-1 sends %d", got)
+	}
+}
+
+func TestSortStable(t *testing.T) {
+	evs := []Event{
+		{At: 3, Node: 1}, {At: 1, Node: 2}, {At: 3, Node: 0}, {At: 2, Node: 0},
+	}
+	SortStable(evs)
+	if evs[0].At != 1 || evs[3].At != 3 || evs[2].Node != 0 || evs[3].Node != 1 {
+		t.Fatalf("order %v", evs)
+	}
+}
+
+// End-to-end: trace a real CC++ ping-pong and check the layers emitted
+// coherent events.
+func TestTraceRealRun(t *testing.T) {
+	m := machine.New(machine.SP1997(), 2)
+	l := New(0)
+	Attach(m, l)
+	rt := core.NewRuntime(m)
+	rt.RegisterClass(&core.Class{
+		Name: "P",
+		New:  func() any { return &struct{}{} },
+		Methods: []*core.Method{{
+			Name:     "work",
+			Threaded: true,
+			Fn: func(th *threads.Thread, self any, args []core.Arg, ret core.Arg) {
+				th.Compute(20 * time.Microsecond)
+			},
+		}},
+	})
+	gp := rt.CreateObject(1, "P")
+	rt.OnNode(0, func(th *threads.Thread) {
+		for i := 0; i < 3; i++ {
+			rt.Call(th, gp, "work", nil, nil)
+		}
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	sends := l.Filter(KindSend, 0)
+	if len(sends) < 3 {
+		t.Fatalf("node 0 sends = %d, want >= 3 (requests)", len(sends))
+	}
+	recvs := l.Filter(KindRecv, 1)
+	if len(recvs) < 3 {
+		t.Fatalf("node 1 recvs = %d", len(recvs))
+	}
+	spawns := l.Filter(KindSpawn, 1)
+	if len(spawns) < 3 {
+		t.Fatalf("node 1 spawns = %d, want >= 3 (threaded RMIs)", len(spawns))
+	}
+	// Events are time-ordered as emitted.
+	evs := l.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At < evs[i-1].At {
+			t.Fatalf("events out of order at %d", i)
+		}
+	}
+	// Charges recorded include the CPU work on node 1.
+	cpu := time.Duration(0)
+	for _, e := range l.Filter(KindCharge, 1) {
+		if e.Label == "cpu" {
+			cpu += e.Dur
+		}
+	}
+	if cpu != 60*time.Microsecond {
+		t.Fatalf("traced cpu on node 1 = %v, want 60µs", cpu)
+	}
+
+	// Renderers produce plausible text.
+	util := l.Utilization(2, 0, m.Eng.Now(), 40)
+	if !strings.Contains(util, "n0 ") || !strings.Contains(util, "n1 ") {
+		t.Fatalf("utilization missing rows:\n%s", util)
+	}
+	if !strings.ContainsAny(util, "#~tr,") {
+		t.Fatalf("utilization shows no activity:\n%s", util)
+	}
+	sum := l.Summary(2)
+	if !strings.Contains(sum, "n0") || !strings.Contains(sum, "send") {
+		t.Fatalf("summary malformed:\n%s", sum)
+	}
+}
+
+func TestNoTracerCostsNothing(t *testing.T) {
+	// Without Attach the machine must run identically (no panic, no events).
+	m := machine.New(machine.SP1997(), 2)
+	rt := core.NewRuntime(m)
+	rt.RegisterClass(&core.Class{
+		Name:    "P",
+		New:     func() any { return &struct{}{} },
+		Methods: []*core.Method{{Name: "nop", Fn: func(*threads.Thread, any, []core.Arg, core.Arg) {}}},
+	})
+	gp := rt.CreateObject(1, "P")
+	rt.OnNode(0, func(th *threads.Thread) { rt.Call(th, gp, "nop", nil, nil) })
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,205 @@
+// Package mpmd is the public API of the MPMD-communication study
+// reproduction (Chang, Czajkowski, von Eicken, Kesselman: "Evaluating the
+// Performance Limitations of MPMD Communication", SC 1997).
+//
+// It re-exports the stable surface of the internal packages:
+//
+//   - a deterministic simulated multicomputer calibrated to the paper's
+//     IBM RS/6000 SP measurements (NewMachine, SPConfig);
+//   - the paper's contribution, a lean CC++ runtime over Active Messages
+//     ("CC++/ThAM"): processor objects, remote method invocation with stub
+//     caching and persistent buffers, global pointers, par/parfor, sync
+//     variables (NewRuntime and the CC* aliases);
+//   - the Split-C SPMD baseline runtime (NewSplitC and the SC* aliases);
+//   - the Nexus/TCP transport used for the paper's §6 comparison
+//     (NewNexusTransport);
+//   - the experiment harness regenerating every table and figure
+//     (the Run*/Format* re-exports).
+//
+// The quickest way in:
+//
+//	m := mpmd.NewMachine(mpmd.SPConfig(), 2)
+//	rt := mpmd.NewRuntime(m)
+//	rt.RegisterClass(&mpmd.Class{ ... })
+//	gp := rt.CreateObject(1, "MyClass")
+//	rt.OnNode(0, func(t *mpmd.Thread) { rt.Call(t, gp, "hello", nil, nil) })
+//	if err := rt.Run(); err != nil { ... }
+//
+// See examples/ for runnable programs and DESIGN.md for the system map.
+package mpmd
+
+import (
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/nexus"
+	"repro/internal/splitc"
+	"repro/internal/threads"
+	"repro/internal/trace"
+)
+
+// --- machine model -----------------------------------------------------------
+
+// Machine is the simulated multicomputer.
+type Machine = machine.Machine
+
+// Config holds the machine's primitive costs.
+type Config = machine.Config
+
+// Category labels a time-breakdown bucket (net/cpu/thread-mgmt/thread-sync/
+// runtime).
+type Category = machine.Category
+
+// Breakdown categories, mirroring the bars of the paper's Figures 5 and 6.
+const (
+	CatCPU        = machine.CatCPU
+	CatNet        = machine.CatNet
+	CatThreadMgmt = machine.CatThreadMgmt
+	CatThreadSync = machine.CatThreadSync
+	CatRuntime    = machine.CatRuntime
+)
+
+// SPConfig returns the calibrated IBM SP (AIX 3.2.5) cost profile the paper
+// measured on.
+func SPConfig() Config { return machine.SP1997() }
+
+// NewMachine builds a simulated multicomputer with n nodes.
+func NewMachine(cfg Config, n int) *Machine { return machine.New(cfg, n) }
+
+// --- threads ------------------------------------------------------------------
+
+// Thread is a cooperative thread on a simulated node; every runtime entry
+// point takes the calling thread.
+type Thread = threads.Thread
+
+// Mutex, Cond, SyncVar and WaitGroup are the thread-synchronization objects
+// of the simulated non-preemptive threads package.
+type (
+	Mutex     = threads.Mutex
+	Cond      = threads.Cond
+	SyncVar   = threads.SyncVar
+	WaitGroup = threads.WaitGroup
+)
+
+// --- CC++ runtime (the paper's contribution) -----------------------------------
+
+// Runtime is the CC++/ThAM runtime.
+type Runtime = core.Runtime
+
+// Options configure a Runtime (ablation switches, transport override).
+type Options = core.Options
+
+// Class describes a processor-object class; Method one invocable method.
+type (
+	Class  = core.Class
+	Method = core.Method
+)
+
+// GPtr is an opaque global pointer to a processor object; GPF64 a global
+// pointer to a double with the optimized small-message access path.
+type (
+	GPtr  = core.GPtr
+	GPF64 = core.GPF64
+)
+
+// Arg is a marshallable RMI argument; F64, I64, F64Slice, Bytes and Str are
+// the provided implementations.
+type (
+	Arg      = core.Arg
+	F64      = core.F64
+	I64      = core.I64
+	F64Slice = core.F64Slice
+	Bytes    = core.Bytes
+	Str      = core.Str
+)
+
+// Future joins an asynchronous RMI; Barrier is RMI-built global
+// synchronization.
+type (
+	Future  = core.Future
+	Barrier = core.Barrier
+)
+
+// Transport abstracts the message layer under the CC++ runtime.
+type Transport = core.Transport
+
+// NewRuntime builds a CC++/ThAM runtime over m.
+func NewRuntime(m *Machine) *Runtime { return core.NewRuntime(m) }
+
+// NewRuntimeOpts builds a CC++ runtime with explicit options.
+func NewRuntimeOpts(m *Machine, opts Options) *Runtime { return core.NewRuntimeOpts(m, opts) }
+
+// NewNexusTransport builds the Nexus/TCP message layer of the original CC++
+// implementation; pass it in Options.Transport for the §6 comparison.
+func NewNexusTransport(m *Machine) Transport { return nexus.New(m) }
+
+// NewGPF64 builds a global pointer to a double owned by the given node.
+func NewGPF64(node int, ptr *float64) GPF64 { return core.NewGPF64(node, ptr) }
+
+// Par runs blocks concurrently and joins (CC++ par).
+func Par(t *Thread, blocks ...func(*Thread)) { core.Par(t, blocks...) }
+
+// ParFor runs n iterations concurrently, one thread each (CC++ parfor).
+func ParFor(t *Thread, n int, body func(*Thread, int)) { core.ParFor(t, n, body) }
+
+// Spawn launches fn without joining (CC++ spawn), returning a completion
+// sync variable.
+func Spawn(t *Thread, name string, fn func(*Thread)) *SyncVar { return core.Spawn(t, name, fn) }
+
+// --- Split-C baseline -----------------------------------------------------------
+
+// SplitCWorld is an SPMD program instance; SplitCProc the per-node context.
+type (
+	SplitCWorld = splitc.World
+	SplitCProc  = splitc.Proc
+)
+
+// SCPtr is a Split-C global pointer to a double; SCVec to a vector.
+type (
+	SCPtr = splitc.GPF
+	SCVec = splitc.GVF
+)
+
+// SCSpread is a Split-C spread array of doubles (cyclic layout); SCReduceOp
+// selects the AllReduce combiner.
+type (
+	SCSpread   = splitc.SpreadF64
+	SCReduceOp = splitc.ReduceOp
+)
+
+// Split-C reduction operators.
+const (
+	SCOpSum = splitc.OpSum
+	SCOpMax = splitc.OpMax
+	SCOpMin = splitc.OpMin
+)
+
+// NewSCSpread allocates a spread array of n doubles over procs processors.
+func NewSCSpread(procs, n int) *SCSpread { return splitc.NewSpreadF64(procs, n) }
+
+// NewSplitC builds a Split-C world over m.
+func NewSplitC(m *Machine) *SplitCWorld { return splitc.New(m) }
+
+// --- tracing ---------------------------------------------------------------------
+
+// TraceLog records simulation timelines (sends, receives, spawns, switches,
+// charges) for the renderers in the trace package.
+type TraceLog = trace.Log
+
+// NewTraceLog creates an event log holding at most limit events (0 = default).
+func NewTraceLog(limit int) *TraceLog { return trace.New(limit) }
+
+// AttachTrace installs the log as m's tracer; call before running.
+func AttachTrace(m *Machine, l *TraceLog) { trace.Attach(m, l) }
+
+// --- experiment harness ----------------------------------------------------------
+
+// Scale sizes the experiments; FullScale is the paper's configuration and
+// QuickScale a CI-sized one.
+type Scale = bench.Scale
+
+// FullScale returns the paper's experiment sizes.
+func FullScale() Scale { return bench.Full() }
+
+// QuickScale returns reduced experiment sizes.
+func QuickScale() Scale { return bench.Quick() }
