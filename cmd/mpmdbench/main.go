@@ -1,13 +1,15 @@
 // Command mpmdbench regenerates the tables and figures of Chang et al.,
 // "Evaluating the Performance Limitations of MPMD Communication" (SC 1997)
-// on the calibrated IBM SP machine model.
+// on the calibrated IBM SP machine model, and — with -backend=live — runs
+// the same runtime stack on real goroutines with wall-clock timing.
 //
 // Usage:
 //
-//	mpmdbench [-quick] [experiment ...]
+//	mpmdbench [-quick] [-backend=sim|live] [experiment ...]
 //
-// Experiments: table1, table4, fig5, fig6-water, fig6-lu, nexus, ablate,
-// irregular, all (default).
+// Experiments on the sim backend: table1, table4, fig5, fig6-water,
+// fig6-lu, nexus, ablate, irregular, all (default). The live backend runs
+// the live microbenchmark suite (RMI round-trips, bulk bandwidth, barrier).
 package main
 
 import (
@@ -21,8 +23,10 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "run the reduced-size configuration")
+	backend := flag.String("backend", "sim",
+		"execution backend: sim (calibrated discrete-event model) or live (real goroutines, wall-clock)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mpmdbench [-quick] [table1|table4|fig5|fig6-water|fig6-lu|nexus|ablate|irregular|all ...]\n")
+		fmt.Fprintf(os.Stderr, "usage: mpmdbench [-quick] [-backend=sim|live] [table1|table4|fig5|fig6-water|fig6-lu|nexus|ablate|irregular|all ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -32,6 +36,22 @@ func main() {
 		scale = bench.Quick()
 	}
 	cfg := bench.Cfg()
+
+	switch *backend {
+	case "sim":
+	case "live":
+		fmt.Printf("MPMD runtime on the live backend — scale %q\n\n", scale.Name)
+		if len(flag.Args()) > 0 {
+			fmt.Printf("(note: experiment names %v select sim-backend tables; the live backend runs its microbenchmark suite)\n\n", flag.Args())
+		}
+		start := time.Now()
+		fmt.Print(bench.FormatLiveMicro(bench.RunLiveMicro(cfg, scale)))
+		fmt.Printf("[live micro finished in %v]\n", time.Since(start).Round(time.Millisecond))
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "mpmdbench: unknown backend %q (want sim or live)\n", *backend)
+		os.Exit(2)
+	}
 
 	args := flag.Args()
 	if len(args) == 0 {

@@ -1,0 +1,183 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/threads"
+	"repro/internal/transport/live"
+)
+
+// LiveRow is one line of the live-backend microbenchmark table: the same
+// operations as the paper's Table 4 fast paths, but executed on real
+// goroutines and timed with the wall clock instead of the calibrated
+// virtual-time model.
+type LiveRow struct {
+	Name  string
+	Iters int
+	PerOp time.Duration
+	MBps  float64 // non-zero for bandwidth rows
+}
+
+// liveBulkWords sizes the bulk-bandwidth rows (doubles per transfer).
+const liveBulkWords = 1024
+
+// liveMachine builds an n-node machine on the live backend.
+func liveMachine(cfg machine.Config, n int) *machine.Machine {
+	return machine.NewWithBackend(cfg, n, live.New(n, live.Options{Watchdog: 2 * time.Minute}))
+}
+
+// liveBulkClass is a Bench variant holding a transfer buffer large enough
+// for the bandwidth rows.
+func liveBulkClass() *core.Class {
+	return &core.Class{
+		Name: "LiveBulk",
+		New:  func() any { return &benchObj{arr: make([]float64, liveBulkWords)} },
+		Methods: []*core.Method{
+			{Name: "put", Threaded: true,
+				NewArgs: func() []core.Arg { return []core.Arg{&core.F64Slice{}} },
+				Fn: func(t *threads.Thread, self any, a []core.Arg, r core.Arg) {
+					copy(self.(*benchObj).arr, a[0].(*core.F64Slice).V)
+				}},
+			{Name: "get", Threaded: true,
+				NewRet: func() core.Arg { return &core.F64Slice{} },
+				Fn: func(t *threads.Thread, self any, a []core.Arg, r core.Arg) {
+					o := self.(*benchObj)
+					out := r.(*core.F64Slice)
+					if cap(out.V) < len(o.arr) {
+						out.V = make([]float64, len(o.arr))
+					}
+					out.V = out.V[:len(o.arr)]
+					copy(out.V, o.arr)
+				}},
+		},
+	}
+}
+
+// measureLiveCC times body on node 0 of a fresh 2-node live-backend CC++
+// rig, wall-clock per iteration.
+func measureLiveCC(cfg machine.Config, cls *core.Class, target string, iters int,
+	body func(rt *core.Runtime, gp core.GPtr, t *threads.Thread)) time.Duration {
+	m := liveMachine(cfg, 2)
+	rt := core.NewRuntime(m)
+	rt.RegisterClass(cls)
+	gp := rt.CreateObject(1, target)
+	var per time.Duration
+	rt.OnNode(0, func(t *threads.Thread) {
+		// Warm the stub cache, persistent buffers, and the Go scheduler.
+		for i := 0; i < 3; i++ {
+			body(rt, gp, t)
+		}
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			body(rt, gp, t)
+		}
+		per = time.Since(start) / time.Duration(iters)
+	})
+	if err := rt.Run(); err != nil {
+		panic(err)
+	}
+	return per
+}
+
+// measureLiveBarrier times a full-machine barrier on nodes real goroutines.
+func measureLiveBarrier(cfg machine.Config, nodes, iters int) time.Duration {
+	m := liveMachine(cfg, nodes)
+	rt := core.NewRuntime(m)
+	bar := rt.NewBarrier(0, nodes)
+	var per time.Duration
+	for i := 0; i < nodes; i++ {
+		i := i
+		rt.OnNode(i, func(t *threads.Thread) {
+			bar.Arrive(t) // warm-up round
+			start := time.Now()
+			for k := 0; k < iters; k++ {
+				bar.Arrive(t)
+			}
+			if i == 0 {
+				per = time.Since(start) / time.Duration(iters)
+			}
+		})
+	}
+	if err := rt.Run(); err != nil {
+		panic(err)
+	}
+	return per
+}
+
+// RunLiveMicro measures the RMI fast paths, bulk bandwidth, and barrier on
+// the live backend. Times are wall-clock and machine-dependent — the point
+// is that the identical runtime stack executes on real concurrency, not that
+// the numbers match the 1997 SP model.
+func RunLiveMicro(cfg machine.Config, sc Scale) []LiveRow {
+	iters := sc.MicroIters
+	var rows []LiveRow
+	add := func(name string, iters int, per time.Duration, bytes int) {
+		r := LiveRow{Name: name, Iters: iters, PerOp: per}
+		if bytes > 0 && per > 0 {
+			r.MBps = float64(bytes) / per.Seconds() / (1 << 20)
+		}
+		rows = append(rows, r)
+	}
+
+	add("RMI 0-word round-trip (block)", iters,
+		measureLiveCC(cfg, benchClass(), "Bench", iters,
+			func(rt *core.Runtime, gp core.GPtr, t *threads.Thread) {
+				rt.Call(t, gp, "foo", nil, nil)
+			}), 0)
+	add("RMI 0-word round-trip (spin)", iters,
+		measureLiveCC(cfg, benchClass(), "Bench", iters,
+			func(rt *core.Runtime, gp core.GPtr, t *threads.Thread) {
+				rt.CallSimple(t, gp, "foo", nil, nil)
+			}), 0)
+	add("RMI 1-word round-trip", iters,
+		measureLiveCC(cfg, benchClass(), "Bench", iters,
+			func(rt *core.Runtime, gp core.GPtr, t *threads.Thread) {
+				rt.Call(t, gp, "foo1", []core.Arg{&core.I64{V: 1}}, nil)
+			}), 0)
+	add("RMI 0-word threaded", iters,
+		measureLiveCC(cfg, benchClass(), "Bench", iters,
+			func(rt *core.Runtime, gp core.GPtr, t *threads.Thread) {
+				rt.Call(t, gp, "fooThreaded", nil, nil)
+			}), 0)
+
+	payload := make([]float64, liveBulkWords)
+	for i := range payload {
+		payload[i] = float64(i)
+	}
+	add(fmt.Sprintf("Bulk put %d KiB", liveBulkWords*8/1024), iters,
+		measureLiveCC(cfg, liveBulkClass(), "LiveBulk", iters,
+			func(rt *core.Runtime, gp core.GPtr, t *threads.Thread) {
+				rt.Call(t, gp, "put", []core.Arg{&core.F64Slice{V: payload}}, nil)
+			}), liveBulkWords*8)
+	ret := &core.F64Slice{V: make([]float64, liveBulkWords)}
+	add(fmt.Sprintf("Bulk get %d KiB", liveBulkWords*8/1024), iters,
+		measureLiveCC(cfg, liveBulkClass(), "LiveBulk", iters,
+			func(rt *core.Runtime, gp core.GPtr, t *threads.Thread) {
+				rt.Call(t, gp, "get", nil, ret)
+			}), liveBulkWords*8)
+
+	add("Barrier (4 nodes)", iters, measureLiveBarrier(cfg, 4, iters), 0)
+	return rows
+}
+
+// FormatLiveMicro renders the live-backend microbenchmark table.
+func FormatLiveMicro(rows []LiveRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Live backend micro-benchmarks (real goroutines, wall-clock)\n")
+	fmt.Fprintf(&b, "%-32s | %8s | %10s | %10s\n", "benchmark", "iters", "per-op", "bandwidth")
+	for _, r := range rows {
+		bw := "-"
+		if r.MBps > 0 {
+			bw = fmt.Sprintf("%.0f MB/s", r.MBps)
+		}
+		fmt.Fprintf(&b, "%-32s | %8d | %10s | %10s\n",
+			r.Name, r.Iters, r.PerOp.Round(10*time.Nanosecond), bw)
+	}
+	fmt.Fprintf(&b, "(same runtime stack as the calibrated tables; timings are host wall-clock,\n")
+	fmt.Fprintf(&b, " not the 1997 SP model — compare shapes, not absolute values)\n")
+	return b.String()
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/am"
@@ -168,7 +169,9 @@ type Runtime struct {
 	nodes []*nodeRT
 	progs []func(t *threads.Thread)
 
-	mainsLeft int
+	// mainsLeft counts node programs still running. Atomic because on the
+	// live backend the last mains of different nodes race to decrement it.
+	mainsLeft atomic.Int32
 
 	hInvoke, hResolveUpdate am.HandlerID
 	hReply                  am.HandlerID
@@ -340,15 +343,16 @@ func (rt *Runtime) OnNode(i int, prog func(t *threads.Thread)) {
 		panic(fmt.Sprintf("core: node %d already has a program", i))
 	}
 	rt.progs[i] = prog
-	rt.mainsLeft++
+	rt.mainsLeft.Add(1)
 }
 
 // Run starts the polling thread on every node plus the installed node
-// programs, and drives the simulation until completion. After the last
-// program finishes, reception keeps draining for Options.Grace of virtual
-// time before the pollers shut down.
+// programs, and drives the machine until completion. After the last
+// program finishes, reception keeps draining for Options.Grace (virtual
+// time on the simulator, wall time on the live backend) before the pollers
+// shut down.
 func (rt *Runtime) Run() error {
-	if rt.mainsLeft == 0 {
+	if rt.mainsLeft.Load() == 0 {
 		return fmt.Errorf("core: no node programs installed")
 	}
 	for i := range rt.nodes {
@@ -365,13 +369,13 @@ func (rt *Runtime) Run() error {
 		prog := rt.progs[i]
 		n.sched.Start("main", func(t *threads.Thread) {
 			prog(t)
-			rt.mainsLeft--
-			if rt.mainsLeft == 0 {
-				rt.m.Eng.After(rt.opts.Grace, func() {
-					for j := range rt.nodes {
-						rt.tr.Stop(j)
-					}
-				})
+			if rt.mainsLeft.Add(-1) == 0 {
+				// Each node's Stop must run in that node's execution
+				// context (it wakes parked threads).
+				for j := range rt.nodes {
+					j := j
+					rt.m.AfterNode(j, rt.opts.Grace, func() { rt.tr.Stop(j) })
+				}
 			}
 		})
 	}

@@ -2,16 +2,26 @@ package machine
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/sim"
+	"repro/internal/transport"
+	"repro/internal/transport/simnet"
 )
 
-// Machine is a simulated multicomputer: a discrete-event engine, a cost
-// configuration, and a set of nodes.
+// Machine is a multicomputer: an execution backend, a cost configuration,
+// and a set of nodes. New builds it over the calibrated discrete-event
+// simulator; NewWithBackend accepts any transport backend (the live backend
+// runs the same machine on real goroutines with wall-clock timing).
 type Machine struct {
-	Eng   *sim.Engine
-	Cfg   Config
+	// Eng is the discrete-event engine when the machine runs on the simnet
+	// backend (tests schedule raw events and read virtual time through it).
+	// It is nil on other backends.
+	Eng *sim.Engine
+	Cfg Config
+
+	be    transport.Backend
 	nodes []*Node
 
 	// Trace, when non-nil, receives instrumentation callbacks from the
@@ -23,19 +33,32 @@ type Machine struct {
 // Emit forwards an instrumentation event to the tracer, if one is installed.
 func (m *Machine) Emit(node int, kind, label string, dur time.Duration) {
 	if m.Trace != nil {
-		m.Trace(m.Eng.Now(), node, kind, label, dur)
+		m.Trace(m.be.Now(), node, kind, label, dur)
 	}
 }
 
-// New builds a machine with n nodes over a fresh engine.
+// New builds a machine with n nodes over a fresh discrete-event simulator.
 func New(cfg Config, n int) *Machine {
+	be := simnet.New(n)
+	return NewWithBackend(cfg, n, be)
+}
+
+// NewWithBackend builds a machine with n nodes over an explicit transport
+// backend.
+func NewWithBackend(cfg Config, n int, be transport.Backend) *Machine {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
 	if n <= 0 {
 		panic("machine: need at least one node")
 	}
-	m := &Machine{Eng: sim.New(), Cfg: cfg}
+	if be.NumNodes() != n {
+		panic(fmt.Sprintf("machine: backend has %d nodes, machine wants %d", be.NumNodes(), n))
+	}
+	m := &Machine{Cfg: cfg, be: be}
+	if sb, ok := be.(*simnet.Backend); ok {
+		m.Eng = sb.Engine()
+	}
 	for i := 0; i < n; i++ {
 		m.nodes = append(m.nodes, &Node{
 			ID:   i,
@@ -44,6 +67,18 @@ func New(cfg Config, n int) *Machine {
 		})
 	}
 	return m
+}
+
+// Backend returns the execution backend the machine runs on.
+func (m *Machine) Backend() transport.Backend { return m.be }
+
+// Now returns the backend clock: virtual time on the simulator, wall-clock
+// time on the live backend.
+func (m *Machine) Now() time.Duration { return m.be.Now() }
+
+// AfterNode schedules fn to run in node's execution context after delay d.
+func (m *Machine) AfterNode(node int, d time.Duration, fn func()) {
+	m.be.After(node, d, fn)
 }
 
 // NumNodes returns the number of nodes.
@@ -60,9 +95,10 @@ func (m *Machine) Node(i int) *Node {
 // Nodes returns all nodes in ID order.
 func (m *Machine) Nodes() []*Node { return m.nodes }
 
-// Run drives the simulation to completion. It returns an error if the
-// simulation deadlocks (parked processes with an empty event queue).
-func (m *Machine) Run() error { return m.Eng.Run() }
+// Run drives the machine to completion. It returns an error if the program
+// cannot make progress (simulator: parked processes with an empty event
+// queue; live: watchdog expiry).
+func (m *Machine) Run() error { return m.be.Run() }
 
 // Snapshot returns a merged accounting snapshot across all nodes.
 func (m *Machine) Snapshot() Snapshot {
@@ -84,18 +120,25 @@ type Packet struct {
 }
 
 // Node is one processor of the multicomputer. The messaging layer installs
-// OnArrival to be notified (inside an event callback, at the virtual arrival
+// OnArrival to be notified (in the node's execution context, at the arrival
 // instant) when a packet lands in the node's inbound queue.
 type Node struct {
 	ID   int
 	M    *Machine
 	Acct *Accounting
 
-	inbox []Packet
+	// inboxMu guards inbox. On the simulator it is uncontended (one
+	// goroutine runs at a time); on the live backend it is what lets a
+	// sender enqueue directly from its own goroutine while the receiver
+	// polls concurrently.
+	inboxMu sync.Mutex
+	inbox   []Packet
 
-	// OnArrival, if non-nil, runs after each packet is appended to the
-	// inbox. It executes in event-callback context: it must not sleep or
-	// block, only mark threads runnable.
+	// OnArrival, if non-nil, runs in the node's execution context after a
+	// packet is appended to the inbox. It must not sleep or block, only
+	// mark threads runnable. On the live backend consecutive arrivals may
+	// be coalesced into fewer OnArrival calls; the am layer's wait loops
+	// are already robust to that (waiters re-check the inbox and re-arm).
 	OnArrival func()
 }
 
@@ -103,11 +146,25 @@ type Node struct {
 func (n *Node) Cfg() Config { return n.M.Cfg }
 
 // InboxLen reports the number of undelivered packets queued at the node.
-func (n *Node) InboxLen() int { return len(n.inbox) }
+func (n *Node) InboxLen() int {
+	n.inboxMu.Lock()
+	defer n.inboxMu.Unlock()
+	return len(n.inbox)
+}
+
+// pushInbox appends a packet to the inbound queue. Safe to call from any
+// goroutine (live senders enqueue directly).
+func (n *Node) pushInbox(pkt Packet) {
+	n.inboxMu.Lock()
+	n.inbox = append(n.inbox, pkt)
+	n.inboxMu.Unlock()
+}
 
 // PopInbox removes and returns the oldest queued packet. ok is false when
 // the inbox is empty.
 func (n *Node) PopInbox() (pkt Packet, ok bool) {
+	n.inboxMu.Lock()
+	defer n.inboxMu.Unlock()
 	if len(n.inbox) == 0 {
 		return Packet{}, false
 	}
@@ -120,22 +177,25 @@ func (n *Node) PopInbox() (pkt Packet, ok bool) {
 
 // Send puts a packet on the wire from node n to dst, arriving after the
 // configured wire latency plus extraWire (e.g. serialization time of a bulk
-// payload on a slower path). Sender-side CPU costs must already have been
-// charged by the caller; Send itself consumes no CPU.
+// payload on a slower path); the live backend ignores the modelled latency
+// and delivers as fast as the hardware allows. Sender-side CPU costs must
+// already have been charged by the caller; Send itself consumes no CPU.
 //
-// Delivery order between a given (src,dst) pair is FIFO because latency is
-// uniform and the event queue breaks ties in schedule order.
+// Delivery order between a given (src,dst) pair is FIFO for equal latencies:
+// on the simulator because the event queue breaks ties in schedule order, on
+// the live backend because enqueue runs in send order.
 func (n *Node) Send(dst int, extraWire time.Duration, size int, payload any) {
 	m := n.M
 	target := m.Node(dst)
 	m.Emit(n.ID, "send", fmt.Sprintf("->n%d %dB", dst, size), 0)
 	pkt := Packet{Src: n.ID, Dst: dst, Size: size, Payload: payload}
-	m.Eng.After(m.Cfg.WireLatency+extraWire, func() {
-		target.inbox = append(target.inbox, pkt)
-		if target.OnArrival != nil {
-			target.OnArrival()
-		}
-	})
+	m.be.Deliver(dst, m.Cfg.WireLatency+extraWire,
+		func() { target.pushInbox(pkt) },
+		func() {
+			if target.OnArrival != nil {
+				target.OnArrival()
+			}
+		})
 }
 
 // Loopback enqueues a packet to the node itself with zero latency. Some
@@ -143,10 +203,11 @@ func (n *Node) Send(dst int, extraWire time.Duration, size int, payload any) {
 // semantics uniform; the machine model charges no wire time for them.
 func (n *Node) Loopback(size int, payload any) {
 	pkt := Packet{Src: n.ID, Dst: n.ID, Size: size, Payload: payload}
-	n.M.Eng.After(0, func() {
-		n.inbox = append(n.inbox, pkt)
-		if n.OnArrival != nil {
-			n.OnArrival()
-		}
-	})
+	n.M.be.Deliver(n.ID, 0,
+		func() { n.pushInbox(pkt) },
+		func() {
+			if n.OnArrival != nil {
+				n.OnArrival()
+			}
+		})
 }

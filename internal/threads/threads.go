@@ -1,6 +1,7 @@
 // Package threads implements the lightweight, non-preemptive threads package
 // the paper's CC++ runtime is built on, as cooperative green threads over the
-// discrete-event simulator.
+// transport backend's schedulable contexts (simulated processes on the
+// calibrated simnet backend, real goroutines on the live backend).
 //
 // Each machine node owns one Scheduler. A thread runs until it yields,
 // blocks, or exits; the scheduler then dispatches the next ready thread.
@@ -15,7 +16,7 @@ import (
 	"time"
 
 	"repro/internal/machine"
-	"repro/internal/sim"
+	"repro/internal/transport"
 )
 
 // State is a thread's lifecycle state.
@@ -78,7 +79,7 @@ func (s *Scheduler) Live() int { return s.nlive }
 // Thread is one cooperative thread of control.
 type Thread struct {
 	s    *Scheduler
-	p    *sim.Proc
+	p    transport.Proc
 	name string
 
 	state State
@@ -99,8 +100,9 @@ func (t *Thread) Node() *machine.Node { return t.s.node }
 // Cfg returns the machine cost configuration.
 func (t *Thread) Cfg() machine.Config { return t.s.node.Cfg() }
 
-// Now returns the current virtual time.
-func (t *Thread) Now() sim.Time { return t.p.Now() }
+// Now returns the backend clock: virtual time on the simulator, wall-clock
+// time on the live backend.
+func (t *Thread) Now() time.Duration { return t.p.Now() }
 
 func (s *Scheduler) cfg() machine.Config { return s.node.Cfg() }
 
@@ -114,13 +116,13 @@ func (s *Scheduler) popReady() *Thread {
 	return t
 }
 
-// newThread builds the thread object and its backing sim process. The
-// process immediately parks, waiting for its first dispatch.
+// newThread builds the thread object and its backing proc. The proc
+// immediately parks, waiting for its first dispatch.
 func (s *Scheduler) newThread(name string, fn func(*Thread)) *Thread {
 	s.seq++
 	t := &Thread{s: s, name: fmt.Sprintf("n%d/%s#%d", s.node.ID, name, s.seq)}
 	s.nlive++
-	t.p = s.node.M.Eng.Go(t.name, func(p *sim.Proc) {
+	t.p = s.node.M.Backend().Go(s.node.ID, t.name, func(p transport.Proc) {
 		p.Park() // wait for first dispatch
 		fn(t)
 		t.exit()

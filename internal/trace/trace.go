@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -67,6 +68,9 @@ type Event struct {
 // limit is reached new events are dropped and the drop count recorded, so a
 // runaway simulation cannot exhaust memory).
 type Log struct {
+	// mu guards events and dropped: on the live backend nodes emit
+	// concurrently (on the simulator it is uncontended).
+	mu      sync.Mutex
 	limit   int
 	events  []Event
 	dropped int64
@@ -81,8 +85,10 @@ func New(limit int) *Log {
 	return &Log{limit: limit}
 }
 
-// Add records an event.
+// Add records an event. Safe for concurrent use.
 func (l *Log) Add(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if len(l.events) >= l.limit {
 		l.dropped++
 		return
@@ -95,17 +101,33 @@ func (l *Log) Mark(at time.Duration, node int, label string) {
 	l.Add(Event{At: at, Node: node, Kind: KindMark, Label: label})
 }
 
-// Events returns the recorded events (chronological: the simulator emits
-// them in virtual-time order).
-func (l *Log) Events() []Event { return l.events }
+// snapshot returns the events recorded so far and the drop count. Recorded
+// elements are never mutated, so the slice is safe to iterate while writers
+// keep appending.
+func (l *Log) snapshot() ([]Event, int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.events, l.dropped
+}
+
+// Events returns the recorded events (chronological on the simulator, which
+// emits them in virtual-time order). Safe for concurrent use.
+func (l *Log) Events() []Event {
+	events, _ := l.snapshot()
+	return events
+}
 
 // Dropped reports how many events were discarded after the limit.
-func (l *Log) Dropped() int64 { return l.dropped }
+func (l *Log) Dropped() int64 {
+	_, dropped := l.snapshot()
+	return dropped
+}
 
 // Filter returns the events matching the kind (and node, when node >= 0).
 func (l *Log) Filter(kind Kind, node int) []Event {
+	events, _ := l.snapshot()
 	var out []Event
-	for _, e := range l.events {
+	for _, e := range events {
 		if e.Kind == kind && (node < 0 || e.Node == node) {
 			out = append(out, e)
 		}
@@ -115,23 +137,24 @@ func (l *Log) Filter(kind Kind, node int) []Event {
 
 // Listing renders up to max events as text, one per line.
 func (l *Log) Listing(max int) string {
+	events, dropped := l.snapshot()
 	var b strings.Builder
-	n := len(l.events)
+	n := len(events)
 	if max > 0 && n > max {
 		n = max
 	}
-	for _, e := range l.events[:n] {
+	for _, e := range events[:n] {
 		if e.Dur > 0 {
 			fmt.Fprintf(&b, "%12v n%d %-6s %s (%v)\n", e.At, e.Node, e.Kind, e.Label, e.Dur)
 		} else {
 			fmt.Fprintf(&b, "%12v n%d %-6s %s\n", e.At, e.Node, e.Kind, e.Label)
 		}
 	}
-	if len(l.events) > n {
-		fmt.Fprintf(&b, "… %d more events\n", len(l.events)-n)
+	if len(events) > n {
+		fmt.Fprintf(&b, "… %d more events\n", len(events)-n)
 	}
-	if l.dropped > 0 {
-		fmt.Fprintf(&b, "… %d events dropped at the %d-event limit\n", l.dropped, l.limit)
+	if dropped > 0 {
+		fmt.Fprintf(&b, "… %d events dropped at the %d-event limit\n", dropped, l.limit)
 	}
 	return b.String()
 }
@@ -157,7 +180,8 @@ func (l *Log) Utilization(nodes int, from, to time.Duration, width int) string {
 	for i := range busy {
 		busy[i] = make([]cell, width)
 	}
-	for _, e := range l.events {
+	events, _ := l.snapshot()
+	for _, e := range events {
 		if e.Kind != KindCharge || e.Dur == 0 || e.Node >= nodes {
 			continue
 		}
@@ -230,7 +254,8 @@ func (l *Log) Summary(nodes int) string {
 	for i := range counts {
 		counts[i] = make(map[Kind]int)
 	}
-	for _, e := range l.events {
+	events, _ := l.snapshot()
+	for _, e := range events {
 		if e.Node < nodes {
 			counts[e.Node][e.Kind]++
 		}

@@ -1,0 +1,263 @@
+// Package conformance is a backend-independent test suite for the transport
+// contract as the upper layers actually consume it: it drives the real
+// machine/threads/am stack over a backend factory and checks the semantics
+// every runtime depends on — per-sender message ordering, bulk payload
+// integrity with copy-at-send, handler run-to-completion (per-node mutual
+// exclusion), and park/unpark wakeups.
+//
+// Backends register themselves by calling Run from an ordinary test:
+//
+//	func TestLive(t *testing.T) {
+//		conformance.Run(t, func(cfg machine.Config, n int) *machine.Machine {
+//			return machine.NewWithBackend(cfg, n, live.New(n, live.Options{}))
+//		})
+//	}
+//
+// The suite asserts results, never timings, so the calibrated simulator and
+// the wall-clock live backend must pass identically.
+package conformance
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/am"
+	"repro/internal/machine"
+	"repro/internal/threads"
+)
+
+// Factory builds a fresh machine with n nodes on the backend under test.
+type Factory func(cfg machine.Config, n int) *machine.Machine
+
+// Run executes the full conformance suite against the backend.
+func Run(t *testing.T, f Factory) {
+	t.Run("ShortOrdering", func(t *testing.T) { shortOrdering(t, f) })
+	t.Run("BulkIntegrity", func(t *testing.T) { bulkIntegrity(t, f) })
+	t.Run("HandlerRunToCompletion", func(t *testing.T) { runToCompletion(t, f) })
+	t.Run("ParkUnpark", func(t *testing.T) { parkUnpark(t, f) })
+}
+
+// rig wires an AM net with one scheduler per node over a machine.
+type rig struct {
+	m      *machine.Machine
+	net    *am.Net
+	scheds []*threads.Scheduler
+}
+
+func newRig(m *machine.Machine) *rig {
+	r := &rig{m: m, net: am.NewNet(m)}
+	for i := 0; i < m.NumNodes(); i++ {
+		s := threads.NewScheduler(m.Node(i))
+		r.net.Endpoint(i).Attach(s)
+		r.scheds = append(r.scheds, s)
+	}
+	return r
+}
+
+// shortOrdering: short messages from one sender arrive and are handled in
+// send order.
+func shortOrdering(t *testing.T, f Factory) {
+	const k = 200
+	r := newRig(f(machine.SP1997(), 2))
+	var got []uint64
+	h := r.net.Register("conf.seq", func(_ *threads.Thread, m am.Msg) {
+		got = append(got, m.A[0])
+	})
+	r.scheds[0].Start("sender", func(th *threads.Thread) {
+		for i := 0; i < k; i++ {
+			r.net.Endpoint(0).RequestShort(th, 1, h, [4]uint64{uint64(i)}, nil)
+		}
+	})
+	r.scheds[1].Start("receiver", func(th *threads.Thread) {
+		r.net.Endpoint(1).PollUntil(th, func() bool { return len(got) == k })
+	})
+	if err := r.m.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(got) != k {
+		t.Fatalf("received %d messages, want %d", len(got), k)
+	}
+	for i, v := range got {
+		if v != uint64(i) {
+			t.Fatalf("message %d carried seq %d: delivery reordered (%v...)", i, v, got[:i+1])
+		}
+	}
+}
+
+// bulkIntegrity: bulk payloads arrive intact, are copied at send time (the
+// sender may immediately reuse its buffer), and the receiver's copy is its
+// own (handlers may retain it).
+func bulkIntegrity(t *testing.T, f Factory) {
+	const (
+		k     = 40
+		bytes = 1 << 10
+	)
+	pattern := func(i, j int) byte { return byte(i*31 + j*7) }
+	r := newRig(f(machine.SP1997(), 2))
+	var (
+		received int
+		retained []byte // payload of message 0, checked again at the end
+		bad      string
+	)
+	h := r.net.Register("conf.bulk", func(_ *threads.Thread, m am.Msg) {
+		i := int(m.A[0])
+		if len(m.Payload) != bytes {
+			bad = fmt.Sprintf("message %d: payload %dB, want %dB", i, len(m.Payload), bytes)
+		}
+		for j, b := range m.Payload {
+			if b != pattern(i, j) {
+				bad = fmt.Sprintf("message %d byte %d: got %#x want %#x", i, j, b, pattern(i, j))
+				break
+			}
+		}
+		if i == 0 {
+			retained = m.Payload
+		}
+		received++
+	})
+	r.scheds[0].Start("sender", func(th *threads.Thread) {
+		buf := make([]byte, bytes)
+		for i := 0; i < k; i++ {
+			for j := range buf {
+				buf[j] = pattern(i, j)
+			}
+			r.net.Endpoint(0).RequestBulk(th, 1, h, buf, [4]uint64{uint64(i)}, nil)
+			// Clobber the buffer immediately: the layer promised value
+			// semantics at send time.
+			for j := range buf {
+				buf[j] = 0xFF
+			}
+		}
+	})
+	r.scheds[1].Start("receiver", func(th *threads.Thread) {
+		r.net.Endpoint(1).PollUntil(th, func() bool { return received == k })
+	})
+	if err := r.m.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if bad != "" {
+		t.Fatal(bad)
+	}
+	if received != k {
+		t.Fatalf("received %d bulk messages, want %d", received, k)
+	}
+	for j, b := range retained {
+		if b != pattern(0, j) {
+			t.Fatalf("retained payload byte %d mutated to %#x", j, b)
+		}
+	}
+}
+
+// runToCompletion: a handler runs to completion in its node's execution
+// context — no other handler (or delivery callback) of the same node
+// interleaves with it, even with multiple remote senders blasting the node
+// concurrently on a real-concurrency backend.
+func runToCompletion(t *testing.T, f Factory) {
+	const (
+		senders = 3
+		k       = 150
+	)
+	r := newRig(f(machine.SP1997(), senders+1))
+	var (
+		counter   int
+		inHandler bool
+		reentered bool
+	)
+	h := r.net.Register("conf.rtc", func(_ *threads.Thread, _ am.Msg) {
+		if inHandler {
+			reentered = true
+		}
+		inHandler = true
+		// A lost update here would reveal another context interleaving
+		// mid-handler; Gosched widens the window on the live backend.
+		v := counter
+		runtime.Gosched()
+		counter = v + 1
+		inHandler = false
+	})
+	for s := 1; s <= senders; s++ {
+		s := s
+		r.scheds[s].Start("sender", func(th *threads.Thread) {
+			for i := 0; i < k; i++ {
+				r.net.Endpoint(s).RequestShort(th, 0, h, [4]uint64{}, nil)
+			}
+		})
+	}
+	r.scheds[0].Start("receiver", func(th *threads.Thread) {
+		r.net.Endpoint(0).PollUntil(th, func() bool { return counter == senders*k })
+	})
+	if err := r.m.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if reentered {
+		t.Fatal("handler re-entered before running to completion")
+	}
+	if counter != senders*k {
+		t.Fatalf("counter %d, want %d (lost updates => handlers interleaved)", counter, senders*k)
+	}
+}
+
+// parkUnpark: a thread parked on message arrival wakes when the message
+// lands; a completion that races ahead of the wait is not lost (permit
+// semantics up the whole threads/am stack).
+func parkUnpark(t *testing.T, f Factory) {
+	r := newRig(f(machine.SP1997(), 2))
+	ep1 := r.net.Endpoint(1)
+	var (
+		early threads.SyncVar // written by a message that lands before the read
+		late  threads.SyncVar // written by a message the reader must park for
+		order []string
+	)
+	hEarly := r.net.Register("conf.early", func(th *threads.Thread, _ am.Msg) {
+		order = append(order, "early")
+		early.Write(th, 1)
+	})
+	hLate := r.net.Register("conf.late", func(th *threads.Thread, _ am.Msg) {
+		order = append(order, "late")
+		late.Write(th, 2)
+	})
+	var ackSeen bool // node 0 state, set by node 0's handler
+	hAck := r.net.Register("conf.ack", func(_ *threads.Thread, _ am.Msg) {
+		ackSeen = true
+	})
+	r.scheds[0].Start("sender", func(th *threads.Thread) {
+		ep0 := r.net.Endpoint(0)
+		ep0.RequestShort(th, 1, hEarly, [4]uint64{}, nil)
+		// Wait for node 1's ack (its main thread is provably past the
+		// non-parking read) before sending the message it must park for.
+		ep0.PollUntil(th, func() bool { return ackSeen })
+		ep0.RequestShort(th, 1, hLate, [4]uint64{}, nil)
+	})
+	var got1, got2 int
+	r.scheds[1].Start("main", func(th *threads.Thread) {
+		// Service the network until "early" has landed, so the first Read
+		// exercises the permit path (value already written).
+		ep1.PollUntil(th, func() bool { return early.IsSet() })
+		got1 = early.Read(th).(int)
+		ep1.RequestShort(th, 0, hAck, [4]uint64{}, nil)
+		// This Read parks: the poller below services the arrival and the
+		// handler's Write unparks us.
+		got2 = late.Read(th).(int)
+		ep1.Stop()
+	})
+	r.scheds[1].Start("poller", func(th *threads.Thread) {
+		for {
+			ep1.PollAll(th)
+			if ep1.Stopped() {
+				ep1.PollAll(th)
+				return
+			}
+			ep1.WaitMessage(th)
+		}
+	})
+	if err := r.m.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got1 != 1 || got2 != 2 {
+		t.Fatalf("read %d,%d want 1,2", got1, got2)
+	}
+	if len(order) != 2 || order[0] != "early" || order[1] != "late" {
+		t.Fatalf("event order %v, want [early late]", order)
+	}
+}

@@ -1,0 +1,38 @@
+package conformance
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/transport/live"
+)
+
+// TestSimnet runs the conformance suite on the calibrated discrete-event
+// backend (the default machine.New path).
+func TestSimnet(t *testing.T) {
+	Run(t, func(cfg machine.Config, n int) *machine.Machine {
+		return machine.New(cfg, n)
+	})
+}
+
+// TestLive runs the identical suite on real goroutines with wall-clock
+// timing. A short watchdog turns a lost-wakeup bug into a fast failure
+// instead of a hung test.
+func TestLive(t *testing.T) {
+	Run(t, func(cfg machine.Config, n int) *machine.Machine {
+		return machine.NewWithBackend(cfg, n, live.New(n, live.Options{Watchdog: 20 * time.Second}))
+	})
+}
+
+// TestLivePinned re-runs the suite with procs pinned to OS threads, the
+// configuration closest to one-kernel-thread-per-node.
+func TestLivePinned(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pinned variant skipped in -short")
+	}
+	Run(t, func(cfg machine.Config, n int) *machine.Machine {
+		return machine.NewWithBackend(cfg, n,
+			live.New(n, live.Options{PinOSThread: true, Watchdog: 20 * time.Second}))
+	})
+}

@@ -1,0 +1,334 @@
+// Package live is the real-concurrency transport backend: every Proc is an
+// ordinary goroutine, the clock is time.Now(), and modelled latencies are
+// ignored — programs run as fast as the hardware allows.
+//
+// # Node serialization
+//
+// The upper layers (thread scheduler, AM endpoint, buffer managers) mutate
+// per-node state with no locking of their own; on the simulator the global
+// event loop makes that safe. Here each node owns one mutex — its "CPU" — and
+// everything that executes in the node's context holds it: the node's proc
+// goroutines while running, and the node's delivery worker while running
+// notify/timer callbacks. Procs release the CPU when they park (condition
+// wait) and briefly during Sleep, which is where the simulator would have let
+// arrival events interleave, so the interleaving points match the calibrated
+// backend exactly.
+//
+// # Message delivery
+//
+// Deliver runs enqueue immediately on the sender's goroutine (the machine
+// layer's inbound queues are individually thread-safe), so a destination that
+// is actively polling observes the message with no handoff at all. The notify
+// callback — waking a parked receiver — must run in the destination's context,
+// so it is pushed onto the node's unbounded notify queue and executed by the
+// node's delivery worker, which drains the queue in batches under a single
+// CPU acquisition (short-message batching). Senders never block on delivery,
+// which rules out cross-node delivery deadlocks by construction.
+package live
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// Options tune the live backend. The zero value is ready to use.
+type Options struct {
+	// PinOSThread locks every proc goroutine to an OS thread. With one
+	// runnable proc per node this approximates one kernel thread per node;
+	// leave it off for thread-heavy workloads (parfor creates a proc per
+	// iteration, and the Go runtime multiplexes them better unpinned).
+	PinOSThread bool
+	// Watchdog bounds Run: if the procs have not all finished within it,
+	// Run returns a *StallError naming the survivors instead of hanging.
+	// Zero means the 30s default.
+	Watchdog time.Duration
+	// Batch caps how many notify callbacks the delivery worker runs per CPU
+	// acquisition. Zero means the 128 default.
+	Batch int
+}
+
+// Backend is the live transport. Construct with New.
+type Backend struct {
+	opts  Options
+	nodes []*lnode
+	start chan struct{}
+	ran   atomic.Bool
+	epoch time.Time // clock origin; immutable after New (keeps the monotonic reading)
+	wg    sync.WaitGroup
+
+	mu   sync.Mutex
+	live map[*Proc]struct{}
+}
+
+// New builds a live backend for n nodes and starts the per-node delivery
+// workers.
+func New(n int, opts Options) *Backend {
+	if n <= 0 {
+		panic("live: need at least one node")
+	}
+	if opts.Watchdog <= 0 {
+		opts.Watchdog = 30 * time.Second
+	}
+	if opts.Batch <= 0 {
+		opts.Batch = 128
+	}
+	b := &Backend{
+		opts:  opts,
+		start: make(chan struct{}),
+		epoch: time.Now(),
+		live:  make(map[*Proc]struct{}),
+	}
+	for i := 0; i < n; i++ {
+		nd := &lnode{id: i}
+		nd.q.cond = sync.NewCond(&nd.q.mu)
+		b.nodes = append(b.nodes, nd)
+		go nd.deliveryLoop(opts.Batch)
+	}
+	return b
+}
+
+// lnode is one node's execution context: the CPU mutex and the notify queue.
+type lnode struct {
+	id int
+	mu sync.Mutex // the node's CPU: held by whichever context is executing
+
+	q struct {
+		mu     sync.Mutex
+		cond   *sync.Cond
+		fns    []func()
+		closed bool
+	}
+}
+
+// push appends fn to the notify queue. Never blocks (the queue is unbounded),
+// so senders holding their own node's CPU cannot deadlock against delivery.
+func (nd *lnode) push(fn func()) {
+	nd.q.mu.Lock()
+	if nd.q.closed {
+		nd.q.mu.Unlock()
+		return
+	}
+	nd.q.fns = append(nd.q.fns, fn)
+	nd.q.mu.Unlock()
+	nd.q.cond.Signal()
+}
+
+// deliveryLoop is the node's delivery worker: drain pending notifies and run
+// them on the node's CPU, at most batch per acquisition.
+func (nd *lnode) deliveryLoop(batch int) {
+	for {
+		nd.q.mu.Lock()
+		for len(nd.q.fns) == 0 && !nd.q.closed {
+			nd.q.cond.Wait()
+		}
+		if len(nd.q.fns) == 0 {
+			nd.q.mu.Unlock()
+			return // closed and drained
+		}
+		var take []func()
+		if len(nd.q.fns) > batch {
+			take = nd.q.fns[:batch:batch]
+			nd.q.fns = append([]func(){}, nd.q.fns[batch:]...)
+		} else {
+			take = nd.q.fns
+			nd.q.fns = nil
+		}
+		nd.q.mu.Unlock()
+
+		nd.mu.Lock()
+		for _, fn := range take {
+			fn()
+		}
+		nd.mu.Unlock()
+	}
+}
+
+// close shuts the notify queue; the worker exits after draining.
+func (nd *lnode) close() {
+	nd.q.mu.Lock()
+	nd.q.closed = true
+	nd.q.mu.Unlock()
+	nd.q.cond.Broadcast()
+}
+
+// Proc is a live schedulable context: a goroutine that holds its node's CPU
+// mutex whenever it is running.
+type Proc struct {
+	b    *Backend
+	nd   *lnode
+	name string
+	cond *sync.Cond // tied to nd.mu
+
+	// Guarded by nd.mu.
+	permit bool
+	parked bool
+	done   bool
+}
+
+// Name implements transport.Proc.
+func (p *Proc) Name() string { return p.name }
+
+// Now implements transport.Proc: wall-clock time since the backend was
+// created.
+func (p *Proc) Now() time.Duration { return p.b.Now() }
+
+// Park implements transport.Proc. Called with the node CPU held; the
+// condition wait releases it, which is what lets the delivery worker and
+// sibling procs run.
+func (p *Proc) Park() {
+	if p.permit {
+		p.permit = false
+		return
+	}
+	p.parked = true
+	for !p.permit {
+		p.cond.Wait()
+	}
+	p.permit = false
+	p.parked = false
+}
+
+// Unpark implements transport.Proc. Must be called from the same node's
+// execution context (which holds the node CPU).
+func (p *Proc) Unpark() {
+	if p.done {
+		panic("live: Unpark of dead proc " + p.name)
+	}
+	p.permit = true
+	if p.parked {
+		p.cond.Signal()
+	}
+}
+
+// Sleep implements transport.Proc. The modelled cost is already paid by real
+// execution, so no time passes; the CPU is released for one scheduling round
+// so delivery callbacks get the same interleaving window the simulator's
+// arrival events have during a virtual-time charge.
+func (p *Proc) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	p.nd.mu.Unlock()
+	runtime.Gosched()
+	p.nd.mu.Lock()
+}
+
+// Name implements transport.Backend.
+func (b *Backend) Name() string { return "live" }
+
+// NumNodes implements transport.Backend.
+func (b *Backend) NumNodes() int { return len(b.nodes) }
+
+// Now implements transport.Backend: wall-clock time since the backend was
+// created. Uses Go's monotonic clock reading, so it never jumps or runs
+// backwards under NTP adjustment.
+func (b *Backend) Now() time.Duration { return time.Since(b.epoch) }
+
+// Go implements transport.Backend.
+func (b *Backend) Go(node int, name string, fn func(transport.Proc)) transport.Proc {
+	nd := b.nodes[node]
+	p := &Proc{b: b, nd: nd, name: name}
+	p.cond = sync.NewCond(&nd.mu)
+	b.mu.Lock()
+	b.live[p] = struct{}{}
+	b.mu.Unlock()
+	b.wg.Add(1)
+	go func() {
+		if b.opts.PinOSThread {
+			runtime.LockOSThread()
+			defer runtime.UnlockOSThread()
+		}
+		<-b.start
+		nd.mu.Lock()
+		fn(p)
+		p.done = true
+		nd.mu.Unlock()
+		b.mu.Lock()
+		delete(b.live, p)
+		b.mu.Unlock()
+		b.wg.Done()
+	}()
+	return p
+}
+
+// Deliver implements transport.Backend: enqueue runs immediately on the
+// caller, notify goes through the destination's delivery worker. The modelled
+// latency is ignored — the real wire is the real latency.
+func (b *Backend) Deliver(dst int, _ time.Duration, enqueue, notify func()) {
+	enqueue()
+	b.nodes[dst].push(notify)
+}
+
+// After implements transport.Backend: fn runs in node's execution context
+// after wall-clock delay d.
+func (b *Backend) After(node int, d time.Duration, fn func()) {
+	nd := b.nodes[node]
+	if d <= 0 {
+		nd.push(fn)
+		return
+	}
+	time.AfterFunc(d, func() { nd.push(fn) })
+}
+
+// StallError reports that the watchdog expired with procs still alive —
+// the live analogue of the simulator's deadlock report (it cannot
+// distinguish a deadlock from a computation that is merely slow; raise
+// Options.Watchdog for long runs).
+type StallError struct {
+	After time.Duration
+	Procs []string // names of procs still alive, sorted
+}
+
+func (e *StallError) Error() string {
+	return fmt.Sprintf("live: no completion after %v: %d proc(s) still alive: %v",
+		e.After, len(e.Procs), e.Procs)
+}
+
+// Run implements transport.Backend: release the procs and wait for all of
+// them to finish, bounded by the watchdog.
+func (b *Backend) Run() error {
+	if !b.ran.CompareAndSwap(false, true) {
+		panic("live: Run called twice")
+	}
+	close(b.start)
+	done := make(chan struct{})
+	go func() {
+		b.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(b.opts.Watchdog):
+		// Report, but do not tear anything down: the watchdog cannot
+		// distinguish a deadlock from a run that is merely slow. Delivery
+		// workers keep serving so a slow run can still finish; if it
+		// eventually does, the janitor releases the workers.
+		go func() {
+			<-done
+			b.closeQueues()
+		}()
+		b.mu.Lock()
+		var names []string
+		for p := range b.live {
+			names = append(names, p.name)
+		}
+		b.mu.Unlock()
+		sort.Strings(names)
+		return &StallError{After: b.opts.Watchdog, Procs: names}
+	}
+	b.closeQueues()
+	return nil
+}
+
+// closeQueues shuts every node's notify queue so the delivery workers exit.
+func (b *Backend) closeQueues() {
+	for _, nd := range b.nodes {
+		nd.close()
+	}
+}

@@ -1,0 +1,118 @@
+package live
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// TestParkUnparkPermit checks gopark/goready semantics at the proc level:
+// an Unpark that races ahead of Park is not lost.
+func TestParkUnparkPermit(t *testing.T) {
+	b := New(1, Options{Watchdog: 5 * time.Second})
+	var woke bool
+	var child transport.Proc
+	child = b.Go(0, "child", func(p transport.Proc) {
+		p.Park() // permit may already be pending
+		woke = true
+	})
+	b.Go(0, "parent", func(p transport.Proc) {
+		child.Unpark() // same-node context: holds the node CPU
+	})
+	if err := b.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !woke {
+		t.Fatal("child never woke")
+	}
+}
+
+// TestDeliverOrdering checks per-sender FIFO through the notify queue.
+func TestDeliverOrdering(t *testing.T) {
+	const k = 500
+	b := New(2, Options{Watchdog: 5 * time.Second})
+	var inbox, notified []int
+	var rx transport.Proc
+	rx = b.Go(1, "rx", func(p transport.Proc) {
+		for len(notified) < k {
+			p.Park()
+		}
+	})
+	b.Go(0, "tx", func(p transport.Proc) {
+		for i := 0; i < k; i++ {
+			i := i
+			b.Deliver(1, 0,
+				func() { /* enqueue runs on the sender */ },
+				func() { // notify runs in node 1's context
+					notified = append(notified, i)
+					rx.Unpark()
+				})
+		}
+	})
+	_ = inbox
+	if err := b.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(notified) != k {
+		t.Fatalf("notified %d, want %d", len(notified), k)
+	}
+	for i, v := range notified {
+		if v != i {
+			t.Fatalf("notify %d carried %d: reordered", i, v)
+		}
+	}
+}
+
+// TestAfterRunsInNodeContext checks that timer callbacks go through the
+// node's delivery worker (they can wake parked procs).
+func TestAfterRunsInNodeContext(t *testing.T) {
+	b := New(1, Options{Watchdog: 5 * time.Second})
+	fired := false
+	var waiter transport.Proc
+	waiter = b.Go(0, "waiter", func(p transport.Proc) {
+		p.Park()
+	})
+	b.After(0, 5*time.Millisecond, func() {
+		fired = true
+		waiter.Unpark()
+	})
+	if err := b.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !fired {
+		t.Fatal("timer never fired")
+	}
+}
+
+// TestWatchdogReportsStall checks that a parked-forever proc produces a
+// StallError naming it instead of a hang.
+func TestWatchdogReportsStall(t *testing.T) {
+	b := New(1, Options{Watchdog: 100 * time.Millisecond})
+	b.Go(0, "stuck", func(p transport.Proc) { p.Park() })
+	err := b.Run()
+	se, ok := err.(*StallError)
+	if !ok {
+		t.Fatalf("Run returned %v, want *StallError", err)
+	}
+	if len(se.Procs) != 1 || se.Procs[0] != "stuck" {
+		t.Fatalf("stall report %v, want [stuck]", se.Procs)
+	}
+}
+
+// TestClockAdvances checks that Now is wall-clock during a run.
+func TestClockAdvances(t *testing.T) {
+	b := New(1, Options{Watchdog: 5 * time.Second})
+	var before, after time.Duration
+	b.Go(0, "clock", func(p transport.Proc) {
+		before = p.Now()
+		time.Sleep(2 * time.Millisecond)
+		after = p.Now()
+	})
+	if err := b.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if after-before < time.Millisecond {
+		t.Fatalf("clock advanced %v across a 2ms sleep", after-before)
+	}
+}

@@ -1,0 +1,96 @@
+// Package transport defines the backend seam between the machine model and
+// the substrate that actually executes it.
+//
+// Everything above this interface — the machine's nodes and accounting, the
+// cooperative threads package, the Active Messages engine, and both language
+// runtimes — is written against two small contracts:
+//
+//   - Proc: a schedulable context with park/unpark/sleep semantics, exactly
+//     the primitives the thread scheduler hands CPUs around with;
+//   - Backend: node-affined process creation, message delivery into a node's
+//     execution context, timers, and a clock.
+//
+// Two implementations exist:
+//
+//   - transport/simnet wraps the deterministic discrete-event engine
+//     (internal/sim) calibrated to the paper's 1997 IBM SP. Virtual time
+//     advances by the configured costs; runs are reproducible bit-for-bit.
+//   - transport/live maps every Proc to a real goroutine and the clock to
+//     time.Now(). Nodes execute with true hardware concurrency; modelled
+//     latencies are ignored and messages travel as fast as the machine
+//     allows.
+//
+// The contracts encode the concurrency discipline the upper layers rely on:
+// at most one Proc of a given node runs at any instant (a node has one CPU),
+// and delivery/timer callbacks for a node execute inside that same mutual
+// exclusion. The simulator gets this for free from its global event loop; the
+// live backend enforces it per node, which is what lets the unmodified
+// runtimes — schedulers, handler tables, buffer managers and all — run on
+// real parallel hardware.
+package transport
+
+import "time"
+
+// Proc is one schedulable context on a node: a simulated process on the
+// simnet backend, a goroutine on the live backend. The thread scheduler
+// builds its cooperative threads directly on these primitives.
+//
+// All methods except Unpark must be called from the Proc's own execution
+// context. Unpark may be called from any execution context of the same node
+// (another Proc, or a delivery/timer callback); it must not be called from a
+// different node's context.
+type Proc interface {
+	// Park blocks the context until Unpark. If an Unpark permit is already
+	// pending (wake raced ahead of sleep), Park consumes it and returns
+	// immediately — gopark/goready semantics.
+	Park()
+	// Unpark makes a parked context runnable, or records a single permit if
+	// it is not parked.
+	Unpark()
+	// Sleep accounts d of modelled CPU time. The simnet backend advances
+	// virtual time by d while other nodes (and this node's message
+	// arrivals) proceed; the live backend treats the modelled cost as
+	// already paid by real execution and only opens a delivery window.
+	Sleep(d time.Duration)
+	// Now returns the backend clock: virtual time on simnet, wall-clock
+	// time on live.
+	Now() time.Duration
+	// Name returns the debug name given at Go time.
+	Name() string
+}
+
+// Backend is an execution substrate for a multicomputer of NumNodes nodes.
+//
+// The per-node serialization contract: for any node i, at most one of the
+// following runs at any instant — a Proc created with Go(i, ...), a notify
+// callback passed to Deliver(i, ...), or a timer callback passed to
+// After(i, ...). Callbacks and Procs of different nodes may run in parallel.
+type Backend interface {
+	// Name identifies the backend in reports ("sim" or "live").
+	Name() string
+	// NumNodes returns the number of nodes the backend was built for.
+	NumNodes() int
+	// Now returns the backend clock (virtual time, or monotonic wall time).
+	Now() time.Duration
+	// Go creates a Proc on node, running fn. Procs created before Run start
+	// executing when Run is called; Procs created during Run start
+	// immediately (subject to node serialization).
+	Go(node int, name string, fn func(Proc)) Proc
+	// Deliver transports one message to dst: enqueue makes the payload
+	// visible in the destination's inbound queue, notify wakes the
+	// destination's reception. enqueue happens before notify, each exactly
+	// once. modelLatency is the modelled wire delay: simnet delays both
+	// callbacks by it; live ignores it (the real wire is the real latency)
+	// and runs enqueue immediately so the payload is visible to pollers,
+	// then schedules notify into dst's execution context, batching
+	// consecutive notifies to amortize handoff cost. Per-sender delivery
+	// order to a given destination is preserved.
+	Deliver(dst int, modelLatency time.Duration, enqueue, notify func())
+	// After schedules fn to run in node's execution context after delay d
+	// (virtual on simnet, wall on live).
+	After(node int, d time.Duration, fn func())
+	// Run executes until every Proc has finished. It returns an error if
+	// the system cannot make progress (simnet: event queue drained with
+	// procs parked; live: watchdog expired with procs still alive).
+	Run() error
+}

@@ -5,7 +5,10 @@
 // It re-exports the stable surface of the internal packages:
 //
 //   - a deterministic simulated multicomputer calibrated to the paper's
-//     IBM RS/6000 SP measurements (NewMachine, SPConfig);
+//     IBM RS/6000 SP measurements (NewMachine, SPConfig), plus pluggable
+//     execution backends: the same machine, runtimes, and programs run on
+//     real goroutines with wall-clock timing via NewLiveMachine (see the
+//     transport packages);
 //   - the paper's contribution, a lean CC++ runtime over Active Messages
 //     ("CC++/ThAM"): processor objects, remote method invocation with stub
 //     caching and persistent buffers, global pointers, par/parfor, sync
@@ -36,6 +39,8 @@ import (
 	"repro/internal/splitc"
 	"repro/internal/threads"
 	"repro/internal/trace"
+	"repro/internal/transport"
+	"repro/internal/transport/live"
 )
 
 // --- machine model -----------------------------------------------------------
@@ -65,6 +70,32 @@ func SPConfig() Config { return machine.SP1997() }
 
 // NewMachine builds a simulated multicomputer with n nodes.
 func NewMachine(cfg Config, n int) *Machine { return machine.New(cfg, n) }
+
+// --- execution backends ------------------------------------------------------
+
+// Backend is the execution substrate a Machine runs on: the calibrated
+// discrete-event simulator (the NewMachine default) or real goroutines with
+// wall-clock timing (NewLiveMachine). Both run the identical runtime stack.
+type Backend = transport.Backend
+
+// LiveOptions tunes the live backend (OS-thread pinning, run watchdog,
+// delivery batching); the zero value is ready to use.
+type LiveOptions = live.Options
+
+// NewLiveBackend builds a real-concurrency backend for n nodes.
+func NewLiveBackend(n int, opts LiveOptions) Backend { return live.New(n, opts) }
+
+// NewLiveMachine builds a multicomputer whose nodes are real goroutines:
+// the cost model's latencies are ignored, programs run as fast as the
+// hardware allows, and clocks read wall time.
+func NewLiveMachine(cfg Config, n int) *Machine {
+	return NewMachineWithBackend(cfg, n, live.New(n, LiveOptions{}))
+}
+
+// NewMachineWithBackend builds a multicomputer over an explicit backend.
+func NewMachineWithBackend(cfg Config, n int, be Backend) *Machine {
+	return machine.NewWithBackend(cfg, n, be)
+}
 
 // --- threads ------------------------------------------------------------------
 
@@ -203,3 +234,13 @@ func FullScale() Scale { return bench.Full() }
 
 // QuickScale returns reduced experiment sizes.
 func QuickScale() Scale { return bench.Quick() }
+
+// LiveMicroRow is one row of the live-backend microbenchmark table.
+type LiveMicroRow = bench.LiveRow
+
+// RunLiveMicro measures RMI round-trips, bulk bandwidth, and barriers on the
+// live backend (wall-clock, machine-dependent).
+func RunLiveMicro(sc Scale) []LiveMicroRow { return bench.RunLiveMicro(bench.Cfg(), sc) }
+
+// FormatLiveMicro renders the live-backend microbenchmark table.
+func FormatLiveMicro(rows []LiveMicroRow) string { return bench.FormatLiveMicro(rows) }

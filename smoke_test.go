@@ -1,0 +1,74 @@
+package repro_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/mpmd"
+)
+
+// counterClass is a minimal processor-object class for the smoke tests.
+func counterClass() *mpmd.Class {
+	type counter struct{ n int64 }
+	return &mpmd.Class{
+		Name: "Counter",
+		New:  func() any { return &counter{} },
+		Methods: []*mpmd.Method{
+			{
+				Name: "bump",
+				Fn: func(t *mpmd.Thread, self any, args []mpmd.Arg, ret mpmd.Arg) {
+					self.(*counter).n++
+				},
+			},
+			{
+				Name:   "value",
+				NewRet: func() mpmd.Arg { return &mpmd.I64{} },
+				Fn: func(t *mpmd.Thread, self any, args []mpmd.Arg, ret mpmd.Arg) {
+					ret.(*mpmd.I64).V = self.(*counter).n
+				},
+			},
+		},
+	}
+}
+
+// smokeProgram drives a small RMI + par workload through the public API and
+// returns the remotely read counter value.
+func smokeProgram(t *testing.T, m *mpmd.Machine) {
+	t.Helper()
+	rt := mpmd.NewRuntime(m)
+	rt.RegisterClass(counterClass())
+	gp := rt.CreateObject(1, "Counter")
+	var got int64
+	rt.OnNode(0, func(th *mpmd.Thread) {
+		mpmd.ParFor(th, 4, func(t2 *mpmd.Thread, i int) {
+			rt.Call(t2, gp, "bump", nil, nil)
+		})
+		var v mpmd.I64
+		rt.Call(th, gp, "value", nil, &v)
+		got = v.V
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got != 4 {
+		t.Fatalf("remote counter read %d, want 4", got)
+	}
+}
+
+// TestSmokeSim guards the public-API wiring on the default calibrated
+// simulator backend: machine, runtime, RMI, parfor, and virtual time.
+func TestSmokeSim(t *testing.T) {
+	m := mpmd.NewMachine(mpmd.SPConfig(), 2)
+	smokeProgram(t, m)
+	if m.Now() == 0 {
+		t.Fatal("virtual clock did not advance")
+	}
+}
+
+// TestSmokeLive runs the identical program on the live backend (real
+// goroutines, wall-clock).
+func TestSmokeLive(t *testing.T) {
+	m := mpmd.NewMachineWithBackend(mpmd.SPConfig(), 2,
+		mpmd.NewLiveBackend(2, mpmd.LiveOptions{Watchdog: 20 * time.Second}))
+	smokeProgram(t, m)
+}
