@@ -5,11 +5,17 @@
 //
 // Usage:
 //
-//	mpmdbench [-quick] [-backend=sim|live] [experiment ...]
+//	mpmdbench [-quick] [-json] [-backend=sim|live] [experiment ...]
 //
 // Experiments on the sim backend: table1, table4, fig5, fig6-water,
 // fig6-lu, nexus, ablate, irregular, all (default). The live backend runs
 // the live microbenchmark suite (RMI round-trips, bulk bandwidth, barrier).
+//
+// -json replaces the text tables with one machine-readable report on
+// stdout (schema mpmdbench/v1; duration fields in nanoseconds), so runs can
+// be accumulated into a performance trajectory:
+//
+//	mpmdbench -quick -json table4 > BENCH_table4.json
 package main
 
 import (
@@ -23,10 +29,11 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "run the reduced-size configuration")
+	asJSON := flag.Bool("json", false, "emit one machine-readable JSON report on stdout instead of text tables")
 	backend := flag.String("backend", "sim",
 		"execution backend: sim (calibrated discrete-event model) or live (real goroutines, wall-clock)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mpmdbench [-quick] [-backend=sim|live] [table1|table4|fig5|fig6-water|fig6-lu|nexus|ablate|irregular|all ...]\n")
+		fmt.Fprintf(os.Stderr, "usage: mpmdbench [-quick] [-json] [-backend=sim|live] [table1|table4|fig5|fig6-water|fig6-lu|nexus|ablate|irregular|all ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -37,15 +44,35 @@ func main() {
 	}
 	cfg := bench.Cfg()
 
+	report := bench.NewReport(*backend, cfg.Name, scale.Name)
+	emit := func() {
+		b, err := report.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpmdbench: %v\n", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(b)
+	}
+
 	switch *backend {
 	case "sim":
 	case "live":
-		fmt.Printf("MPMD runtime on the live backend — scale %q\n\n", scale.Name)
 		if len(flag.Args()) > 0 {
-			fmt.Printf("(note: experiment names %v select sim-backend tables; the live backend runs its microbenchmark suite)\n\n", flag.Args())
+			// Stderr so -json redirection still sees it: a report file named
+			// for a sim table must not silently fill with live-micro rows.
+			fmt.Fprintf(os.Stderr, "mpmdbench: note: experiment names %v select sim-backend tables; the live backend runs its microbenchmark suite\n", flag.Args())
+		}
+		if !*asJSON {
+			fmt.Printf("MPMD runtime on the live backend — scale %q\n\n", scale.Name)
 		}
 		start := time.Now()
-		fmt.Print(bench.FormatLiveMicro(bench.RunLiveMicro(cfg, scale)))
+		rows := bench.RunLiveMicro(cfg, scale)
+		if *asJSON {
+			report.Add("live-micro", time.Since(start), rows)
+			emit()
+			return
+		}
+		fmt.Print(bench.FormatLiveMicro(rows))
 		fmt.Printf("[live micro finished in %v]\n", time.Since(start).Round(time.Millisecond))
 		return
 	default:
@@ -64,47 +91,68 @@ func main() {
 	all := want["all"]
 	ran := 0
 
-	run := func(name string, fn func()) {
+	// Each experiment returns its row data (for the JSON report) and a
+	// deferred text renderer, run only in text mode.
+	run := func(name string, fn func() (any, func() string)) {
 		if !all && !want[name] {
 			return
 		}
 		ran++
 		start := time.Now()
-		fn()
-		fmt.Printf("[%s finished in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		rows, text := fn()
+		elapsed := time.Since(start)
+		if *asJSON {
+			report.Add(name, elapsed, rows)
+			return
+		}
+		fmt.Print(text())
+		fmt.Printf("[%s finished in %v]\n\n", name, elapsed.Round(time.Millisecond))
 	}
 
-	fmt.Printf("MPMD communication study reproduction — profile %q, scale %q\n\n", cfg.Name, scale.Name)
+	if !*asJSON {
+		fmt.Printf("MPMD communication study reproduction — profile %q, scale %q\n\n", cfg.Name, scale.Name)
+	}
 
-	run("table1", func() {
-		fmt.Print(bench.FormatCodeSize(bench.RunCodeSize()))
+	run("table1", func() (any, func() string) {
+		rows := bench.RunCodeSize()
+		return rows, func() string { return bench.FormatCodeSize(rows) }
 	})
-	run("table4", func() {
+	run("table4", func() (any, func() string) {
 		rows := bench.RunMicro(cfg, scale)
 		mpl := bench.MPLReferenceRTT(cfg, scale.MicroIters)
-		fmt.Print(bench.FormatMicro(rows, mpl))
+		return bench.MicroReport{Rows: rows, MPLReferenceRTT: mpl}, func() string { return bench.FormatMicro(rows, mpl) }
 	})
-	run("fig5", func() {
-		fmt.Print(bench.FormatEM3D(bench.RunEM3D(cfg, scale)))
+	run("fig5", func() (any, func() string) {
+		rows := bench.RunEM3D(cfg, scale)
+		return rows, func() string { return bench.FormatEM3D(rows) }
 	})
-	run("fig6-water", func() {
-		fmt.Print(bench.FormatWater(bench.RunWater(cfg, scale)))
+	run("fig6-water", func() (any, func() string) {
+		rows := bench.RunWater(cfg, scale)
+		return rows, func() string { return bench.FormatWater(rows) }
 	})
-	run("fig6-lu", func() {
-		fmt.Print(bench.FormatLU(bench.RunLU(cfg, scale)))
+	run("fig6-lu", func() (any, func() string) {
+		row := bench.RunLU(cfg, scale)
+		// Rows is an array for every experiment, even single-row ones.
+		return []bench.LURow{row}, func() string { return bench.FormatLU(row) }
 	})
-	run("nexus", func() {
-		fmt.Print(bench.FormatNexus(bench.RunNexusCompare(cfg, scale)))
+	run("nexus", func() (any, func() string) {
+		rows := bench.RunNexusCompare(cfg, scale)
+		return rows, func() string { return bench.FormatNexus(rows) }
 	})
-	run("ablate", func() {
-		fmt.Print(bench.FormatAblations(bench.RunAblations(cfg, scale)))
+	run("ablate", func() (any, func() string) {
+		rows := bench.RunAblations(cfg, scale)
+		return rows, func() string { return bench.FormatAblations(rows) }
 	})
-	run("irregular", func() {
-		fmt.Print(bench.FormatIrregular(bench.RunIrregular(cfg, scale)))
+	run("irregular", func() (any, func() string) {
+		rows := bench.RunIrregular(cfg, scale)
+		return rows, func() string { return bench.FormatIrregular(rows) }
 	})
 
 	if ran == 0 {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *asJSON {
+		emit()
 	}
 }

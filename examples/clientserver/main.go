@@ -1,79 +1,93 @@
 // Client-server: the MPMD pattern the paper's introduction motivates and
 // SPMD systems cannot express — different programs on different nodes,
-// dynamic task creation, and communication at arbitrary points in time.
+// dynamic task creation, and communication at arbitrary points in time —
+// written against the typed v2 API.
 //
-// Node 0 runs a client that *dynamically* creates worker objects on the
+// Node 0 runs a client that *dynamically* creates Worker objects on the
 // three server nodes (a real RMI to each node's system object), then farms
-// out work with asynchronous RMIs, harvesting results through futures and a
-// final reduction. The servers run no program: their polling threads service
-// whatever arrives.
+// out work with asynchronous typed RMIs, harvesting results through typed
+// futures and a final reduction. The servers run no program: their polling
+// threads service whatever arrives.
 //
-// Run with: go run ./examples/clientserver
+// Run with: go run ./examples/clientserver [-backend=sim|live]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
 	"repro/mpmd"
 )
 
-// Worker computes partial dot products server-side.
+// Worker computes partial dot products server-side. RegisterClass derives
+// its RMI interface from the methods below.
 type Worker struct {
 	done int64
 }
 
-func workerClass() *mpmd.Class {
-	return &mpmd.Class{
-		Name: "Worker",
-		New:  func() any { return &Worker{} },
-		Methods: []*mpmd.Method{
-			{
-				// dot(a, b) -> sum(a[i]*b[i]): a bulk-argument, threaded RMI.
-				Name:     "dot",
-				Threaded: true,
-				NewArgs:  func() []mpmd.Arg { return []mpmd.Arg{&mpmd.F64Slice{}, &mpmd.F64Slice{}} },
-				NewRet:   func() mpmd.Arg { return &mpmd.F64{} },
-				Fn: func(t *mpmd.Thread, self any, args []mpmd.Arg, ret mpmd.Arg) {
-					a := args[0].(*mpmd.F64Slice).V
-					b := args[1].(*mpmd.F64Slice).V
-					s := 0.0
-					for i := range a {
-						s += a[i] * b[i]
-					}
-					t.ChargeFlops(2 * len(a))
-					ret.(*mpmd.F64).V = s
-					self.(*Worker).done++
-				},
-			},
-			{
-				Name:   "stats",
-				NewRet: func() mpmd.Arg { return &mpmd.I64{} },
-				Fn: func(t *mpmd.Thread, self any, args []mpmd.Arg, ret mpmd.Arg) {
-					ret.(*mpmd.I64).V = self.(*Worker).done
-				},
-			},
-		},
+// DotArgs is Dot's argument struct; each field marshals like the
+// corresponding low-level Arg (two arrays of doubles).
+type DotArgs struct {
+	A, B []float64
+}
+
+// Dot computes sum(A[i]*B[i]) — a bulk-argument, threaded RMI.
+func (w *Worker) Dot(t *mpmd.Thread, args DotArgs) float64 {
+	s := 0.0
+	for i := range args.A {
+		s += args.A[i] * args.B[i]
+	}
+	t.ChargeFlops(2 * len(args.A))
+	w.done++
+	return s
+}
+
+// Stats reports how many tasks this worker handled.
+func (w *Worker) Stats(t *mpmd.Thread) int64 { return w.done }
+
+// RMIOptions marks Dot threaded (it may block in the scheduler and runs
+// concurrently with other invocations at the server).
+func (w *Worker) RMIOptions() map[string]mpmd.MethodOpts {
+	return map[string]mpmd.MethodOpts{"Dot": {Threaded: true}}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
 	}
 }
 
 func main() {
+	backend := flag.String("backend", "sim", "execution backend: sim (calibrated virtual time) or live (real goroutines, wall-clock)")
+	flag.Parse()
+
 	const (
 		servers = 3
 		vecLen  = 240
 		chunks  = 12
 	)
-	m := mpmd.NewMachine(mpmd.SPConfig(), servers+1)
+	var m *mpmd.Machine
+	switch *backend {
+	case "sim":
+		m = mpmd.NewMachine(mpmd.SPConfig(), servers+1)
+	case "live":
+		m = mpmd.NewLiveMachine(mpmd.SPConfig(), servers+1)
+	default:
+		log.Fatalf("unknown backend %q (want sim or live)", *backend)
+	}
 	rt := mpmd.NewRuntime(m)
-	rt.RegisterClass(workerClass())
+	must(mpmd.RegisterClass[Worker](rt))
 
 	rt.OnNode(0, func(t *mpmd.Thread) {
 		// Dynamically create one worker per server node — remote object
 		// creation is itself an RMI to the node's system object.
-		workers := make([]mpmd.GPtr, servers)
+		workers := make([]mpmd.Ref[Worker], servers)
 		for i := 0; i < servers; i++ {
-			workers[i] = rt.NewObjOn(t, i+1, "Worker")
-			fmt.Printf("client: created worker on node %d\n", workers[i].NodeID())
+			w, err := mpmd.NewObjectOn[Worker](t, rt, i+1)
+			must(err)
+			workers[i] = w
+			fmt.Printf("client: created worker on node %d\n", w.NodeID())
 		}
 
 		// Build the input and farm out chunks round-robin with async RMIs —
@@ -85,21 +99,18 @@ func main() {
 			b[i] = 1.0 / float64(i+1)
 		}
 		per := vecLen / chunks
-		rets := make([]mpmd.F64, chunks)
-		futures := make([]*mpmd.Future, chunks)
+		futures := make([]*mpmd.Async[float64], chunks)
 		start := t.Now()
 		for c := 0; c < chunks; c++ {
 			w := workers[c%servers]
 			lo, hi := c*per, (c+1)*per
-			futures[c] = rt.CallAsync(t, w, "dot", []mpmd.Arg{
-				&mpmd.F64Slice{V: a[lo:hi]},
-				&mpmd.F64Slice{V: b[lo:hi]},
-			}, &rets[c])
+			f, err := mpmd.InvokeAsync[DotArgs, float64](t, w, "Dot", DotArgs{A: a[lo:hi], B: b[lo:hi]})
+			must(err)
+			futures[c] = f
 		}
 		total := 0.0
 		for c := 0; c < chunks; c++ {
-			futures[c].Wait(t)
-			total += rets[c].V
+			total += futures[c].Wait(t)
 		}
 		elapsed := t.Now() - start
 
@@ -108,16 +119,14 @@ func main() {
 		for i := range a {
 			want += a[i] * b[i]
 		}
-		fmt.Printf("client: distributed dot = %.6f (local %.6f) in %v virtual\n", total, want, elapsed)
+		fmt.Printf("client: distributed dot = %.6f (local %.6f) in %v\n", total, want, elapsed)
 
 		for i, w := range workers {
-			var n mpmd.I64
-			rt.Call(t, w, "stats", nil, &n)
-			fmt.Printf("client: server %d handled %d tasks\n", i+1, n.V)
+			n, err := mpmd.Invoke[mpmd.Void, int64](t, w, "Stats", mpmd.Void{})
+			must(err)
+			fmt.Printf("client: server %d handled %d tasks\n", i+1, n)
 		}
 	})
 
-	if err := rt.Run(); err != nil {
-		log.Fatal(err)
-	}
+	must(rt.Run())
 }

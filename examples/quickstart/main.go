@@ -1,14 +1,22 @@
-// Quickstart: a two-node MPMD program on the simulated IBM SP.
+// Quickstart: a two-node MPMD program on the typed v2 API.
 //
 // Node 1 hosts a Counter processor object; node 0 invokes its methods
-// through an opaque global pointer — null RMIs, RMIs with arguments, and an
-// RMI with a return value — and prints the virtual-time cost of each, so the
-// output can be compared directly with Table 4 of the paper.
+// through a typed ref — null RMIs, RMIs with arguments, and an RMI with a
+// return value — and prints the cost of each. On the default sim backend the
+// times are virtual (calibrated to the paper's IBM SP; compare with Table 4);
+// with -backend=live the identical program runs on real goroutines and the
+// times are wall-clock.
 //
-// Run with: go run ./examples/quickstart
+// The Counter below is an ordinary Go struct: RegisterClass derives the
+// processor-object class from its methods, so there are no Class/Method
+// tables and no Arg type assertions — compare with the low-level version
+// this file used before the typed API (git history), which needed both.
+//
+// Run with: go run ./examples/quickstart [-backend=sim|live]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"time"
@@ -16,49 +24,48 @@ import (
 	"repro/mpmd"
 )
 
-// Counter is an ordinary struct elevated to a processor object by
-// registering a class for it — the library's stand-in for CC++'s `global`
-// class extension.
+// Counter is elevated to a processor object by mpmd.RegisterClass[Counter]:
+// every exported method taking a *mpmd.Thread first becomes RMI-callable.
 type Counter struct{ n int64 }
 
-func counterClass() *mpmd.Class {
-	return &mpmd.Class{
-		Name: "Counter",
-		New:  func() any { return &Counter{} },
-		Methods: []*mpmd.Method{
-			{
-				// A null method: the RMI round trip measured by the paper's
-				// "0-Word" micro-benchmarks.
-				Name: "nop",
-				Fn:   func(t *mpmd.Thread, self any, args []mpmd.Arg, ret mpmd.Arg) {},
-			},
-			{
-				Name:    "add",
-				NewArgs: func() []mpmd.Arg { return []mpmd.Arg{&mpmd.I64{}} },
-				Fn: func(t *mpmd.Thread, self any, args []mpmd.Arg, ret mpmd.Arg) {
-					self.(*Counter).n += args[0].(*mpmd.I64).V
-				},
-			},
-			{
-				Name:   "get",
-				NewRet: func() mpmd.Arg { return &mpmd.I64{} },
-				Fn: func(t *mpmd.Thread, self any, args []mpmd.Arg, ret mpmd.Arg) {
-					ret.(*mpmd.I64).V = self.(*Counter).n
-				},
-			},
-		},
+// Nop is a null method: the RMI round trip measured by the paper's "0-Word"
+// micro-benchmarks.
+func (c *Counter) Nop(t *mpmd.Thread) {}
+
+// Add takes one word of argument (the paper's "1-Word" shape).
+func (c *Counter) Add(t *mpmd.Thread, n int64) { c.n += n }
+
+// Get returns one word.
+func (c *Counter) Get(t *mpmd.Thread) int64 { return c.n }
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
 	}
 }
 
 func main() {
-	m := mpmd.NewMachine(mpmd.SPConfig(), 2)
+	backend := flag.String("backend", "sim", "execution backend: sim (calibrated virtual time) or live (real goroutines, wall-clock)")
+	flag.Parse()
+
+	var m *mpmd.Machine
+	switch *backend {
+	case "sim":
+		m = mpmd.NewMachine(mpmd.SPConfig(), 2)
+	case "live":
+		m = mpmd.NewLiveMachine(mpmd.SPConfig(), 2)
+	default:
+		log.Fatalf("unknown backend %q (want sim or live)", *backend)
+	}
+
 	rt := mpmd.NewRuntime(m)
-	rt.RegisterClass(counterClass())
+	must(mpmd.RegisterClass[Counter](rt))
 
 	// Place a Counter on node 1. Node 1 runs no program of its own — the
 	// runtime's polling thread services incoming invocations, the MPMD
 	// "server" configuration.
-	gp := rt.CreateObject(1, "Counter")
+	ctr, err := mpmd.NewObject[Counter](rt, 1)
+	must(err)
 
 	rt.OnNode(0, func(t *mpmd.Thread) {
 		timeit := func(label string, fn func()) {
@@ -68,27 +75,41 @@ func main() {
 				float64(time.Duration(t.Now()-start).Nanoseconds())/1000)
 		}
 
-		fmt.Println("quickstart: RMIs from node 0 to a Counter on node 1")
-		timeit("cold null RMI (resolves stub)", func() { rt.Call(t, gp, "nop", nil, nil) })
-		timeit("warm null RMI", func() { rt.Call(t, gp, "nop", nil, nil) })
-		timeit("warm null RMI, spin sender", func() { rt.CallSimple(t, gp, "nop", nil, nil) })
+		fmt.Printf("quickstart (%s backend): RMIs from node 0 to a Counter on node 1\n", *backend)
+		timeit("cold null RMI (resolves stub)", func() {
+			_, err := mpmd.Invoke[mpmd.Void, mpmd.Void](t, ctr, "Nop", mpmd.Void{})
+			must(err)
+		})
+		timeit("warm null RMI", func() {
+			_, err := mpmd.Invoke[mpmd.Void, mpmd.Void](t, ctr, "Nop", mpmd.Void{})
+			must(err)
+		})
+		// The spin-sender variant lives on the documented low-level layer;
+		// typed refs drop down to it through GPtr().
+		timeit("warm null RMI, spin sender", func() { rt.CallSimple(t, ctr.GPtr(), "Nop", nil, nil) })
 		timeit("add(21) with one word argument", func() {
-			rt.Call(t, gp, "add", []mpmd.Arg{&mpmd.I64{V: 21}}, nil)
+			_, err := mpmd.Invoke[int64, mpmd.Void](t, ctr, "Add", 21)
+			must(err)
 		})
 		timeit("add(21) again", func() {
-			rt.Call(t, gp, "add", []mpmd.Arg{&mpmd.I64{V: 21}}, nil)
+			_, err := mpmd.Invoke[int64, mpmd.Void](t, ctr, "Add", 21)
+			must(err)
 		})
 
-		var ret mpmd.I64
-		timeit("get() with return value", func() { rt.Call(t, gp, "get", nil, &ret) })
-		fmt.Printf("  counter value: %d (want 42)\n", ret.V)
+		var v int64
+		timeit("get() with return value", func() {
+			var err error
+			v, err = mpmd.Invoke[mpmd.Void, int64](t, ctr, "Get", mpmd.Void{})
+			must(err)
+		})
+		fmt.Printf("  counter value: %d (want 42)\n", v)
 
 		hits, misses := rt.StubCacheStats()
 		fmt.Printf("  stub cache: %d hits, %d misses\n", hits, misses)
 	})
 
-	if err := rt.Run(); err != nil {
-		log.Fatal(err)
+	must(rt.Run())
+	if m.Eng != nil {
+		fmt.Printf("virtual time elapsed: %v\n", m.Eng.Now())
 	}
-	fmt.Printf("virtual time elapsed: %v\n", m.Eng.Now())
 }

@@ -15,22 +15,23 @@ import (
 // Result is one application run's measurement.
 type Result struct {
 	// Lang is "split-c" or "cc++"; Variant names the program version.
-	Lang, Variant string
+	Lang    string `json:"lang"`
+	Variant string `json:"variant"`
 	// Transport is the message layer ("ThAM", "Nexus", or "" for Split-C).
-	Transport string
+	Transport string `json:"transport,omitempty"`
 	// Elapsed is the virtual wall-clock time of the measured region.
-	Elapsed time.Duration
+	Elapsed time.Duration `json:"elapsed"`
 	// Procs is the number of processors.
-	Procs int
+	Procs int `json:"procs"`
 	// Work is the denominator for per-unit reporting (edges×iters for EM3D,
 	// etc.); PerUnit is Elapsed/Work when Work > 0.
-	Work    int64
-	PerUnit time.Duration
+	Work    int64         `json:"work"`
+	PerUnit time.Duration `json:"per_unit"`
 	// Busy is the per-category virtual time summed over all processors
 	// within the measured region.
-	Busy machine.Snapshot
+	Busy machine.Snapshot `json:"busy"`
 	// Checksum cross-validates numeric output between language versions.
-	Checksum float64
+	Checksum float64 `json:"checksum"`
 }
 
 // Measure fills the timing fields from a measured region: start/end virtual

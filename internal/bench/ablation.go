@@ -13,11 +13,11 @@ import (
 // AblationRow measures the warm null-RMI and warm 20-double bulk RMI under
 // one runtime configuration, quantifying the §4 design choices.
 type AblationRow struct {
-	Config   string
-	NullRMI  time.Duration
-	BulkRMI  time.Duration
-	ColdRMIs int64
-	Allocs   int64
+	Config   string        `json:"config"`
+	NullRMI  time.Duration `json:"null_rmi"`
+	BulkRMI  time.Duration `json:"bulk_rmi"`
+	ColdRMIs int64         `json:"cold_rmis"`
+	Allocs   int64         `json:"allocs"`
 }
 
 // RunAblations toggles the paper's §4 optimizations one at a time:

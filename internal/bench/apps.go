@@ -14,9 +14,10 @@ import (
 // EM3DRow is one bar pair of Figure 5: a (variant, remote%) cell with both
 // language versions.
 type EM3DRow struct {
-	Variant   em3d.Variant
-	RemotePct int
-	SC, CC    *appstat.Result
+	Variant   em3d.Variant    `json:"variant"`
+	RemotePct int             `json:"remote_pct"`
+	SC        *appstat.Result `json:"sc"`
+	CC        *appstat.Result `json:"cc"`
 }
 
 // RemotePcts are the paper's remote-edge fractions.
@@ -65,9 +66,10 @@ func FormatEM3D(rows []EM3DRow) string {
 
 // WaterRow is one bar pair of Figure 6's Water groups.
 type WaterRow struct {
-	Variant em3dSafeVariant
-	N       int
-	SC, CC  *appstat.Result
+	Variant em3dSafeVariant `json:"variant"`
+	N       int             `json:"n"`
+	SC      *appstat.Result `json:"sc"`
+	CC      *appstat.Result `json:"cc"`
 }
 
 // em3dSafeVariant avoids an import cycle on names only.
@@ -114,8 +116,10 @@ func FormatWater(rows []WaterRow) string {
 
 // LURow is the LU bar pair of Figure 6.
 type LURow struct {
-	N, B   int
-	SC, CC *appstat.Result
+	N  int             `json:"n"`
+	B  int             `json:"b"`
+	SC *appstat.Result `json:"sc"`
+	CC *appstat.Result `json:"cc"`
 }
 
 // RunLU reproduces the LU half of Figure 6.

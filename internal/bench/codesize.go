@@ -13,12 +13,13 @@ import (
 // of the Nexus-based and ThAM-based CC++ runtime implementations with this
 // repository's equivalents.
 type CodeSizeRow struct {
-	Component string
-	GoLines   int
-	TestLines int
+	Component string `json:"component"`
+	GoLines   int    `json:"go_lines"`
+	TestLines int    `json:"test_lines"`
 	// PaperC/PaperH hold the original implementation's line counts when the
 	// component corresponds to a Table 1 entry.
-	PaperC, PaperH int
+	PaperC int `json:"paper_c_lines"`
+	PaperH int `json:"paper_h_lines"`
 }
 
 // moduleRoot locates the repository root from this source file's location.

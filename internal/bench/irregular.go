@@ -12,9 +12,10 @@ import (
 // IrregularRow compares static SPMD and dynamic MPMD scheduling of one
 // skewed task bag.
 type IrregularRow struct {
-	Skew            float64
-	Static, Dynamic time.Duration
-	Speedup         float64 // static/dynamic; > 1 means MPMD wins
+	Skew    float64       `json:"skew"`
+	Static  time.Duration `json:"static"`
+	Dynamic time.Duration `json:"dynamic"`
+	Speedup float64       `json:"speedup"` // static/dynamic; > 1 means MPMD wins
 }
 
 // RunIrregular is the extension experiment behind the paper's introduction:

@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// Report is the machine-readable form of an mpmdbench run, emitted by the
+// -json flag so successive runs can accumulate a performance trajectory
+// (BENCH_*.json files). Row payloads are the same structs the text
+// formatters render; time.Duration fields marshal as integer nanoseconds.
+type Report struct {
+	// Schema versions the report layout.
+	Schema string `json:"schema"`
+	// Backend is "sim" (calibrated virtual time) or "live" (wall-clock).
+	Backend string `json:"backend"`
+	// Profile is the machine cost profile (cfg.Name); Scale the experiment
+	// sizing ("full" or "quick").
+	Profile string `json:"profile"`
+	Scale   string `json:"scale"`
+	// DurationUnit documents how duration-typed row fields are encoded.
+	DurationUnit string `json:"duration_unit"`
+	// WallMS is the total wall-clock time of the run in milliseconds.
+	WallMS      float64      `json:"wall_ms"`
+	Experiments []Experiment `json:"experiments"`
+}
+
+// Experiment is one named table or figure regeneration within a report.
+type Experiment struct {
+	Name string `json:"name"`
+	// WallMS is how long the regeneration took in wall-clock milliseconds
+	// (sim-backend row times are virtual and live inside Rows).
+	WallMS float64 `json:"wall_ms"`
+	// Rows carries the experiment's row structs verbatim.
+	Rows any `json:"rows"`
+}
+
+// ReportSchema is the current report schema identifier.
+const ReportSchema = "mpmdbench/v1"
+
+// NewReport starts an empty report for the given backend, profile and scale.
+func NewReport(backend, profile, scale string) *Report {
+	return &Report{
+		Schema:       ReportSchema,
+		Backend:      backend,
+		Profile:      profile,
+		Scale:        scale,
+		DurationUnit: "ns",
+	}
+}
+
+// Add appends one experiment's rows.
+func (r *Report) Add(name string, wall time.Duration, rows any) {
+	r.Experiments = append(r.Experiments, Experiment{
+		Name:   name,
+		WallMS: float64(wall.Microseconds()) / 1000,
+		Rows:   rows,
+	})
+	r.WallMS += float64(wall.Microseconds()) / 1000
+}
+
+// JSON renders the report, indented for textual diffing.
+func (r *Report) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// MicroReport wraps Table 4's rows with the MPL reference round trip so the
+// JSON form carries everything the text table shows.
+type MicroReport struct {
+	Rows            []MicroRow    `json:"rows"`
+	MPLReferenceRTT time.Duration `json:"mpl_reference_rtt_ns"`
+}

@@ -16,10 +16,10 @@ import (
 // goroutines and timed with the wall clock instead of the calibrated
 // virtual-time model.
 type LiveRow struct {
-	Name  string
-	Iters int
-	PerOp time.Duration
-	MBps  float64 // non-zero for bandwidth rows
+	Name  string        `json:"name"`
+	Iters int           `json:"iters"`
+	PerOp time.Duration `json:"per_op"`
+	MBps  float64       `json:"mbps"` // non-zero for bandwidth rows
 }
 
 // liveBulkWords sizes the bulk-bandwidth rows (doubles per transfer).

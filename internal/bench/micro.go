@@ -14,23 +14,23 @@ import (
 
 // MicroRow is one line of Table 4.
 type MicroRow struct {
-	Name string
+	Name string `json:"name"`
 
 	// CC++ columns.
-	CCTotal   time.Duration
-	CCAM      time.Duration
-	CCThreads time.Duration
-	CCYield   float64
-	CCCreate  float64
-	CCSync    float64
-	CCRuntime time.Duration
+	CCTotal   time.Duration `json:"cc_total"`
+	CCAM      time.Duration `json:"cc_am"`
+	CCThreads time.Duration `json:"cc_threads"`
+	CCYield   float64       `json:"cc_yields"`
+	CCCreate  float64       `json:"cc_creates"`
+	CCSync    float64       `json:"cc_syncops"`
+	CCRuntime time.Duration `json:"cc_runtime"`
 
 	// Split-C columns (HasSC false renders as "-", like the paper's N/A
 	// rows: Split-C has no RMI, so the null-RMI variants have no analogue).
-	HasSC     bool
-	SCTotal   time.Duration
-	SCAM      time.Duration
-	SCRuntime time.Duration
+	HasSC     bool          `json:"has_sc"`
+	SCTotal   time.Duration `json:"sc_total"`
+	SCAM      time.Duration `json:"sc_am"`
+	SCRuntime time.Duration `json:"sc_runtime"`
 }
 
 // benchClass is the processor object the micro-benchmarks invoke, mirroring

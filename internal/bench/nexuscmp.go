@@ -20,9 +20,10 @@ func nexusOpts(m *machine.Machine) core.Options {
 
 // NexusRow compares one application under CC++/ThAM vs CC++/Nexus.
 type NexusRow struct {
-	App          string
-	ThAM, Nexus  *appstat.Result
-	PaperSpeedup string
+	App          string          `json:"app"`
+	ThAM         *appstat.Result `json:"tham"`
+	Nexus        *appstat.Result `json:"nexus"`
+	PaperSpeedup string          `json:"paper_speedup"`
 }
 
 // RunNexusCompare reproduces §6's "Comparison with CC++/Nexus": the same

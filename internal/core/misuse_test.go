@@ -111,6 +111,35 @@ func TestDuplicateNodeProgramPanics(t *testing.T) {
 	rt.OnNode(0, func(*threads.Thread) {})
 }
 
+// Local async RMIs must return joinable futures: the same-node dispatch
+// short-circuit used to discard its completion, making Future.Wait panic.
+func TestLocalCallAsyncJoins(t *testing.T) {
+	rt := newRig(2, Options{})
+	gp := rt.CreateObject(0, "Counter") // same node as the caller
+	var got int64
+	rt.OnNode(0, func(th *threads.Thread) {
+		// Inline (non-threaded) local future.
+		f := rt.CallAsync(th, gp, "add", []Arg{&I64{V: 21}}, nil)
+		f.Wait(th)
+		// Threaded local future.
+		f = rt.CallAsync(th, gp, "nopThreaded", nil, nil)
+		f.Wait(th)
+		if !f.Done() {
+			t.Error("threaded local future not done after Wait")
+		}
+		var ret I64
+		f = rt.CallAsync(th, gp, "get", nil, &ret)
+		f.Wait(th)
+		got = ret.V
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 21 {
+		t.Fatalf("counter = %d, want 21", got)
+	}
+}
+
 func TestRunWithoutProgramsErrors(t *testing.T) {
 	rt := newRig(1, Options{})
 	if err := rt.Run(); err == nil {

@@ -134,8 +134,7 @@ func (rt *Runtime) invoke(t *threads.Thread, gp GPtr, method string, args []Arg,
 	if int(gp.node) == n.node.ID {
 		n.node.Acct.Count(machine.CntLocalDeref, 1)
 		t.Charge(machine.CatRuntime, cfg.LocalGPDeref+cfg.StubLookup)
-		rt.dispatchLocal(t, n, bm, gp, args, ret, mode)
-		return nil
+		return rt.dispatchLocal(t, n, bm, gp, args, ret, mode)
 	}
 
 	// Method-stub cache lookup (§4: indexed by processor number and method
@@ -215,7 +214,8 @@ func (rt *Runtime) lookupMethod(gp GPtr, method string) *boundMethod {
 
 // dispatchLocal runs an RMI whose target lives on the calling node: no
 // marshalling, no messages, but threaded/atomic semantics are preserved.
-func (rt *Runtime) dispatchLocal(t *threads.Thread, n *nodeRT, bm *boundMethod, gp GPtr, args []Arg, ret Arg, mode callMode) {
+// The returned completion lets local futures join exactly like remote ones.
+func (rt *Runtime) dispatchLocal(t *threads.Thread, n *nodeRT, bm *boundMethod, gp GPtr, args []Arg, ret Arg, mode callMode) *completion {
 	self := n.objs.Get(gp.obj)
 	run := func(t2 *threads.Thread) {
 		if bm.m.Atomic {
@@ -227,20 +227,24 @@ func (rt *Runtime) dispatchLocal(t *threads.Thread, n *nodeRT, bm *boundMethod, 
 	}
 	if !bm.m.Threaded && !bm.m.Atomic {
 		run(t)
-		return
+		comp := &completion{mode: mode, done: true}
+		if mode == modeFuture {
+			comp.sv.Write(t, nil)
+		}
+		return comp
 	}
 	switch mode {
-	case modeOneWay, modeFuture:
+	case modeOneWay:
+		t.Spawn("lrmi:"+bm.m.Name, run)
+		return &completion{mode: mode}
+	case modeFuture:
 		done := &completion{mode: mode}
 		t.Spawn("lrmi:"+bm.m.Name, func(t2 *threads.Thread) {
 			run(t2)
-			if mode == modeFuture {
-				done.done = true
-				done.sv.Write(t2, nil)
-			}
+			done.done = true
+			done.sv.Write(t2, nil)
 		})
-		// Note: local futures reuse the spawned thread's completion.
-		_ = done
+		return done
 	default:
 		// Synchronous local threaded call: spawn and join.
 		var wg threads.WaitGroup
@@ -250,6 +254,7 @@ func (rt *Runtime) dispatchLocal(t *threads.Thread, n *nodeRT, bm *boundMethod, 
 			wg.Done(t2)
 		})
 		wg.Wait(t)
+		return &completion{mode: mode, done: true}
 	}
 }
 
@@ -462,7 +467,9 @@ func (rt *Runtime) sysClass() *Class {
 			NewRet:   func() Arg { return &I64{} },
 			Fn: func(t *threads.Thread, self any, args []Arg, ret Arg) {
 				className := args[0].(*Str).V
-				gp := rt.CreateObject(t.Node().ID, className)
+				// Mid-run creation is legal here: this handler runs on the
+				// owning node's context.
+				gp := rt.createObject(t.Node().ID, className)
 				ret.(*I64).V = int64(gp.obj)
 			},
 		}},

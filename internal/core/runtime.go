@@ -34,6 +34,21 @@ func (g GPtr) NodeID() int { return int(g.node) }
 // String formats the pointer for debugging.
 func (g GPtr) String() string { return fmt.Sprintf("gptr{n%d:o%d}", g.node, g.obj) }
 
+// ClassName reports the registered class of the pointed-to object ("" for a
+// nil/zero pointer). The typed façade uses it to validate lifted pointers.
+func (g GPtr) ClassName() string {
+	if g.cls == nil {
+		return ""
+	}
+	return g.cls.Name
+}
+
+// IsClass reports whether the pointer's class is exactly c — pointer
+// identity, not name equality, so a GPtr from a different runtime (whose
+// same-named class is a distinct registration) does not pass. The typed
+// façade uses it to validate lifted pointers.
+func (g GPtr) IsClass(c *Class) bool { return g.cls != nil && g.cls == c }
+
 // Method describes one remotely invocable method of a Class — the
 // registration-time stand-in for the stubs CC++'s translator generates.
 type Method struct {
@@ -173,6 +188,13 @@ type Runtime struct {
 	// live backend the last mains of different nodes race to decrement it.
 	mainsLeft atomic.Int32
 
+	// started flips when Run begins; registration is setup-time only.
+	started atomic.Bool
+
+	// facade is the extension slot for layers above the untyped runtime:
+	// the typed v2 API stores its derived method tables and codecs here.
+	facade any
+
 	hInvoke, hResolveUpdate am.HandlerID
 	hReply                  am.HandlerID
 	hGPRead, hGPReadReply   am.HandlerID
@@ -265,6 +287,27 @@ type SchedulerAttacher interface {
 // Machine returns the underlying machine.
 func (rt *Runtime) Machine() *machine.Machine { return rt.m }
 
+// Started reports whether Run has begun. Class registration and object
+// placement are setup-time operations; the typed façade checks this to turn
+// late registrations and pre-run invocations into errors.
+func (rt *Runtime) Started() bool { return rt.started.Load() }
+
+// HasClass reports whether a class name is already registered — the
+// non-panicking existence check the typed façade validates against before
+// calling RegisterClass.
+func (rt *Runtime) HasClass(name string) bool {
+	_, ok := rt.classes[name]
+	return ok
+}
+
+// SetFacade stores higher-layer state (the typed API's derived tables) on
+// the runtime; Facade reads it back. The core carries the value opaquely.
+// Both are setup-time operations: the value must be in place before Run.
+func (rt *Runtime) SetFacade(v any) { rt.facade = v }
+
+// Facade returns the value stored by SetFacade (nil if none).
+func (rt *Runtime) Facade() any { return rt.facade }
+
 // TransportName reports the active message layer ("ThAM" or "Nexus").
 func (rt *Runtime) TransportName() string { return rt.tr.Name() }
 
@@ -297,6 +340,11 @@ func (rt *Runtime) BufStats() (allocs, reuses int64) {
 // images); stub IDs come out identical everywhere because registration
 // order is identical.
 func (rt *Runtime) RegisterClass(c *Class) {
+	if rt.started.Load() {
+		// Post-Run registration would mutate the stub tables node goroutines
+		// are concurrently reading (a real data race on the live backend).
+		panic("core: RegisterClass(" + c.Name + ") after Run started: register all classes before Run")
+	}
 	if _, dup := rt.classes[c.Name]; dup {
 		panic("core: class registered twice: " + c.Name)
 	}
@@ -323,6 +371,19 @@ func (rt *Runtime) RegisterClass(c *Class) {
 // time (no virtual cost) and returns a global pointer to it. For creation
 // from inside a running program, use NewObjOn, which performs a real RMI.
 func (rt *Runtime) CreateObject(node int, className string) GPtr {
+	if rt.started.Load() {
+		// Mid-run creation from an arbitrary context would mutate a node's
+		// object table without owning its execution context; the supported
+		// mid-run path is NewObjOn (an RMI serviced by the owner).
+		panic("core: CreateObject(" + className + ") after Run started: use NewObjOn from inside the program")
+	}
+	return rt.createObject(node, className)
+}
+
+// createObject is the unguarded creation path: used at setup, and mid-run
+// only from contexts that own the target node's state (the system object's
+// "create" handler runs on the owning node).
+func (rt *Runtime) createObject(node int, className string) GPtr {
 	c, ok := rt.classes[className]
 	if !ok {
 		panic("core: unknown class " + className)
@@ -355,6 +416,7 @@ func (rt *Runtime) Run() error {
 	if rt.mainsLeft.Load() == 0 {
 		return fmt.Errorf("core: no node programs installed")
 	}
+	rt.started.Store(true)
 	for i := range rt.nodes {
 		n := rt.nodes[i]
 		// "In order to avoid deadlocks when there is no runnable thread, a

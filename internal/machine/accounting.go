@@ -123,8 +123,8 @@ func (a *Accounting) Reset() {
 // Snapshot is a point-in-time copy of an Accounting, used to compute deltas
 // over a measured region.
 type Snapshot struct {
-	Buckets  [numCategories]time.Duration
-	Counters map[string]int64
+	Buckets  [numCategories]time.Duration `json:"buckets"`
+	Counters map[string]int64             `json:"counters"`
 }
 
 // Snapshot captures the current state.

@@ -1,0 +1,209 @@
+// Package rmigen derives RMI method tables and marshalling code from
+// ordinary Go types at registration time — the v2 typed façade's stand-in
+// for the stub generation CC++'s front-end translator performed.
+//
+// The derived code lowers onto the untyped core exactly: every argument
+// struct becomes the []core.Arg slice a hand-written Class would have used
+// (one provided Arg per exported field, same wire bytes, same marshal-unit
+// counts), so the calibrated cost model cannot tell typed and untyped calls
+// apart. All reflection work happens either at registration time (plan
+// construction) or in wall-time-only code paths (no virtual-time charges),
+// which is what the typed/untyped parity test in mpmd verifies.
+package rmigen
+
+import (
+	"fmt"
+	"reflect"
+
+	"repro/internal/core"
+)
+
+// Void is the empty value type used for "no arguments" and "no return
+// value" positions in typed invocations.
+type Void = struct{}
+
+var voidType = reflect.TypeOf(Void{})
+
+// fieldPlan marshals one component of a value type: a struct field, or the
+// value itself for scalar value types (index < 0).
+type fieldPlan struct {
+	index int
+	name  string
+	make  func() core.Arg
+	// store copies the Go value component into a wire Arg (sender side and
+	// receiver-side return values).
+	store func(v reflect.Value, a core.Arg)
+	// load copies a wire Arg back into the Go value component.
+	load func(v reflect.Value, a core.Arg)
+}
+
+// valuePlan is the precompiled marshalling plan for one argument or return
+// type. Plans are built once at registration; per-call work is a handful of
+// interface assertions and field copies.
+type valuePlan struct {
+	typ    reflect.Type
+	fields []fieldPlan
+}
+
+// supported value component kinds and their wire lowering. These are
+// exactly the provided core Arg types, so typed payloads are byte-identical
+// to hand-written ones.
+func fieldPlanFor(index int, name string, t reflect.Type) (fieldPlan, error) {
+	fp := fieldPlan{index: index, name: name}
+	at := func(v reflect.Value) reflect.Value {
+		if index < 0 {
+			return v
+		}
+		return v.Field(index)
+	}
+	switch {
+	case t.Kind() == reflect.Int64 || t.Kind() == reflect.Int:
+		fp.make = func() core.Arg { return &core.I64{} }
+		fp.store = func(v reflect.Value, a core.Arg) { a.(*core.I64).V = at(v).Int() }
+		fp.load = func(v reflect.Value, a core.Arg) { at(v).SetInt(a.(*core.I64).V) }
+	case t.Kind() == reflect.Float64:
+		fp.make = func() core.Arg { return &core.F64{} }
+		fp.store = func(v reflect.Value, a core.Arg) { a.(*core.F64).V = at(v).Float() }
+		fp.load = func(v reflect.Value, a core.Arg) { at(v).SetFloat(a.(*core.F64).V) }
+	case t.Kind() == reflect.String:
+		fp.make = func() core.Arg { return &core.Str{} }
+		fp.store = func(v reflect.Value, a core.Arg) { a.(*core.Str).V = at(v).String() }
+		fp.load = func(v reflect.Value, a core.Arg) { at(v).SetString(a.(*core.Str).V) }
+	case t == reflect.TypeOf([]float64(nil)):
+		fp.make = func() core.Arg { return &core.F64Slice{} }
+		fp.store = func(v reflect.Value, a core.Arg) { a.(*core.F64Slice).V = at(v).Interface().([]float64) }
+		fp.load = func(v reflect.Value, a core.Arg) { at(v).Set(reflect.ValueOf(a.(*core.F64Slice).V)) }
+	case t == reflect.TypeOf([]byte(nil)):
+		fp.make = func() core.Arg { return &core.Bytes{} }
+		fp.store = func(v reflect.Value, a core.Arg) { a.(*core.Bytes).V = at(v).Bytes() }
+		fp.load = func(v reflect.Value, a core.Arg) { at(v).SetBytes(a.(*core.Bytes).V) }
+	default:
+		return fp, fmt.Errorf("unsupported type %s (supported: int, int64, float64, string, []byte, []float64, or a struct of those)", t)
+	}
+	return fp, nil
+}
+
+// planFor compiles the marshalling plan for an argument or return type:
+// either one of the supported scalar/slice kinds directly, or a struct whose
+// exported fields are all supported kinds.
+func planFor(t reflect.Type) (*valuePlan, error) {
+	p := &valuePlan{typ: t}
+	if t.Kind() != reflect.Struct {
+		fp, err := fieldPlanFor(-1, t.String(), t)
+		if err != nil {
+			return nil, err
+		}
+		p.fields = []fieldPlan{fp}
+		return p, nil
+	}
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if !f.IsExported() {
+			return nil, fmt.Errorf("struct %s has unexported field %s (marshalled structs must be fully exported)", t, f.Name)
+		}
+		fp, err := fieldPlanFor(i, f.Name, f.Type)
+		if err != nil {
+			return nil, fmt.Errorf("struct %s field %s: %w", t, f.Name, err)
+		}
+		p.fields = append(p.fields, fp)
+	}
+	if len(p.fields) == 0 {
+		return nil, fmt.Errorf("struct %s has no exported fields; use no parameter (or no result) instead of an empty struct", t)
+	}
+	return p, nil
+}
+
+// newArgs returns fresh wire Args for the plan, one per component — the
+// same slice shape a hand-written Method.NewArgs would build.
+func (p *valuePlan) newArgs() []core.Arg {
+	args := make([]core.Arg, len(p.fields))
+	for i := range p.fields {
+		args[i] = p.fields[i].make()
+	}
+	return args
+}
+
+// store copies the Go value into the wire Args.
+func (p *valuePlan) store(v reflect.Value, args []core.Arg) {
+	for i := range p.fields {
+		p.fields[i].store(v, args[i])
+	}
+}
+
+// load copies the wire Args into the (addressable) Go value.
+func (p *valuePlan) load(v reflect.Value, args []core.Arg) {
+	for i := range p.fields {
+		p.fields[i].load(v, args[i])
+	}
+}
+
+// newRet returns the single wire Arg for a return value: the provided Arg
+// directly for single-component types, a group for multi-field structs.
+// Either way the wire size and marshal-unit count equal the sum over
+// components, matching what separate hand-written Args would cost.
+func (p *valuePlan) newRet() core.Arg {
+	if len(p.fields) == 1 {
+		return p.fields[0].make()
+	}
+	return &group{args: p.newArgs()}
+}
+
+// storeRet fills a return Arg from the method's Go result value.
+func (p *valuePlan) storeRet(v reflect.Value, ret core.Arg) {
+	if len(p.fields) == 1 {
+		p.fields[0].store(v, ret)
+		return
+	}
+	p.store(v, ret.(*group).args)
+}
+
+// loadRet decodes a return Arg into the (addressable) Go result value.
+func (p *valuePlan) loadRet(v reflect.Value, ret core.Arg) {
+	if len(p.fields) == 1 {
+		p.fields[0].load(v, ret)
+		return
+	}
+	p.load(v, ret.(*group).args)
+}
+
+// group packs several wire Args into one return value. Encoding is the
+// concatenation of the member encodings; size and marshal units are the
+// sums — identical to sending the members as separate Args, so the cost
+// model sees no difference.
+type group struct{ args []core.Arg }
+
+// WireSize implements core.Arg.
+func (g *group) WireSize() int {
+	n := 0
+	for _, a := range g.args {
+		n += a.WireSize()
+	}
+	return n
+}
+
+// MarshalUnits implements core.Arg.
+func (g *group) MarshalUnits() int {
+	n := 0
+	for _, a := range g.args {
+		n += a.MarshalUnits()
+	}
+	return n
+}
+
+// Encode implements core.Arg.
+func (g *group) Encode(b []byte) int {
+	off := 0
+	for _, a := range g.args {
+		off += a.Encode(b[off:])
+	}
+	return off
+}
+
+// Decode implements core.Arg.
+func (g *group) Decode(b []byte) int {
+	off := 0
+	for _, a := range g.args {
+		off += a.Decode(b[off:])
+	}
+	return off
+}

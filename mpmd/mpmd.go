@@ -2,7 +2,48 @@
 // reproduction (Chang, Czajkowski, von Eicken, Kesselman: "Evaluating the
 // Performance Limitations of MPMD Communication", SC 1997).
 //
-// It re-exports the stable surface of the internal packages:
+// # Typed API (v2) — the recommended surface
+//
+// A processor object is an ordinary Go struct; RegisterClass derives its
+// remotely invocable interface from methods whose first parameter is a
+// *Thread, and Invoke/InvokeAsync/InvokeOneWay make compile-time-checked
+// RMIs through typed Refs:
+//
+//	type Counter struct{ n int64 }
+//
+//	func (c *Counter) Add(t *mpmd.Thread, n int64) { c.n += n }
+//	func (c *Counter) Get(t *mpmd.Thread) int64    { return c.n }
+//
+//	m := mpmd.NewMachine(mpmd.SPConfig(), 2)   // or NewLiveMachine
+//	rt := mpmd.NewRuntime(m)
+//	if err := mpmd.RegisterClass[Counter](rt); err != nil { ... }
+//	ctr, err := mpmd.NewObject[Counter](rt, 1) // typed ref to node 1's object
+//	rt.OnNode(0, func(t *mpmd.Thread) {
+//		mpmd.Invoke[int64, mpmd.Void](t, ctr, "Add", 21)
+//		v, _ := mpmd.Invoke[mpmd.Void, int64](t, ctr, "Get", mpmd.Void{})
+//		_ = v
+//	})
+//	if err := rt.Run(); err != nil { ... }
+//
+// Argument and return types are int, int64, float64, string, []byte,
+// []float64, or structs of those; the optional RMIOptions method flags
+// methods Threaded or Atomic. Misuse — unregistered types, unknown
+// methods, type mismatches, invoking outside a running program — returns
+// descriptive errors at bind time. The typed layer lowers onto the untyped
+// wire path with zero added modelled cost (see typed.go and the parity
+// test), so the paper's calibrated numbers are identical on either surface.
+//
+// # Low-level (untyped) API
+//
+// The 1997-shaped layer the typed façade compiles down to remains exported
+// for benchmarks, ablations, and code that needs explicit control of the
+// wire format: hand-written Class/Method tables with NewArgs/NewRet
+// factories, opaque GPtrs, []Arg marshalling, and Runtime.Call and
+// friends. Ref.GPtr() bridges from typed refs down to it.
+//
+// # Everything else
+//
+// The package also re-exports the stable surface of the internal packages:
 //
 //   - a deterministic simulated multicomputer calibrated to the paper's
 //     IBM RS/6000 SP measurements (NewMachine, SPConfig), plus pluggable
@@ -18,15 +59,6 @@
 //     (NewNexusTransport);
 //   - the experiment harness regenerating every table and figure
 //     (the Run*/Format* re-exports).
-//
-// The quickest way in:
-//
-//	m := mpmd.NewMachine(mpmd.SPConfig(), 2)
-//	rt := mpmd.NewRuntime(m)
-//	rt.RegisterClass(&mpmd.Class{ ... })
-//	gp := rt.CreateObject(1, "MyClass")
-//	rt.OnNode(0, func(t *mpmd.Thread) { rt.Call(t, gp, "hello", nil, nil) })
-//	if err := rt.Run(); err != nil { ... }
 //
 // See examples/ for runnable programs and DESIGN.md for the system map.
 package mpmd
@@ -121,13 +153,16 @@ type Runtime = core.Runtime
 type Options = core.Options
 
 // Class describes a processor-object class; Method one invocable method.
+// These are the low-level registration tables; application code normally
+// uses RegisterClass[T] (typed.go), which derives them.
 type (
 	Class  = core.Class
 	Method = core.Method
 )
 
-// GPtr is an opaque global pointer to a processor object; GPF64 a global
-// pointer to a double with the optimized small-message access path.
+// GPtr is an opaque global pointer to a processor object (the low-level
+// form of Ref[T]); GPF64 a global pointer to a double with the optimized
+// small-message access path.
 type (
 	GPtr  = core.GPtr
 	GPF64 = core.GPF64

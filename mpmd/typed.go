@@ -1,0 +1,210 @@
+package mpmd
+
+import (
+	"fmt"
+	"reflect"
+
+	"repro/internal/core"
+	"repro/internal/rmigen"
+	"repro/internal/threads"
+)
+
+// This file is the v2 typed API: compile-time-checked remote method
+// invocation derived from ordinary Go structs, layered strictly on top of
+// the untyped Class/Method/Arg path. The typed layer adds zero modelled
+// cost — it lowers every call onto exactly the []Arg slices and wire bytes
+// a hand-written registration would produce (see the parity test), so the
+// paper's calibrated tables are unaffected by which surface a program uses.
+
+// Void is the empty value type standing in for "no arguments" or "no return
+// value" in Invoke's type parameters.
+type Void = rmigen.Void
+
+// MethodOpts flags a method as Threaded (runs on a fresh thread at the
+// receiver; required whenever it may block) and/or Atomic (holds the target
+// object's lock; implies threaded, as in the paper).
+type MethodOpts = rmigen.MethodOpts
+
+// OptionsProvider is optionally implemented by processor-object structs to
+// attach MethodOpts to methods by Go method name.
+type OptionsProvider = rmigen.OptionsProvider
+
+// Ref is a typed global pointer to a processor object of type T — the v2
+// surface over the opaque GPtr. Refs are forgeable only through the runtime
+// (NewObject, NewObjectOn, RefOf), like CC++ global pointers.
+type Ref[T any] struct {
+	rt *core.Runtime
+	gp core.GPtr
+}
+
+// GPtr drops down to the untyped global pointer (for mixing with the
+// low-level API).
+func (r Ref[T]) GPtr() GPtr { return r.gp }
+
+// Nil reports whether the ref is the zero/nil reference.
+func (r Ref[T]) Nil() bool { return r.rt == nil || r.gp.Nil() }
+
+// NodeID reports which node owns the object.
+func (r Ref[T]) NodeID() int { return r.gp.NodeID() }
+
+// String formats the ref for debugging.
+func (r Ref[T]) String() string { return r.gp.String() }
+
+func typeOf[T any]() reflect.Type { return reflect.TypeOf((*T)(nil)).Elem() }
+
+// RegisterClass derives a processor-object class from T and registers it
+// with the runtime. Every exported method of *T with signature
+//
+//	func (x *T) Name(t *mpmd.Thread[, args A]) [R]
+//
+// becomes RMI-callable; A and R must be int, int64, float64, string,
+// []byte, []float64, or structs of those. Exported methods without a
+// *mpmd.Thread first parameter are ordinary helpers and are ignored.
+// Invalid signatures, duplicate registrations, and name collisions are
+// reported here, at setup time. Must be called before Run, identically on
+// every program image (as with the untyped API, registration order defines
+// the machine-wide stub IDs).
+func RegisterClass[T any](rt *Runtime) error {
+	_, err := rmigen.Register(rt, reflect.TypeOf((*T)(nil)))
+	return err
+}
+
+// NewObject instantiates a registered T on the given node at setup time (no
+// virtual cost) and returns a typed ref. For creation from inside a running
+// program, use NewObjectOn, which performs a real RMI.
+func NewObject[T any](rt *Runtime, node int) (Ref[T], error) {
+	cls, err := rmigen.Lookup(rt, reflect.TypeOf((*T)(nil)))
+	if err != nil {
+		return Ref[T]{}, err
+	}
+	if rt.Started() {
+		return Ref[T]{}, fmt.Errorf("NewObject[%s] after Run has started: setup-time placement is over; use NewObjectOn from a node program (it performs a real RMI)", cls.Name)
+	}
+	return Ref[T]{rt: rt, gp: rt.CreateObject(node, cls.Name)}, nil
+}
+
+// NewObjectOn creates a T on a remote node from inside a running program —
+// a real RMI to the node's system object, CC++'s dynamic processor-object
+// creation — and returns a typed ref. For setup-time placement (before
+// Run), use NewObject.
+func NewObjectOn[T any](t *Thread, rt *Runtime, node int) (Ref[T], error) {
+	cls, err := rmigen.Lookup(rt, reflect.TypeOf((*T)(nil)))
+	if err != nil {
+		return Ref[T]{}, err
+	}
+	if t == nil || !rt.Started() {
+		return Ref[T]{}, fmt.Errorf("NewObjectOn[%s] outside a running program: it performs a real RMI and must be called from a node program thread (use NewObject for setup-time placement)", cls.Name)
+	}
+	return Ref[T]{rt: rt, gp: rt.NewObjOn(t, node, cls.Name)}, nil
+}
+
+// RefOf lifts an untyped global pointer into a typed ref, validating that
+// the pointed-to object is a registered T of this runtime (class identity,
+// not just name — a pointer from a different runtime is rejected).
+func RefOf[T any](rt *Runtime, gp GPtr) (Ref[T], error) {
+	cls, err := rmigen.Lookup(rt, reflect.TypeOf((*T)(nil)))
+	if err != nil {
+		return Ref[T]{}, err
+	}
+	if !gp.IsClass(cls.Core) {
+		if gp.ClassName() == cls.Name {
+			return Ref[T]{}, fmt.Errorf("global pointer is to class %q of a different runtime", cls.Name)
+		}
+		return Ref[T]{}, fmt.Errorf("global pointer is to class %q, not %s", gp.ClassName(), cls.Name)
+	}
+	return Ref[T]{rt: rt, gp: gp}, nil
+}
+
+// bind validates one typed invocation end to end — live ref, running
+// program, known method, matching argument/return types — and returns the
+// derived method. Everything here is wall-time-only bookkeeping; the
+// virtual-time cost of the call itself is charged by the untyped core path.
+func bind[T any](t *Thread, r Ref[T], method string, argsT, retT reflect.Type, oneWay bool) (*rmigen.Method, error) {
+	if r.rt == nil {
+		return nil, fmt.Errorf("typed RMI %q through a zero Ref (create refs with NewObject/NewObjectOn/RefOf)", method)
+	}
+	if r.gp.Nil() {
+		return nil, fmt.Errorf("typed RMI %q through a nil global pointer", method)
+	}
+	if t == nil || !r.rt.Started() {
+		return nil, fmt.Errorf("typed RMI %q outside a running program: Invoke must be called from a node program thread after Run has started", method)
+	}
+	cls, err := rmigen.Lookup(r.rt, reflect.TypeOf((*T)(nil)))
+	if err != nil {
+		return nil, err
+	}
+	return cls.Bind(method, argsT, retT, oneWay)
+}
+
+// Invoke performs a synchronous typed RMI: marshal args, transfer, run the
+// method remotely, and return its result. A and R must match the method's
+// declared argument and return types (use Void for "none"); mismatches,
+// unknown methods, and unregistered types come back as errors before
+// anything is sent. The call lowers onto Runtime.Call — same messages, same
+// modelled costs as the untyped API.
+func Invoke[A, R, T any](t *Thread, r Ref[T], method string, args A) (R, error) {
+	var zero R
+	m, err := bind(t, r, method, typeOf[A](), typeOf[R](), false)
+	if err != nil {
+		return zero, err
+	}
+	wire := m.WireArgs(reflect.ValueOf(args))
+	var ret core.Arg
+	if m.HasRet() {
+		ret = m.NewRetArg()
+	}
+	r.rt.Call(t, r.gp, method, wire, ret)
+	if !m.HasRet() {
+		return zero, nil
+	}
+	var out R
+	m.LoadRet(ret, reflect.ValueOf(&out).Elem())
+	return out, nil
+}
+
+// InvokeAsync starts a typed RMI and returns immediately; Async.Wait joins
+// and yields the result. Lowers onto Runtime.CallAsync.
+func InvokeAsync[A, R, T any](t *Thread, r Ref[T], method string, args A) (*Async[R], error) {
+	m, err := bind(t, r, method, typeOf[A](), typeOf[R](), false)
+	if err != nil {
+		return nil, err
+	}
+	wire := m.WireArgs(reflect.ValueOf(args))
+	var ret core.Arg
+	if m.HasRet() {
+		ret = m.NewRetArg()
+	}
+	return &Async[R]{f: r.rt.CallAsync(t, r.gp, method, wire, ret), m: m, ret: ret}, nil
+}
+
+// InvokeOneWay starts a fire-and-forget typed RMI (no reply message at
+// all). The method must not return a value. Lowers onto Runtime.CallOneWay.
+func InvokeOneWay[A, T any](t *Thread, r Ref[T], method string, args A) error {
+	m, err := bind(t, r, method, typeOf[A](), nil, true)
+	if err != nil {
+		return err
+	}
+	r.rt.CallOneWay(t, r.gp, method, m.WireArgs(reflect.ValueOf(args)))
+	return nil
+}
+
+// Async is the typed join handle of an asynchronous RMI.
+type Async[R any] struct {
+	f   *Future
+	m   *rmigen.Method
+	ret core.Arg
+}
+
+// Wait blocks until the reply has landed and returns the result (the zero R
+// for void methods).
+func (a *Async[R]) Wait(t *threads.Thread) R {
+	a.f.Wait(t)
+	var out R
+	if a.m.HasRet() {
+		a.m.LoadRet(a.ret, reflect.ValueOf(&out).Elem())
+	}
+	return out
+}
+
+// Done reports (without blocking) whether the reply has landed.
+func (a *Async[R]) Done() bool { return a.f.Done() }

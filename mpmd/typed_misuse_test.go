@@ -1,0 +1,233 @@
+package mpmd_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/mpmd"
+)
+
+// Typed-API misuse must surface as errors with actionable messages — at
+// setup time where possible, and as returned errors (never silent
+// misbehaviour) from invocation helpers. Each case runs on both backends.
+
+// badSig has a thread-first method with an unsupported argument type:
+// deriving it must fail at registration.
+type badSig struct{}
+
+func (b *badSig) Frob(t *mpmd.Thread, ch chan int) {}
+
+// notRegistered is a valid processor object that the tests deliberately
+// never register.
+type notRegistered struct{ X int64 }
+
+func (n *notRegistered) Poke(t *mpmd.Thread) {}
+
+func forEachBackend(t *testing.T, nodes int, fn func(t *testing.T, m *mpmd.Machine)) {
+	t.Helper()
+	t.Run("sim", func(t *testing.T) { fn(t, mpmd.NewMachine(mpmd.SPConfig(), nodes)) })
+	t.Run("live", func(t *testing.T) { fn(t, mpmd.NewLiveMachine(mpmd.SPConfig(), nodes)) })
+}
+
+func wantErr(t *testing.T, err error, frag string) {
+	t.Helper()
+	if err == nil {
+		t.Errorf("expected error containing %q, got nil", frag)
+		return
+	}
+	if !strings.Contains(err.Error(), frag) {
+		t.Errorf("error %q does not contain %q", err, frag)
+	}
+}
+
+func TestTypedRegisterBadSignature(t *testing.T) {
+	forEachBackend(t, 1, func(t *testing.T, m *mpmd.Machine) {
+		rt := mpmd.NewRuntime(m)
+		wantErr(t, mpmd.RegisterClass[badSig](rt), "unsupported")
+	})
+}
+
+func TestTypedRegisterDuplicate(t *testing.T) {
+	forEachBackend(t, 1, func(t *testing.T, m *mpmd.Machine) {
+		rt := mpmd.NewRuntime(m)
+		if err := mpmd.RegisterClass[parityCounter](rt); err != nil {
+			t.Fatal(err)
+		}
+		wantErr(t, mpmd.RegisterClass[parityCounter](rt), "already registered")
+	})
+}
+
+func TestTypedUnregisteredStruct(t *testing.T) {
+	forEachBackend(t, 2, func(t *testing.T, m *mpmd.Machine) {
+		rt := mpmd.NewRuntime(m)
+		_, err := mpmd.NewObject[notRegistered](rt, 1)
+		wantErr(t, err, "not registered")
+	})
+}
+
+func TestTypedInvokeBeforeRun(t *testing.T) {
+	forEachBackend(t, 2, func(t *testing.T, m *mpmd.Machine) {
+		rt := mpmd.NewRuntime(m)
+		if err := mpmd.RegisterClass[parityCounter](rt); err != nil {
+			t.Fatal(err)
+		}
+		ctr, err := mpmd.NewObject[parityCounter](rt, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = mpmd.Invoke[mpmd.Void, mpmd.Void](nil, ctr, "Nop", mpmd.Void{})
+		wantErr(t, err, "outside a running program")
+	})
+}
+
+func TestTypedNewObjectOnBeforeRun(t *testing.T) {
+	forEachBackend(t, 2, func(t *testing.T, m *mpmd.Machine) {
+		rt := mpmd.NewRuntime(m)
+		if err := mpmd.RegisterClass[parityCounter](rt); err != nil {
+			t.Fatal(err)
+		}
+		_, err := mpmd.NewObjectOn[parityCounter](nil, rt, 1)
+		wantErr(t, err, "outside a running program")
+	})
+}
+
+func TestTypedInvokeZeroRef(t *testing.T) {
+	forEachBackend(t, 2, func(t *testing.T, m *mpmd.Machine) {
+		rt := mpmd.NewRuntime(m)
+		if err := mpmd.RegisterClass[parityCounter](rt); err != nil {
+			t.Fatal(err)
+		}
+		var zero mpmd.Ref[parityCounter]
+		var invokeErr error
+		rt.OnNode(0, func(th *mpmd.Thread) {
+			_, invokeErr = mpmd.Invoke[mpmd.Void, mpmd.Void](th, zero, "Nop", mpmd.Void{})
+		})
+		if err := rt.Run(); err != nil {
+			t.Fatal(err)
+		}
+		wantErr(t, invokeErr, "zero Ref")
+	})
+}
+
+// TestTypedInvokeMisuseInProgram drives every in-program misuse through a
+// running node program on both backends: unknown method name, wrong
+// argument type, wrong result type, and a one-way call to a
+// value-returning method.
+func TestTypedInvokeMisuseInProgram(t *testing.T) {
+	forEachBackend(t, 2, func(t *testing.T, m *mpmd.Machine) {
+		rt := mpmd.NewRuntime(m)
+		if err := mpmd.RegisterClass[parityCounter](rt); err != nil {
+			t.Fatal(err)
+		}
+		ctr, err := mpmd.NewObject[parityCounter](rt, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs := make(map[string]error)
+		rt.OnNode(0, func(th *mpmd.Thread) {
+			_, errs["unknown"] = mpmd.Invoke[mpmd.Void, mpmd.Void](th, ctr, "Sub", mpmd.Void{})
+			_, errs["badArg"] = mpmd.Invoke[string, mpmd.Void](th, ctr, "Add", "nope")
+			_, errs["badRet"] = mpmd.Invoke[mpmd.Void, float64](th, ctr, "Get", mpmd.Void{})
+			_, errs["retForVoid"] = mpmd.Invoke[int64, int64](th, ctr, "Add", 1)
+			errs["oneWayRet"] = mpmd.InvokeOneWay[mpmd.Void](th, ctr, "Get", mpmd.Void{})
+			// A valid call afterwards still works: failed binds sent nothing.
+			if _, err := mpmd.Invoke[int64, mpmd.Void](th, ctr, "Add", 2); err != nil {
+				t.Errorf("valid call after misuse failed: %v", err)
+			}
+		})
+		if err := rt.Run(); err != nil {
+			t.Fatal(err)
+		}
+		wantErr(t, errs["unknown"], `no RMI method "Sub"`)
+		wantErr(t, errs["unknown"], "Add, Get, Nop") // lists what exists
+		wantErr(t, errs["badArg"], "argument type mismatch")
+		wantErr(t, errs["badRet"], "result type mismatch")
+		wantErr(t, errs["retForVoid"], "returns nothing")
+		wantErr(t, errs["oneWayRet"], "one-way")
+	})
+}
+
+func TestTypedRefOfValidatesClass(t *testing.T) {
+	forEachBackend(t, 2, func(t *testing.T, m *mpmd.Machine) {
+		rt := mpmd.NewRuntime(m)
+		if err := mpmd.RegisterClass[parityCounter](rt); err != nil {
+			t.Fatal(err)
+		}
+		rt.RegisterClass(&mpmd.Class{
+			Name:    "Other",
+			New:     func() any { return &struct{}{} },
+			Methods: []*mpmd.Method{{Name: "x", Fn: func(t *mpmd.Thread, self any, a []mpmd.Arg, r mpmd.Arg) {}}},
+		})
+		other := rt.CreateObject(1, "Other")
+		_, err := mpmd.RefOf[parityCounter](rt, other)
+		wantErr(t, err, `class "Other"`)
+
+		// A same-named class from a different runtime is a distinct
+		// registration: lifting its pointers here must fail by identity.
+		rt2 := mpmd.NewRuntime(mpmd.NewMachine(mpmd.SPConfig(), 2))
+		if err := mpmd.RegisterClass[parityCounter](rt2); err != nil {
+			t.Fatal(err)
+		}
+		foreign, err := mpmd.NewObject[parityCounter](rt2, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = mpmd.RefOf[parityCounter](rt, foreign.GPtr())
+		wantErr(t, err, "different runtime")
+
+		// Lifting the right class succeeds and the ref works.
+		gp := rt.CreateObject(1, "parityCounter")
+		ref, err := mpmd.RefOf[parityCounter](rt, gp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got int64
+		rt.OnNode(0, func(th *mpmd.Thread) {
+			if _, err := mpmd.Invoke[int64, mpmd.Void](th, ref, "Add", 5); err != nil {
+				t.Error(err)
+				return
+			}
+			got, err = mpmd.Invoke[mpmd.Void, int64](th, ref, "Get", mpmd.Void{})
+			if err != nil {
+				t.Error(err)
+			}
+		})
+		if err := rt.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if got != 5 {
+			t.Fatalf("counter through lifted ref = %d, want 5", got)
+		}
+	})
+}
+
+func TestTypedRegisterAfterRun(t *testing.T) {
+	forEachBackend(t, 1, func(t *testing.T, m *mpmd.Machine) {
+		rt := mpmd.NewRuntime(m)
+		if err := mpmd.RegisterClass[parityCounter](rt); err != nil {
+			t.Fatal(err)
+		}
+		rt.OnNode(0, func(th *mpmd.Thread) {})
+		if err := rt.Run(); err != nil {
+			t.Fatal(err)
+		}
+		wantErr(t, mpmd.RegisterClass[notRegistered](rt), "already running")
+	})
+}
+
+func TestTypedNewObjectAfterRun(t *testing.T) {
+	forEachBackend(t, 2, func(t *testing.T, m *mpmd.Machine) {
+		rt := mpmd.NewRuntime(m)
+		if err := mpmd.RegisterClass[parityCounter](rt); err != nil {
+			t.Fatal(err)
+		}
+		var newErr error
+		rt.OnNode(0, func(th *mpmd.Thread) {
+			_, newErr = mpmd.NewObject[parityCounter](rt, 1)
+		})
+		if err := rt.Run(); err != nil {
+			t.Fatal(err)
+		}
+		wantErr(t, newErr, "after Run has started")
+	})
+}

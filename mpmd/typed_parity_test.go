@@ -1,0 +1,285 @@
+package mpmd_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/mpmd"
+)
+
+// The typed v2 API must add zero modelled cost: it lowers onto exactly the
+// []Arg slices and wire bytes a hand-written registration produces. These
+// tests run the quickstart call sequence twice — once through hand-written
+// Class/Method tables, once through the derived typed API — and require the
+// virtual-time cost of every step, the total virtual time, and the
+// stub-cache and persistent-buffer counters to be identical.
+
+// parityCounter is the typed quickstart object.
+type parityCounter struct{ n int64 }
+
+func (c *parityCounter) Nop(t *mpmd.Thread) {}
+
+func (c *parityCounter) Add(t *mpmd.Thread, n int64) { c.n += n }
+
+func (c *parityCounter) Get(t *mpmd.Thread) int64 { return c.n }
+
+// untypedParityClass is the hand-written equivalent. Method names match the
+// derived ones so the cold-path payloads (which carry the qualified name)
+// have identical lengths.
+func untypedParityClass() *mpmd.Class {
+	return &mpmd.Class{
+		Name: "parityCounter",
+		New:  func() any { return &parityCounter{} },
+		Methods: []*mpmd.Method{
+			{Name: "Nop", Fn: func(t *mpmd.Thread, self any, args []mpmd.Arg, ret mpmd.Arg) {}},
+			{
+				Name:    "Add",
+				NewArgs: func() []mpmd.Arg { return []mpmd.Arg{&mpmd.I64{}} },
+				Fn: func(t *mpmd.Thread, self any, args []mpmd.Arg, ret mpmd.Arg) {
+					self.(*parityCounter).n += args[0].(*mpmd.I64).V
+				},
+			},
+			{
+				Name:   "Get",
+				NewRet: func() mpmd.Arg { return &mpmd.I64{} },
+				Fn: func(t *mpmd.Thread, self any, args []mpmd.Arg, ret mpmd.Arg) {
+					ret.(*mpmd.I64).V = self.(*parityCounter).n
+				},
+			},
+		},
+	}
+}
+
+// parityRun is one full quickstart-shaped run: cold RMI, warm RMIs with and
+// without arguments, a return value, an async call, and a one-way call.
+type parityRun struct {
+	steps   []time.Duration // virtual cost per call
+	total   time.Duration   // machine virtual time at completion
+	value   int64           // final counter value read back
+	hits    int64           // stub-cache hits
+	misses  int64           // stub-cache misses
+	allocs  int64           // persistent-buffer allocations
+	reuses  int64           // persistent-buffer reuses
+	elapsed time.Duration   // node-program virtual elapsed
+}
+
+func runUntypedParity(t *testing.T) parityRun {
+	t.Helper()
+	m := mpmd.NewMachine(mpmd.SPConfig(), 2)
+	rt := mpmd.NewRuntime(m)
+	rt.RegisterClass(untypedParityClass())
+	gp := rt.CreateObject(1, "parityCounter")
+
+	var out parityRun
+	rt.OnNode(0, func(th *mpmd.Thread) {
+		begin := th.Now()
+		step := func(fn func()) {
+			start := th.Now()
+			fn()
+			out.steps = append(out.steps, time.Duration(th.Now()-start))
+		}
+		step(func() { rt.Call(th, gp, "Nop", nil, nil) }) // cold
+		step(func() { rt.Call(th, gp, "Nop", nil, nil) }) // warm
+		step(func() { rt.Call(th, gp, "Add", []mpmd.Arg{&mpmd.I64{V: 21}}, nil) })
+		step(func() { rt.Call(th, gp, "Add", []mpmd.Arg{&mpmd.I64{V: 21}}, nil) })
+		var ret mpmd.I64
+		step(func() { rt.Call(th, gp, "Get", nil, &ret) })
+		step(func() {
+			f := rt.CallAsync(th, gp, "Add", []mpmd.Arg{&mpmd.I64{V: 1}}, nil)
+			f.Wait(th)
+		})
+		step(func() { rt.CallOneWay(th, gp, "Add", []mpmd.Arg{&mpmd.I64{V: 1}}) })
+		// Read back after the one-way has drained.
+		var fin mpmd.I64
+		step(func() { rt.Call(th, gp, "Get", nil, &fin) })
+		out.value = fin.V
+		out.elapsed = time.Duration(th.Now() - begin)
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	out.total = m.Eng.Now()
+	out.hits, out.misses = rt.StubCacheStats()
+	out.allocs, out.reuses = rt.BufStats()
+	return out
+}
+
+func runTypedParity(t *testing.T) parityRun {
+	t.Helper()
+	m := mpmd.NewMachine(mpmd.SPConfig(), 2)
+	rt := mpmd.NewRuntime(m)
+	if err := mpmd.RegisterClass[parityCounter](rt); err != nil {
+		t.Fatal(err)
+	}
+	ctr, err := mpmd.NewObject[parityCounter](rt, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var out parityRun
+	rt.OnNode(0, func(th *mpmd.Thread) {
+		begin := th.Now()
+		step := func(fn func() error) {
+			start := th.Now()
+			if err := fn(); err != nil {
+				t.Error(err)
+			}
+			out.steps = append(out.steps, time.Duration(th.Now()-start))
+		}
+		nop := func() error {
+			_, err := mpmd.Invoke[mpmd.Void, mpmd.Void](th, ctr, "Nop", mpmd.Void{})
+			return err
+		}
+		add := func(n int64) func() error {
+			return func() error {
+				_, err := mpmd.Invoke[int64, mpmd.Void](th, ctr, "Add", n)
+				return err
+			}
+		}
+		step(nop) // cold
+		step(nop) // warm
+		step(add(21))
+		step(add(21))
+		step(func() error {
+			_, err := mpmd.Invoke[mpmd.Void, int64](th, ctr, "Get", mpmd.Void{})
+			return err
+		})
+		step(func() error {
+			f, err := mpmd.InvokeAsync[int64, mpmd.Void](th, ctr, "Add", 1)
+			if err != nil {
+				return err
+			}
+			f.Wait(th)
+			return nil
+		})
+		step(func() error { return mpmd.InvokeOneWay[int64](th, ctr, "Add", 1) })
+		step(func() error {
+			v, err := mpmd.Invoke[mpmd.Void, int64](th, ctr, "Get", mpmd.Void{})
+			out.value = v
+			return err
+		})
+		out.elapsed = time.Duration(th.Now() - begin)
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	out.total = m.Eng.Now()
+	out.hits, out.misses = rt.StubCacheStats()
+	out.allocs, out.reuses = rt.BufStats()
+	return out
+}
+
+func TestTypedUntypedParity(t *testing.T) {
+	ut := runUntypedParity(t)
+	ty := runTypedParity(t)
+
+	if len(ut.steps) != len(ty.steps) {
+		t.Fatalf("step counts differ: untyped %d, typed %d", len(ut.steps), len(ty.steps))
+	}
+	names := []string{"cold Nop", "warm Nop", "Add", "Add", "Get", "async Add", "one-way Add", "Get"}
+	for i := range ut.steps {
+		if ut.steps[i] != ty.steps[i] {
+			t.Errorf("step %d (%s): untyped %v, typed %v", i, names[i], ut.steps[i], ty.steps[i])
+		}
+	}
+	if ut.elapsed != ty.elapsed {
+		t.Errorf("program virtual elapsed: untyped %v, typed %v", ut.elapsed, ty.elapsed)
+	}
+	if ut.total != ty.total {
+		t.Errorf("machine virtual time: untyped %v, typed %v", ut.total, ty.total)
+	}
+	if ut.hits != ty.hits || ut.misses != ty.misses {
+		t.Errorf("stub cache: untyped %d/%d hits/misses, typed %d/%d", ut.hits, ut.misses, ty.hits, ty.misses)
+	}
+	if ut.allocs != ty.allocs || ut.reuses != ty.reuses {
+		t.Errorf("buffers: untyped %d/%d allocs/reuses, typed %d/%d", ut.allocs, ut.reuses, ty.allocs, ty.reuses)
+	}
+	if ut.value != ty.value || ty.value != 44 {
+		t.Errorf("final counter: untyped %d, typed %d, want 44", ut.value, ty.value)
+	}
+	// The sequence exercises both cache paths: the cold call misses, warm
+	// calls hit.
+	if ty.misses == 0 || ty.hits == 0 {
+		t.Errorf("expected both stub-cache hits and misses, got %d/%d", ty.hits, ty.misses)
+	}
+}
+
+// TestTypedLocalAsync joins futures on same-node objects — the local
+// dispatch short-circuit must hand back a real completion (both for
+// inline and threaded methods), on both backends.
+func TestTypedLocalAsync(t *testing.T) {
+	run := func(t *testing.T, m *mpmd.Machine) {
+		rt := mpmd.NewRuntime(m)
+		if err := mpmd.RegisterClass[parityCounter](rt); err != nil {
+			t.Fatal(err)
+		}
+		ctr, err := mpmd.NewObject[parityCounter](rt, 0) // same node as the caller
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got int64
+		rt.OnNode(0, func(th *mpmd.Thread) {
+			f, err := mpmd.InvokeAsync[int64, mpmd.Void](th, ctr, "Add", 21)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			f.Wait(th)
+			g, err := mpmd.InvokeAsync[mpmd.Void, int64](th, ctr, "Get", mpmd.Void{})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got = g.Wait(th)
+		})
+		if err := rt.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if got != 21 {
+			t.Fatalf("local async counter = %d, want 21", got)
+		}
+	}
+	t.Run("sim", func(t *testing.T) { run(t, mpmd.NewMachine(mpmd.SPConfig(), 2)) })
+	t.Run("live", func(t *testing.T) { run(t, mpmd.NewLiveMachine(mpmd.SPConfig(), 2)) })
+}
+
+// TestTypedLiveBackend runs the typed quickstart workload on real
+// goroutines; under -race this doubles as the typed layer's race check.
+func TestTypedLiveBackend(t *testing.T) {
+	m := mpmd.NewLiveMachine(mpmd.SPConfig(), 2)
+	rt := mpmd.NewRuntime(m)
+	if err := mpmd.RegisterClass[parityCounter](rt); err != nil {
+		t.Fatal(err)
+	}
+	ctr, err := mpmd.NewObject[parityCounter](rt, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got int64
+	rt.OnNode(0, func(th *mpmd.Thread) {
+		for i := 0; i < 10; i++ {
+			if _, err := mpmd.Invoke[int64, mpmd.Void](th, ctr, "Add", 1); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		f, err := mpmd.InvokeAsync[int64, mpmd.Void](th, ctr, "Add", 32)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		f.Wait(th)
+		v, err := mpmd.Invoke[mpmd.Void, int64](th, ctr, "Get", mpmd.Void{})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		got = v
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+}
