@@ -8,11 +8,12 @@
 //	mpmdbench [-quick] [-json] [-backend=sim|live] [experiment ...]
 //
 // Experiments on the sim backend: table1, table4, fig5, fig6-water,
-// fig6-lu, nexus, ablate, irregular, all (default). The live backend runs
-// the live microbenchmark suite (RMI round-trips, bulk bandwidth, barrier).
+// fig6-lu, nexus, ablate, irregular, coll, all (default). The live backend
+// runs the live microbenchmark suite (RMI round-trips, bulk bandwidth,
+// barrier) plus the collective-operations table.
 //
 // -json replaces the text tables with one machine-readable report on
-// stdout (schema mpmdbench/v1; duration fields in nanoseconds), so runs can
+// stdout (schema mpmdbench/v2; duration fields in nanoseconds), so runs can
 // be accumulated into a performance trajectory:
 //
 //	mpmdbench -quick -json table4 > BENCH_table4.json
@@ -33,7 +34,7 @@ func main() {
 	backend := flag.String("backend", "sim",
 		"execution backend: sim (calibrated discrete-event model) or live (real goroutines, wall-clock)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mpmdbench [-quick] [-json] [-backend=sim|live] [table1|table4|fig5|fig6-water|fig6-lu|nexus|ablate|irregular|all ...]\n")
+		fmt.Fprintf(os.Stderr, "usage: mpmdbench [-quick] [-json] [-backend=sim|live] [table1|table4|fig5|fig6-water|fig6-lu|nexus|ablate|irregular|coll|all ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -67,13 +68,20 @@ func main() {
 		}
 		start := time.Now()
 		rows := bench.RunLiveMicro(cfg, scale)
+		micro := time.Since(start)
+		start = time.Now()
+		collRows := bench.RunCollBench(cfg, scale, "live")
+		collDur := time.Since(start)
 		if *asJSON {
-			report.Add("live-micro", time.Since(start), rows)
+			report.Add("live-micro", micro, rows)
+			report.Add("coll", collDur, collRows)
 			emit()
 			return
 		}
 		fmt.Print(bench.FormatLiveMicro(rows))
-		fmt.Printf("[live micro finished in %v]\n", time.Since(start).Round(time.Millisecond))
+		fmt.Printf("[live micro finished in %v]\n\n", micro.Round(time.Millisecond))
+		fmt.Print(bench.FormatColl(collRows, "live"))
+		fmt.Printf("[coll finished in %v]\n", collDur.Round(time.Millisecond))
 		return
 	default:
 		fmt.Fprintf(os.Stderr, "mpmdbench: unknown backend %q (want sim or live)\n", *backend)
@@ -146,6 +154,10 @@ func main() {
 	run("irregular", func() (any, func() string) {
 		rows := bench.RunIrregular(cfg, scale)
 		return rows, func() string { return bench.FormatIrregular(rows) }
+	})
+	run("coll", func() (any, func() string) {
+		rows := bench.RunCollBench(cfg, scale, "sim")
+		return rows, func() string { return bench.FormatColl(rows, "sim") }
 	})
 
 	if ran == 0 {

@@ -99,7 +99,7 @@ func main() {
 			b[i] = 1.0 / float64(i+1)
 		}
 		per := vecLen / chunks
-		futures := make([]*mpmd.Async[float64], chunks)
+		futures := make([]*mpmd.Future[float64], chunks)
 		start := t.Now()
 		for c := 0; c < chunks; c++ {
 			w := workers[c%servers]

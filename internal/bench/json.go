@@ -35,8 +35,10 @@ type Experiment struct {
 	Rows any `json:"rows"`
 }
 
-// ReportSchema is the current report schema identifier.
-const ReportSchema = "mpmdbench/v1"
+// ReportSchema is the current report schema identifier. v2 added the
+// collective-operations experiment ("coll", []CollRow) on both backends;
+// v1 reports are otherwise layout-compatible.
+const ReportSchema = "mpmdbench/v2"
 
 // NewReport starts an empty report for the given backend, profile and scale.
 func NewReport(backend, profile, scale string) *Report {

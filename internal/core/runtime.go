@@ -195,6 +195,11 @@ type Runtime struct {
 	// the typed v2 API stores its derived method tables and codecs here.
 	facade any
 
+	// ext holds additional keyed extension state (the collective layer's
+	// engine lives here). Like facade, entries are installed at setup time
+	// and only read once the program runs.
+	ext map[string]any
+
 	hInvoke, hResolveUpdate am.HandlerID
 	hReply                  am.HandlerID
 	hGPRead, hGPReadReply   am.HandlerID
@@ -307,6 +312,18 @@ func (rt *Runtime) SetFacade(v any) { rt.facade = v }
 
 // Facade returns the value stored by SetFacade (nil if none).
 func (rt *Runtime) Facade() any { return rt.facade }
+
+// SetExt stores keyed higher-layer state on the runtime (setup time only);
+// Ext reads it back (nil if absent). The core carries the values opaquely.
+func (rt *Runtime) SetExt(key string, v any) {
+	if rt.ext == nil {
+		rt.ext = make(map[string]any)
+	}
+	rt.ext[key] = v
+}
+
+// Ext returns the value stored under key by SetExt (nil if none).
+func (rt *Runtime) Ext(key string) any { return rt.ext[key] }
 
 // TransportName reports the active message layer ("ThAM" or "Nexus").
 func (rt *Runtime) TransportName() string { return rt.tr.Name() }

@@ -1,0 +1,75 @@
+package rmigen
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+)
+
+// Codec marshals single values of a supported RMI type (int, int64,
+// float64, string, []byte, []float64, or a struct of those) to and from the
+// exact wire bytes the RMI argument path produces. The collective layer and
+// Dist arrays use it to move typed payloads over the untyped byte-level
+// plumbing without inventing a second wire format.
+type Codec struct {
+	typ reflect.Type
+	p   *valuePlan
+}
+
+// codecCache memoizes plans per type; plan construction is registration-
+// style reflection work that need not repeat per call.
+var codecCache sync.Map // reflect.Type -> *Codec (or error, see below)
+
+type codecErr struct{ err error }
+
+// CodecFor compiles (or returns the cached) codec for t.
+func CodecFor(t reflect.Type) (*Codec, error) {
+	if v, ok := codecCache.Load(t); ok {
+		if ce, bad := v.(codecErr); bad {
+			return nil, ce.err
+		}
+		return v.(*Codec), nil
+	}
+	p, err := planFor(t)
+	if err != nil {
+		err = fmt.Errorf("type %s is not marshallable: %w", t, err)
+		codecCache.Store(t, codecErr{err: err})
+		return nil, err
+	}
+	c := &Codec{typ: t, p: p}
+	codecCache.Store(t, c)
+	return c, nil
+}
+
+// Type returns the Go type the codec was compiled for.
+func (c *Codec) Type() reflect.Type { return c.typ }
+
+// Encode serializes v (which must be of the codec's type) into the wire
+// bytes the equivalent []Arg would produce.
+func (c *Codec) Encode(v reflect.Value) []byte {
+	args := c.p.newArgs()
+	c.p.store(v, args)
+	size := 0
+	for _, a := range args {
+		size += a.WireSize()
+	}
+	buf := make([]byte, size)
+	off := 0
+	for _, a := range args {
+		off += a.Encode(buf[off:])
+	}
+	return buf[:off]
+}
+
+// Decode deserializes wire bytes into the addressable value into.
+func (c *Codec) Decode(b []byte, into reflect.Value) {
+	args := c.p.newArgs()
+	off := 0
+	for _, a := range args {
+		off += a.Decode(b[off:])
+	}
+	if off != len(b) {
+		panic(fmt.Sprintf("rmigen: %d stray bytes decoding %s", len(b)-off, c.typ))
+	}
+	c.p.load(into, args)
+}

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/am"
+	"repro/internal/coll"
 	"repro/internal/machine"
 	"repro/internal/threads"
 )
@@ -11,12 +12,19 @@ import (
 // This file provides the Split-C library layer above the raw global-access
 // primitives: spread arrays (the language's `A[i]::` distributed arrays) and
 // the usual collectives (all_bcast, all_reduce) built from the same AM
-// traffic a Split-C library would generate.
+// traffic a Split-C library would generate. The combining state machines
+// live in internal/coll (the central-coordinator plans); this file supplies
+// the wire format and charges, which the parity test pins to the paper's
+// measured behavior. The log-depth tree collectives of the MPMD side live
+// in internal/coll too — see coll.Team.
 
 // SpreadF64 is a distributed array of doubles in the cyclic layout Split-C
 // gives `double A[n]::` — element i lives on processor i%PROCS. The
 // structure is visible, as in Split-C: Index returns a (processor, address)
 // global pointer usable with every access primitive.
+//
+// For the typed, layout-flexible, backend-agnostic generalization usable
+// from CC++ programs, see mpmd.Dist.
 type SpreadF64 struct {
 	procs int
 	parts [][]float64
@@ -63,12 +71,13 @@ func (s *SpreadF64) LocalVec(pc int) GVF { return GVF{PC: pc, S: s.parts[pc]} }
 // --- collectives -------------------------------------------------------------
 
 // collective state per World, allocated lazily on first use. Node 0
-// coordinates; values travel in the existing short-AM format.
+// coordinates; values travel in the existing short-AM format. The
+// arrival-counting fold is coll.CentralReduce — the linear central plan —
+// so the message pattern and modelled costs are exactly the measured ones.
 type collectives struct {
 	hContrib am.HandlerID
 	hResult  am.HandlerID
-	acc      float64
-	count    int
+	red      *coll.CentralReduce
 	gen      int
 	results  []float64
 	haveGen  []int
@@ -78,14 +87,14 @@ type contribMsg struct {
 	op ReduceOp
 }
 
-// ReduceOp selects the all_reduce combiner.
-type ReduceOp int
+// ReduceOp selects the all_reduce combiner (shared with internal/coll).
+type ReduceOp = coll.ReduceOp
 
 // The reduction operators Split-C's library provides for doubles.
 const (
-	OpSum ReduceOp = iota
-	OpMax
-	OpMin
+	OpSum = coll.OpSum
+	OpMax = coll.OpMax
+	OpMin = coll.OpMin
 )
 
 func (w *World) initCollectives() {
@@ -93,6 +102,7 @@ func (w *World) initCollectives() {
 		return
 	}
 	c := &collectives{
+		red:     coll.NewCentralReduce(w.m.NumNodes()),
 		results: make([]float64, w.m.NumNodes()),
 		haveGen: make([]int, w.m.NumNodes()),
 	}
@@ -104,29 +114,11 @@ func (w *World) initCollectives() {
 	c.hContrib = w.net.Register("sc.coll.contrib", func(t *threads.Thread, m am.Msg) {
 		v := math.Float64frombits(m.A[0])
 		op := m.Obj.(*contribMsg).op
-		if c.count == 0 {
-			c.acc = v
-		} else {
-			switch op {
-			case OpSum:
-				c.acc += v
-			case OpMax:
-				if v > c.acc {
-					c.acc = v
-				}
-			case OpMin:
-				if v < c.acc {
-					c.acc = v
-				}
-			}
-		}
-		c.count++
-		if c.count == w.m.NumNodes() {
-			c.count = 0
+		if acc, done := c.red.Absorb(op, v); done {
 			c.gen++
 			for q := 0; q < w.m.NumNodes(); q++ {
 				w.ep(t).RequestShort(t, q, c.hResult,
-					[4]uint64{math.Float64bits(c.acc), uint64(c.gen)}, nil)
+					[4]uint64{math.Float64bits(acc), uint64(c.gen)}, nil)
 			}
 		}
 	})

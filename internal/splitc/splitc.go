@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/am"
+	"repro/internal/coll"
 	"repro/internal/machine"
 	"repro/internal/threads"
 )
@@ -65,9 +66,9 @@ type World struct {
 	hBulkStore               am.HandlerID
 	hBarrierArrive, hRelease am.HandlerID
 
-	// Central barrier state, owned by node 0.
-	barrierCount int
-	barrierGen   int
+	// Central barrier state, owned by node 0 (the linear plan from
+	// internal/coll; the wire traffic around it is unchanged).
+	barCtr *coll.CentralCounter
 
 	// coll is the collective-operation state (collectives.go).
 	coll *collectives
@@ -90,7 +91,7 @@ type Proc struct {
 
 // New builds a Split-C world over machine m.
 func New(m *machine.Machine) *World {
-	w := &World{m: m, net: am.NewNet(m)}
+	w := &World{m: m, net: am.NewNet(m), barCtr: coll.NewCentralCounter(m.NumNodes())}
 	for i := 0; i < m.NumNodes(); i++ {
 		s := threads.NewScheduler(m.Node(i))
 		w.scheds = append(w.scheds, s)
@@ -219,12 +220,9 @@ func (w *World) registerHandlers() {
 		w.procs[m.Dst].releasedGen = int(m.A[0])
 	})
 	w.hBarrierArrive = w.net.Register("sc.barrier.arrive", func(t *threads.Thread, m am.Msg) {
-		w.barrierCount++
-		if w.barrierCount == w.m.NumNodes() {
-			w.barrierCount = 0
-			w.barrierGen++
+		if gen, release := w.barCtr.Arrive(); release {
 			for i := 0; i < w.m.NumNodes(); i++ {
-				w.ep(t).RequestShort(t, i, w.hRelease, [4]uint64{uint64(w.barrierGen)}, nil)
+				w.ep(t).RequestShort(t, i, w.hRelease, [4]uint64{uint64(gen)}, nil)
 			}
 		}
 	})

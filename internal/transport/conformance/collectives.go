@@ -1,0 +1,145 @@
+package conformance
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/coll"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/threads"
+)
+
+// Collective conformance: the team collectives (internal/coll) are part of
+// the contract the upper layers rely on, and like the rest of the suite
+// they must behave identically on every backend — full participation,
+// per-member result agreement across repeated operations (ordering), and
+// isolation between sub-teams created by Split. Results only, never
+// timings.
+
+func runCollectives(t *testing.T, f Factory) {
+	t.Run("Participation", func(t *testing.T) { collParticipation(t, f) })
+	t.Run("Ordering", func(t *testing.T) { collOrdering(t, f) })
+	t.Run("SubTeamIsolation", func(t *testing.T) { collSubTeamIsolation(t, f) })
+}
+
+// collRig builds a CC++ runtime with the collective engine over a fresh
+// machine.
+func collRig(f Factory, n int) (*core.Runtime, *coll.Team) {
+	rt := core.NewRuntime(f(machine.SP1997(), n))
+	return rt, coll.For(rt).World()
+}
+
+// collParticipation: an AllReduce completes only once every member has
+// contributed, and every member sees the full combination — including a
+// deliberately late member.
+func collParticipation(t *testing.T, f Factory) {
+	const n = 4
+	rt, tm := collRig(f, n)
+	got := make([]float64, n)
+	var lateContributed atomic.Bool
+	for i := 0; i < n; i++ {
+		i := i
+		rt.OnNode(i, func(th *threads.Thread) {
+			if i == n-1 {
+				// The late member: everyone else is already blocked in the
+				// collective when this contribution enters.
+				th.Compute(200 * time.Microsecond)
+				lateContributed.Store(true)
+			}
+			v := coll.DecF64(tm.AllReduce(th, coll.EncF64(float64(i+1)), coll.SumF64))
+			if i != n-1 && !lateContributed.Load() {
+				t.Errorf("member %d finished AllReduce before member %d contributed", i, n-1)
+			}
+			got[i] = v
+		})
+	}
+	if err := rt.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, v := range got {
+		if v != n*(n+1)/2 {
+			t.Errorf("member %d got %v, want %v", i, v, n*(n+1)/2)
+		}
+	}
+}
+
+// collOrdering: a pipelined sequence of different collectives produces the
+// per-round results on every member, in order — no cross-operation
+// contamination even when members enter successive operations at different
+// times.
+func collOrdering(t *testing.T, f Factory) {
+	const (
+		n      = 3
+		rounds = 8
+	)
+	rt, tm := collRig(f, n)
+	results := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		i := i
+		rt.OnNode(i, func(th *threads.Thread) {
+			for r := 0; r < rounds; r++ {
+				s := coll.DecF64(tm.AllReduce(th, coll.EncF64(float64(r*10+i)), coll.SumF64))
+				b := coll.DecF64(tm.Bcast(th, r%n, coll.EncF64(s+float64(r))))
+				results[i] = append(results[i], s, b)
+			}
+		})
+	}
+	if err := rt.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for r := 0; r < rounds; r++ {
+		wantSum := float64(r*10*n + 0 + 1 + 2)
+		wantB := wantSum + float64(r)
+		for i := 0; i < n; i++ {
+			if results[i][2*r] != wantSum || results[i][2*r+1] != wantB {
+				t.Errorf("member %d round %d: got %v/%v, want %v/%v",
+					i, r, results[i][2*r], results[i][2*r+1], wantSum, wantB)
+			}
+		}
+	}
+}
+
+// collSubTeamIsolation: collectives on disjoint sub-teams run concurrently
+// without observing each other's traffic, and the parent team still works
+// afterwards.
+func collSubTeamIsolation(t *testing.T, f Factory) {
+	const n = 5 // splits into teams of 3 (even nodes) and 2 (odd nodes)
+	rt, tm := collRig(f, n)
+	subSums := make([]float64, n)
+	worldSums := make([]float64, n)
+	for i := 0; i < n; i++ {
+		i := i
+		rt.OnNode(i, func(th *threads.Thread) {
+			sub := tm.Split(th, i%2, i)
+			// Different iteration counts per team: the odd team runs more
+			// operations, so any cross-team key collision would surface.
+			iters := 3
+			if i%2 == 1 {
+				iters = 5
+			}
+			var s float64
+			for k := 0; k < iters; k++ {
+				s = coll.DecF64(sub.AllReduce(th, coll.EncF64(float64(i+1)), coll.SumF64))
+			}
+			subSums[i] = s
+			worldSums[i] = coll.DecF64(tm.AllReduce(th, coll.EncF64(1), coll.SumF64))
+		})
+	}
+	if err := rt.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		want := 1.0 + 3 + 5 // even nodes: 1+3+5
+		if i%2 == 1 {
+			want = 2 + 4
+		}
+		if subSums[i] != want {
+			t.Errorf("member %d: subteam sum %v, want %v", i, subSums[i], want)
+		}
+		if worldSums[i] != n {
+			t.Errorf("member %d: world sum %v after split, want %v", i, worldSums[i], float64(n))
+		}
+	}
+}

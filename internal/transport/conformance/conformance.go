@@ -36,6 +36,7 @@ func Run(t *testing.T, f Factory) {
 	t.Run("BulkIntegrity", func(t *testing.T) { bulkIntegrity(t, f) })
 	t.Run("HandlerRunToCompletion", func(t *testing.T) { runToCompletion(t, f) })
 	t.Run("ParkUnpark", func(t *testing.T) { parkUnpark(t, f) })
+	t.Run("Collectives", func(t *testing.T) { runCollectives(t, f) })
 }
 
 // rig wires an AM net with one scheduler per node over a machine.

@@ -1,0 +1,199 @@
+package mpmd_test
+
+import (
+	"testing"
+
+	"repro/mpmd"
+)
+
+// TestDistRoundTrip writes and reads a typed distributed array through
+// every access path (local/remote, sync/async) in both layouts, on both
+// backends.
+func TestDistRoundTrip(t *testing.T) {
+	type cell struct {
+		V    float64
+		Tag  string
+		Hits int64
+	}
+	onBackends(t, func(t *testing.T, live bool) {
+		for _, layout := range []mpmd.Layout{mpmd.LayoutBlock, mpmd.LayoutCyclic} {
+			const n, elems = 4, 11
+			m := teamMachine(n, live)
+			rt := mpmd.NewRuntime(m)
+			tm, err := mpmd.WorldTeam(rt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := mpmd.NewDist[cell](tm, elems, layout)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d.Len() != elems {
+				t.Fatalf("Len = %d", d.Len())
+			}
+			for i := 0; i < n; i++ {
+				i := i
+				rt.OnNode(i, func(th *mpmd.Thread) {
+					check := func(err error) {
+						if err != nil {
+							t.Error(err)
+						}
+					}
+					// Each member writes the elements owned by its right
+					// neighbour (every element has exactly one writer).
+					next := (tm.Rank(th) + 1) % n
+					for e := 0; e < elems; e++ {
+						if d.OwnerRank(e) == next {
+							check(d.Put(th, e, cell{V: float64(e) * 2, Tag: "w", Hits: int64(i)}))
+						}
+					}
+					check(tm.Barrier(th))
+					// Everyone reads every element back synchronously…
+					for e := 0; e < elems; e++ {
+						got, err := d.Get(th, e)
+						check(err)
+						if got.V != float64(e)*2 || got.Tag != "w" {
+							t.Errorf("layout %v member %d: element %d = %+v", layout, i, e, got)
+						}
+					}
+					// …then split-phase, all gets in flight at once.
+					futs := make([]*mpmd.Future[cell], elems)
+					for e := 0; e < elems; e++ {
+						f, err := d.GetAsync(th, e)
+						check(err)
+						futs[e] = f
+					}
+					for e, f := range futs {
+						if got := f.Wait(th); got.V != float64(e)*2 {
+							t.Errorf("layout %v member %d: async element %d = %+v", layout, i, e, got)
+						}
+					}
+					check(tm.Barrier(th))
+					// Split-phase writes with typed ack futures.
+					var acks []*mpmd.Future[mpmd.Void]
+					for e := 0; e < elems; e++ {
+						if d.OwnerRank(e) == next {
+							f, err := d.PutAsync(th, e, cell{V: -float64(e), Tag: "x"})
+							check(err)
+							acks = append(acks, f)
+						}
+					}
+					for _, f := range acks {
+						f.Wait(th)
+					}
+					check(tm.Barrier(th))
+					// Owner-computes over the local part, checking the global
+					// index mapping.
+					check(d.ForEachLocal(th, func(e int, v *cell) {
+						if d.OwnerNode(e) != th.Node().ID {
+							t.Errorf("ForEachLocal visited foreign element %d", e)
+						}
+						if v.V != -float64(e) || v.Tag != "x" {
+							t.Errorf("layout %v element %d after async writes: %+v", layout, e, *v)
+						}
+						v.Hits++
+					}))
+					check(tm.Barrier(th))
+					// The Hits bump must be visible globally, exactly once.
+					for e := 0; e < elems; e++ {
+						got, err := d.Get(th, e)
+						check(err)
+						if got.Hits != 1 {
+							t.Errorf("layout %v element %d hits = %d, want 1", layout, e, got.Hits)
+						}
+					}
+				})
+			}
+			if err := rt.Run(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+}
+
+// TestDistLayouts checks the index maps directly: coverage, ownership, and
+// local part sizes for awkward (non-dividing) lengths.
+func TestDistLayouts(t *testing.T) {
+	m := mpmd.NewMachine(mpmd.SPConfig(), 3)
+	rt := mpmd.NewRuntime(m)
+	tm, err := mpmd.WorldTeam(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dBlock, err := mpmd.NewDist[int64](tm, 8, mpmd.LayoutBlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dCyc, err := mpmd.NewDist[int64](tm, 8, mpmd.LayoutCyclic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Block of 8 over 3: ceil(8/3)=3 -> ranks own [0,3) [3,6) [6,8).
+	wantBlock := []int{0, 0, 0, 1, 1, 1, 2, 2}
+	// Cyclic: i%3.
+	for i := 0; i < 8; i++ {
+		if got := dBlock.OwnerRank(i); got != wantBlock[i] {
+			t.Errorf("block owner(%d) = %d, want %d", i, got, wantBlock[i])
+		}
+		if got := dCyc.OwnerRank(i); got != i%3 {
+			t.Errorf("cyclic owner(%d) = %d, want %d", i, got, i%3)
+		}
+	}
+	seen := map[int]int{}
+	for i := 0; i < 3; i++ {
+		i := i
+		rt.OnNode(i, func(th *mpmd.Thread) {
+			_ = dBlock.ForEachLocal(th, func(e int, v *int64) { seen[e]++ })
+			_ = dCyc.ForEachLocal(th, func(e int, v *int64) { seen[e]++ })
+		})
+	}
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if seen[i] != 2 {
+			t.Errorf("element %d visited %d times across members, want 2 (once per array)", i, seen[i])
+		}
+	}
+}
+
+// TestDistMisuse: creation and access error paths.
+func TestDistMisuse(t *testing.T) {
+	m := mpmd.NewMachine(mpmd.SPConfig(), 2)
+	rt := mpmd.NewRuntime(m)
+	tm, err := mpmd.WorldTeam(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type bad struct{ F func() }
+	if _, err := mpmd.NewDist[bad](tm, 4, mpmd.LayoutBlock); err == nil {
+		t.Error("NewDist of unmarshallable type did not error")
+	}
+	if _, err := mpmd.NewDist[int64](nil, 4, mpmd.LayoutBlock); err == nil {
+		t.Error("NewDist on nil team did not error")
+	}
+	if _, err := mpmd.NewDist[int64](tm, 4, mpmd.Layout(9)); err == nil {
+		t.Error("NewDist with bogus layout did not error")
+	}
+	d, err := mpmd.NewDist[int64](tm, 4, mpmd.LayoutBlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Get(nil, 0); err == nil {
+		t.Error("Get outside a running program did not error")
+	}
+	rt.OnNode(0, func(th *mpmd.Thread) {
+		if _, err := d.Get(th, 4); err == nil {
+			t.Error("Get out of range did not error")
+		}
+		if err := d.Put(th, -1, 0); err == nil {
+			t.Error("Put out of range did not error")
+		}
+		if _, err := mpmd.NewDist[int64](tm, 4, mpmd.LayoutBlock); err == nil {
+			t.Error("NewDist after Run started did not error")
+		}
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -33,6 +33,20 @@
 // wire path with zero added modelled cost (see typed.go and the parity
 // test), so the paper's calibrated numbers are identical on either surface.
 //
+// # Teams, collectives, and distributed arrays
+//
+// The data-parallel surface (team.go, dist.go) scopes group operations to a
+// Team — a communicator over a node subset. WorldTeam returns the all-nodes
+// team; Team.Split partitions it MPI-style. The typed collectives
+// Broadcast, Reduce/AllReduce (Sum/Max/Min or any user combiner),
+// Scatter/Gather/AllGather, and Team.Barrier run log-depth
+// binomial/dissemination trees whose every message is an ordinary RMI with
+// the full modelled cost. Dist[T] is a typed distributed array (block or
+// cyclic layout) with Get/Put, split-phase GetAsync/PutAsync returning
+// typed Future[T] handles, and ForEachLocal for owner-computes loops — the
+// generalization of Split-C's float64-only spread arrays, usable from CC++
+// programs on either backend.
+//
 // # Low-level (untyped) API
 //
 // The 1997-shaped layer the typed façade compiles down to remains exported
@@ -54,7 +68,9 @@
 //     ("CC++/ThAM"): processor objects, remote method invocation with stub
 //     caching and persistent buffers, global pointers, par/parfor, sync
 //     variables (NewRuntime and the CC* aliases);
-//   - the Split-C SPMD baseline runtime (NewSplitC and the SC* aliases);
+//   - the Split-C SPMD baseline runtime (NewSplitC; the SC* spread-array
+//     and reduction aliases are deprecated in favor of Dist and the typed
+//     collectives, but remain the measured baseline surface);
 //   - the Nexus/TCP transport used for the paper's §6 comparison
 //     (NewNexusTransport);
 //   - the experiment harness regenerating every table and figure
@@ -179,11 +195,13 @@ type (
 	Str      = core.Str
 )
 
-// Future joins an asynchronous RMI; Barrier is RMI-built global
-// synchronization.
+// UntypedFuture joins an asynchronous low-level RMI (Runtime.CallAsync);
+// the typed surface returns Future[R] instead. Barrier is RMI-built global
+// synchronization over a central counter; Team.Barrier is the log-depth
+// alternative.
 type (
-	Future  = core.Future
-	Barrier = core.Barrier
+	UntypedFuture = core.Future
+	Barrier       = core.Barrier
 )
 
 // Transport abstracts the message layer under the CC++ runtime.
@@ -226,14 +244,23 @@ type (
 	SCVec = splitc.GVF
 )
 
-// SCSpread is a Split-C spread array of doubles (cyclic layout); SCReduceOp
-// selects the AllReduce combiner.
-type (
-	SCSpread   = splitc.SpreadF64
-	SCReduceOp = splitc.ReduceOp
-)
+// SCSpread is a Split-C spread array of doubles (cyclic layout).
+//
+// Deprecated: new code should use the typed, layout-flexible Dist[T]
+// (NewDist), which works from CC++ programs and on both backends. SCSpread
+// remains for the calibrated Split-C baseline measurements.
+type SCSpread = splitc.SpreadF64
+
+// SCReduceOp selects the Split-C AllReduce combiner.
+//
+// Deprecated: new code should use the typed AllReduce with Sum/Max/Min (or
+// any combiner) over a Team, which runs log-depth trees instead of the
+// central O(n) plan. SCReduceOp remains for the calibrated baseline.
+type SCReduceOp = splitc.ReduceOp
 
 // Split-C reduction operators.
+//
+// Deprecated: use Sum, Max, and Min with the typed AllReduce/Reduce.
 const (
 	SCOpSum = splitc.OpSum
 	SCOpMax = splitc.OpMax
@@ -241,6 +268,10 @@ const (
 )
 
 // NewSCSpread allocates a spread array of n doubles over procs processors.
+//
+// Deprecated: use NewDist[float64] with LayoutCyclic for the same layout
+// with typed elements, async accessors, and team scoping. NewSCSpread
+// remains for the calibrated Split-C baseline measurements.
 func NewSCSpread(procs, n int) *SCSpread { return splitc.NewSpreadF64(procs, n) }
 
 // NewSplitC builds a Split-C world over m.

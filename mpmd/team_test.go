@@ -1,0 +1,340 @@
+package mpmd_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/mpmd"
+)
+
+// teamMachine builds an n-node machine on the requested backend.
+func teamMachine(n int, live bool) *mpmd.Machine {
+	if live {
+		return mpmd.NewMachineWithBackend(mpmd.SPConfig(), n,
+			mpmd.NewLiveBackend(n, mpmd.LiveOptions{Watchdog: 30 * time.Second}))
+	}
+	return mpmd.NewMachine(mpmd.SPConfig(), n)
+}
+
+// runWorld runs prog on every node of a fresh world team.
+func runWorld(t *testing.T, n int, live bool, prog func(tm *mpmd.Team, th *mpmd.Thread, me int)) {
+	t.Helper()
+	m := teamMachine(n, live)
+	rt := mpmd.NewRuntime(m)
+	tm, err := mpmd.WorldTeam(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		rt.OnNode(i, func(th *mpmd.Thread) { prog(tm, th, i) })
+	}
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func onBackends(t *testing.T, fn func(t *testing.T, live bool)) {
+	t.Run("sim", func(t *testing.T) { fn(t, false) })
+	t.Run("live", func(t *testing.T) { fn(t, true) })
+}
+
+// TestTeamCollectivesTyped drives every typed collective through the public
+// surface on both backends, on a non-power-of-two team.
+func TestTeamCollectivesTyped(t *testing.T) {
+	onBackends(t, func(t *testing.T, live bool) {
+		const n = 5
+		type stats struct {
+			Sum   int64
+			Label string
+		}
+		bcasts := make([]stats, n)
+		sums := make([]int64, n)
+		maxs := make([]float64, n)
+		gathered := make([][]string, n)
+		scattered := make([]int64, n)
+		runWorld(t, n, live, func(tm *mpmd.Team, th *mpmd.Thread, me int) {
+			check := func(err error) {
+				if err != nil {
+					t.Error(err)
+				}
+			}
+			// Struct broadcast from rank 2.
+			v, err := mpmd.Broadcast(th, tm, 2, stats{Sum: int64(me * 100), Label: "from-2"})
+			check(err)
+			bcasts[me] = v
+			// Integer all-reduce (exact), float max.
+			s, err := mpmd.AllReduce(th, tm, int64(me+1), mpmd.Sum[int64])
+			check(err)
+			sums[me] = s
+			mx, err := mpmd.AllReduce(th, tm, float64(me)*1.5, mpmd.Max[float64])
+			check(err)
+			maxs[me] = mx
+			// String all-gather.
+			g, err := mpmd.AllGather(th, tm, string(rune('a'+me)))
+			check(err)
+			gathered[me] = g
+			// Scatter from the last rank.
+			var all []int64
+			if tm.Rank(th) == n-1 {
+				all = make([]int64, n)
+				for i := range all {
+					all[i] = int64(10 * (i + 1))
+				}
+			}
+			sc, err := mpmd.Scatter(th, tm, n-1, all)
+			check(err)
+			scattered[me] = sc
+			check(tm.Barrier(th))
+		})
+		for me := 0; me < n; me++ {
+			if bcasts[me] != (stats{Sum: 200, Label: "from-2"}) {
+				t.Errorf("member %d: broadcast got %+v", me, bcasts[me])
+			}
+			if sums[me] != n*(n+1)/2 {
+				t.Errorf("member %d: sum %d, want %d", me, sums[me], n*(n+1)/2)
+			}
+			if maxs[me] != float64(n-1)*1.5 {
+				t.Errorf("member %d: max %v, want %v", me, maxs[me], float64(n-1)*1.5)
+			}
+			for r, s := range gathered[me] {
+				if s != string(rune('a'+r)) {
+					t.Errorf("member %d: allgather[%d]=%q", me, r, s)
+				}
+			}
+			if scattered[me] != int64(10*(me+1)) {
+				t.Errorf("member %d: scattered %d, want %d", me, scattered[me], 10*(me+1))
+			}
+		}
+	})
+}
+
+// TestTeamSplitTyped checks sub-team isolation through the public surface.
+func TestTeamSplitTyped(t *testing.T) {
+	onBackends(t, func(t *testing.T, live bool) {
+		const n = 6
+		subSums := make([]int64, n)
+		worldSums := make([]int64, n)
+		runWorld(t, n, live, func(tm *mpmd.Team, th *mpmd.Thread, me int) {
+			sub, err := tm.Split(th, me%3, me)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			s, err := mpmd.AllReduce(th, sub, int64(me), mpmd.Sum[int64])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			subSums[me] = s
+			w, err := mpmd.AllReduce(th, tm, int64(1), mpmd.Sum[int64])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			worldSums[me] = w
+		})
+		for me := 0; me < n; me++ {
+			want := int64(me%3 + me%3 + 3) // the two members with this color
+			if subSums[me] != want {
+				t.Errorf("member %d: subteam sum %d, want %d", me, subSums[me], want)
+			}
+			if worldSums[me] != n {
+				t.Errorf("member %d: world sum %d, want %d", me, worldSums[me], n)
+			}
+		}
+	})
+}
+
+// TestCollectiveMisuse exercises the error paths: non-member calls, bad
+// roots, pre-run calls, unmarshallable types.
+func TestCollectiveMisuse(t *testing.T) {
+	m := mpmd.NewMachine(mpmd.SPConfig(), 3)
+	rt := mpmd.NewRuntime(m)
+	tm, err := mpmd.WorldTeam(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tm.Barrier(nil); err == nil {
+		t.Error("Barrier outside a running program did not error")
+	}
+	errs := make(chan error, 8)
+	rt.OnNode(0, func(th *mpmd.Thread) {
+		sub, err := tm.Split(th, 0, 0)
+		if err != nil {
+			errs <- err
+			return
+		}
+		_ = sub
+		if _, err := mpmd.Broadcast(th, tm, 7, 1.0); err == nil {
+			t.Error("Broadcast with out-of-range root did not error")
+		}
+		type bad struct{ Ch chan int }
+		if _, err := mpmd.AllReduce(th, tm, bad{}, func(a, b bad) bad { return a }); err == nil {
+			t.Error("AllReduce of unmarshallable type did not error")
+		}
+		var nilTeam *mpmd.Team
+		if err := nilTeam.Barrier(th); err == nil {
+			t.Error("Barrier on nil team did not error")
+		}
+		// Make the remaining members' Split complete.
+		errs <- nil
+	})
+	for i := 1; i < 3; i++ {
+		i := i
+		rt.OnNode(i, func(th *mpmd.Thread) {
+			if _, err := tm.Split(th, 0, i); err != nil {
+				errs <- err
+			}
+			// A non-member thread cannot use a foreign subteam; checked via
+			// Rank below (worlds include everyone, so build a subteam of
+			// nodes 1,2 and let node 0's misuse be caught above).
+		})
+	}
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	close(errs)
+	for e := range errs {
+		if e != nil {
+			t.Error(e)
+		}
+	}
+}
+
+// TestNonMemberCollective: a thread on a node outside the team gets an
+// error, not a hang.
+func TestNonMemberCollective(t *testing.T) {
+	const n = 4
+	m := mpmd.NewMachine(mpmd.SPConfig(), n)
+	rt := mpmd.NewRuntime(m)
+	world, err := mpmd.WorldTeam(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var subErr error
+	for i := 0; i < n; i++ {
+		i := i
+		rt.OnNode(i, func(th *mpmd.Thread) {
+			color := 0
+			if i == 3 {
+				color = 1
+			}
+			sub, err := world.Split(th, color, i)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if i == 3 {
+				// Node 3's team is {3}; using the 0-2 team must fail. It
+				// cannot have a reference to it in this program shape, so
+				// check the rank query contract instead.
+				if sub.Size() != 1 || sub.Rank(th) != 0 {
+					t.Errorf("singleton team wrong: size %d rank %d", sub.Size(), sub.Rank(th))
+				}
+				if world.RankOfNode(99) != -1 {
+					t.Error("RankOfNode(99) != -1")
+				}
+				return
+			}
+			if got := sub.RankOfNode(3); got != -1 {
+				subErr = err
+				t.Errorf("node 3 has rank %d in the 0-2 subteam", got)
+			}
+		})
+	}
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if subErr != nil {
+		t.Error(subErr)
+	}
+}
+
+// TestCollectivePropertyRoundTrips is the randomized acceptance property:
+// tree Reduce/AllReduce match a sequential fold, and Scatter+Gather
+// round-trip the identity, on random inputs and team sizes including
+// non-powers of two.
+func TestCollectivePropertyRoundTrips(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8) // team sizes 2..9
+		root := rng.Intn(n)
+		ints := make([]int64, n)
+		floats := make([]float64, n)
+		var wantSum int64
+		wantMin := math.Inf(1)
+		for i := range ints {
+			ints[i] = int64(rng.Intn(2000) - 1000)
+			wantSum += ints[i]
+			floats[i] = rng.NormFloat64()
+			if floats[i] < wantMin {
+				wantMin = floats[i]
+			}
+		}
+		scatterIn := make([]int64, n)
+		for i := range scatterIn {
+			scatterIn[i] = rng.Int63()
+		}
+
+		m := mpmd.NewMachine(mpmd.SPConfig(), n)
+		rt := mpmd.NewRuntime(m)
+		tm, err := mpmd.WorldTeam(rt)
+		if err != nil {
+			return false
+		}
+		ok := true
+		fail := func() { ok = false }
+		for i := 0; i < n; i++ {
+			i := i
+			rt.OnNode(i, func(th *mpmd.Thread) {
+				// Reduce to a random root: exact integer fold.
+				red, atRoot, err := mpmd.Reduce(th, tm, root, ints[i], mpmd.Sum[int64])
+				if err != nil || atRoot != (i == tm.Node(root)) {
+					fail()
+					return
+				}
+				if atRoot && red != wantSum {
+					fail()
+				}
+				// AllReduce min: exact (min is order-independent).
+				mn, err := mpmd.AllReduce(th, tm, floats[i], mpmd.Min[float64])
+				if err != nil || mn != wantMin {
+					fail()
+				}
+				// Scatter then Gather must round-trip the identity.
+				var all []int64
+				if tm.Rank(th) == root {
+					all = scatterIn
+				}
+				mine, err := mpmd.Scatter(th, tm, root, all)
+				if err != nil {
+					fail()
+					return
+				}
+				back, atRoot2, err := mpmd.Gather(th, tm, root, mine)
+				if err != nil {
+					fail()
+					return
+				}
+				if atRoot2 {
+					for r := range back {
+						if back[r] != scatterIn[r] {
+							fail()
+						}
+					}
+				}
+			})
+		}
+		if err := rt.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -162,19 +162,25 @@ func Invoke[A, R, T any](t *Thread, r Ref[T], method string, args A) (R, error) 
 	return out, nil
 }
 
-// InvokeAsync starts a typed RMI and returns immediately; Async.Wait joins
+// InvokeAsync starts a typed RMI and returns immediately; Future.Wait joins
 // and yields the result. Lowers onto Runtime.CallAsync.
-func InvokeAsync[A, R, T any](t *Thread, r Ref[T], method string, args A) (*Async[R], error) {
+func InvokeAsync[A, R, T any](t *Thread, r Ref[T], method string, args A) (*Future[R], error) {
 	m, err := bind(t, r, method, typeOf[A](), typeOf[R](), false)
 	if err != nil {
 		return nil, err
 	}
 	wire := m.WireArgs(reflect.ValueOf(args))
+	var load func() R
 	var ret core.Arg
 	if m.HasRet() {
 		ret = m.NewRetArg()
+		load = func() R {
+			var out R
+			m.LoadRet(ret, reflect.ValueOf(&out).Elem())
+			return out
+		}
 	}
-	return &Async[R]{f: r.rt.CallAsync(t, r.gp, method, wire, ret), m: m, ret: ret}, nil
+	return &Future[R]{f: r.rt.CallAsync(t, r.gp, method, wire, ret), load: load}, nil
 }
 
 // InvokeOneWay starts a fire-and-forget typed RMI (no reply message at
@@ -188,23 +194,34 @@ func InvokeOneWay[A, T any](t *Thread, r Ref[T], method string, args A) error {
 	return nil
 }
 
-// Async is the typed join handle of an asynchronous RMI.
-type Async[R any] struct {
-	f   *Future
-	m   *rmigen.Method
-	ret core.Arg
+// Future is the typed join handle of a split-phase operation: an
+// asynchronous RMI (InvokeAsync) or a Dist array access (Dist.GetAsync,
+// Dist.PutAsync). Wait returns the typed result directly — no manual type
+// assertions, closing the last untyped hole in the v2 surface. The
+// low-level core.Future remains available as UntypedFuture.
+type Future[R any] struct {
+	f *core.Future
+	// load decodes the landed result (wall-time-only bookkeeping); nil for
+	// void results.
+	load func() R
 }
 
-// Wait blocks until the reply has landed and returns the result (the zero R
-// for void methods).
-func (a *Async[R]) Wait(t *threads.Thread) R {
-	a.f.Wait(t)
-	var out R
-	if a.m.HasRet() {
-		a.m.LoadRet(a.ret, reflect.ValueOf(&out).Elem())
+// Wait blocks until the operation has completed and returns the result (the
+// zero R for void operations).
+func (fu *Future[R]) Wait(t *threads.Thread) R {
+	fu.f.Wait(t)
+	if fu.load == nil {
+		var zero R
+		return zero
 	}
-	return out
+	return fu.load()
 }
 
-// Done reports (without blocking) whether the reply has landed.
-func (a *Async[R]) Done() bool { return a.f.Done() }
+// Done reports (without blocking) whether the operation has completed.
+func (fu *Future[R]) Done() bool { return fu.f.Done() }
+
+// Async is the former name of Future.
+//
+// Deprecated: use Future. InvokeAsync and the Dist accessors return the
+// same typed handle under its new name.
+type Async[R any] = Future[R]

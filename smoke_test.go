@@ -72,3 +72,76 @@ func TestSmokeLive(t *testing.T) {
 		mpmd.NewLiveBackend(2, mpmd.LiveOptions{Watchdog: 20 * time.Second}))
 	smokeProgram(t, m)
 }
+
+// collectiveProgram drives the data-parallel surface — world team, typed
+// AllReduce, Dist round-trip with typed futures — through the public API.
+func collectiveProgram(t *testing.T, m *mpmd.Machine) {
+	t.Helper()
+	const n = 3
+	rt := mpmd.NewRuntime(m)
+	tm, err := mpmd.WorldTeam(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := mpmd.NewDist[int64](tm, 7, mpmd.LayoutCyclic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := make([]int64, n)
+	totals := make([]int64, n)
+	for i := 0; i < n; i++ {
+		i := i
+		rt.OnNode(i, func(th *mpmd.Thread) {
+			s, err := mpmd.AllReduce(th, tm, int64(i+1), mpmd.Sum[int64])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			sums[i] = s
+			// Everyone writes one element it does not own, split-phase.
+			f, err := d.PutAsync(th, (i+1)%7, int64(10*(i+1)))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			f.Wait(th)
+			if err := tm.Barrier(th); err != nil {
+				t.Error(err)
+				return
+			}
+			var total int64
+			for e := 0; e < d.Len(); e++ {
+				v, err := d.Get(th, e)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				total += v
+			}
+			totals[i] = total
+		})
+	}
+	if err := rt.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		if sums[i] != 6 {
+			t.Errorf("node %d: AllReduce sum %d, want 6", i, sums[i])
+		}
+		if totals[i] != 10+20+30 {
+			t.Errorf("node %d: Dist total %d, want 60", i, totals[i])
+		}
+	}
+}
+
+// TestSmokeCollectivesSim guards the team/Dist surface on the simulator.
+func TestSmokeCollectivesSim(t *testing.T) {
+	collectiveProgram(t, mpmd.NewMachine(mpmd.SPConfig(), 3))
+}
+
+// TestSmokeCollectivesLive runs the identical program on real goroutines.
+func TestSmokeCollectivesLive(t *testing.T) {
+	m := mpmd.NewMachineWithBackend(mpmd.SPConfig(), 3,
+		mpmd.NewLiveBackend(3, mpmd.LiveOptions{Watchdog: 20 * time.Second}))
+	collectiveProgram(t, m)
+}
