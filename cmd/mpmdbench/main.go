@@ -8,15 +8,17 @@
 //	mpmdbench [-quick] [-json] [-backend=sim|live] [experiment ...]
 //
 // Experiments on the sim backend: table1, table4, fig5, fig6-water,
-// fig6-lu, nexus, ablate, irregular, coll, all (default). The live backend
-// runs the live microbenchmark suite (RMI round-trips, bulk bandwidth,
-// barrier) plus the collective-operations table.
+// fig6-lu, nexus, ablate, irregular, coll, throughput, all (default). The
+// live backend runs the live microbenchmark suite (RMI round-trips, bulk
+// bandwidth, barrier) plus the collective-operations table and the
+// sustained-throughput experiment (warm RMI/s and bulk MB/s per node count).
 //
 // -json replaces the text tables with one machine-readable report on
-// stdout (schema mpmdbench/v2; duration fields in nanoseconds), so runs can
+// stdout (schema mpmdbench/v3; duration fields in nanoseconds), so runs can
 // be accumulated into a performance trajectory:
 //
 //	mpmdbench -quick -json table4 > BENCH_table4.json
+//	mpmdbench -quick -json -backend=live > BENCH_live.json
 package main
 
 import (
@@ -34,7 +36,7 @@ func main() {
 	backend := flag.String("backend", "sim",
 		"execution backend: sim (calibrated discrete-event model) or live (real goroutines, wall-clock)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mpmdbench [-quick] [-json] [-backend=sim|live] [table1|table4|fig5|fig6-water|fig6-lu|nexus|ablate|irregular|coll|all ...]\n")
+		fmt.Fprintf(os.Stderr, "usage: mpmdbench [-quick] [-json] [-backend=sim|live] [table1|table4|fig5|fig6-water|fig6-lu|nexus|ablate|irregular|coll|throughput|all ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -72,16 +74,22 @@ func main() {
 		start = time.Now()
 		collRows := bench.RunCollBench(cfg, scale, "live")
 		collDur := time.Since(start)
+		start = time.Now()
+		tputRows := bench.RunThroughput(cfg, scale, "live")
+		tputDur := time.Since(start)
 		if *asJSON {
 			report.Add("live-micro", micro, rows)
 			report.Add("coll", collDur, collRows)
+			report.Add("throughput", tputDur, tputRows)
 			emit()
 			return
 		}
 		fmt.Print(bench.FormatLiveMicro(rows))
 		fmt.Printf("[live micro finished in %v]\n\n", micro.Round(time.Millisecond))
 		fmt.Print(bench.FormatColl(collRows, "live"))
-		fmt.Printf("[coll finished in %v]\n", collDur.Round(time.Millisecond))
+		fmt.Printf("[coll finished in %v]\n\n", collDur.Round(time.Millisecond))
+		fmt.Print(bench.FormatThroughput(tputRows, "live"))
+		fmt.Printf("[throughput finished in %v]\n", tputDur.Round(time.Millisecond))
 		return
 	default:
 		fmt.Fprintf(os.Stderr, "mpmdbench: unknown backend %q (want sim or live)\n", *backend)
@@ -158,6 +166,10 @@ func main() {
 	run("coll", func() (any, func() string) {
 		rows := bench.RunCollBench(cfg, scale, "sim")
 		return rows, func() string { return bench.FormatColl(rows, "sim") }
+	})
+	run("throughput", func() (any, func() string) {
+		rows := bench.RunThroughput(cfg, scale, "sim")
+		return rows, func() string { return bench.FormatThroughput(rows, "sim") }
 	})
 
 	if ran == 0 {

@@ -12,10 +12,12 @@ package am
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/machine"
 	"repro/internal/threads"
+	"repro/internal/wire"
 )
 
 // HandlerID names a registered handler. IDs are identical on every node
@@ -34,9 +36,16 @@ type Msg struct {
 	H HandlerID
 	// A holds the four word-sized arguments of a short AM.
 	A [4]uint64
-	// Payload is the bulk payload (nil for short messages). It is the
-	// receiver's copy; handlers may retain it.
+	// Payload is the bulk payload (nil for short messages). It is a view
+	// into a pooled wire buffer, valid only while the handler runs: the AM
+	// layer recycles the buffer when the handler returns (run-to-completion
+	// is the retention window). A handler that needs the bytes afterwards
+	// must copy them out, or Retain PayloadBuf and Release it when done.
 	Payload []byte
+	// PayloadBuf is the pooled buffer backing Payload (nil for short
+	// messages). Handlers normally leave it alone; see Payload for the
+	// retention rule.
+	PayloadBuf *wire.Buf
 	// Obj carries a simulation-side object reference. On real hardware
 	// this would be a raw address packed into the word arguments; in the
 	// simulator it lets handlers touch the destination object directly
@@ -191,12 +200,30 @@ func (ep *Endpoint) RequestBulk(t *threads.Thread, dst int, h HandlerID, payload
 }
 
 // Request is the parameterized send path. The payload (if any) is copied at
-// send time (value semantics: the sender may reuse its buffer immediately),
-// the sender pays its overheads plus per-byte occupancy, and wire delivery is
-// delayed by the serialization time plus opts.ExtraWire.
+// send time into a pooled wire buffer (value semantics: the sender may reuse
+// its own buffer immediately), the sender pays its overheads plus per-byte
+// occupancy, and wire delivery is delayed by the serialization time plus
+// opts.ExtraWire.
 func (ep *Endpoint) Request(t *threads.Thread, dst int, h HandlerID, a [4]uint64, obj any, payload []byte, opts SendOpts) {
+	var buf *wire.Buf
+	if len(payload) > 0 {
+		buf = wire.Copy(payload)
+	}
+	ep.RequestOwned(t, dst, h, a, obj, buf, opts)
+}
+
+// RequestOwned is the zero-copy send path: ownership of buf (which may be
+// nil for an empty payload) transfers to the message layer, which hands it
+// across to the receiver uncopied and recycles it when the receiving handler
+// completes. The caller must not touch buf after the call. The runtime's
+// marshalling path uses this to ship argument bytes with no staging copy and
+// no per-send allocation.
+func (ep *Endpoint) RequestOwned(t *threads.Thread, dst int, h HandlerID, a [4]uint64, obj any, buf *wire.Buf, opts SendOpts) {
 	cfg := t.Cfg()
-	n := len(payload)
+	n := 0
+	if buf != nil {
+		n = buf.Len()
+	}
 	if n > 0 && !opts.Bulk {
 		panic("am: payload requires the bulk path")
 	}
@@ -206,33 +233,38 @@ func (ep *Endpoint) Request(t *threads.Thread, dst int, h HandlerID, a [4]uint64
 	}
 	ser := time.Duration(n) * gap
 	over := cfg.SendOverhead + opts.ExtraSendCPU + ser
-	wire := int64(shortWireBytes)
+	wireBytes := int64(shortWireBytes)
 	if opts.Bulk {
 		over += cfg.BulkExtraSend
-		wire += int64(n)
+		wireBytes += int64(n)
 		ep.node.Acct.Count(machine.CntMsgBulk, 1)
 	} else {
 		ep.node.Acct.Count(machine.CntMsgShort, 1)
 	}
-	ep.node.Acct.Count(machine.CntBytesSent, wire)
+	ep.node.Acct.Count(machine.CntBytesSent, wireBytes)
 	t.Charge(machine.CatNet, over)
-	var cp []byte
-	if n > 0 {
-		cp = make([]byte, n)
-		copy(cp, payload)
-	}
-	msg := Msg{
+	msg := msgPool.Get().(*Msg)
+	*msg = Msg{
 		Bulk: opts.Bulk, Src: ep.node.ID, Dst: dst, H: h, A: a,
-		Payload: cp, Obj: obj, RecvExtra: opts.ExtraRecvCPU,
+		Obj: obj, RecvExtra: opts.ExtraRecvCPU, PayloadBuf: buf,
 	}
-	ep.send(dst, ser+opts.ExtraWire, int(wire), msg)
+	if buf != nil {
+		msg.Payload = buf.Bytes()
+	}
+	ep.send(dst, ser+opts.ExtraWire, int(wireBytes), msg)
 	ep.pollOnSend(t)
 }
+
+// msgPool recycles message envelopes: a packet carries a *Msg, so the
+// envelope would otherwise be one heap allocation per send (boxing a large
+// struct into the packet's any). Poll returns the envelope before running
+// the handler, which receives a value copy.
+var msgPool = sync.Pool{New: func() any { return new(Msg) }}
 
 // shortWireBytes models the wire footprint of a short AM (header + 4 words).
 const shortWireBytes = 48
 
-func (ep *Endpoint) send(dst int, extraWire time.Duration, size int, msg Msg) {
+func (ep *Endpoint) send(dst int, extraWire time.Duration, size int, msg *Msg) {
 	if dst == ep.node.ID {
 		ep.node.Loopback(size, msg)
 		return
@@ -252,17 +284,22 @@ func (ep *Endpoint) pollOnSend(t *threads.Thread) {
 
 // Poll services at most one pending message, charging the receive overhead
 // and running its handler inline in t. It reports whether a message was
-// handled.
+// handled. The handler receives a value copy of the envelope; the pooled
+// envelope recycles immediately and the payload buffer (if any) recycles
+// when the handler returns — the run-to-completion retention window.
 func (ep *Endpoint) Poll(t *threads.Thread) bool {
 	ep.node.Acct.Count(machine.CntPolls, 1)
 	pkt, ok := ep.node.PopInbox()
 	if !ok {
 		return false
 	}
-	msg, ok := pkt.Payload.(Msg)
+	pm, ok := pkt.Payload.(*Msg)
 	if !ok {
 		panic(fmt.Sprintf("am: foreign packet in inbox of node %d: %T", ep.node.ID, pkt.Payload))
 	}
+	msg := *pm
+	*pm = Msg{}
+	msgPool.Put(pm)
 	cfg := t.Cfg()
 	over := cfg.RecvOverhead + msg.RecvExtra + ep.interruptCost
 	if msg.Bulk {
@@ -276,6 +313,9 @@ func (ep *Endpoint) Poll(t *threads.Thread) bool {
 	ep.polling = true
 	h(t, msg)
 	ep.polling = wasPolling
+	if msg.PayloadBuf != nil {
+		msg.PayloadBuf.Release()
+	}
 	return true
 }
 

@@ -98,7 +98,9 @@ func TestBulkPayloadCopiedAtSend(t *testing.T) {
 	m, net, scheds := rig(2)
 	var got []byte
 	h := net.Register("h", func(th *threads.Thread, msg Msg) {
-		got = msg.Payload
+		// The payload is only valid during the handler (its pooled buffer
+		// recycles on return), so retaining it means copying it.
+		got = append([]byte(nil), msg.Payload...)
 	})
 	scheds[0].Start("main", func(th *threads.Thread) {
 		buf := []byte{1, 2, 3}

@@ -11,7 +11,6 @@ import (
 
 func snap(cpu, net, rt time.Duration) machine.Snapshot {
 	var s machine.Snapshot
-	s.Counters = map[string]int64{}
 	s.Buckets[machine.CatCPU] = cpu
 	s.Buckets[machine.CatNet] = net
 	s.Buckets[machine.CatRuntime] = rt

@@ -35,10 +35,11 @@ type Experiment struct {
 	Rows any `json:"rows"`
 }
 
-// ReportSchema is the current report schema identifier. v2 added the
-// collective-operations experiment ("coll", []CollRow) on both backends;
-// v1 reports are otherwise layout-compatible.
-const ReportSchema = "mpmdbench/v2"
+// ReportSchema is the current report schema identifier. v3 added the
+// sustained-throughput experiment ("throughput", []ThroughputRow) on both
+// backends; v2 added the collective-operations experiment ("coll",
+// []CollRow). Earlier reports are otherwise layout-compatible.
+const ReportSchema = "mpmdbench/v3"
 
 // NewReport starts an empty report for the given backend, profile and scale.
 func NewReport(backend, profile, scale string) *Report {

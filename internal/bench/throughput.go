@@ -1,0 +1,168 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/threads"
+)
+
+// ThroughputRow is one line of the sustained-throughput experiment: half the
+// nodes act as clients, each driving warm RMIs (or 1 KiB bulk puts) at its
+// paired server node as fast as the backend allows. Elapsed is the backend
+// clock over the measured region — wall time on the live backend, virtual
+// time on the simulator — so OpsPerSec is directly comparable across runs of
+// the same backend and establishes the wire-path performance trajectory.
+type ThroughputRow struct {
+	Experiment string        `json:"experiment"` // "rmi" or "bulk"
+	Nodes      int           `json:"nodes"`
+	Pairs      int           `json:"pairs"`
+	Iters      int           `json:"iters_per_pair"`
+	Elapsed    time.Duration `json:"elapsed_ns"`
+	OpsPerSec  float64       `json:"ops_per_sec"`
+	MBps       float64       `json:"mbps"` // non-zero for bulk rows
+}
+
+// throughputBulkBytes sizes the bulk rows (1 KiB, the pinned warm-bulk size).
+const throughputBulkBytes = 1024
+
+// tputObj is the server-side sink object for the throughput rows.
+type tputObj struct{ buf []byte }
+
+// throughputClass is the server-side processor object: a no-argument null
+// method for the RMI rows and a 1 KiB sink for the bulk rows.
+func throughputClass() *core.Class {
+	return &core.Class{
+		Name: "Tput",
+		New:  func() any { return &tputObj{buf: make([]byte, throughputBulkBytes)} },
+		Methods: []*core.Method{
+			{Name: "null", Fn: func(t *threads.Thread, self any, a []core.Arg, r core.Arg) {}},
+			{Name: "sink",
+				NewArgs: func() []core.Arg { return []core.Arg{&core.Bytes{}} },
+				Fn: func(t *threads.Thread, self any, a []core.Arg, r core.Arg) {
+					copy(self.(*tputObj).buf, a[0].(*core.Bytes).V)
+				}},
+		},
+	}
+}
+
+// runThroughputOnce builds a fresh machine of the given backend and node
+// count and drives iters operations from every client node concurrently.
+// body runs one warm operation; the returned duration is the backend-clock
+// span from the first post-warm-up operation to the last completion across
+// all clients.
+func runThroughputOnce(cfg machine.Config, backend string, nodes, iters int,
+	body func(rt *core.Runtime, gp core.GPtr, t *threads.Thread)) time.Duration {
+	var m *machine.Machine
+	if backend == "live" {
+		m = liveMachine(cfg, nodes)
+	} else {
+		m = machine.New(cfg, nodes)
+	}
+	rt := core.NewRuntime(m)
+	rt.RegisterClass(throughputClass())
+	pairs := nodes / 2
+	gps := make([]core.GPtr, pairs)
+	for i := 0; i < pairs; i++ {
+		gps[i] = rt.CreateObject(pairs+i, "Tput")
+	}
+	var start, end time.Duration
+	bar := rt.NewBarrier(0, pairs)
+	for i := 0; i < pairs; i++ {
+		i := i
+		rt.OnNode(i, func(t *threads.Thread) {
+			for k := 0; k < 3; k++ { // warm stubs, buffers, pools
+				body(rt, gps[i], t)
+			}
+			bar.Arrive(t)
+			if i == 0 {
+				start = m.Now()
+			}
+			for k := 0; k < iters; k++ {
+				body(rt, gps[i], t)
+			}
+			bar.Arrive(t)
+			if i == 0 {
+				end = m.Now()
+			}
+		})
+	}
+	if err := rt.Run(); err != nil {
+		panic(fmt.Sprintf("throughput %s/%d nodes: %v", backend, nodes, err))
+	}
+	return end - start
+}
+
+// throughputNodeCounts picks the machine sizes per scale.
+func throughputNodeCounts(sc Scale) []int {
+	if sc.Name == "quick" {
+		return []int{2, 4}
+	}
+	return []int{2, 4, 8}
+}
+
+// RunThroughput measures sustained warm-RMI rate and bulk bandwidth per node
+// count on the given backend ("sim" or "live").
+func RunThroughput(cfg machine.Config, sc Scale, backend string) []ThroughputRow {
+	iters := sc.MicroIters
+	payload := make([]byte, throughputBulkBytes)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	var rows []ThroughputRow
+	for _, nodes := range throughputNodeCounts(sc) {
+		pairs := nodes / 2
+		elapsed := runThroughputOnce(cfg, backend, nodes, iters,
+			func(rt *core.Runtime, gp core.GPtr, t *threads.Thread) {
+				rt.Call(t, gp, "null", nil, nil)
+			})
+		row := ThroughputRow{Experiment: "rmi", Nodes: nodes, Pairs: pairs,
+			Iters: iters, Elapsed: elapsed}
+		if elapsed > 0 {
+			row.OpsPerSec = float64(pairs*iters) / elapsed.Seconds()
+		}
+		rows = append(rows, row)
+
+		// Hoisted: a fresh []Arg literal inside the measured loop would add
+		// one allocation per op to the very metric this experiment tracks.
+		bulkArgs := []core.Arg{&core.Bytes{V: payload}}
+		elapsed = runThroughputOnce(cfg, backend, nodes, iters,
+			func(rt *core.Runtime, gp core.GPtr, t *threads.Thread) {
+				rt.Call(t, gp, "sink", bulkArgs, nil)
+			})
+		row = ThroughputRow{Experiment: "bulk", Nodes: nodes, Pairs: pairs,
+			Iters: iters, Elapsed: elapsed}
+		if elapsed > 0 {
+			row.OpsPerSec = float64(pairs*iters) / elapsed.Seconds()
+			row.MBps = row.OpsPerSec * throughputBulkBytes / (1 << 20)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FormatThroughput renders the sustained-throughput table.
+func FormatThroughput(rows []ThroughputRow, backend string) string {
+	var b strings.Builder
+	clock := "virtual time"
+	if backend == "live" {
+		clock = "wall-clock"
+	}
+	fmt.Fprintf(&b, "Sustained wire-path throughput (%s backend, %s)\n", backend, clock)
+	fmt.Fprintf(&b, "%-6s | %5s | %5s | %10s | %12s | %10s\n",
+		"exp", "nodes", "pairs", "elapsed", "ops/s", "bandwidth")
+	for _, r := range rows {
+		bw := "-"
+		if r.MBps > 0 {
+			bw = fmt.Sprintf("%.0f MB/s", r.MBps)
+		}
+		fmt.Fprintf(&b, "%-6s | %5d | %5d | %10s | %12.0f | %10s\n",
+			r.Experiment, r.Nodes, r.Pairs, r.Elapsed.Round(10*time.Microsecond), r.OpsPerSec, bw)
+	}
+	fmt.Fprintf(&b, "(half the nodes drive warm null RMIs / 1 KiB bulk puts at the other half;\n")
+	fmt.Fprintf(&b, " rates use the backend clock, so live rows track real GC and scheduling cost)\n")
+	return b.String()
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"runtime/debug"
+	"testing"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/threads"
+	"repro/internal/transport/live"
+)
+
+// allocBenchClass is the warm-path test class: a null method and a 1 KiB
+// byte sink.
+func allocBenchClass() *Class {
+	return &Class{
+		Name: "AllocBench",
+		New:  func() any { return &allocBenchObj{buf: make([]byte, 1024)} },
+		Methods: []*Method{
+			{Name: "null", Fn: func(t *threads.Thread, self any, args []Arg, ret Arg) {}},
+			{Name: "sink",
+				NewArgs: func() []Arg { return []Arg{&Bytes{}} },
+				Fn: func(t *threads.Thread, self any, args []Arg, ret Arg) {
+					copy(self.(*allocBenchObj).buf, args[0].(*Bytes).V)
+				}},
+		},
+	}
+}
+
+type allocBenchObj struct{ buf []byte }
+
+// TestWarmPathAllocsPerRun pins the warm-path allocation budget of the live
+// backend: a warm null RMI round trip and a warm 1 KiB bulk RMI must each
+// average at most 2 allocations per operation across the whole machine
+// (sender, receiver, and delivery workers all run inside the measurement
+// window). This is the refactor's enforcement point — pooled wire buffers,
+// recycled call records and decode frames, ring inboxes, and closure-free
+// delivery are what keep this number at ~0; a regression anywhere on the
+// path shows up here as a budget overrun.
+func TestWarmPathAllocsPerRun(t *testing.T) {
+	const budget = 2.0
+	m := machine.NewWithBackend(machine.SP1997(), 2,
+		live.New(2, live.Options{Watchdog: 2 * time.Minute}))
+	rt := NewRuntime(m)
+	rt.RegisterClass(allocBenchClass())
+	gp := rt.CreateObject(1, "AllocBench")
+	payload := make([]byte, 1024)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	arg := &Bytes{V: payload}
+	argSlice := []Arg{arg}
+	var nullAllocs, bulkAllocs float64
+	rt.OnNode(0, func(th *threads.Thread) {
+		// Warm everything: stub cache, persistent R-buffers, wire-buffer
+		// pools, call records, decode frames, ring capacities.
+		for i := 0; i < 8; i++ {
+			rt.Call(th, gp, "null", nil, nil)
+			rt.Call(th, gp, "sink", argSlice, nil)
+		}
+		// A GC inside the measured window would drain the sync.Pools and
+		// make their refills count against the budget; switch it off for
+		// determinism (the warm path's whole point is that it produces no
+		// garbage to collect).
+		defer debug.SetGCPercent(debug.SetGCPercent(-1))
+		nullAllocs = testing.AllocsPerRun(300, func() {
+			rt.Call(th, gp, "null", nil, nil)
+		})
+		bulkAllocs = testing.AllocsPerRun(300, func() {
+			rt.Call(th, gp, "sink", argSlice, nil)
+		})
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("warm null RMI: %.2f allocs/op; warm 1KiB bulk: %.2f allocs/op", nullAllocs, bulkAllocs)
+	if nullAllocs > budget {
+		t.Errorf("warm null RMI allocates %.2f/op, budget %v", nullAllocs, budget)
+	}
+	if bulkAllocs > budget {
+		t.Errorf("warm 1KiB bulk RMI allocates %.2f/op, budget %v", bulkAllocs, budget)
+	}
+}

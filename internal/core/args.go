@@ -12,6 +12,8 @@ package core
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/wire"
 )
 
 // Arg is one marshallable RMI argument or return value. Encode and Decode
@@ -146,7 +148,8 @@ func (a *Str) Decode(b []byte) int {
 }
 
 // encodeArgs marshals args into a fresh buffer, returning it along with the
-// total serializer-invocation count.
+// total serializer-invocation count. (Test/reference path; the runtime's
+// send path marshals into pooled buffers via marshalArgs.)
 func encodeArgs(args []Arg) (buf []byte, units int) {
 	total := 0
 	for _, a := range args {
@@ -162,6 +165,59 @@ func encodeArgs(args []Arg) (buf []byte, units int) {
 		panic(fmt.Sprintf("core: encode size mismatch: wrote %d of %d", off, total))
 	}
 	return buf, units
+}
+
+// marshalArgs encodes args into a pooled wire buffer sized for the encoded
+// arguments plus extra trailing bytes (the cold path appends the qualified
+// method name there). It returns nil when there is nothing to send at all —
+// the warm null-RMI case, which must stay a short AM. argLen is the encoded
+// argument byte count (excluding extra) and units the serializer-invocation
+// count; both feed the modelled marshalling charge exactly as encodeArgs
+// did. Ownership of the buffer passes to the caller (typically straight
+// through to the message layer).
+func marshalArgs(args []Arg, extra int) (buf *wire.Buf, argLen, units int) {
+	for _, a := range args {
+		argLen += a.WireSize()
+		units += a.MarshalUnits()
+	}
+	if argLen+extra == 0 {
+		return nil, 0, units
+	}
+	buf = wire.Get(argLen + extra)
+	b := buf.Bytes()
+	off := 0
+	for _, a := range args {
+		off += a.Encode(b[off:])
+	}
+	if off != argLen {
+		panic(fmt.Sprintf("core: encode size mismatch: wrote %d of %d", off, argLen))
+	}
+	return buf, argLen, units
+}
+
+// marshalOne encodes a single return Arg into a pooled buffer — the reply
+// path's allocation-free counterpart of encodeArgs([]Arg{ret}).
+func marshalOne(ret Arg) (buf *wire.Buf, n, units int) {
+	n = ret.WireSize()
+	units = ret.MarshalUnits()
+	if n == 0 {
+		return nil, 0, units
+	}
+	buf = wire.Get(n)
+	if off := ret.Encode(buf.Bytes()); off != n {
+		panic(fmt.Sprintf("core: encode size mismatch: wrote %d of %d", off, n))
+	}
+	return buf, n, units
+}
+
+// decodeOne decodes a single Arg from buf — the reply path's
+// allocation-free counterpart of decodeArgs(buf, []Arg{ret}).
+func decodeOne(buf []byte, ret Arg) (units int) {
+	off := ret.Decode(buf)
+	if off != len(buf) {
+		panic(fmt.Sprintf("core: decode size mismatch: read %d of %d", off, len(buf)))
+	}
+	return ret.MarshalUnits()
 }
 
 // decodeArgs unmarshals buf into the given argument instances, returning the

@@ -2,12 +2,14 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/am"
 	"repro/internal/machine"
 	"repro/internal/tham"
 	"repro/internal/threads"
+	"repro/internal/wire"
 )
 
 // callMode selects how the initiator of an RMI waits for completion.
@@ -48,6 +50,29 @@ type rmiMsg struct {
 	comp *completion
 	ret  Arg
 	rbuf *tham.RBuf
+}
+
+// callRec is a pooled sender-side call record: the envelope plus completion
+// of one synchronous RMI, recycled once the caller has observed completion —
+// the warm path's stand-in for the per-call-site records a CC++ stub would
+// keep next to the stub cache. Only synchronous modes (spin/block) pool:
+// futures hand their completion to the application, and one-way envelopes
+// are last touched by the receiver.
+type callRec struct {
+	msg  rmiMsg
+	comp completion
+}
+
+var callRecPool = sync.Pool{New: func() any { return new(callRec) }}
+
+// release returns a consumed record to the pool. The completion's sync
+// variable keeps its waiter backing array, so a recycled record's blocking
+// read stops allocating.
+func (r *callRec) release() {
+	r.msg = rmiMsg{}
+	r.comp.done = false
+	r.comp.sv.Reset()
+	callRecPool.Put(r)
 }
 
 // resolveUpdate is the payload of a stub-cache update message (cold path).
@@ -155,15 +180,36 @@ func (rt *Runtime) invoke(t *threads.Thread, gp GPtr, method string, args []Arg,
 		n.node.Acct.Count(machine.CntStubHit, 1)
 	}
 
-	// Marshal arguments into the S-buffer.
-	payload, units := encodeArgs(args)
+	// Marshal arguments into the S-buffer: a pooled wire buffer whose
+	// ownership passes to the message layer (no staging copy, no per-call
+	// allocation on the warm path). The cold path reserves room for the
+	// qualified method name behind the arguments; the modelled marshalling
+	// charge covers the argument bytes only, exactly as before.
+	extra := 0
+	if cold {
+		extra = len(bm.qname)
+	}
+	buf, argLen, units := marshalArgs(args, extra)
 	t.Charge(machine.CatRuntime,
 		time.Duration(units)*cfg.MarshalPerArg+
-			time.Duration(len(payload))*cfg.MemCopyPerByte)
+			time.Duration(argLen)*cfg.MemCopyPerByte)
 	lockPair(t, &n.bufLock) // S-buffer pool
 
-	comp := &completion{mode: mode}
-	msg := &rmiMsg{from: n, comp: comp, ret: ret}
+	// Synchronous calls draw their envelope+completion from the record
+	// pool; futures and one-ways allocate, since their lifetime escapes
+	// this call.
+	var rec *callRec
+	var comp *completion
+	var msg *rmiMsg
+	if mode == modeSpin || mode == modeBlock {
+		rec = callRecPool.Get().(*callRec)
+		comp, msg = &rec.comp, &rec.msg
+		comp.mode = mode
+	} else {
+		comp = &completion{mode: mode}
+		msg = &rmiMsg{}
+	}
+	msg.from, msg.comp, msg.ret = n, comp, ret
 	var flags uint64
 	if mode != modeOneWay {
 		flags |= flagWantReply
@@ -174,7 +220,7 @@ func (rt *Runtime) invoke(t *threads.Thread, gp GPtr, method string, args []Arg,
 		flags |= flagCold
 		a[2] = uint64(bm.hash)
 		a[3] = uint64(len(bm.qname))
-		payload = append(payload, bm.qname...)
+		copy(buf.Bytes()[argLen:], bm.qname)
 	} else {
 		a[2] = uint64(bm.stub)
 		msg.rbuf = entry.RBuf
@@ -186,13 +232,20 @@ func (rt *Runtime) invoke(t *threads.Thread, gp GPtr, method string, args []Arg,
 	// the bulk path — this is why the paper's 1-Word RMI jumps to the
 	// 70 µs bulk AM cost.
 	lockPair(t, &n.commLock)
-	rt.tr.Send(t, n.node.ID, int(gp.node), rt.hInvoke, a, msg, payload, false)
+	rt.tr.SendBuf(t, n.node.ID, int(gp.node), rt.hInvoke, a, msg, buf, false)
 
 	switch mode {
 	case modeSpin:
-		rt.pollUntil(t, n.node.ID, func() bool { return comp.done })
+		rt.pollUntilDone(t, n.node.ID, comp)
 	case modeBlock:
 		comp.sv.Read(t)
+	}
+	if rec != nil {
+		// Completion observed: the reply handler has run to completion on
+		// this node's CPU, so nothing references the record any more. The
+		// synchronous callers discard the return value.
+		rec.release()
+		return nil
 	}
 	return comp
 }
@@ -287,6 +340,22 @@ func (rt *Runtime) pollUntil(t *threads.Thread, me int, cond func() bool) {
 	rt.tr.KickService(me)
 }
 
+// pollUntilDone is pollUntil specialized to a completion, so the spinning
+// fast path constructs no condition closure.
+func (rt *Runtime) pollUntilDone(t *threads.Thread, me int, comp *completion) {
+	for !comp.done {
+		if rt.tr.Poll(t, me) {
+			continue
+		}
+		if t.Scheduler().ReadyLen() > 0 {
+			t.Yield()
+			continue
+		}
+		rt.tr.WaitMessage(t, me)
+	}
+	rt.tr.KickService(me)
+}
+
 // chargeRuntime charges d to the runtime-overhead bucket.
 func chargeRuntime(t *threads.Thread, d time.Duration) {
 	t.Charge(machine.CatRuntime, d)
@@ -348,15 +417,28 @@ func (rt *Runtime) handleInvoke(t *threads.Thread, m am.Msg) {
 		}
 	}
 
-	body := func(t2 *threads.Thread) { rt.runMethod(t2, n, bm, m, msg, argBytes, wantReply) }
 	if bm.m.Threaded || bm.m.Atomic {
 		// "the invocation message is always sent to a generic active
 		// message handler who creates a new thread and then calls the
-		// desired method" (§4).
-		t.Spawn("rmi:"+bm.m.Name, body)
+		// desired method" (§4). The method body runs after this handler
+		// returns — past the payload buffer's run-to-completion window — so
+		// the handler retains the buffer across the spawn and the new
+		// thread releases it once the arguments are decoded out.
+		pb := m.PayloadBuf
+		if pb != nil {
+			pb.Retain()
+		}
+		t.Spawn("rmi:"+bm.m.Name, func(t2 *threads.Thread) {
+			rt.runMethod(t2, n, bm, m, msg, argBytes, wantReply)
+			if pb != nil {
+				pb.Release()
+			}
+		})
 		return
 	}
-	body(t)
+	// Non-threaded methods dispatch inline in the polling thread — a direct
+	// call, no closure.
+	rt.runMethod(t, n, bm, m, msg, argBytes, wantReply)
 }
 
 // stage models the cold-path copy from the static buffer area into an
@@ -370,12 +452,19 @@ func (rt *Runtime) stage(t *threads.Thread, n *nodeRT, rb *tham.RBuf, argBytes [
 	copy(rb.Data, argBytes)
 }
 
-// runMethod unmarshals, executes, and (when requested) replies.
+// runMethod unmarshals, executes, and (when requested) replies. Argument
+// and return-value instances come from the method's pooled decode frames
+// and recycle when the call completes (methods must not retain them).
 func (rt *Runtime) runMethod(t *threads.Thread, n *nodeRT, bm *boundMethod, m am.Msg, msg *rmiMsg, argBytes []byte, wantReply bool) {
 	cfg := t.Cfg()
+	var frame *argFrame
 	var args []Arg
+	var ret Arg
+	if bm.m.NewArgs != nil || bm.m.NewRet != nil {
+		frame = bm.frames.Get().(*argFrame)
+		args, ret = frame.args, frame.ret
+	}
 	if bm.m.NewArgs != nil {
-		args = bm.m.NewArgs()
 		units := decodeArgs(argBytes, args)
 		chargeRuntime(t, time.Duration(units)*cfg.MarshalPerArg+
 			time.Duration(len(argBytes))*cfg.MemCopyPerByte)
@@ -383,10 +472,6 @@ func (rt *Runtime) runMethod(t *threads.Thread, n *nodeRT, bm *boundMethod, m am
 		panic("core: arguments sent to method without parameters: " + bm.qname)
 	}
 
-	var ret Arg
-	if bm.m.NewRet != nil {
-		ret = bm.m.NewRet()
-	}
 	self := n.objs.Get(int32(m.A[1]))
 	if bm.m.Atomic {
 		l := n.objLock(int32(m.A[1]))
@@ -397,18 +482,22 @@ func (rt *Runtime) runMethod(t *threads.Thread, n *nodeRT, bm *boundMethod, m am
 		bm.m.Fn(t, self, args, ret)
 	}
 
-	if !wantReply {
-		return
+	if wantReply {
+		var buf *wire.Buf
+		if ret != nil {
+			var n2, units int
+			buf, n2, units = marshalOne(ret)
+			chargeRuntime(t, time.Duration(units)*cfg.MarshalPerArg+
+				time.Duration(n2)*cfg.MemCopyPerByte)
+		}
+		lockPair(t, &n.commLock)
+		rt.tr.SendBuf(t, m.Dst, m.Src, rt.hReply, [4]uint64{}, msg, buf, false)
 	}
-	var payload []byte
-	if ret != nil {
-		var units int
-		payload, units = encodeArgs([]Arg{ret})
-		chargeRuntime(t, time.Duration(units)*cfg.MarshalPerArg+
-			time.Duration(len(payload))*cfg.MemCopyPerByte)
+	if frame != nil {
+		// The return value is already encoded on the wire; the frame can
+		// serve the next invocation of this method.
+		bm.frames.Put(frame)
 	}
-	lockPair(t, &n.commLock)
-	rt.tr.Send(t, m.Dst, m.Src, rt.hReply, [4]uint64{}, msg, payload, false)
 }
 
 // handleReply lands an RMI completion (and return value) at the initiator.
@@ -424,7 +513,7 @@ func (rt *Runtime) handleReply(t *threads.Thread, m am.Msg) {
 		// (§6: "Bulk reads cost more than bulk writes in CC++ because the
 		// return data has to be copied twice"; the initiator never passes an
 		// R-buffer address, so this cost is unavoidable in the design).
-		units := decodeArgs(m.Payload, []Arg{msg.ret})
+		units := decodeOne(m.Payload, msg.ret)
 		chargeRuntime(t, 2*time.Duration(len(m.Payload))*cfg.MemCopyPerByte+
 			2*time.Duration(units)*cfg.MarshalPerArg)
 	}

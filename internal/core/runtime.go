@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -9,6 +10,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/tham"
 	"repro/internal/threads"
+	"repro/internal/wire"
 )
 
 // GPtr is a CC++ global pointer to a processor object. Unlike Split-C's
@@ -67,7 +69,10 @@ type Method struct {
 	// NewRet returns a fresh return-value instance; nil means no result.
 	NewRet func() Arg
 	// Fn is the method body. self is the target object; ret (when non-nil)
-	// must be filled in before returning.
+	// must be filled in before returning. The runtime recycles args and ret
+	// instances across invocations of the method, so Fn must not retain
+	// references to them (or to slices inside them, such as a F64Slice's V)
+	// beyond the call — copy the contents out instead.
 	Fn func(t *threads.Thread, self any, args []Arg, ret Arg)
 }
 
@@ -86,6 +91,19 @@ type boundMethod struct {
 	qname string
 	hash  tham.NameHash
 	stub  tham.StubID
+
+	// frames recycles receiver-side decode records (argument instances plus
+	// the return-value instance) across invocations of this method — the
+	// in-memory counterpart of the persistent R-buffers: reflection-free,
+	// allocation-free dispatch on the warm path. Methods must not retain
+	// args or ret beyond the call (see Method.Fn).
+	frames sync.Pool
+}
+
+// argFrame is one pooled decode record of a boundMethod.
+type argFrame struct {
+	args []Arg
+	ret  Arg
 }
 
 // Options configure the runtime; the zero value is the paper's tuned
@@ -118,7 +136,13 @@ type Transport interface {
 	// Register installs a handler on every node, returning its ID.
 	Register(name string, h am.Handler) am.HandlerID
 	// Send transmits a message (bulk when payload is non-nil or forceBulk).
+	// The payload is copied at send time; the sender keeps its buffer.
 	Send(t *threads.Thread, src, dst int, h am.HandlerID, a [4]uint64, obj any, payload []byte, forceBulk bool)
+	// SendBuf transmits a message whose payload is an owned pooled buffer
+	// (nil for none): ownership transfers to the message layer, which hands
+	// it across uncopied and recycles it after the receiving handler runs.
+	// The caller must not touch buf after the call.
+	SendBuf(t *threads.Thread, src, dst int, h am.HandlerID, a [4]uint64, obj any, buf *wire.Buf, forceBulk bool)
 	// Poll services at most one pending message on node me.
 	Poll(t *threads.Thread, me int) bool
 	// WaitMessage parks until a message arrives at node me (or Stop).
@@ -155,6 +179,11 @@ func (tr *AMTransport) Register(name string, h am.Handler) am.HandlerID {
 // Send implements Transport.
 func (tr *AMTransport) Send(t *threads.Thread, src, dst int, h am.HandlerID, a [4]uint64, obj any, payload []byte, forceBulk bool) {
 	tr.net.Endpoint(src).Request(t, dst, h, a, obj, payload, am.SendOpts{Bulk: forceBulk || len(payload) > 0})
+}
+
+// SendBuf implements Transport.
+func (tr *AMTransport) SendBuf(t *threads.Thread, src, dst int, h am.HandlerID, a [4]uint64, obj any, buf *wire.Buf, forceBulk bool) {
+	tr.net.Endpoint(src).RequestOwned(t, dst, h, a, obj, buf, am.SendOpts{Bulk: forceBulk || buf != nil})
 }
 
 // Poll implements Transport.
@@ -370,8 +399,19 @@ func (rt *Runtime) RegisterClass(c *Class) {
 	}
 	rt.classes[c.Name] = c
 	for _, m := range c.Methods {
+		m := m
 		qname := c.Name + "::" + m.Name
 		bm := &boundMethod{class: c, m: m, qname: qname, hash: tham.HashName(qname)}
+		bm.frames.New = func() any {
+			f := &argFrame{}
+			if m.NewArgs != nil {
+				f.args = m.NewArgs()
+			}
+			if m.NewRet != nil {
+				f.ret = m.NewRet()
+			}
+			return f
+		}
 		var stub tham.StubID
 		for _, n := range rt.nodes {
 			stub = n.reg.Register(qname)

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/threads"
+	"repro/internal/transport/live"
+)
+
+// warmBench drives b.N warm operations through a 2-node live machine and
+// reports allocs/op — the -benchmem numbers CI's allocation-regression step
+// checks against the pinned budget.
+func warmBench(b *testing.B, body func(rt *Runtime, gp GPtr, t *threads.Thread)) {
+	m := machine.NewWithBackend(machine.SP1997(), 2,
+		live.New(2, live.Options{Watchdog: 5 * time.Minute}))
+	rt := NewRuntime(m)
+	rt.RegisterClass(allocBenchClass())
+	gp := rt.CreateObject(1, "AllocBench")
+	rt.OnNode(0, func(t *threads.Thread) {
+		for i := 0; i < 8; i++ { // warm stubs, buffers, pools
+			body(rt, gp, t)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			body(rt, gp, t)
+		}
+		b.StopTimer()
+	})
+	if err := rt.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkWarmNullRMILive is the warm 0-word synchronous RMI round trip on
+// the live backend. Budget: ≤ 2 allocs/op (steady state: 0).
+func BenchmarkWarmNullRMILive(b *testing.B) {
+	warmBench(b, func(rt *Runtime, gp GPtr, t *threads.Thread) {
+		rt.Call(t, gp, "null", nil, nil)
+	})
+}
+
+// BenchmarkWarmBulk1KLive is the warm 1 KiB bulk RMI on the live backend.
+// Budget: ≤ 2 allocs/op (steady state: 0).
+func BenchmarkWarmBulk1KLive(b *testing.B) {
+	payload := make([]byte, 1024)
+	arg := []Arg{&Bytes{V: payload}}
+	warmBench(b, func(rt *Runtime, gp GPtr, t *threads.Thread) {
+		rt.Call(t, gp, "sink", arg, nil)
+	})
+}

@@ -2,7 +2,6 @@ package machine
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 	"time"
 )
@@ -51,41 +50,86 @@ func Categories() []Category {
 	return []Category{CatNet, CatCPU, CatThreadMgmt, CatThreadSync, CatRuntime}
 }
 
-// Counter names used by the instrumentation. Layers bump these via
-// Node.Count; the benchmark harness reads them to reconstruct the paper's
-// "Yield / Create / Sync" columns and message statistics.
+// Cnt names one instrumentation counter. The set is closed and the counters
+// live in a fixed array, so bumping one on the runtime's hot path is an
+// indexed add — no map hashing per message (the string-keyed map this
+// replaced was a measurable slice of warm-RMI wall time on the live
+// backend). Layers bump these via Node.Acct.Count; the benchmark harness
+// reads them to reconstruct the paper's "Yield / Create / Sync" columns and
+// message statistics.
+type Cnt int
+
 const (
-	CntThreadCreate  = "thread.create"
-	CntContextSwitch = "thread.switch"
-	CntSyncOp        = "thread.sync"
-	CntLockContended = "thread.lock.contended"
-	CntMsgShort      = "am.msg.short"
-	CntMsgBulk       = "am.msg.bulk"
-	CntBytesSent     = "am.bytes.sent"
-	CntPolls         = "am.polls"
-	CntHandlersRun   = "am.handlers"
-	CntRMI           = "core.rmi"
-	CntRMICold       = "core.rmi.cold"
-	CntStubHit       = "tham.stub.hit"
-	CntStubMiss      = "tham.stub.miss"
-	CntBufReuse      = "tham.buf.reuse"
-	CntBufAlloc      = "tham.buf.alloc"
-	CntRemoteRead    = "gp.remote.read"
-	CntRemoteWrite   = "gp.remote.write"
-	CntLocalDeref    = "gp.local.deref"
+	CntThreadCreate Cnt = iota
+	CntContextSwitch
+	CntSyncOp
+	CntLockContended
+	CntMsgShort
+	CntMsgBulk
+	CntBytesSent
+	CntPolls
+	CntHandlersRun
+	CntRMI
+	CntRMICold
+	CntStubHit
+	CntStubMiss
+	CntBufReuse
+	CntBufAlloc
+	CntRemoteRead
+	CntRemoteWrite
+	CntLocalDeref
+	numCounters
 )
 
-// Accounting accumulates per-category virtual time and named event counters
-// for one node. It is manipulated only from inside the simulation (single
+// cntNames are the report labels, in declaration order.
+var cntNames = [numCounters]string{
+	"thread.create", "thread.switch", "thread.sync", "thread.lock.contended",
+	"am.msg.short", "am.msg.bulk", "am.bytes.sent", "am.polls", "am.handlers",
+	"core.rmi", "core.rmi.cold",
+	"tham.stub.hit", "tham.stub.miss", "tham.buf.reuse", "tham.buf.alloc",
+	"gp.remote.read", "gp.remote.write", "gp.local.deref",
+}
+
+// String returns the label used in reports.
+func (c Cnt) String() string {
+	if c < 0 || c >= numCounters {
+		return fmt.Sprintf("Cnt(%d)", int(c))
+	}
+	return cntNames[c]
+}
+
+// CounterSet holds one value per counter, indexed by Cnt. It marshals as a
+// name-keyed JSON object (non-zero entries only) so reports stay readable.
+type CounterSet [numCounters]int64
+
+// MarshalJSON implements json.Marshaler.
+func (s CounterSet) MarshalJSON() ([]byte, error) {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	for c, v := range s {
+		if v == 0 {
+			continue
+		}
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&b, "%q:%d", Cnt(c).String(), v)
+	}
+	b.WriteByte('}')
+	return []byte(b.String()), nil
+}
+
+// Accounting accumulates per-category virtual time and event counters for
+// one node. It is manipulated only from inside the simulation (single
 // logical thread), so it needs no locking.
 type Accounting struct {
 	buckets  [numCategories]time.Duration
-	counters map[string]int64
+	counters CounterSet
 }
 
-func newAccounting() *Accounting {
-	return &Accounting{counters: make(map[string]int64)}
-}
+func newAccounting() *Accounting { return &Accounting{} }
 
 // Add charges d to category c.
 func (a *Accounting) Add(c Category, d time.Duration) {
@@ -98,55 +142,42 @@ func (a *Accounting) Add(c Category, d time.Duration) {
 // Get returns the accumulated time in category c.
 func (a *Accounting) Get(c Category) time.Duration { return a.buckets[c] }
 
-// Count adds n to the named counter.
-func (a *Accounting) Count(name string, n int64) { a.counters[name] += n }
+// Count adds n to counter c.
+func (a *Accounting) Count(c Cnt, n int64) { a.counters[c] += n }
 
-// Counter returns the value of the named counter (zero if never bumped).
-func (a *Accounting) Counter(name string) int64 { return a.counters[name] }
+// Counter returns the value of counter c.
+func (a *Accounting) Counter(c Cnt) int64 { return a.counters[c] }
 
 // Counters returns a copy of all counters.
-func (a *Accounting) Counters() map[string]int64 {
-	out := make(map[string]int64, len(a.counters))
-	for k, v := range a.counters {
-		out[k] = v
-	}
-	return out
-}
+func (a *Accounting) Counters() CounterSet { return a.counters }
 
 // Reset zeroes all buckets and counters. The benchmark harness resets
 // between warm-up and measurement phases.
 func (a *Accounting) Reset() {
 	a.buckets = [numCategories]time.Duration{}
-	a.counters = make(map[string]int64)
+	a.counters = CounterSet{}
 }
 
 // Snapshot is a point-in-time copy of an Accounting, used to compute deltas
 // over a measured region.
 type Snapshot struct {
 	Buckets  [numCategories]time.Duration `json:"buckets"`
-	Counters map[string]int64             `json:"counters"`
+	Counters CounterSet                   `json:"counters"`
 }
 
 // Snapshot captures the current state.
 func (a *Accounting) Snapshot() Snapshot {
-	return Snapshot{Buckets: a.buckets, Counters: a.Counters()}
+	return Snapshot{Buckets: a.buckets, Counters: a.counters}
 }
 
 // Delta returns a snapshot holding the difference now-minus-then.
 func (a *Accounting) Delta(then Snapshot) Snapshot {
-	d := Snapshot{Counters: make(map[string]int64)}
+	d := Snapshot{}
 	for i := range d.Buckets {
 		d.Buckets[i] = a.buckets[i] - then.Buckets[i]
 	}
-	for k, v := range a.counters {
-		if dv := v - then.Counters[k]; dv != 0 {
-			d.Counters[k] = dv
-		}
-	}
-	for k, v := range then.Counters {
-		if _, ok := a.counters[k]; !ok && v != 0 {
-			d.Counters[k] = -v
-		}
+	for i := range d.Counters {
+		d.Counters[i] = a.counters[i] - then.Counters[i]
 	}
 	return d
 }
@@ -169,13 +200,10 @@ func (s Snapshot) String() string {
 	for _, c := range Categories() {
 		fmt.Fprintf(&b, "%s=%v ", c, s.Buckets[c])
 	}
-	keys := make([]string, 0, len(s.Counters))
-	for k := range s.Counters {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		fmt.Fprintf(&b, "%s=%d ", k, s.Counters[k])
+	for c, v := range s.Counters {
+		if v != 0 {
+			fmt.Fprintf(&b, "%s=%d ", Cnt(c), v)
+		}
 	}
 	return strings.TrimSpace(b.String())
 }
@@ -183,13 +211,13 @@ func (s Snapshot) String() string {
 // MergeSnapshots sums per-category times and counters across nodes, e.g. to
 // build a whole-machine breakdown.
 func MergeSnapshots(snaps ...Snapshot) Snapshot {
-	out := Snapshot{Counters: make(map[string]int64)}
+	out := Snapshot{}
 	for _, s := range snaps {
 		for i, b := range s.Buckets {
 			out.Buckets[i] += b
 		}
-		for k, v := range s.Counters {
-			out.Counters[k] += v
+		for i, v := range s.Counters {
+			out.Counters[i] += v
 		}
 	}
 	return out

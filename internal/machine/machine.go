@@ -8,6 +8,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/transport"
 	"repro/internal/transport/simnet"
+	"repro/internal/wire"
 )
 
 // Machine is a multicomputer: an execution backend, a cost configuration,
@@ -23,6 +24,10 @@ type Machine struct {
 
 	be    transport.Backend
 	nodes []*Node
+
+	// direct is be's allocation-free delivery fast path, nil when the
+	// backend delivers through modelled-latency events (the simulator).
+	direct transport.DirectDeliverer
 
 	// Trace, when non-nil, receives instrumentation callbacks from the
 	// layers above (kind is "send", "recv", "spawn", "switch", or "charge";
@@ -59,12 +64,22 @@ func NewWithBackend(cfg Config, n int, be transport.Backend) *Machine {
 	if sb, ok := be.(*simnet.Backend); ok {
 		m.Eng = sb.Engine()
 	}
+	m.direct, _ = be.(transport.DirectDeliverer)
 	for i := 0; i < n; i++ {
-		m.nodes = append(m.nodes, &Node{
+		nd := &Node{
 			ID:   i,
 			M:    m,
 			Acct: newAccounting(),
-		})
+		}
+		// One long-lived arrival closure per node: the direct-delivery path
+		// hands this same func to the backend on every send, so a delivery
+		// constructs nothing.
+		nd.notify = func() {
+			if nd.OnArrival != nil {
+				nd.OnArrival()
+			}
+		}
+		m.nodes = append(m.nodes, nd)
 	}
 	return m
 }
@@ -130,9 +145,15 @@ type Node struct {
 	// inboxMu guards inbox. On the simulator it is uncontended (one
 	// goroutine runs at a time); on the live backend it is what lets a
 	// sender enqueue directly from its own goroutine while the receiver
-	// polls concurrently.
+	// polls concurrently. The inbox is a head-index ring: pops are O(1)
+	// instead of sliding the whole queue, so deep inboxes (a node being
+	// blasted by many senders) drain in linear, not quadratic, time.
 	inboxMu sync.Mutex
-	inbox   []Packet
+	inbox   wire.Ring[Packet]
+
+	// notify wakes the node's reception; built once at machine construction
+	// and reused by every direct delivery.
+	notify func()
 
 	// OnArrival, if non-nil, runs in the node's execution context after a
 	// packet is appended to the inbox. It must not sleep or block, only
@@ -149,14 +170,14 @@ func (n *Node) Cfg() Config { return n.M.Cfg }
 func (n *Node) InboxLen() int {
 	n.inboxMu.Lock()
 	defer n.inboxMu.Unlock()
-	return len(n.inbox)
+	return n.inbox.Len()
 }
 
 // pushInbox appends a packet to the inbound queue. Safe to call from any
 // goroutine (live senders enqueue directly).
 func (n *Node) pushInbox(pkt Packet) {
 	n.inboxMu.Lock()
-	n.inbox = append(n.inbox, pkt)
+	n.inbox.Push(pkt)
 	n.inboxMu.Unlock()
 }
 
@@ -165,14 +186,7 @@ func (n *Node) pushInbox(pkt Packet) {
 func (n *Node) PopInbox() (pkt Packet, ok bool) {
 	n.inboxMu.Lock()
 	defer n.inboxMu.Unlock()
-	if len(n.inbox) == 0 {
-		return Packet{}, false
-	}
-	pkt = n.inbox[0]
-	// Slide rather than re-slice forever; inboxes stay small.
-	copy(n.inbox, n.inbox[1:])
-	n.inbox = n.inbox[:len(n.inbox)-1]
-	return pkt, true
+	return n.inbox.Pop()
 }
 
 // Send puts a packet on the wire from node n to dst, arriving after the
@@ -187,15 +201,22 @@ func (n *Node) PopInbox() (pkt Packet, ok bool) {
 func (n *Node) Send(dst int, extraWire time.Duration, size int, payload any) {
 	m := n.M
 	target := m.Node(dst)
-	m.Emit(n.ID, "send", fmt.Sprintf("->n%d %dB", dst, size), 0)
+	if m.Trace != nil {
+		m.Emit(n.ID, "send", fmt.Sprintf("->n%d %dB", dst, size), 0)
+	}
 	pkt := Packet{Src: n.ID, Dst: dst, Size: size, Payload: payload}
+	if m.direct != nil {
+		// Immediate-delivery backend: enqueue here (same ordering as the
+		// generic path — the backend would run enqueue inline anyway) and
+		// hand over the node's long-lived notify closure. No closures are
+		// constructed, so the warm send path does not allocate.
+		target.pushInbox(pkt)
+		m.direct.DeliverDirect(dst, target.notify)
+		return
+	}
 	m.be.Deliver(dst, m.Cfg.WireLatency+extraWire,
 		func() { target.pushInbox(pkt) },
-		func() {
-			if target.OnArrival != nil {
-				target.OnArrival()
-			}
-		})
+		target.notify)
 }
 
 // Loopback enqueues a packet to the node itself with zero latency. Some
@@ -203,11 +224,13 @@ func (n *Node) Send(dst int, extraWire time.Duration, size int, payload any) {
 // semantics uniform; the machine model charges no wire time for them.
 func (n *Node) Loopback(size int, payload any) {
 	pkt := Packet{Src: n.ID, Dst: n.ID, Size: size, Payload: payload}
-	n.M.be.Deliver(n.ID, 0,
+	m := n.M
+	if m.direct != nil {
+		n.pushInbox(pkt)
+		m.direct.DeliverDirect(n.ID, n.notify)
+		return
+	}
+	m.be.Deliver(n.ID, 0,
 		func() { n.pushInbox(pkt) },
-		func() {
-			if n.OnArrival != nil {
-				n.OnArrival()
-			}
-		})
+		n.notify)
 }

@@ -129,12 +129,12 @@ func TestAccountingBucketsAndCounters(t *testing.T) {
 func TestMergeSnapshots(t *testing.T) {
 	a, b := newAccounting(), newAccounting()
 	a.Add(CatRuntime, time.Microsecond)
-	a.Count("x", 1)
+	a.Count(CntRMI, 1)
 	b.Add(CatRuntime, 2*time.Microsecond)
-	b.Count("x", 2)
-	b.Count("y", 7)
+	b.Count(CntRMI, 2)
+	b.Count(CntPolls, 7)
 	m := MergeSnapshots(a.Snapshot(), b.Snapshot())
-	if m.Get(CatRuntime) != 3*time.Microsecond || m.Counters["x"] != 3 || m.Counters["y"] != 7 {
+	if m.Get(CatRuntime) != 3*time.Microsecond || m.Counters[CntRMI] != 3 || m.Counters[CntPolls] != 7 {
 		t.Fatalf("merge wrong: %v", m)
 	}
 	if m.Busy() != 3*time.Microsecond {

@@ -15,6 +15,7 @@ import (
 	"repro/internal/am"
 	"repro/internal/machine"
 	"repro/internal/threads"
+	"repro/internal/wire"
 )
 
 // Transport is the Nexus/TCP message layer. It satisfies core.Transport and
@@ -55,6 +56,21 @@ func (tr *Transport) Send(t *threads.Thread, src, dst int, h am.HandlerID, a [4]
 		GapPerByte:   cfg.NexusGapPerByte,
 	}
 	tr.net.Endpoint(src).Request(t, dst, h, a, obj, payload, opts)
+}
+
+// SendBuf implements core.Transport: the owned-buffer variant of Send, with
+// the same Nexus/TCP cost profile. Ownership of buf passes to the message
+// layer.
+func (tr *Transport) SendBuf(t *threads.Thread, src, dst int, h am.HandlerID, a [4]uint64, obj any, buf *wire.Buf, forceBulk bool) {
+	cfg := t.Cfg()
+	opts := am.SendOpts{
+		Bulk:         forceBulk || buf != nil,
+		ExtraSendCPU: cfg.NexusPerMsgCPU,
+		ExtraWire:    cfg.NexusLatency - cfg.WireLatency,
+		ExtraRecvCPU: cfg.NexusPerMsgCPU,
+		GapPerByte:   cfg.NexusGapPerByte,
+	}
+	tr.net.Endpoint(src).RequestOwned(t, dst, h, a, obj, buf, opts)
 }
 
 // Poll implements core.Transport.

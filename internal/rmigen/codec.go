@@ -14,6 +14,7 @@ package rmigen
 import (
 	"fmt"
 	"reflect"
+	"unsafe"
 
 	"repro/internal/core"
 )
@@ -25,16 +26,22 @@ type Void = struct{}
 var voidType = reflect.TypeOf(Void{})
 
 // fieldPlan marshals one component of a value type: a struct field, or the
-// value itself for scalar value types (index < 0).
+// value itself for scalar value types (index < 0). The store/load code is
+// compiled at derive time into offset-based accessors over raw pointers —
+// all reflection happens when the plan is built; a call moves the component
+// with two pointer dereferences and an interface assertion, no
+// reflect.Value traffic.
 type fieldPlan struct {
 	index int
 	name  string
+	off   uintptr // byte offset of the component within the value
+	slice bool    // component is a slice kind (decode aliases the Arg)
 	make  func() core.Arg
-	// store copies the Go value component into a wire Arg (sender side and
-	// receiver-side return values).
-	store func(v reflect.Value, a core.Arg)
-	// load copies a wire Arg back into the Go value component.
-	load func(v reflect.Value, a core.Arg)
+	// store copies the Go value component at p (a pointer to the whole
+	// argument/return value) into a wire Arg.
+	store func(p unsafe.Pointer, a core.Arg)
+	// load copies a wire Arg back into the value component at p.
+	load func(p unsafe.Pointer, a core.Arg)
 }
 
 // valuePlan is the precompiled marshalling plan for one argument or return
@@ -43,40 +50,45 @@ type fieldPlan struct {
 type valuePlan struct {
 	typ    reflect.Type
 	fields []fieldPlan
+	// hasSlices records whether any component is a slice kind. A decoded
+	// slice aliases the wire Arg's backing array, so return values of such
+	// plans must not ride pooled Args (the application keeps the result;
+	// recycling would let the next call overwrite it).
+	hasSlices bool
 }
 
 // supported value component kinds and their wire lowering. These are
 // exactly the provided core Arg types, so typed payloads are byte-identical
 // to hand-written ones.
-func fieldPlanFor(index int, name string, t reflect.Type) (fieldPlan, error) {
-	fp := fieldPlan{index: index, name: name}
-	at := func(v reflect.Value) reflect.Value {
-		if index < 0 {
-			return v
-		}
-		return v.Field(index)
-	}
+func fieldPlanFor(index int, name string, t reflect.Type, off uintptr) (fieldPlan, error) {
+	fp := fieldPlan{index: index, name: name, off: off}
 	switch {
-	case t.Kind() == reflect.Int64 || t.Kind() == reflect.Int:
+	case t.Kind() == reflect.Int64:
 		fp.make = func() core.Arg { return &core.I64{} }
-		fp.store = func(v reflect.Value, a core.Arg) { a.(*core.I64).V = at(v).Int() }
-		fp.load = func(v reflect.Value, a core.Arg) { at(v).SetInt(a.(*core.I64).V) }
+		fp.store = func(p unsafe.Pointer, a core.Arg) { a.(*core.I64).V = *(*int64)(unsafe.Add(p, off)) }
+		fp.load = func(p unsafe.Pointer, a core.Arg) { *(*int64)(unsafe.Add(p, off)) = a.(*core.I64).V }
+	case t.Kind() == reflect.Int:
+		fp.make = func() core.Arg { return &core.I64{} }
+		fp.store = func(p unsafe.Pointer, a core.Arg) { a.(*core.I64).V = int64(*(*int)(unsafe.Add(p, off))) }
+		fp.load = func(p unsafe.Pointer, a core.Arg) { *(*int)(unsafe.Add(p, off)) = int(a.(*core.I64).V) }
 	case t.Kind() == reflect.Float64:
 		fp.make = func() core.Arg { return &core.F64{} }
-		fp.store = func(v reflect.Value, a core.Arg) { a.(*core.F64).V = at(v).Float() }
-		fp.load = func(v reflect.Value, a core.Arg) { at(v).SetFloat(a.(*core.F64).V) }
+		fp.store = func(p unsafe.Pointer, a core.Arg) { a.(*core.F64).V = *(*float64)(unsafe.Add(p, off)) }
+		fp.load = func(p unsafe.Pointer, a core.Arg) { *(*float64)(unsafe.Add(p, off)) = a.(*core.F64).V }
 	case t.Kind() == reflect.String:
 		fp.make = func() core.Arg { return &core.Str{} }
-		fp.store = func(v reflect.Value, a core.Arg) { a.(*core.Str).V = at(v).String() }
-		fp.load = func(v reflect.Value, a core.Arg) { at(v).SetString(a.(*core.Str).V) }
+		fp.store = func(p unsafe.Pointer, a core.Arg) { a.(*core.Str).V = *(*string)(unsafe.Add(p, off)) }
+		fp.load = func(p unsafe.Pointer, a core.Arg) { *(*string)(unsafe.Add(p, off)) = a.(*core.Str).V }
 	case t == reflect.TypeOf([]float64(nil)):
+		fp.slice = true
 		fp.make = func() core.Arg { return &core.F64Slice{} }
-		fp.store = func(v reflect.Value, a core.Arg) { a.(*core.F64Slice).V = at(v).Interface().([]float64) }
-		fp.load = func(v reflect.Value, a core.Arg) { at(v).Set(reflect.ValueOf(a.(*core.F64Slice).V)) }
+		fp.store = func(p unsafe.Pointer, a core.Arg) { a.(*core.F64Slice).V = *(*[]float64)(unsafe.Add(p, off)) }
+		fp.load = func(p unsafe.Pointer, a core.Arg) { *(*[]float64)(unsafe.Add(p, off)) = a.(*core.F64Slice).V }
 	case t == reflect.TypeOf([]byte(nil)):
+		fp.slice = true
 		fp.make = func() core.Arg { return &core.Bytes{} }
-		fp.store = func(v reflect.Value, a core.Arg) { a.(*core.Bytes).V = at(v).Bytes() }
-		fp.load = func(v reflect.Value, a core.Arg) { at(v).SetBytes(a.(*core.Bytes).V) }
+		fp.store = func(p unsafe.Pointer, a core.Arg) { a.(*core.Bytes).V = *(*[]byte)(unsafe.Add(p, off)) }
+		fp.load = func(p unsafe.Pointer, a core.Arg) { *(*[]byte)(unsafe.Add(p, off)) = a.(*core.Bytes).V }
 	default:
 		return fp, fmt.Errorf("unsupported type %s (supported: int, int64, float64, string, []byte, []float64, or a struct of those)", t)
 	}
@@ -85,15 +97,17 @@ func fieldPlanFor(index int, name string, t reflect.Type) (fieldPlan, error) {
 
 // planFor compiles the marshalling plan for an argument or return type:
 // either one of the supported scalar/slice kinds directly, or a struct whose
-// exported fields are all supported kinds.
+// exported fields are all supported kinds. Field offsets are resolved here,
+// at derive time — per-call marshalling never touches reflection again.
 func planFor(t reflect.Type) (*valuePlan, error) {
 	p := &valuePlan{typ: t}
 	if t.Kind() != reflect.Struct {
-		fp, err := fieldPlanFor(-1, t.String(), t)
+		fp, err := fieldPlanFor(-1, t.String(), t, 0)
 		if err != nil {
 			return nil, err
 		}
 		p.fields = []fieldPlan{fp}
+		p.hasSlices = fp.slice
 		return p, nil
 	}
 	for i := 0; i < t.NumField(); i++ {
@@ -101,10 +115,11 @@ func planFor(t reflect.Type) (*valuePlan, error) {
 		if !f.IsExported() {
 			return nil, fmt.Errorf("struct %s has unexported field %s (marshalled structs must be fully exported)", t, f.Name)
 		}
-		fp, err := fieldPlanFor(i, f.Name, f.Type)
+		fp, err := fieldPlanFor(i, f.Name, f.Type, f.Offset)
 		if err != nil {
 			return nil, fmt.Errorf("struct %s field %s: %w", t, f.Name, err)
 		}
+		p.hasSlices = p.hasSlices || fp.slice
 		p.fields = append(p.fields, fp)
 	}
 	if len(p.fields) == 0 {
@@ -123,18 +138,36 @@ func (p *valuePlan) newArgs() []core.Arg {
 	return args
 }
 
-// store copies the Go value into the wire Args.
-func (p *valuePlan) store(v reflect.Value, args []core.Arg) {
+// storePtr copies the Go value at p into the wire Args — the compiled,
+// reflection-free per-call path.
+func (p *valuePlan) storePtr(ptr unsafe.Pointer, args []core.Arg) {
 	for i := range p.fields {
-		p.fields[i].store(v, args[i])
+		p.fields[i].store(ptr, args[i])
 	}
+}
+
+// loadPtr copies the wire Args into the Go value at p.
+func (p *valuePlan) loadPtr(ptr unsafe.Pointer, args []core.Arg) {
+	for i := range p.fields {
+		p.fields[i].load(ptr, args[i])
+	}
+}
+
+// store copies the Go value into the wire Args. Reflect-typed entry point
+// for wall-time-only paths that hold a reflect.Value; non-addressable
+// values are copied to an addressable temporary first.
+func (p *valuePlan) store(v reflect.Value, args []core.Arg) {
+	if !v.CanAddr() {
+		tmp := reflect.New(p.typ).Elem()
+		tmp.Set(v)
+		v = tmp
+	}
+	p.storePtr(v.Addr().UnsafePointer(), args)
 }
 
 // load copies the wire Args into the (addressable) Go value.
 func (p *valuePlan) load(v reflect.Value, args []core.Arg) {
-	for i := range p.fields {
-		p.fields[i].load(v, args[i])
-	}
+	p.loadPtr(v.Addr().UnsafePointer(), args)
 }
 
 // newRet returns the single wire Arg for a return value: the provided Arg
@@ -150,20 +183,35 @@ func (p *valuePlan) newRet() core.Arg {
 
 // storeRet fills a return Arg from the method's Go result value.
 func (p *valuePlan) storeRet(v reflect.Value, ret core.Arg) {
+	if !v.CanAddr() {
+		tmp := reflect.New(p.typ).Elem()
+		tmp.Set(v)
+		v = tmp
+	}
+	p.storeRetPtr(v.Addr().UnsafePointer(), ret)
+}
+
+// storeRetPtr fills a return Arg from the result value at ptr.
+func (p *valuePlan) storeRetPtr(ptr unsafe.Pointer, ret core.Arg) {
 	if len(p.fields) == 1 {
-		p.fields[0].store(v, ret)
+		p.fields[0].store(ptr, ret)
 		return
 	}
-	p.store(v, ret.(*group).args)
+	p.storePtr(ptr, ret.(*group).args)
 }
 
 // loadRet decodes a return Arg into the (addressable) Go result value.
 func (p *valuePlan) loadRet(v reflect.Value, ret core.Arg) {
+	p.loadRetPtr(v.Addr().UnsafePointer(), ret)
+}
+
+// loadRetPtr decodes a return Arg into the result value at ptr.
+func (p *valuePlan) loadRetPtr(ptr unsafe.Pointer, ret core.Arg) {
 	if len(p.fields) == 1 {
-		p.fields[0].load(v, ret)
+		p.fields[0].load(ptr, ret)
 		return
 	}
-	p.load(v, ret.(*group).args)
+	p.loadPtr(ptr, ret.(*group).args)
 }
 
 // group packs several wire Args into one return value. Encoding is the

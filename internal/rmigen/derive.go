@@ -5,6 +5,8 @@ import (
 	"reflect"
 	"sort"
 	"strings"
+	"sync"
+	"unsafe"
 
 	"repro/internal/core"
 	"repro/internal/threads"
@@ -27,24 +29,80 @@ type OptionsProvider interface {
 
 var threadType = reflect.TypeOf((*threads.Thread)(nil))
 
-// Method is one derived RMI-callable method: its marshalling plans plus the
-// reflective trampoline installed in the core method table.
+// Method is one derived RMI-callable method: its marshalling plans, the
+// reflective trampoline installed in the core method table, and a pool of
+// call frames so synchronous typed invocations reuse their wire Arg
+// instances call over call.
 type Method struct {
-	Name string
-	args *valuePlan // nil when the method takes no argument value
-	ret  *valuePlan // nil when the method returns nothing
-	opts MethodOpts
+	Name   string
+	args   *valuePlan // nil when the method takes no argument value
+	ret    *valuePlan // nil when the method returns nothing
+	opts   MethodOpts
+	frames sync.Pool // *CallFrame
+}
+
+// CallFrame is one pooled set of sender-side wire Args (plus the return
+// Arg) for a Method. Frames recycle through AcquireFrame/ReleaseFrame on
+// the synchronous invoke path; asynchronous calls keep theirs (the future
+// escapes to the application).
+type CallFrame struct {
+	Args []core.Arg
+	Ret  core.Arg
 }
 
 // HasArgs reports whether the method takes an argument value.
 func (m *Method) HasArgs() bool { return m.args != nil }
 
+// DefersLocally reports whether a node-local invocation of the method runs
+// its body on a spawned thread after the invoking call returns (Threaded or
+// Atomic dispatch). A one-way local call to such a method still holds the
+// wire Args when the caller comes back, so its frame must not recycle.
+func (m *Method) DefersLocally() bool { return m.opts.Threaded || m.opts.Atomic }
+
 // HasRet reports whether the method returns a value.
 func (m *Method) HasRet() bool { return m.ret != nil }
 
-// WireArgs lowers the argument value into the []core.Arg slice a
-// hand-written registration would have passed — same Arg types, same wire
-// bytes, same marshal-unit counts. Returns nil for argument-less methods.
+// AcquireFrame returns a call frame with fresh-or-recycled wire Args. A
+// return plan containing slice components gets a fresh Ret every call: the
+// decoded slice is handed to the application (which keeps it), so it must
+// not ride a recycled Arg whose next decode would overwrite it. Scalar and
+// string returns are copied out by value and reuse theirs.
+func (m *Method) AcquireFrame() *CallFrame {
+	f, _ := m.frames.Get().(*CallFrame)
+	if f == nil {
+		f = &CallFrame{}
+		if m.args != nil {
+			f.Args = m.args.newArgs()
+		}
+		if m.ret != nil {
+			f.Ret = m.ret.newRet()
+		}
+		return f
+	}
+	if m.ret != nil && m.ret.hasSlices {
+		f.Ret = m.ret.newRet()
+	}
+	return f
+}
+
+// ReleaseFrame recycles a frame once the call has completed and the result
+// has been loaded out.
+func (m *Method) ReleaseFrame(f *CallFrame) { m.frames.Put(f) }
+
+// StoreArgs lowers the argument value at p (a pointer to the Go argument
+// value, e.g. &args in a generic Invoke) onto the frame's wire Args — same
+// Arg types, same wire bytes, same marshal-unit counts as a hand-written
+// []Arg, with zero per-call reflection.
+func (m *Method) StoreArgs(p unsafe.Pointer, args []core.Arg) {
+	m.args.storePtr(p, args)
+}
+
+// LoadRetPtr decodes a completed return Arg into the Go result value at p.
+func (m *Method) LoadRetPtr(a core.Arg, p unsafe.Pointer) { m.ret.loadRetPtr(p, a) }
+
+// WireArgs lowers the argument value into a fresh []core.Arg slice (the
+// unpooled path used by asynchronous invocations, whose frames escape).
+// Returns nil for argument-less methods.
 func (m *Method) WireArgs(v reflect.Value) []core.Arg {
 	if m.args == nil {
 		return nil
@@ -225,9 +283,11 @@ func deriveCoreMethod(m *Method, fn reflect.Value) *core.Method {
 		in := make([]reflect.Value, 0, 3)
 		in = append(in, reflect.ValueOf(self), reflect.ValueOf(t))
 		if m.args != nil {
-			av := reflect.New(m.args.typ).Elem()
-			m.args.load(av, args)
-			in = append(in, av)
+			// One allocation for the argument value, then the compiled
+			// offset-based loads; the field plans touch no reflect.Value.
+			ap := reflect.New(m.args.typ)
+			m.args.loadPtr(ap.UnsafePointer(), args)
+			in = append(in, ap.Elem())
 		}
 		out := fn.Call(in)
 		if m.ret != nil {

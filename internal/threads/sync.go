@@ -121,7 +121,8 @@ func (v *SyncVar) Read(t *Thread) any {
 
 // Write sets the value exactly once and wakes all blocked readers. A second
 // write panics: single-assignment is the language invariant the runtime
-// relies on.
+// relies on. The waiter list keeps its backing array so a Reset variable
+// reused from a pool stops allocating after its first blocking read.
 func (v *SyncVar) Write(t *Thread, val any) {
 	if v.set {
 		panic("threads: SyncVar written twice")
@@ -129,10 +130,23 @@ func (v *SyncVar) Write(t *Thread, val any) {
 	t.chargeSync()
 	v.set = true
 	v.val = val
-	for _, w := range v.waiters {
+	for i, w := range v.waiters {
 		t.s.MakeReady(w)
+		v.waiters[i] = nil
 	}
-	v.waiters = nil
+	v.waiters = v.waiters[:0]
+}
+
+// Reset re-arms a consumed variable for reuse — the escape hatch the
+// runtime's pooled completion records use once they have proven no reader
+// can still be parked (the completing write ran and every reader returned).
+// Resetting a variable with parked readers would strand them, so it panics.
+func (v *SyncVar) Reset() {
+	if len(v.waiters) != 0 {
+		panic("threads: Reset of SyncVar with parked readers")
+	}
+	v.set = false
+	v.val = nil
 }
 
 // WaitGroup counts outstanding work items; Wait blocks until the count

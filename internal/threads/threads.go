@@ -176,7 +176,9 @@ func (t *Thread) Charge(c machine.Category, d time.Duration) {
 	}
 	t.s.node.Acct.Add(c, d)
 	t.p.Sleep(d)
-	t.s.node.M.Emit(t.s.node.ID, "charge", c.String(), d)
+	if t.s.node.M.Trace != nil {
+		t.s.node.M.Emit(t.s.node.ID, "charge", c.String(), d)
+	}
 }
 
 // Compute charges application CPU time.
@@ -208,7 +210,9 @@ func (t *Thread) ChargeSyncOp() { t.chargeSync() }
 func (t *Thread) chargeSwitch() {
 	t.s.node.Acct.Count(machine.CntContextSwitch, 1)
 	t.Charge(machine.CatThreadMgmt, t.Cfg().ContextSwitch)
-	t.s.node.M.Emit(t.s.node.ID, "switch", t.name, 0)
+	if t.s.node.M.Trace != nil {
+		t.s.node.M.Emit(t.s.node.ID, "switch", t.name, 0)
+	}
 }
 
 // Yield gives up the CPU if another thread is ready, charging one context

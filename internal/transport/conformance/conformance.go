@@ -34,6 +34,7 @@ type Factory func(cfg machine.Config, n int) *machine.Machine
 func Run(t *testing.T, f Factory) {
 	t.Run("ShortOrdering", func(t *testing.T) { shortOrdering(t, f) })
 	t.Run("BulkIntegrity", func(t *testing.T) { bulkIntegrity(t, f) })
+	t.Run("PayloadRecycling", func(t *testing.T) { payloadRecycling(t, f) })
 	t.Run("HandlerRunToCompletion", func(t *testing.T) { runToCompletion(t, f) })
 	t.Run("ParkUnpark", func(t *testing.T) { parkUnpark(t, f) })
 	t.Run("Collectives", func(t *testing.T) { runCollectives(t, f) })
@@ -87,8 +88,10 @@ func shortOrdering(t *testing.T, f Factory) {
 }
 
 // bulkIntegrity: bulk payloads arrive intact, are copied at send time (the
-// sender may immediately reuse its buffer), and the receiver's copy is its
-// own (handlers may retain it).
+// sender may immediately reuse its buffer), and a handler that copies the
+// payload out keeps a stable snapshot after the pooled buffer recycles (the
+// no-retain contract: the raw Payload slice is valid only while the handler
+// runs; retention means copying).
 func bulkIntegrity(t *testing.T, f Factory) {
 	const (
 		k     = 40
@@ -98,7 +101,7 @@ func bulkIntegrity(t *testing.T, f Factory) {
 	r := newRig(f(machine.SP1997(), 2))
 	var (
 		received int
-		retained []byte // payload of message 0, checked again at the end
+		retained []byte // copy of message 0's payload, checked at the end
 		bad      string
 	)
 	h := r.net.Register("conf.bulk", func(_ *threads.Thread, m am.Msg) {
@@ -113,7 +116,7 @@ func bulkIntegrity(t *testing.T, f Factory) {
 			}
 		}
 		if i == 0 {
-			retained = m.Payload
+			retained = append([]byte(nil), m.Payload...)
 		}
 		received++
 	})
@@ -145,7 +148,91 @@ func bulkIntegrity(t *testing.T, f Factory) {
 	}
 	for j, b := range retained {
 		if b != pattern(0, j) {
-			t.Fatalf("retained payload byte %d mutated to %#x", j, b)
+			t.Fatalf("retained payload copy byte %d mutated to %#x", j, b)
+		}
+	}
+}
+
+// payloadRecycling: the aliasing-safety contract of the pooled wire path. A
+// recycled payload buffer must never be observed mutated by a later send
+// while a handler is still inside its run-to-completion window: two sender
+// nodes blast one receiver with bulk messages (maximum buffer churn — every
+// send acquires whatever buffer the pool hands back), and the handler reads
+// its entire payload twice with a scheduling point in between. If a buffer
+// were recycled while still being read, the second pass (or, under -race,
+// the race detector) would see the next message's bytes. A payload copied
+// out by an early handler is re-verified at the end, long after its buffer
+// has been recycled many times over.
+func payloadRecycling(t *testing.T, f Factory) {
+	const (
+		senders = 2
+		k       = 120
+		bytes   = 1 << 10
+	)
+	pattern := func(s, i, j int) byte { return byte(s*131 + i*31 + j*7) }
+	r := newRig(f(machine.SP1997(), senders+1))
+	var (
+		received int
+		snapshot []byte // copy taken by handler (sender 1, message 0)
+		bad      string
+	)
+	h := r.net.Register("conf.recycle", func(_ *threads.Thread, m am.Msg) {
+		s, i := int(m.A[0]), int(m.A[1])
+		if len(m.Payload) != bytes {
+			bad = fmt.Sprintf("s%d msg %d: payload %dB, want %dB", s, i, len(m.Payload), bytes)
+			received++
+			return
+		}
+		// First pass: contents must match this message's pattern.
+		for j, b := range m.Payload {
+			if b != pattern(s, i, j) {
+				bad = fmt.Sprintf("s%d msg %d byte %d: got %#x want %#x (buffer aliased by a later send?)",
+					s, i, j, b, pattern(s, i, j))
+				break
+			}
+		}
+		// Widen the window, then re-read: the buffer must still be ours for
+		// the whole run-to-completion of this handler.
+		runtime.Gosched()
+		for j, b := range m.Payload {
+			if b != pattern(s, i, j) {
+				bad = fmt.Sprintf("s%d msg %d byte %d mutated mid-handler to %#x (recycled too early)",
+					s, i, j, b)
+				break
+			}
+		}
+		if s == 1 && i == 0 {
+			snapshot = append([]byte(nil), m.Payload...)
+		}
+		received++
+	})
+	for s := 1; s <= senders; s++ {
+		s := s
+		r.scheds[s].Start("sender", func(th *threads.Thread) {
+			buf := make([]byte, bytes)
+			for i := 0; i < k; i++ {
+				for j := range buf {
+					buf[j] = pattern(s, i, j)
+				}
+				r.net.Endpoint(s).RequestBulk(th, 0, h, buf, [4]uint64{uint64(s), uint64(i)}, nil)
+			}
+		})
+	}
+	r.scheds[0].Start("receiver", func(th *threads.Thread) {
+		r.net.Endpoint(0).PollUntil(th, func() bool { return received == senders*k })
+	})
+	if err := r.m.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if bad != "" {
+		t.Fatal(bad)
+	}
+	if received != senders*k {
+		t.Fatalf("received %d bulk messages, want %d", received, senders*k)
+	}
+	for j, b := range snapshot {
+		if b != pattern(1, 0, j) {
+			t.Fatalf("copied-out payload byte %d mutated to %#x after recycling", j, b)
 		}
 	}
 }

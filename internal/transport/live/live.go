@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/transport"
+	"repro/internal/wire"
 )
 
 // Options tune the live backend. The zero value is ready to use.
@@ -101,49 +102,59 @@ type lnode struct {
 	q struct {
 		mu     sync.Mutex
 		cond   *sync.Cond
-		fns    []func()
+		fns    wire.Ring[func()]
 		closed bool
 	}
+
+	// batch is the delivery worker's reusable drain buffer (worker-private,
+	// no lock needed). Pre-sized to the batch cap so steady-state delivery
+	// allocates nothing.
+	batch []func()
 }
 
 // push appends fn to the notify queue. Never blocks (the queue is unbounded),
 // so senders holding their own node's CPU cannot deadlock against delivery.
+// The queue is a ring and the warm path's closures are long-lived (one per
+// destination node), so a steady-state push allocates nothing.
 func (nd *lnode) push(fn func()) {
 	nd.q.mu.Lock()
 	if nd.q.closed {
 		nd.q.mu.Unlock()
 		return
 	}
-	nd.q.fns = append(nd.q.fns, fn)
+	nd.q.fns.Push(fn)
 	nd.q.mu.Unlock()
 	nd.q.cond.Signal()
 }
 
 // deliveryLoop is the node's delivery worker: drain pending notifies and run
-// them on the node's CPU, at most batch per acquisition.
+// them on the node's CPU, at most batch per acquisition. The drain buffer is
+// reused across batches.
 func (nd *lnode) deliveryLoop(batch int) {
+	nd.batch = make([]func(), 0, batch)
 	for {
 		nd.q.mu.Lock()
-		for len(nd.q.fns) == 0 && !nd.q.closed {
+		for nd.q.fns.Len() == 0 && !nd.q.closed {
 			nd.q.cond.Wait()
 		}
-		if len(nd.q.fns) == 0 {
+		if nd.q.fns.Len() == 0 {
 			nd.q.mu.Unlock()
 			return // closed and drained
 		}
-		var take []func()
-		if len(nd.q.fns) > batch {
-			take = nd.q.fns[:batch:batch]
-			nd.q.fns = append([]func(){}, nd.q.fns[batch:]...)
-		} else {
-			take = nd.q.fns
-			nd.q.fns = nil
+		take := nd.batch[:0]
+		for len(take) < batch {
+			fn, ok := nd.q.fns.Pop()
+			if !ok {
+				break
+			}
+			take = append(take, fn)
 		}
 		nd.q.mu.Unlock()
 
 		nd.mu.Lock()
-		for _, fn := range take {
+		for i, fn := range take {
 			fn()
+			take[i] = nil // drop the reference; the buffer is reused
 		}
 		nd.mu.Unlock()
 	}
@@ -207,15 +218,18 @@ func (p *Proc) Unpark() {
 }
 
 // Sleep implements transport.Proc. The modelled cost is already paid by real
-// execution, so no time passes; the CPU is released for one scheduling round
-// so delivery callbacks get the same interleaving window the simulator's
-// arrival events have during a virtual-time charge.
+// execution, so no time passes; the CPU is briefly released so delivery and
+// timer callbacks get the same interleaving window the simulator's arrival
+// events have during a virtual-time charge. The release is a bare mutex
+// handoff — a waiting delivery worker acquires it, an uncontended release
+// costs a few atomic operations. (An unconditional runtime.Gosched here was
+// the single largest cost of the warm RMI path: each modelled charge forced
+// a scheduler round trip, and a round trip has several charges per side.)
 func (p *Proc) Sleep(d time.Duration) {
 	if d <= 0 {
 		return
 	}
 	p.nd.mu.Unlock()
-	runtime.Gosched()
 	p.nd.mu.Lock()
 }
 
@@ -262,6 +276,15 @@ func (b *Backend) Go(node int, name string, fn func(transport.Proc)) transport.P
 // latency is ignored — the real wire is the real latency.
 func (b *Backend) Deliver(dst int, _ time.Duration, enqueue, notify func()) {
 	enqueue()
+	b.nodes[dst].push(notify)
+}
+
+// DeliverDirect implements transport.DirectDeliverer: the caller already ran
+// the enqueue step, so only the (long-lived, caller-owned) notify closure is
+// queued to the destination's delivery worker. This is Deliver minus the
+// per-send closures — the machine layer uses it to make the warm send path
+// allocation-free.
+func (b *Backend) DeliverDirect(dst int, notify func()) {
 	b.nodes[dst].push(notify)
 }
 

@@ -59,6 +59,17 @@ type Proc interface {
 	Name() string
 }
 
+// DirectDeliverer is an optional Backend fast path for backends that ignore
+// the modelled latency and deliver immediately (the live backend). The
+// caller has already run the enqueue step itself (the machine's inbound
+// queues are individually thread-safe), and notify is a long-lived closure —
+// one per destination node, built once — so a delivery constructs no
+// closures and performs no allocations. Semantics are exactly
+// Deliver(dst, 0, <already performed>, notify).
+type DirectDeliverer interface {
+	DeliverDirect(dst int, notify func())
+}
+
 // Backend is an execution substrate for a multicomputer of NumNodes nodes.
 //
 // The per-node serialization contract: for any node i, at most one of the

@@ -1,0 +1,61 @@
+package mpmd_test
+
+import (
+	"testing"
+
+	"repro/mpmd"
+)
+
+// onewayAccum is a processor object whose Deposit is Threaded: a node-local
+// one-way invocation only spawns the body, which reads its wire arguments
+// after InvokeOneWay has returned.
+type onewayAccum struct {
+	got []int64
+}
+
+func (a *onewayAccum) Deposit(t *mpmd.Thread, v int64) { a.got = append(a.got, v) }
+
+func (a *onewayAccum) RMIOptions() map[string]mpmd.MethodOpts {
+	return map[string]mpmd.MethodOpts{"Deposit": {Threaded: true}}
+}
+
+// TestLocalOneWayThreadedArgs pins the call-frame escape rule: a local
+// one-way RMI to a Threaded method defers the body to a spawned thread, so
+// the pooled typed call frame must not recycle at return — a recycled frame
+// would let the next invocation overwrite the arguments the pending bodies
+// read (the bug showed every deposit arriving with the last value).
+func TestLocalOneWayThreadedArgs(t *testing.T) {
+	m := mpmd.NewMachine(mpmd.SPConfig(), 1)
+	rt := mpmd.NewRuntime(m)
+	if err := mpmd.RegisterClass[onewayAccum](rt); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := mpmd.NewObject[onewayAccum](rt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 5
+	rt.OnNode(0, func(th *mpmd.Thread) {
+		for i := 1; i <= k; i++ {
+			if err := mpmd.InvokeOneWay(th, ref, "Deposit", int64(i)); err != nil {
+				panic(err)
+			}
+		}
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got := rt.Object(ref.GPtr()).(*onewayAccum).got
+	if len(got) != k {
+		t.Fatalf("object saw %d deposits, want %d (%v)", len(got), k, got)
+	}
+	seen := map[int64]bool{}
+	for _, v := range got {
+		seen[v] = true
+	}
+	for i := int64(1); i <= k; i++ {
+		if !seen[i] {
+			t.Fatalf("deposit %d lost; object saw %v (recycled frame overwrote pending args)", i, got)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package mpmd
 import (
 	"fmt"
 	"reflect"
+	"unsafe"
 
 	"repro/internal/core"
 	"repro/internal/rmigen"
@@ -143,22 +144,24 @@ func bind[T any](t *Thread, r Ref[T], method string, argsT, retT reflect.Type, o
 // anything is sent. The call lowers onto Runtime.Call — same messages, same
 // modelled costs as the untyped API.
 func Invoke[A, R, T any](t *Thread, r Ref[T], method string, args A) (R, error) {
-	var zero R
+	var out R
 	m, err := bind(t, r, method, typeOf[A](), typeOf[R](), false)
 	if err != nil {
-		return zero, err
+		return out, err
 	}
-	wire := m.WireArgs(reflect.ValueOf(args))
-	var ret core.Arg
+	// Synchronous calls run on a pooled call frame: the wire Args recycle
+	// across invocations and the argument/result values move through the
+	// compiled offset-based plans — no per-call reflection, no per-call
+	// allocation in this layer.
+	frame := m.AcquireFrame()
+	if m.HasArgs() {
+		m.StoreArgs(unsafe.Pointer(&args), frame.Args)
+	}
+	r.rt.Call(t, r.gp, method, frame.Args, frame.Ret)
 	if m.HasRet() {
-		ret = m.NewRetArg()
+		m.LoadRetPtr(frame.Ret, unsafe.Pointer(&out))
 	}
-	r.rt.Call(t, r.gp, method, wire, ret)
-	if !m.HasRet() {
-		return zero, nil
-	}
-	var out R
-	m.LoadRet(ret, reflect.ValueOf(&out).Elem())
+	m.ReleaseFrame(frame)
 	return out, nil
 }
 
@@ -190,7 +193,19 @@ func InvokeOneWay[A, T any](t *Thread, r Ref[T], method string, args A) error {
 	if err != nil {
 		return err
 	}
-	r.rt.CallOneWay(t, r.gp, method, m.WireArgs(reflect.ValueOf(args)))
+	// Remote one-way sends marshal the arguments onto the wire inside
+	// CallOneWay, and local non-threaded bodies run inline — in both cases
+	// the frame is consumed before the call returns and can recycle. A
+	// *local* one-way to a Threaded/Atomic method only spawns the body,
+	// which reads the wire Args after we return: that frame must escape.
+	frame := m.AcquireFrame()
+	if m.HasArgs() {
+		m.StoreArgs(unsafe.Pointer(&args), frame.Args)
+	}
+	r.rt.CallOneWay(t, r.gp, method, frame.Args)
+	if r.gp.NodeID() != t.Node().ID || !m.DefersLocally() {
+		m.ReleaseFrame(frame)
+	}
 	return nil
 }
 
