@@ -34,9 +34,11 @@ func main() {
 	quick := flag.Bool("quick", false, "run the reduced-size configuration")
 	asJSON := flag.Bool("json", false, "emit one machine-readable JSON report on stdout instead of text tables")
 	backend := flag.String("backend", "sim",
-		"execution backend: sim (calibrated discrete-event model) or live (real goroutines, wall-clock)")
+		"execution backend: sim (calibrated discrete-event model), live (real goroutines, wall-clock), or net (nodes sharded across OS processes over sockets)")
+	netNodes := flag.Int("net-nodes", 0, "net backend: machine size (default 4, or 8 at full scale)")
+	netNPS := flag.Int("nodes-per-shard", 0, "net backend: nodes per OS process (default half the nodes: clients in the parent, servers in the worker)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mpmdbench [-quick] [-json] [-backend=sim|live] [table1|table4|fig5|fig6-water|fig6-lu|nexus|ablate|irregular|coll|throughput|all ...]\n")
+		fmt.Fprintf(os.Stderr, "usage: mpmdbench [-quick] [-json] [-backend=sim|live|net] [table1|table4|fig5|fig6-water|fig6-lu|nexus|ablate|irregular|coll|throughput|all ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -59,6 +61,48 @@ func main() {
 
 	switch *backend {
 	case "sim":
+	case "net":
+		if len(flag.Args()) > 0 {
+			fmt.Fprintf(os.Stderr, "mpmdbench: note: experiment names %v select sim-backend tables; the net backend runs its sharded throughput experiment\n", flag.Args())
+		}
+		// One net machine per process: the experiment re-execs this whole
+		// program for the worker shards, so exactly one sharded machine is
+		// built per run, carrying both the rmi and the bulk phase.
+		nodes := *netNodes
+		if nodes == 0 {
+			nodes = 4
+			if !*quick {
+				nodes = 8
+			}
+		}
+		nps := *netNPS
+		if nps == 0 {
+			nps = nodes / 2
+		}
+		start := time.Now()
+		rows, worker, err := bench.RunThroughputNet(cfg, scale, nodes, nps)
+		if worker {
+			// A re-exec'd worker shard: the parent owns the report.
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mpmdbench: worker shard: %v\n", err)
+				os.Exit(1)
+			}
+			os.Exit(0)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpmdbench: %v\n", err)
+			os.Exit(1)
+		}
+		elapsed := time.Since(start)
+		if *asJSON {
+			report.Add("throughput", elapsed, rows)
+			emit()
+			return
+		}
+		fmt.Printf("MPMD runtime on the net backend — %d nodes, %d per shard, scale %q\n\n", nodes, nps, scale.Name)
+		fmt.Print(bench.FormatThroughput(rows, "net"))
+		fmt.Printf("[throughput finished in %v]\n", elapsed.Round(time.Millisecond))
+		return
 	case "live":
 		if len(flag.Args()) > 0 {
 			// Stderr so -json redirection still sees it: a report file named
@@ -92,7 +136,7 @@ func main() {
 		fmt.Printf("[throughput finished in %v]\n", tputDur.Round(time.Millisecond))
 		return
 	default:
-		fmt.Fprintf(os.Stderr, "mpmdbench: unknown backend %q (want sim or live)\n", *backend)
+		fmt.Fprintf(os.Stderr, "mpmdbench: unknown backend %q (want sim, live, or net)\n", *backend)
 		os.Exit(2)
 	}
 

@@ -11,6 +11,7 @@
 package am
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sync"
 	"time"
@@ -46,15 +47,79 @@ type Msg struct {
 	// messages). Handlers normally leave it alone; see Payload for the
 	// retention rule.
 	PayloadBuf *wire.Buf
-	// Obj carries a simulation-side object reference. On real hardware
-	// this would be a raw address packed into the word arguments; in the
-	// simulator it lets handlers touch the destination object directly
-	// while the word arguments continue to model the wire format.
-	Obj any
 	// RecvExtra is additional receiver-side CPU charged when the message is
 	// polled, set by slow transports (the Nexus/TCP profile) to model their
 	// protocol stacks.
 	RecvExtra time.Duration
+}
+
+// A Msg used to carry an Obj field — an in-memory object reference riding
+// alongside the wire words. It is gone: every layer now resolves its state
+// from the word arguments on the destination side (request-ID tables,
+// persistent-buffer IDs, object-table indices), exactly as real hardware
+// packs addresses into the words. That is what lets a message cross an
+// address-space boundary on the sharded netlive backend; see wireHeaderLen
+// and (*Msg).EncodeWire below.
+
+// wireHeaderLen is the serialized Msg header: flags byte, handler u32,
+// 4 word arguments, RecvExtra i64. Src/Dst/Size ride in the packet frame.
+const wireHeaderLen = 1 + 4 + 4*8 + 8
+
+// WireLen implements machine.WirePayload: the serialized length of the
+// message for a cross-address-space hop.
+func (m *Msg) WireLen() int { return wireHeaderLen + len(m.Payload) }
+
+// EncodeWire implements machine.WirePayload. It serializes the message into
+// b (which must hold WireLen bytes) and consumes the envelope: the payload
+// buffer is released and the pooled Msg recycled, so the caller must not
+// touch m afterwards.
+func (m *Msg) EncodeWire(b []byte) int {
+	var flags byte
+	if m.Bulk {
+		flags |= 1
+	}
+	b[0] = flags
+	binary.LittleEndian.PutUint32(b[1:], uint32(m.H))
+	off := 5
+	for _, a := range m.A {
+		binary.LittleEndian.PutUint64(b[off:], a)
+		off += 8
+	}
+	binary.LittleEndian.PutUint64(b[off:], uint64(m.RecvExtra))
+	off += 8
+	off += copy(b[off:], m.Payload)
+	if m.PayloadBuf != nil {
+		m.PayloadBuf.Release()
+	}
+	*m = Msg{}
+	msgPool.Put(m)
+	return off
+}
+
+// DecodeWireMsg reconstructs a pooled Msg envelope from the serialized form,
+// copying the payload into a fresh pooled wire buffer. It is installed as the
+// machine's wire decoder by NewNet, so packets arriving from a peer shard
+// re-enter the inbox exactly as locally sent ones do.
+func DecodeWireMsg(src, dst int, b []byte) any {
+	m := msgPool.Get().(*Msg)
+	*m = Msg{
+		Bulk: b[0]&1 != 0,
+		Src:  src,
+		Dst:  dst,
+		H:    HandlerID(binary.LittleEndian.Uint32(b[1:])),
+	}
+	off := 5
+	for i := range m.A {
+		m.A[i] = binary.LittleEndian.Uint64(b[off:])
+		off += 8
+	}
+	m.RecvExtra = time.Duration(binary.LittleEndian.Uint64(b[off:]))
+	off += 8
+	if len(b) > off {
+		m.PayloadBuf = wire.Copy(b[off:])
+		m.Payload = m.PayloadBuf.Bytes()
+	}
+	return m
 }
 
 // SendOpts parameterizes Request for transports layered over the AM engine.
@@ -108,6 +173,9 @@ type Net struct {
 // can be received.
 func NewNet(m *machine.Machine) *Net {
 	n := &Net{m: m}
+	// Messages are the machine's serializable packet payload: install the
+	// codec so sharded backends can carry them across address spaces.
+	m.SetWireDecoder(DecodeWireMsg)
 	for _, node := range m.Nodes() {
 		ep := &Endpoint{net: n, node: node}
 		node.OnArrival = ep.onArrival
@@ -190,13 +258,13 @@ func (ep *Endpoint) KickService() {
 // RequestShort sends a 4-word active message to dst, charging the sender's
 // overhead, and then polls the local endpoint once (the paper's layer polls
 // on every send to guarantee progress without interrupts).
-func (ep *Endpoint) RequestShort(t *threads.Thread, dst int, h HandlerID, a [4]uint64, obj any) {
-	ep.Request(t, dst, h, a, obj, nil, SendOpts{})
+func (ep *Endpoint) RequestShort(t *threads.Thread, dst int, h HandlerID, a [4]uint64) {
+	ep.Request(t, dst, h, a, nil, SendOpts{})
 }
 
 // RequestBulk sends a bulk-transfer active message carrying payload.
-func (ep *Endpoint) RequestBulk(t *threads.Thread, dst int, h HandlerID, payload []byte, a [4]uint64, obj any) {
-	ep.Request(t, dst, h, a, obj, payload, SendOpts{Bulk: true})
+func (ep *Endpoint) RequestBulk(t *threads.Thread, dst int, h HandlerID, payload []byte, a [4]uint64) {
+	ep.Request(t, dst, h, a, payload, SendOpts{Bulk: true})
 }
 
 // Request is the parameterized send path. The payload (if any) is copied at
@@ -204,12 +272,12 @@ func (ep *Endpoint) RequestBulk(t *threads.Thread, dst int, h HandlerID, payload
 // its own buffer immediately), the sender pays its overheads plus per-byte
 // occupancy, and wire delivery is delayed by the serialization time plus
 // opts.ExtraWire.
-func (ep *Endpoint) Request(t *threads.Thread, dst int, h HandlerID, a [4]uint64, obj any, payload []byte, opts SendOpts) {
+func (ep *Endpoint) Request(t *threads.Thread, dst int, h HandlerID, a [4]uint64, payload []byte, opts SendOpts) {
 	var buf *wire.Buf
 	if len(payload) > 0 {
 		buf = wire.Copy(payload)
 	}
-	ep.RequestOwned(t, dst, h, a, obj, buf, opts)
+	ep.RequestOwned(t, dst, h, a, buf, opts)
 }
 
 // RequestOwned is the zero-copy send path: ownership of buf (which may be
@@ -218,7 +286,7 @@ func (ep *Endpoint) Request(t *threads.Thread, dst int, h HandlerID, a [4]uint64
 // completes. The caller must not touch buf after the call. The runtime's
 // marshalling path uses this to ship argument bytes with no staging copy and
 // no per-send allocation.
-func (ep *Endpoint) RequestOwned(t *threads.Thread, dst int, h HandlerID, a [4]uint64, obj any, buf *wire.Buf, opts SendOpts) {
+func (ep *Endpoint) RequestOwned(t *threads.Thread, dst int, h HandlerID, a [4]uint64, buf *wire.Buf, opts SendOpts) {
 	cfg := t.Cfg()
 	n := 0
 	if buf != nil {
@@ -246,7 +314,7 @@ func (ep *Endpoint) RequestOwned(t *threads.Thread, dst int, h HandlerID, a [4]u
 	msg := msgPool.Get().(*Msg)
 	*msg = Msg{
 		Bulk: opts.Bulk, Src: ep.node.ID, Dst: dst, H: h, A: a,
-		Obj: obj, RecvExtra: opts.ExtraRecvCPU, PayloadBuf: buf,
+		RecvExtra: opts.ExtraRecvCPU, PayloadBuf: buf,
 	}
 	if buf != nil {
 		msg.Payload = buf.Bytes()

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/machine"
 	"repro/internal/threads"
+	"repro/internal/wire"
 )
 
 // rig builds an n-node machine with the SP1997 profile, a Net, and one
@@ -49,13 +50,13 @@ func TestShortRequestReplyRTT(t *testing.T) {
 		done = true
 	})
 	echo := net.Register("echo", func(th *threads.Thread, msg Msg) {
-		net.Endpoint(th.Node().ID).RequestShort(th, msg.Src, reply, msg.A, nil)
+		net.Endpoint(th.Node().ID).RequestShort(th, msg.Src, reply, msg.A)
 	})
 	var rtt time.Duration
 	scheds[0].Start("main", func(th *threads.Thread) {
 		ep := net.Endpoint(0)
 		start := th.Now()
-		ep.RequestShort(th, 1, echo, [4]uint64{7}, nil)
+		ep.RequestShort(th, 1, echo, [4]uint64{7})
 		ep.PollUntil(th, func() bool { return done })
 		rtt = time.Duration(th.Now() - start)
 		stopAll(net, 2)
@@ -79,7 +80,7 @@ func TestArgsDelivered(t *testing.T) {
 		gotSrc = msg.Src
 	})
 	scheds[0].Start("main", func(th *threads.Thread) {
-		net.Endpoint(0).RequestShort(th, 1, h, [4]uint64{1, 2, 3, 4}, nil)
+		net.Endpoint(0).RequestShort(th, 1, h, [4]uint64{1, 2, 3, 4})
 	})
 	scheds[1].Start("svc", func(th *threads.Thread) {
 		ep := net.Endpoint(1)
@@ -104,7 +105,7 @@ func TestBulkPayloadCopiedAtSend(t *testing.T) {
 	})
 	scheds[0].Start("main", func(th *threads.Thread) {
 		buf := []byte{1, 2, 3}
-		net.Endpoint(0).RequestBulk(th, 1, h, buf, [4]uint64{}, nil)
+		net.Endpoint(0).RequestBulk(th, 1, h, buf, [4]uint64{})
 		buf[0] = 99 // must not be visible at the receiver
 	})
 	scheds[1].Start("svc", func(th *threads.Thread) {
@@ -144,7 +145,7 @@ func TestFIFOOrderingPerPair(t *testing.T) {
 	const n = 20
 	scheds[0].Start("main", func(th *threads.Thread) {
 		for i := 0; i < n; i++ {
-			net.Endpoint(0).RequestShort(th, 1, h, [4]uint64{uint64(i)}, nil)
+			net.Endpoint(0).RequestShort(th, 1, h, [4]uint64{uint64(i)})
 		}
 	})
 	m.Eng.At(time.Millisecond, func() { stopAll(net, 2) })
@@ -165,7 +166,7 @@ func TestLoopbackSelfSend(t *testing.T) {
 	h := net.Register("h", func(th *threads.Thread, msg Msg) { hit = true })
 	scheds[0].Start("main", func(th *threads.Thread) {
 		ep := net.Endpoint(0)
-		ep.RequestShort(th, 0, h, [4]uint64{}, nil)
+		ep.RequestShort(th, 0, h, [4]uint64{})
 		ep.PollUntil(th, func() bool { return hit })
 	})
 	if err := m.Run(); err != nil {
@@ -176,26 +177,52 @@ func TestLoopbackSelfSend(t *testing.T) {
 	}
 }
 
-func TestObjReferenceDelivered(t *testing.T) {
-	m, net, scheds := rig(2)
-	target := new(float64)
-	h := net.Register("write", func(th *threads.Thread, msg Msg) {
-		*(msg.Obj.(*float64)) = 3.25
-	})
-	scheds[0].Start("main", func(th *threads.Thread) {
-		net.Endpoint(0).RequestShort(th, 1, h, [4]uint64{}, target)
-	})
-	scheds[1].Start("svc", func(th *threads.Thread) {
-		ep := net.Endpoint(1)
-		ep.WaitMessage(th)
-		ep.PollAll(th)
-	})
-	if err := m.Run(); err != nil {
-		t.Fatal(err)
+// TestWireCodecRoundTrip pins the serialized Msg form used for cross-shard
+// hops: EncodeWire consumes the envelope (pooled buffer released) and
+// DecodeWireMsg reconstructs an identical message, payload copied into a
+// fresh pooled buffer.
+func TestWireCodecRoundTrip(t *testing.T) {
+	payload := []byte("twelve bytes")
+	msg := msgPool.Get().(*Msg)
+	buf := wire.Copy(payload)
+	*msg = Msg{
+		Bulk: true, Src: 3, Dst: 7, H: 42,
+		A:          [4]uint64{1, 2, 1 << 40, ^uint64(0)},
+		Payload:    buf.Bytes(),
+		PayloadBuf: buf,
+		RecvExtra:  5 * time.Microsecond,
 	}
-	if *target != 3.25 {
-		t.Fatalf("*target = %v", *target)
+	n := msg.WireLen()
+	enc := make([]byte, n)
+	if got := msg.EncodeWire(enc); got != n {
+		t.Fatalf("EncodeWire wrote %d, WireLen said %d", got, n)
 	}
+	out := DecodeWireMsg(3, 7, enc).(*Msg)
+	if !out.Bulk || out.Src != 3 || out.Dst != 7 || out.H != 42 ||
+		out.A != [4]uint64{1, 2, 1 << 40, ^uint64(0)} ||
+		out.RecvExtra != 5*time.Microsecond {
+		t.Fatalf("decoded header mismatch: %+v", out)
+	}
+	if string(out.Payload) != string(payload) {
+		t.Fatalf("decoded payload %q", out.Payload)
+	}
+	out.PayloadBuf.Release()
+	*out = Msg{}
+	msgPool.Put(out)
+}
+
+// TestShortWireCodecNoPayload checks the header-only form round-trips.
+func TestShortWireCodecNoPayload(t *testing.T) {
+	msg := msgPool.Get().(*Msg)
+	*msg = Msg{Src: 0, Dst: 1, H: 9, A: [4]uint64{8, 0, 0, 4}}
+	enc := make([]byte, msg.WireLen())
+	msg.EncodeWire(enc)
+	out := DecodeWireMsg(0, 1, enc).(*Msg)
+	if out.Bulk || out.H != 9 || out.A != [4]uint64{8, 0, 0, 4} || out.PayloadBuf != nil {
+		t.Fatalf("decoded %+v", out)
+	}
+	*out = Msg{}
+	msgPool.Put(out)
 }
 
 func TestCountersAndBytes(t *testing.T) {
@@ -203,8 +230,8 @@ func TestCountersAndBytes(t *testing.T) {
 	h := net.Register("h", func(th *threads.Thread, msg Msg) {})
 	scheds[0].Start("main", func(th *threads.Thread) {
 		ep := net.Endpoint(0)
-		ep.RequestShort(th, 1, h, [4]uint64{}, nil)
-		ep.RequestBulk(th, 1, h, make([]byte, 100), [4]uint64{}, nil)
+		ep.RequestShort(th, 1, h, [4]uint64{})
+		ep.RequestBulk(th, 1, h, make([]byte, 100), [4]uint64{})
 	})
 	m.Eng.At(time.Millisecond, func() { stopAll(net, 2) })
 	service(scheds[1], net.Endpoint(1))
@@ -252,7 +279,7 @@ func TestPollOnSendServicesPending(t *testing.T) {
 	h0 := net.Register("on0", func(th *threads.Thread, msg Msg) { handledOn0 = true })
 	scheds[0].Start("main0", func(th *threads.Thread) {
 		ep := net.Endpoint(0)
-		ep.RequestShort(th, 1, h1, [4]uint64{}, nil)
+		ep.RequestShort(th, 1, h1, [4]uint64{})
 		ep.PollUntil(th, func() bool { return handledOn0 })
 	})
 	scheds[1].Start("main1", func(th *threads.Thread) {
@@ -260,7 +287,7 @@ func TestPollOnSendServicesPending(t *testing.T) {
 		// Wait until node 0's message is in flight or queued, then send:
 		// the send itself must poll the inbox.
 		th.Charge(machine.CatCPU, 100*time.Microsecond)
-		ep.RequestShort(th, 0, h0, [4]uint64{}, nil)
+		ep.RequestShort(th, 0, h0, [4]uint64{})
 		if !handledOn1 {
 			t.Error("send did not poll pending inbox")
 		}
@@ -283,7 +310,7 @@ func TestHandlerReplyDoesNotRecurse(t *testing.T) {
 		if depth > maxDepth {
 			maxDepth = depth
 		}
-		net.Endpoint(th.Node().ID).RequestShort(th, msg.Src, pong, msg.A, nil)
+		net.Endpoint(th.Node().ID).RequestShort(th, msg.Src, pong, msg.A)
 		depth--
 	})
 	got := 0
@@ -292,7 +319,7 @@ func TestHandlerReplyDoesNotRecurse(t *testing.T) {
 	scheds[0].Start("main", func(th *threads.Thread) {
 		ep := net.Endpoint(0)
 		for i := 0; i < n; i++ {
-			ep.RequestShort(th, 1, ping, [4]uint64{}, nil)
+			ep.RequestShort(th, 1, ping, [4]uint64{})
 		}
 		ep.PollUntil(th, func() bool { return got == n })
 		stopAll(net, 2)

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/threads"
+	"repro/internal/transport/netlive"
 )
 
 // ThroughputRow is one line of the sustained-throughput experiment: half the
@@ -144,11 +145,85 @@ func RunThroughput(cfg machine.Config, sc Scale, backend string) []ThroughputRow
 	return rows
 }
 
+// RunThroughputNet measures sustained warm-RMI rate and bulk bandwidth on
+// the sharded multi-process backend: clients live in shard 0 (this process),
+// servers in the peer shards, so every measured operation crosses a real
+// socket. Unlike RunThroughput it builds exactly one machine and runs both
+// experiments inside one Run — a process re-execs its whole program per
+// machine, so one net machine per process is the contract.
+//
+// worker reports whether this process is a re-exec'd peer shard; the caller
+// must then discard the rows and exit instead of reporting (the parent owns
+// stdout).
+func RunThroughputNet(cfg machine.Config, sc Scale, nodes, nodesPerShard int) (rows []ThroughputRow, worker bool, err error) {
+	if nodes%2 != 0 || nodesPerShard <= 0 {
+		return nil, false, fmt.Errorf("throughput/net: need an even node count and positive nodes-per-shard (got %d/%d)", nodes, nodesPerShard)
+	}
+	be, err := netlive.New(nodes, netlive.Options{NodesPerShard: nodesPerShard})
+	if err != nil {
+		return nil, false, err
+	}
+	worker = be.Shard() != 0
+	m := machine.NewWithBackend(cfg, nodes, be)
+	rt := core.NewRuntime(m)
+	rt.RegisterClass(throughputClass())
+	pairs := nodes / 2
+	iters := sc.MicroIters
+	gps := make([]core.GPtr, pairs)
+	for i := 0; i < pairs; i++ {
+		gps[i] = rt.CreateObject(pairs+i, "Tput")
+	}
+	payload := make([]byte, throughputBulkBytes)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	bar := rt.NewBarrier(0, pairs)
+	var tRMI, tBulk time.Duration
+	for i := 0; i < pairs; i++ {
+		i := i
+		rt.OnNode(i, func(t *threads.Thread) {
+			bulkArgs := []core.Arg{&core.Bytes{V: payload}}
+			phase := func(dur *time.Duration, body func()) {
+				for k := 0; k < 3; k++ { // warm stubs, buffers, pools
+					body()
+				}
+				bar.Arrive(t)
+				start := m.Now()
+				for k := 0; k < iters; k++ {
+					body()
+				}
+				bar.Arrive(t)
+				if i == 0 {
+					*dur = m.Now() - start
+				}
+			}
+			phase(&tRMI, func() { rt.Call(t, gps[i], "null", nil, nil) })
+			phase(&tBulk, func() { rt.Call(t, gps[i], "sink", bulkArgs, nil) })
+		})
+	}
+	if err := rt.Run(); err != nil {
+		return nil, worker, fmt.Errorf("throughput/net %d nodes: %w", nodes, err)
+	}
+	if worker {
+		return nil, true, nil
+	}
+	rmiRow := ThroughputRow{Experiment: "rmi", Nodes: nodes, Pairs: pairs, Iters: iters, Elapsed: tRMI}
+	if tRMI > 0 {
+		rmiRow.OpsPerSec = float64(pairs*iters) / tRMI.Seconds()
+	}
+	bulkRow := ThroughputRow{Experiment: "bulk", Nodes: nodes, Pairs: pairs, Iters: iters, Elapsed: tBulk}
+	if tBulk > 0 {
+		bulkRow.OpsPerSec = float64(pairs*iters) / tBulk.Seconds()
+		bulkRow.MBps = bulkRow.OpsPerSec * throughputBulkBytes / (1 << 20)
+	}
+	return []ThroughputRow{rmiRow, bulkRow}, false, nil
+}
+
 // FormatThroughput renders the sustained-throughput table.
 func FormatThroughput(rows []ThroughputRow, backend string) string {
 	var b strings.Builder
 	clock := "virtual time"
-	if backend == "live" {
+	if backend != "sim" {
 		clock = "wall-clock"
 	}
 	fmt.Fprintf(&b, "Sustained wire-path throughput (%s backend, %s)\n", backend, clock)

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"repro/internal/am"
@@ -18,14 +20,65 @@ import (
 // 2 switches), because a deref may touch data a local computation holds.
 type GPF64 struct {
 	node int32
-	ptr  *float64
+	h    uint64   // wire name: index in the process's f64 handle registry
+	ptr  *float64 // local fast path; only the owning node dereferences it
+}
+
+// f64Reg is the process-wide registry giving float64 locations stable wire
+// handles — the stand-in for the raw data address a 1997 sender packed into
+// the message words. Handles are allocated in registration order, so SPMD
+// programs that build their global data structures identically in every
+// address space (the same discipline real Split-C/CC++ images follow) get
+// matching handles on every shard of the netlive backend; the owning node
+// resolves the handle in its own registry copy.
+//
+// Registered pointers stay pinned for the life of the process (as a real
+// image's global data segment would): handles must remain resolvable for
+// later machines in the same process. Re-registering the same location is
+// free after the first time — the common construct-a-GPF64-per-dereference
+// idiom (em3d's inner loop) takes only the read lock.
+var f64Reg struct {
+	mu   sync.RWMutex
+	ptrs []*float64
+	ids  map[*float64]uint64
+}
+
+func registerF64(p *float64) uint64 {
+	f64Reg.mu.RLock()
+	h, ok := f64Reg.ids[p]
+	f64Reg.mu.RUnlock()
+	if ok {
+		return h
+	}
+	f64Reg.mu.Lock()
+	defer f64Reg.mu.Unlock()
+	if f64Reg.ids == nil {
+		f64Reg.ids = make(map[*float64]uint64)
+	}
+	if h, ok := f64Reg.ids[p]; ok {
+		return h
+	}
+	h = uint64(len(f64Reg.ptrs))
+	f64Reg.ptrs = append(f64Reg.ptrs, p)
+	f64Reg.ids[p] = h
+	return h
+}
+
+func resolveF64(h uint64) *float64 {
+	f64Reg.mu.RLock()
+	defer f64Reg.mu.RUnlock()
+	if h >= uint64(len(f64Reg.ptrs)) {
+		panic(fmt.Sprintf("core: unresolvable global-pointer handle %d (registry has %d; symmetric setup across shards required)",
+			h, len(f64Reg.ptrs)))
+	}
+	return f64Reg.ptrs[h]
 }
 
 // NewGPF64 builds a global pointer to a double owned by the given node.
 // Programs obtain these through data-structure setup (the translator would
 // type them); only the owning node's runtime dereferences ptr.
 func NewGPF64(node int, ptr *float64) GPF64 {
-	return GPF64{node: int32(node), ptr: ptr}
+	return GPF64{node: int32(node), h: registerF64(ptr), ptr: ptr}
 }
 
 // NodeID returns the owning node.
@@ -39,18 +92,49 @@ const (
 	gpCompleteCost = 4 * time.Microsecond // landing the value / the ack
 )
 
-// gpReq is the envelope of a GP read/write.
+// gpReq is the sender-side record of one in-flight GP access; the message
+// carries its table ID in the words (addGP/takeGP) and the target's handle,
+// which the owner resolves in its registry.
 type gpReq struct {
-	from *nodeRT
 	comp *completion
-	ptr  *float64 // target location (owned by the remote node)
 	dst  *float64 // local landing slot for reads
 }
 
+// addGP stores an in-flight GP record, returning its wire ID (slot+1).
+// Sender-node execution context only, like takeGP.
+func (n *nodeRT) addGP(rq *gpReq) uint64 {
+	if ln := len(n.gpFree); ln > 0 {
+		id := n.gpFree[ln-1]
+		n.gpFree = n.gpFree[:ln-1]
+		n.gpPending[id] = rq
+		return uint64(id) + 1
+	}
+	n.gpPending = append(n.gpPending, rq)
+	return uint64(len(n.gpPending))
+}
+
+// takeGP resolves a reply's request ID and frees the slot.
+func (n *nodeRT) takeGP(wireID uint64) *gpReq {
+	id := uint32(wireID - 1)
+	rq := n.gpPending[id]
+	if rq == nil {
+		panic(fmt.Sprintf("core: node %d GP reply for unknown request %d", n.node.ID, wireID))
+	}
+	n.gpPending[id] = nil
+	n.gpFree = append(n.gpFree, id)
+	return rq
+}
+
+// GP message word layouts:
+//
+//	gp.read:       A = [reqID, handle]
+//	gp.read.reply: A = [bits, reqID]
+//	gp.write:      A = [bits, handle, reqID, wantAck]
+//	gp.ack:        A = [reqID]
 func (rt *Runtime) registerGPHandlers() {
 	rt.hGPReadReply = rt.tr.Register("cc.gp.read.reply", func(t *threads.Thread, m am.Msg) {
-		rq := m.Obj.(*gpReq)
-		n := rq.from
+		n := rt.nodes[m.Dst]
+		rq := n.takeGP(m.A[1])
 		lockPair(t, &n.commLock)
 		chargeRuntime(t, gpCompleteCost)
 		*rq.dst = math.Float64frombits(m.A[0])
@@ -62,35 +146,37 @@ func (rt *Runtime) registerGPHandlers() {
 	// deref may touch data an interrupted local computation holds (Table 4's
 	// GP 2-Word R/W row: 1 create, 2 switches).
 	rt.hGPRead = rt.tr.Register("cc.gp.read", func(t *threads.Thread, m am.Msg) {
-		rq := m.Obj.(*gpReq)
 		n := rt.nodes[m.Dst]
 		lockPair(t, &n.commLock)
 		src := m.Src
+		reqID := m.A[0]
+		handle := m.A[1]
 		t.Spawn("gp.read", func(t2 *threads.Thread) {
 			chargeRuntime(t2, gpServeCost)
-			bits := math.Float64bits(*rq.ptr)
-			rt.tr.Send(t2, m.Dst, src, rt.hGPReadReply, [4]uint64{bits}, rq, nil, false)
+			bits := math.Float64bits(*resolveF64(handle))
+			rt.tr.Send(t2, m.Dst, src, rt.hGPReadReply, [4]uint64{bits, reqID}, nil, false)
 		})
 	})
 	rt.hGPAck = rt.tr.Register("cc.gp.ack", func(t *threads.Thread, m am.Msg) {
-		rq := m.Obj.(*gpReq)
-		n := rq.from
+		n := rt.nodes[m.Dst]
+		rq := n.takeGP(m.A[0])
 		lockPair(t, &n.commLock)
 		chargeRuntime(t, gpCompleteCost)
 		rq.complete(t)
 	})
 	rt.hGPWrite = rt.tr.Register("cc.gp.write", func(t *threads.Thread, m am.Msg) {
-		rq := m.Obj.(*gpReq)
 		n := rt.nodes[m.Dst]
 		lockPair(t, &n.commLock)
 		src := m.Src
-		wantAck := m.A[1] != 0
 		bits := m.A[0]
+		handle := m.A[1]
+		reqID := m.A[2]
+		wantAck := m.A[3] != 0
 		t.Spawn("gp.write", func(t2 *threads.Thread) {
 			chargeRuntime(t2, gpServeCost)
-			*rq.ptr = math.Float64frombits(bits)
+			*resolveF64(handle) = math.Float64frombits(bits)
 			if wantAck {
-				rt.tr.Send(t2, m.Dst, src, rt.hGPAck, [4]uint64{}, rq, nil, false)
+				rt.tr.Send(t2, m.Dst, src, rt.hGPAck, [4]uint64{reqID}, nil, false)
 			}
 		})
 	})
@@ -128,9 +214,10 @@ func (rt *Runtime) ReadF64(t *threads.Thread, gp GPF64) float64 {
 		mode = modeSpin
 	}
 	var dst float64
-	rq := &gpReq{from: n, comp: &completion{mode: mode}, ptr: gp.ptr, dst: &dst}
+	rq := &gpReq{comp: &completion{mode: mode}, dst: &dst}
+	id := n.addGP(rq)
 	lockPair(t, &n.commLock)
-	rt.tr.Send(t, n.node.ID, int(gp.node), rt.hGPRead, [4]uint64{}, rq, nil, false)
+	rt.tr.Send(t, n.node.ID, int(gp.node), rt.hGPRead, [4]uint64{id, gp.h}, nil, false)
 	rt.waitComp(t, n, rq.comp)
 	return dst
 }
@@ -154,9 +241,11 @@ func (rt *Runtime) WriteF64(t *threads.Thread, gp GPF64, v float64) {
 	if rt.opts.SpinSenders {
 		mode = modeSpin
 	}
-	rq := &gpReq{from: n, comp: &completion{mode: mode}, ptr: gp.ptr}
+	rq := &gpReq{comp: &completion{mode: mode}}
+	id := n.addGP(rq)
 	lockPair(t, &n.commLock)
-	rt.tr.Send(t, n.node.ID, int(gp.node), rt.hGPWrite, [4]uint64{math.Float64bits(v), 1}, rq, nil, false)
+	rt.tr.Send(t, n.node.ID, int(gp.node), rt.hGPWrite,
+		[4]uint64{math.Float64bits(v), gp.h, id, 1}, nil, false)
 	rt.waitComp(t, n, rq.comp)
 }
 
@@ -176,9 +265,11 @@ func (rt *Runtime) WriteF64Async(t *threads.Thread, gp GPF64, v float64) *Future
 	n.node.Acct.Count(machine.CntRemoteWrite, 1)
 	lockPair(t, &n.rtLock)
 	chargeRuntime(t, cfg.StubLookup+gpIssueCost)
-	rq := &gpReq{from: n, comp: &completion{mode: modeFuture}, ptr: gp.ptr}
+	rq := &gpReq{comp: &completion{mode: modeFuture}}
+	id := n.addGP(rq)
 	lockPair(t, &n.commLock)
-	rt.tr.Send(t, n.node.ID, int(gp.node), rt.hGPWrite, [4]uint64{math.Float64bits(v), 1}, rq, nil, false)
+	rt.tr.Send(t, n.node.ID, int(gp.node), rt.hGPWrite,
+		[4]uint64{math.Float64bits(v), gp.h, id, 1}, nil, false)
 	return &Future{rt: rt, comp: rq.comp}
 }
 

@@ -41,15 +41,44 @@ type completion struct {
 	sv   threads.SyncVar
 }
 
-// rmiMsg is the simulation-side envelope carried by invocation messages:
-// the sender's completion state and return destination ride along so the
-// reply handler can find them (on hardware these would be a request ID
-// indexing a table; the word arguments still model the wire format).
+// rmiMsg is the sender-side record of one in-flight RMI: the completion
+// state and return destination. It never travels — the invocation message
+// carries a request ID (a slot in the sender node's pending table, packed
+// into the word arguments) and the reply echoes it, exactly the request-ID
+// table real hardware uses. Everything the receiver needs resolves from the
+// wire words on the destination side: the object from its object table, the
+// method from its stub registry, the persistent R-buffer from its buffer
+// table.
 type rmiMsg struct {
-	from *nodeRT
 	comp *completion
 	ret  Arg
-	rbuf *tham.RBuf
+}
+
+// addPending stores an in-flight call record and returns its wire request
+// ID (slot + 1, so 0 means "no reply expected"). Called from the sender
+// node's execution context only, like takePending — the reply handler runs
+// on the same node — so the table needs no lock.
+func (n *nodeRT) addPending(msg *rmiMsg) uint64 {
+	if ln := len(n.freeIDs); ln > 0 {
+		id := n.freeIDs[ln-1]
+		n.freeIDs = n.freeIDs[:ln-1]
+		n.pending[id] = msg
+		return uint64(id) + 1
+	}
+	n.pending = append(n.pending, msg)
+	return uint64(len(n.pending))
+}
+
+// takePending resolves a reply's request ID and frees the slot.
+func (n *nodeRT) takePending(wireID uint64) *rmiMsg {
+	id := uint32(wireID - 1)
+	msg := n.pending[id]
+	if msg == nil {
+		panic(fmt.Sprintf("core: node %d reply for unknown request %d", n.node.ID, wireID))
+	}
+	n.pending[id] = nil
+	n.freeIDs = append(n.freeIDs, id)
+	return msg
 }
 
 // callRec is a pooled sender-side call record: the envelope plus completion
@@ -73,13 +102,6 @@ func (r *callRec) release() {
 	r.comp.done = false
 	r.comp.sv.Reset()
 	callRecPool.Put(r)
-}
-
-// resolveUpdate is the payload of a stub-cache update message (cold path).
-type resolveUpdate struct {
-	proc int
-	hash tham.NameHash
-	rbuf *tham.RBuf
 }
 
 // Future is the join handle of an asynchronous RMI.
@@ -209,10 +231,14 @@ func (rt *Runtime) invoke(t *threads.Thread, gp GPtr, method string, args []Arg,
 		comp = &completion{mode: mode}
 		msg = &rmiMsg{}
 	}
-	msg.from, msg.comp, msg.ret = n, comp, ret
+	msg.comp, msg.ret = comp, ret
 	var flags uint64
+	var reqID uint64
 	if mode != modeOneWay {
 		flags |= flagWantReply
+		// The reply finds this call through the sender's pending table; only
+		// the slot's wire ID travels, packed into the flags word's high half.
+		reqID = n.addPending(msg)
 	}
 	a := [4]uint64{0, uint64(gp.obj), 0, 0}
 	if cold {
@@ -223,16 +249,19 @@ func (rt *Runtime) invoke(t *threads.Thread, gp GPtr, method string, args []Arg,
 		copy(buf.Bytes()[argLen:], bm.qname)
 	} else {
 		a[2] = uint64(bm.stub)
-		msg.rbuf = entry.RBuf
+		// The persistent R-buffer's ID at the destination (+1 so 0 means
+		// none): the receiver resolves it in its own buffer table, the wire
+		// form of the sender-managed buffer address of §4.
+		a[3] = uint64(entry.RBufID) + 1
 	}
-	a[0] = flags
+	a[0] = flags | reqID<<32
 
 	// Hand to the (thread-safe) message layer. Zero-argument warm
 	// invocations fit a short AM; anything carrying marshalled data uses
 	// the bulk path — this is why the paper's 1-Word RMI jumps to the
 	// 70 µs bulk AM cost.
 	lockPair(t, &n.commLock)
-	rt.tr.SendBuf(t, n.node.ID, int(gp.node), rt.hInvoke, a, msg, buf, false)
+	rt.tr.SendBuf(t, n.node.ID, int(gp.node), rt.hInvoke, a, buf, false)
 
 	switch mode {
 	case modeSpin:
@@ -375,10 +404,10 @@ func (rt *Runtime) handleInvoke(t *threads.Thread, m am.Msg) {
 	cfg := t.Cfg()
 	lockPair(t, &n.commLock) // message-layer thread safety
 
-	flags := m.A[0]
+	flags := uint32(m.A[0])
+	reqID := m.A[0] >> 32
 	cold := flags&flagCold != 0
 	wantReply := flags&flagWantReply != 0
-	msg := m.Obj.(*rmiMsg)
 
 	argBytes := m.Payload
 	var bm *boundMethod
@@ -386,8 +415,8 @@ func (rt *Runtime) handleInvoke(t *threads.Thread, m am.Msg) {
 		nameLen := int(m.A[3])
 		argBytes = m.Payload[:len(m.Payload)-nameLen]
 		// Resolve the name against the local registry and send the cache
-		// update (stub entry point + freshly allocated persistent R-buffer)
-		// back to the sender.
+		// update (stub entry point + the ID of a freshly allocated persistent
+		// R-buffer) back to the sender.
 		chargeRuntime(t, cfg.StubLookup)
 		stub, ok := n.reg.Resolve(tham.NameHash(m.A[2]))
 		if !ok {
@@ -397,18 +426,20 @@ func (rt *Runtime) handleInvoke(t *threads.Thread, m am.Msg) {
 		rb := n.bufs.AllocRBuf(len(argBytes))
 		n.node.Acct.Count(machine.CntBufAlloc, 1)
 		lockPair(t, &n.commLock)
-		rt.tr.Send(t, m.Dst, m.Src, rt.hResolveUpdate, [4]uint64{uint64(stub)},
-			&resolveUpdate{proc: m.Dst, hash: bm.hash, rbuf: rb}, nil, false)
+		rt.tr.Send(t, m.Dst, m.Src, rt.hResolveUpdate,
+			[4]uint64{uint64(stub), uint64(bm.hash), uint64(rb.ID)}, nil, false)
 		// Cold invocations land in the static buffer area and must be
 		// copied into the new R-buffer before dispatch.
 		rt.stage(t, n, rb, argBytes)
 	} else {
 		bm = rt.methods[tham.StubID(m.A[2])]
-		if msg.rbuf != nil && !rt.opts.DisablePersistentBuffers {
-			// Warm path: the sender targeted the persistent R-buffer, so
+		if m.A[3] != 0 && !rt.opts.DisablePersistentBuffers {
+			// Warm path: the sender targeted the persistent R-buffer by ID
+			// (destination-side resolution in the local buffer table), so
 			// the data is already in place — no staging copy.
-			n.bufs.Reuse(msg.rbuf, len(argBytes))
-			copy(msg.rbuf.Data, argBytes)
+			rb := n.bufs.RBuf(int32(m.A[3] - 1))
+			n.bufs.Reuse(rb, len(argBytes))
+			copy(rb.Data, argBytes)
 			n.node.Acct.Count(machine.CntBufReuse, 1)
 		} else {
 			rb := n.bufs.AllocRBuf(len(argBytes))
@@ -429,7 +460,7 @@ func (rt *Runtime) handleInvoke(t *threads.Thread, m am.Msg) {
 			pb.Retain()
 		}
 		t.Spawn("rmi:"+bm.m.Name, func(t2 *threads.Thread) {
-			rt.runMethod(t2, n, bm, m, msg, argBytes, wantReply)
+			rt.runMethod(t2, n, bm, m, reqID, argBytes, wantReply)
 			if pb != nil {
 				pb.Release()
 			}
@@ -438,7 +469,7 @@ func (rt *Runtime) handleInvoke(t *threads.Thread, m am.Msg) {
 	}
 	// Non-threaded methods dispatch inline in the polling thread — a direct
 	// call, no closure.
-	rt.runMethod(t, n, bm, m, msg, argBytes, wantReply)
+	rt.runMethod(t, n, bm, m, reqID, argBytes, wantReply)
 }
 
 // stage models the cold-path copy from the static buffer area into an
@@ -455,7 +486,7 @@ func (rt *Runtime) stage(t *threads.Thread, n *nodeRT, rb *tham.RBuf, argBytes [
 // runMethod unmarshals, executes, and (when requested) replies. Argument
 // and return-value instances come from the method's pooled decode frames
 // and recycle when the call completes (methods must not retain them).
-func (rt *Runtime) runMethod(t *threads.Thread, n *nodeRT, bm *boundMethod, m am.Msg, msg *rmiMsg, argBytes []byte, wantReply bool) {
+func (rt *Runtime) runMethod(t *threads.Thread, n *nodeRT, bm *boundMethod, m am.Msg, reqID uint64, argBytes []byte, wantReply bool) {
 	cfg := t.Cfg()
 	var frame *argFrame
 	var args []Arg
@@ -491,7 +522,7 @@ func (rt *Runtime) runMethod(t *threads.Thread, n *nodeRT, bm *boundMethod, m am
 				time.Duration(n2)*cfg.MemCopyPerByte)
 		}
 		lockPair(t, &n.commLock)
-		rt.tr.SendBuf(t, m.Dst, m.Src, rt.hReply, [4]uint64{}, msg, buf, false)
+		rt.tr.SendBuf(t, m.Dst, m.Src, rt.hReply, [4]uint64{reqID}, buf, false)
 	}
 	if frame != nil {
 		// The return value is already encoded on the wire; the frame can
@@ -500,10 +531,11 @@ func (rt *Runtime) runMethod(t *threads.Thread, n *nodeRT, bm *boundMethod, m am
 	}
 }
 
-// handleReply lands an RMI completion (and return value) at the initiator.
+// handleReply lands an RMI completion (and return value) at the initiator:
+// the echoed request ID resolves the pending-call record in the local table.
 func (rt *Runtime) handleReply(t *threads.Thread, m am.Msg) {
-	msg := m.Obj.(*rmiMsg)
-	n := msg.from
+	n := rt.nodes[m.Dst]
+	msg := n.takePending(m.A[0])
 	cfg := t.Cfg()
 	lockPair(t, &n.commLock)
 	if msg.ret != nil {
@@ -526,13 +558,15 @@ func (rt *Runtime) handleReply(t *threads.Thread, m am.Msg) {
 }
 
 // handleResolveUpdate installs a stub-cache entry after a cold invocation.
+// Everything arrives in the words: the resolved stub, the method-name hash,
+// and the ID of the persistent R-buffer the resolver allocated (owned and
+// only ever dereferenced by the resolver's node).
 func (rt *Runtime) handleResolveUpdate(t *threads.Thread, m am.Msg) {
-	up := m.Obj.(*resolveUpdate)
 	n := rt.nodes[m.Dst]
 	lockPair(t, &n.rtLock)
-	n.cache.Update(up.proc, up.hash, &tham.CacheEntry{
-		Stub: tham.StubID(m.A[0]),
-		RBuf: up.rbuf,
+	n.cache.Update(m.Src, tham.NameHash(m.A[1]), &tham.CacheEntry{
+		Stub:   tham.StubID(m.A[0]),
+		RBufID: int32(m.A[2]),
 	})
 }
 

@@ -10,6 +10,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/tham"
 	"repro/internal/threads"
+	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
@@ -136,13 +137,16 @@ type Transport interface {
 	// Register installs a handler on every node, returning its ID.
 	Register(name string, h am.Handler) am.HandlerID
 	// Send transmits a message (bulk when payload is non-nil or forceBulk).
-	// The payload is copied at send time; the sender keeps its buffer.
-	Send(t *threads.Thread, src, dst int, h am.HandlerID, a [4]uint64, obj any, payload []byte, forceBulk bool)
+	// The payload is copied at send time; the sender keeps its buffer. A
+	// message consists of the four word arguments plus the payload bytes —
+	// nothing else travels, so any transport (including one crossing address
+	// spaces) can carry it.
+	Send(t *threads.Thread, src, dst int, h am.HandlerID, a [4]uint64, payload []byte, forceBulk bool)
 	// SendBuf transmits a message whose payload is an owned pooled buffer
 	// (nil for none): ownership transfers to the message layer, which hands
 	// it across uncopied and recycles it after the receiving handler runs.
 	// The caller must not touch buf after the call.
-	SendBuf(t *threads.Thread, src, dst int, h am.HandlerID, a [4]uint64, obj any, buf *wire.Buf, forceBulk bool)
+	SendBuf(t *threads.Thread, src, dst int, h am.HandlerID, a [4]uint64, buf *wire.Buf, forceBulk bool)
 	// Poll services at most one pending message on node me.
 	Poll(t *threads.Thread, me int) bool
 	// WaitMessage parks until a message arrives at node me (or Stop).
@@ -177,13 +181,13 @@ func (tr *AMTransport) Register(name string, h am.Handler) am.HandlerID {
 }
 
 // Send implements Transport.
-func (tr *AMTransport) Send(t *threads.Thread, src, dst int, h am.HandlerID, a [4]uint64, obj any, payload []byte, forceBulk bool) {
-	tr.net.Endpoint(src).Request(t, dst, h, a, obj, payload, am.SendOpts{Bulk: forceBulk || len(payload) > 0})
+func (tr *AMTransport) Send(t *threads.Thread, src, dst int, h am.HandlerID, a [4]uint64, payload []byte, forceBulk bool) {
+	tr.net.Endpoint(src).Request(t, dst, h, a, payload, am.SendOpts{Bulk: forceBulk || len(payload) > 0})
 }
 
 // SendBuf implements Transport.
-func (tr *AMTransport) SendBuf(t *threads.Thread, src, dst int, h am.HandlerID, a [4]uint64, obj any, buf *wire.Buf, forceBulk bool) {
-	tr.net.Endpoint(src).RequestOwned(t, dst, h, a, obj, buf, am.SendOpts{Bulk: forceBulk || buf != nil})
+func (tr *AMTransport) SendBuf(t *threads.Thread, src, dst int, h am.HandlerID, a [4]uint64, buf *wire.Buf, forceBulk bool) {
+	tr.net.Endpoint(src).RequestOwned(t, dst, h, a, buf, am.SendOpts{Bulk: forceBulk || buf != nil})
 }
 
 // Poll implements Transport.
@@ -245,6 +249,17 @@ type nodeRT struct {
 	cache *tham.StubCache
 	bufs  *tham.BufMgr
 	objs  tham.ObjTable
+
+	// pending is the node's in-flight RMI table: replies name their call by
+	// slot ID in the message words instead of carrying a pointer (rmi.go's
+	// addPending/takePending). gpPending is the same table for the optimized
+	// global-pointer accesses. Both are touched only from this node's
+	// execution context.
+	pending []*rmiMsg
+	freeIDs []uint32
+
+	gpPending []*gpReq
+	gpFree    []uint32
 
 	objLocks map[int32]*threads.Mutex
 
@@ -464,24 +479,64 @@ func (rt *Runtime) OnNode(i int, prog func(t *threads.Thread)) {
 	rt.mainsLeft.Add(1)
 }
 
-// Run starts the polling thread on every node plus the installed node
+// Run starts the polling thread on every local node plus the installed node
 // programs, and drives the machine until completion. After the last
 // program finishes, reception keeps draining for Options.Grace (virtual
 // time on the simulator, wall time on the live backend) before the pollers
 // shut down.
+//
+// On a sharded backend (transport.Topology), only this shard's nodes
+// execute here: programs installed for remote nodes run in their own
+// processes, which build the identical runtime (the SPMD launch model).
+// Shutdown is machine-wide: when this shard's programs finish the backend
+// is told (LocalQuiesced), and the grace-delayed endpoint shutdown begins
+// only once every shard has quiesced — so a pure-server shard, with no
+// programs of its own, keeps serving remote invocations until the whole
+// machine is done.
 func (rt *Runtime) Run() error {
+	topo, sharded := rt.m.Backend().(transport.Topology)
+	isLocal := func(i int) bool { return !sharded || topo.IsLocal(i) }
+	localMains := int32(0)
+	for i, prog := range rt.progs {
+		if prog != nil && isLocal(i) {
+			localMains++
+		}
+	}
 	if rt.mainsLeft.Load() == 0 {
+		// No programs anywhere: nothing would ever terminate the run.
 		return fmt.Errorf("core: no node programs installed")
 	}
+	rt.mainsLeft.Store(localMains)
 	rt.started.Store(true)
+	quiesce := func() {
+		// Each node's Stop must run in that node's execution context (it
+		// wakes parked threads).
+		stopLocal := func() {
+			for j := range rt.nodes {
+				if !isLocal(j) {
+					continue
+				}
+				j := j
+				rt.m.AfterNode(j, rt.opts.Grace, func() { rt.tr.Stop(j) })
+			}
+		}
+		if sharded {
+			topo.LocalQuiesced(stopLocal)
+		} else {
+			stopLocal()
+		}
+	}
 	for i := range rt.nodes {
+		if !isLocal(i) {
+			continue
+		}
 		n := rt.nodes[i]
 		// "In order to avoid deadlocks when there is no runnable thread, a
 		// polling thread is forked at initialization." (§4)
 		n.sched.Start("poller", func(t *threads.Thread) { rt.pollerLoop(t, n) })
 	}
 	for i := range rt.nodes {
-		if rt.progs[i] == nil {
+		if rt.progs[i] == nil || !isLocal(i) {
 			continue
 		}
 		n := rt.nodes[i]
@@ -489,14 +544,14 @@ func (rt *Runtime) Run() error {
 		n.sched.Start("main", func(t *threads.Thread) {
 			prog(t)
 			if rt.mainsLeft.Add(-1) == 0 {
-				// Each node's Stop must run in that node's execution
-				// context (it wakes parked threads).
-				for j := range rt.nodes {
-					j := j
-					rt.m.AfterNode(j, rt.opts.Grace, func() { rt.tr.Stop(j) })
-				}
+				quiesce()
 			}
 		})
+	}
+	if localMains == 0 {
+		// A pure-server shard: quiesced from the start, serving until the
+		// machine-wide shutdown arrives.
+		quiesce()
 	}
 	return rt.m.Run()
 }

@@ -29,6 +29,12 @@ type Machine struct {
 	// backend delivers through modelled-latency events (the simulator).
 	direct transport.DirectDeliverer
 
+	// shard is be's sharded message plane, nil on single-address-space
+	// backends. When set, Send serializes packets for non-local nodes and
+	// wireDec (installed by the messaging layer) reconstructs arriving ones.
+	shard   transport.ShardBackend
+	wireDec func(src, dst int, b []byte) any
+
 	// Trace, when non-nil, receives instrumentation callbacks from the
 	// layers above (kind is "send", "recv", "spawn", "switch", or "charge";
 	// dur is non-zero for charges). Install via the trace package's Attach.
@@ -65,6 +71,10 @@ func NewWithBackend(cfg Config, n int, be transport.Backend) *Machine {
 		m.Eng = sb.Engine()
 	}
 	m.direct, _ = be.(transport.DirectDeliverer)
+	if sb, ok := be.(transport.ShardBackend); ok {
+		m.shard = sb
+		sb.SetRemoteHandler(m.remoteArrival)
+	}
 	for i := 0; i < n; i++ {
 		nd := &Node{
 			ID:   i,
@@ -86,6 +96,37 @@ func NewWithBackend(cfg Config, n int, be transport.Backend) *Machine {
 
 // Backend returns the execution backend the machine runs on.
 func (m *Machine) Backend() transport.Backend { return m.be }
+
+// WirePayload is implemented by packet payloads that can cross an
+// address-space boundary on a sharded backend (the am layer's Msg does).
+// EncodeWire consumes the payload: any pooled resources it holds are
+// released, and the caller must not touch it afterwards.
+type WirePayload interface {
+	// WireLen returns the serialized length.
+	WireLen() int
+	// EncodeWire serializes into b (len(b) >= WireLen()) and returns the
+	// bytes written, consuming the payload.
+	EncodeWire(b []byte) int
+}
+
+// SetWireDecoder installs the packet-payload decoder used for frames
+// arriving from peer shards. The messaging layer that defines the payload
+// type installs it (am.NewNet does); it is a no-op concern on
+// single-address-space backends.
+func (m *Machine) SetWireDecoder(dec func(src, dst int, b []byte) any) { m.wireDec = dec }
+
+// remoteArrival lands a packet received from a peer shard: decode the
+// payload, enqueue, and wake the destination through the backend's direct
+// path. It runs on a backend reader goroutine; the inbox is thread-safe and
+// the notify closure goes through the destination's delivery worker.
+func (m *Machine) remoteArrival(src, dst, size int, enc []byte) {
+	if m.wireDec == nil {
+		panic(fmt.Sprintf("machine: packet from shard peer for node %d but no wire decoder installed", dst))
+	}
+	nd := m.Node(dst)
+	nd.pushInbox(Packet{Src: src, Dst: dst, Size: size, Payload: m.wireDec(src, dst, enc)})
+	m.direct.DeliverDirect(dst, nd.notify)
+}
 
 // Now returns the backend clock: virtual time on the simulator, wall-clock
 // time on the live backend.
@@ -203,6 +244,21 @@ func (n *Node) Send(dst int, extraWire time.Duration, size int, payload any) {
 	target := m.Node(dst)
 	if m.Trace != nil {
 		m.Emit(n.ID, "send", fmt.Sprintf("->n%d %dB", dst, size), 0)
+	}
+	if m.shard != nil && !m.shard.IsLocal(dst) {
+		// Cross-shard: the destination lives in another address space, so
+		// the payload must actually serialize — the in-memory fast path
+		// cannot carry it. Encode into a pooled frame (ownership passes to
+		// the backend's per-peer writer) and ship it. Local sends below keep
+		// the direct in-memory path.
+		wp, ok := payload.(WirePayload)
+		if !ok {
+			panic(fmt.Sprintf("machine: packet payload %T for remote node %d is not wire-serializable", payload, dst))
+		}
+		f := wire.Get(wp.WireLen())
+		wp.EncodeWire(f.Bytes())
+		m.shard.DeliverRemote(n.ID, dst, size, f)
+		return
 	}
 	pkt := Packet{Src: n.ID, Dst: dst, Size: size, Payload: payload}
 	if m.direct != nil {

@@ -46,7 +46,7 @@ func (tr *Transport) Register(name string, h am.Handler) am.HandlerID {
 
 // Send implements core.Transport: every message pays the TCP protocol stack
 // on both sides and rides the slow path through the switch.
-func (tr *Transport) Send(t *threads.Thread, src, dst int, h am.HandlerID, a [4]uint64, obj any, payload []byte, forceBulk bool) {
+func (tr *Transport) Send(t *threads.Thread, src, dst int, h am.HandlerID, a [4]uint64, payload []byte, forceBulk bool) {
 	cfg := t.Cfg()
 	opts := am.SendOpts{
 		Bulk:         forceBulk || len(payload) > 0,
@@ -55,13 +55,13 @@ func (tr *Transport) Send(t *threads.Thread, src, dst int, h am.HandlerID, a [4]
 		ExtraRecvCPU: cfg.NexusPerMsgCPU,
 		GapPerByte:   cfg.NexusGapPerByte,
 	}
-	tr.net.Endpoint(src).Request(t, dst, h, a, obj, payload, opts)
+	tr.net.Endpoint(src).Request(t, dst, h, a, payload, opts)
 }
 
 // SendBuf implements core.Transport: the owned-buffer variant of Send, with
 // the same Nexus/TCP cost profile. Ownership of buf passes to the message
 // layer.
-func (tr *Transport) SendBuf(t *threads.Thread, src, dst int, h am.HandlerID, a [4]uint64, obj any, buf *wire.Buf, forceBulk bool) {
+func (tr *Transport) SendBuf(t *threads.Thread, src, dst int, h am.HandlerID, a [4]uint64, buf *wire.Buf, forceBulk bool) {
 	cfg := t.Cfg()
 	opts := am.SendOpts{
 		Bulk:         forceBulk || buf != nil,
@@ -70,7 +70,7 @@ func (tr *Transport) SendBuf(t *threads.Thread, src, dst int, h am.HandlerID, a 
 		ExtraRecvCPU: cfg.NexusPerMsgCPU,
 		GapPerByte:   cfg.NexusGapPerByte,
 	}
-	tr.net.Endpoint(src).RequestOwned(t, dst, h, a, obj, buf, opts)
+	tr.net.Endpoint(src).RequestOwned(t, dst, h, a, buf, opts)
 }
 
 // Poll implements core.Transport.

@@ -128,6 +128,22 @@ func planFor(t reflect.Type) (*valuePlan, error) {
 	return p, nil
 }
 
+// clearRefs drops the heap references a marshal left in the wire Args
+// (slice backing arrays, string data), so a frame returning to the codec
+// pool does not retain application payloads.
+func (p *valuePlan) clearRefs(args []core.Arg) {
+	for i := range p.fields {
+		switch a := args[i].(type) {
+		case *core.F64Slice:
+			a.V = nil
+		case *core.Bytes:
+			a.V = nil
+		case *core.Str:
+			a.V = ""
+		}
+	}
+}
+
 // newArgs returns fresh wire Args for the plan, one per component — the
 // same slice shape a hand-written Method.NewArgs would build.
 func (p *valuePlan) newArgs() []core.Arg {

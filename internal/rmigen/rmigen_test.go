@@ -300,3 +300,95 @@ func TestRegisterValidation(t *testing.T) {
 		t.Error("lookup of unregistered type succeeded")
 	}
 }
+
+// TestCodecAppendToAllocFree pins the collective hot path's allocation
+// budget: encoding an addressable non-slice value into a reused buffer and
+// decoding it back must not allocate — the argument frames recycle through
+// the codec pool and the buffer is caller-owned.
+func TestCodecAppendToAllocFree(t *testing.T) {
+	type point struct {
+		X, Y int64
+		W    float64
+	}
+	c, err := CodecFor(reflect.TypeOf(point{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := point{X: 7, Y: -3, W: 2.5}
+	src := reflect.ValueOf(&in).Elem()
+	buf := c.AppendTo(src, nil)
+	var out point
+	dst := reflect.ValueOf(&out).Elem()
+	c.Decode(buf, dst)
+	if out != in {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		buf = c.AppendTo(src, buf[:0])
+	}); allocs > 0 {
+		t.Fatalf("AppendTo into reused buffer allocates %.1f/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		c.Decode(buf, dst)
+	}); allocs > 0 {
+		t.Fatalf("Decode of pooled-frame plan allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestCodecAppendToSliceSafety: a slice-carrying type still round-trips
+// correctly through AppendTo, the pooled encode frame does not retain the
+// application's slice, and decoded values stay stable after later decodes
+// (no aliasing into recycled scratch).
+func TestCodecAppendToSliceSafety(t *testing.T) {
+	type blob struct {
+		Tag  string
+		Data []byte
+	}
+	c, err := CodecFor(reflect.TypeOf(blob{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := blob{Tag: "one", Data: []byte{1, 2, 3, 4}}
+	bufOne := c.AppendTo(reflect.ValueOf(&one).Elem(), nil)
+	var gotOne blob
+	c.Decode(bufOne, reflect.ValueOf(&gotOne).Elem())
+
+	// A second encode/decode cycle through the same codec must not disturb
+	// the first decoded value.
+	two := blob{Tag: "two", Data: []byte{9, 9, 9, 9, 9, 9}}
+	bufTwo := c.AppendTo(reflect.ValueOf(&two).Elem(), nil)
+	var gotTwo blob
+	c.Decode(bufTwo, reflect.ValueOf(&gotTwo).Elem())
+
+	if gotOne.Tag != "one" || string(gotOne.Data) != string([]byte{1, 2, 3, 4}) {
+		t.Fatalf("first decode disturbed by second: %+v", gotOne)
+	}
+	if gotTwo.Tag != "two" || len(gotTwo.Data) != 6 {
+		t.Fatalf("second decode wrong: %+v", gotTwo)
+	}
+}
+
+// BenchmarkCodecAppendTo is the benchmem gate companion of the alloc test:
+// CI runs it with -benchmem so a pooling regression is visible as a
+// non-zero allocs/op in the throughput trajectory.
+func BenchmarkCodecAppendTo(b *testing.B) {
+	type point struct {
+		X, Y int64
+		W    float64
+	}
+	c, err := CodecFor(reflect.TypeOf(point{}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := point{X: 7, Y: -3, W: 2.5}
+	src := reflect.ValueOf(&in).Elem()
+	var out point
+	dst := reflect.ValueOf(&out).Elem()
+	buf := c.AppendTo(src, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = c.AppendTo(src, buf[:0])
+		c.Decode(buf, dst)
+	}
+}

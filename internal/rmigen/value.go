@@ -3,7 +3,10 @@ package rmigen
 import (
 	"fmt"
 	"reflect"
+	"slices"
 	"sync"
+
+	"repro/internal/core"
 )
 
 // Codec marshals single values of a supported RMI type (int, int64,
@@ -11,9 +14,23 @@ import (
 // exact wire bytes the RMI argument path produces. The collective layer and
 // Dist arrays use it to move typed payloads over the untyped byte-level
 // plumbing without inventing a second wire format.
+//
+// The hot entry points are AppendTo and Decode: argument frames (the []Arg
+// scratch a marshal runs through) recycle through a per-codec pool, and
+// AppendTo writes into a caller-provided buffer, so a warm
+// encode-into-reused-buffer of an addressable value performs zero
+// allocations. Encode remains as the convenience form that allocates its
+// result.
 type Codec struct {
 	typ reflect.Type
 	p   *valuePlan
+
+	// frames pools []Arg scratch. Encoding may always use it (the bytes are
+	// copied out before release; slice/string references are cleared so the
+	// pool does not retain payloads). Decoding may use it only for plans
+	// without slice kinds — a decoded slice aliases the Arg's backing array,
+	// which must then escape to the caller, not back into the pool.
+	frames sync.Pool
 }
 
 // codecCache memoizes plans per type; plan construction is registration-
@@ -37,6 +54,10 @@ func CodecFor(t reflect.Type) (*Codec, error) {
 		return nil, err
 	}
 	c := &Codec{typ: t, p: p}
+	// The pool holds *[]core.Arg: storing the slice header itself would box
+	// it on every Put — one allocation per call, exactly what the pool is
+	// here to remove.
+	c.frames.New = func() any { args := c.p.newArgs(); return &args }
 	codecCache.Store(t, c)
 	return c, nil
 }
@@ -44,26 +65,52 @@ func CodecFor(t reflect.Type) (*Codec, error) {
 // Type returns the Go type the codec was compiled for.
 func (c *Codec) Type() reflect.Type { return c.typ }
 
-// Encode serializes v (which must be of the codec's type) into the wire
-// bytes the equivalent []Arg would produce.
-func (c *Codec) Encode(v reflect.Value) []byte {
-	args := c.p.newArgs()
+// AppendTo serializes v (which must be of the codec's type) onto dst and
+// returns the extended slice — the append-style, frame-reusing encode path.
+// With an addressable v and a dst of sufficient capacity it performs no
+// allocations.
+func (c *Codec) AppendTo(v reflect.Value, dst []byte) []byte {
+	frame := c.frames.Get().(*[]core.Arg)
+	args := *frame
 	c.p.store(v, args)
 	size := 0
 	for _, a := range args {
 		size += a.WireSize()
 	}
-	buf := make([]byte, size)
-	off := 0
+	off := len(dst)
+	dst = slices.Grow(dst, size)[:off+size]
+	at := off
 	for _, a := range args {
-		off += a.Encode(buf[off:])
+		at += a.Encode(dst[at:])
 	}
-	return buf[:off]
+	if at != off+size {
+		panic(fmt.Sprintf("rmigen: encode size mismatch: wrote %d of %d", at-off, size))
+	}
+	c.p.clearRefs(args)
+	c.frames.Put(frame)
+	return dst
 }
 
-// Decode deserializes wire bytes into the addressable value into.
+// Encode serializes v into the wire bytes the equivalent []Arg would
+// produce, in a freshly allocated buffer. Hot paths should prefer AppendTo
+// with a reused buffer.
+func (c *Codec) Encode(v reflect.Value) []byte {
+	return c.AppendTo(v, nil)
+}
+
+// Decode deserializes wire bytes into the addressable value into. For plans
+// without slice kinds the scratch frame recycles through the codec's pool;
+// slice-carrying plans use fresh Args, because the decoded value aliases
+// the Arg's backing array (it escapes to the caller).
 func (c *Codec) Decode(b []byte, into reflect.Value) {
-	args := c.p.newArgs()
+	var args []core.Arg
+	var frame *[]core.Arg
+	if !c.p.hasSlices {
+		frame = c.frames.Get().(*[]core.Arg)
+		args = *frame
+	} else {
+		args = c.p.newArgs()
+	}
 	off := 0
 	for _, a := range args {
 		off += a.Decode(b[off:])
@@ -72,4 +119,8 @@ func (c *Codec) Decode(b []byte, into reflect.Value) {
 		panic(fmt.Sprintf("rmigen: %d stray bytes decoding %s", len(b)-off, c.typ))
 	}
 	c.p.load(into, args)
+	if frame != nil {
+		c.p.clearRefs(args)
+		c.frames.Put(frame)
+	}
 }

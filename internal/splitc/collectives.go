@@ -83,10 +83,6 @@ type collectives struct {
 	haveGen  []int
 }
 
-type contribMsg struct {
-	op ReduceOp
-}
-
 // ReduceOp selects the all_reduce combiner (shared with internal/coll).
 type ReduceOp = coll.ReduceOp
 
@@ -111,14 +107,16 @@ func (w *World) initCollectives() {
 		c.results[m.Dst] = math.Float64frombits(m.A[0])
 		c.haveGen[m.Dst] = int(m.A[1])
 	})
+	// Contribution messages carry the operator as a word (A[1]) — the enum
+	// is the wire form, no object reference rides along.
 	c.hContrib = w.net.Register("sc.coll.contrib", func(t *threads.Thread, m am.Msg) {
 		v := math.Float64frombits(m.A[0])
-		op := m.Obj.(*contribMsg).op
+		op := ReduceOp(m.A[1])
 		if acc, done := c.red.Absorb(op, v); done {
 			c.gen++
 			for q := 0; q < w.m.NumNodes(); q++ {
 				w.ep(t).RequestShort(t, q, c.hResult,
-					[4]uint64{math.Float64bits(acc), uint64(c.gen)}, nil)
+					[4]uint64{math.Float64bits(acc), uint64(c.gen)})
 			}
 		}
 	})
@@ -135,7 +133,7 @@ func (p *Proc) AllReduce(v float64, op ReduceOp) float64 {
 	}
 	target := c.haveGen[p.me] + 1
 	p.T.Charge(machine.CatRuntime, issueCost)
-	p.ep.RequestShort(p.T, 0, c.hContrib, [4]uint64{math.Float64bits(v)}, &contribMsg{op: op})
+	p.ep.RequestShort(p.T, 0, c.hContrib, [4]uint64{math.Float64bits(v), uint64(op)})
 	p.ep.PollUntil(p.T, func() bool { return c.haveGen[p.me] >= target })
 	return c.results[p.me]
 }

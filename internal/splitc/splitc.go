@@ -18,12 +18,14 @@ package splitc
 import (
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"repro/internal/am"
 	"repro/internal/coll"
 	"repro/internal/machine"
 	"repro/internal/threads"
+	"repro/internal/transport"
 )
 
 // Fixed runtime-library costs per global-access operation, calibrated so the
@@ -72,6 +74,76 @@ type World struct {
 
 	// coll is the collective-operation state (collectives.go).
 	coll *collectives
+
+	// reqs is the world's in-flight request table: messages name their
+	// request record by table ID in the word arguments instead of carrying a
+	// Go pointer, so the wire format holds nothing but words and payload
+	// bytes. The records themselves still hold raw addresses into the
+	// world's (single) address space — Split-C's global pointers expose real
+	// addresses, and every simulated node of a World shares one process by
+	// the language's own model.
+	reqs reqTable
+}
+
+// scReq is one in-flight global-access request. Which fields are meaningful
+// depends on the operation; see the handler word layouts below.
+type scReq struct {
+	ptr  *float64  // scalar target (owned by the destination)
+	dst  *float64  // scalar landing slot at the initiator
+	vsrc []float64 // bulk-read source (owned by the destination)
+	vdst []float64 // bulk landing vector (initiator for reads, owner for writes/stores)
+	from *Proc     // initiator (completion bookkeeping)
+	done *bool     // nil for split-phase operations
+	n    int       // element count for bulk stores
+}
+
+// reqTable hands out wire IDs for scReq records. Senders put, handlers get
+// (a copy) and release; the mutex makes it safe for any node's context to
+// touch it on the live backend. The free list keeps the table from growing
+// with traffic.
+type reqTable struct {
+	mu    sync.Mutex
+	slots []scReq
+	free  []uint32
+}
+
+// put stores r and returns its wire ID.
+func (rt *reqTable) put(r scReq) uint64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if ln := len(rt.free); ln > 0 {
+		id := rt.free[ln-1]
+		rt.free = rt.free[:ln-1]
+		rt.slots[id] = r
+		return uint64(id)
+	}
+	rt.slots = append(rt.slots, r)
+	return uint64(len(rt.slots) - 1)
+}
+
+// get returns a copy of the record named by id.
+func (rt *reqTable) get(id uint64) scReq {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.slots[id]
+}
+
+// release frees the slot (the final consumer of the request calls it).
+func (rt *reqTable) release(id uint64) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.slots[id] = scReq{}
+	rt.free = append(rt.free, uint32(id))
+}
+
+// take is get followed by release.
+func (rt *reqTable) take(id uint64) scReq {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	r := rt.slots[id]
+	rt.slots[id] = scReq{}
+	rt.free = append(rt.free, uint32(id))
+	return r
 }
 
 // Proc is the per-node program context handed to the SPMD function.
@@ -89,8 +161,16 @@ type Proc struct {
 	releasedGen int // last barrier generation this node was released from
 }
 
-// New builds a Split-C world over machine m.
+// New builds a Split-C world over machine m. Split-C's global pointers are
+// raw addresses by the language's own model ("all simulated nodes share one
+// OS process"), so a World cannot span the sharded netlive backend — New
+// rejects multi-shard machines up front rather than letting a request-table
+// ID resolve against the wrong process's memory.
 func New(m *machine.Machine) *World {
+	if topo, ok := m.Backend().(transport.Topology); ok && topo.NumShards() > 1 {
+		panic(fmt.Sprintf("splitc: machine spans %d address spaces; Split-C worlds require a single-process backend (sim, live, or single-shard net)",
+			topo.NumShards()))
+	}
 	w := &World{m: m, net: am.NewNet(m), barCtr: coll.NewCentralCounter(m.NumNodes())}
 	for i := 0; i < m.NumNodes(); i++ {
 		s := threads.NewScheduler(m.Node(i))
@@ -128,92 +208,67 @@ func (p *Proc) MyPC() int { return p.me }
 // Procs returns the number of processors (Split-C's PROCS).
 func (p *Proc) Procs() int { return p.w.m.NumNodes() }
 
-// --- message bodies --------------------------------------------------------
-
-type readReq struct {
-	ptr  *float64
-	dst  *float64
-	from *Proc
-	done *bool // nil for split-phase gets (counter used instead)
-}
-
-type writeReq struct {
-	ptr  *float64
-	from *Proc
-	done *bool // nil for split-phase puts
-}
-
-type bulkReadReq struct {
-	src  []float64
-	dst  []float64
-	from *Proc
-	done *bool
-}
-
-type bulkWriteReq struct {
-	dst  []float64
-	from *Proc
-	done *bool
-}
-
-type storeReq struct {
-	ptr *float64
-}
-
-type bulkStoreReq struct {
-	dst []float64
-	n   int
-}
+// --- message handlers --------------------------------------------------------
+//
+// Word layouts (requests carry their reqTable ID; the final consumer of a
+// request releases the slot):
+//
+//	sc.read.req:       A = [id]            reply: sc.read.reply A = [bits, id]
+//	sc.write.req:      A = [bits, id]      ack:   sc.ack        A = [id]
+//	sc.atomic.add:     A = [bits, id]      ack:   sc.ack        A = [id]
+//	sc.store:          A = [bits, id]      (one-way; destination releases)
+//	sc.bulk.read.req:  A = [len, id]       reply: sc.bulk.reply A = [id] + payload
+//	sc.bulk.write.req: A = [id] + payload  ack:   sc.ack        A = [id]
+//	sc.bulk.store:     A = [id] + payload  (one-way; destination releases)
 
 func (w *World) registerHandlers() {
 	w.hReadReply = w.net.Register("sc.read.reply", func(t *threads.Thread, m am.Msg) {
-		rq := m.Obj.(*readReq)
+		rq := w.reqs.take(m.A[1])
 		*rq.dst = math.Float64frombits(m.A[0])
 		rq.from.complete(t, rq.done)
 	})
 	w.hReadReq = w.net.Register("sc.read.req", func(t *threads.Thread, m am.Msg) {
-		rq := m.Obj.(*readReq)
+		rq := w.reqs.get(m.A[0])
 		bits := math.Float64bits(*rq.ptr)
-		w.ep(t).RequestShort(t, m.Src, w.hReadReply, [4]uint64{bits}, rq)
+		w.ep(t).RequestShort(t, m.Src, w.hReadReply, [4]uint64{bits, m.A[0]})
 	})
 	w.hAck = w.net.Register("sc.ack", func(t *threads.Thread, m am.Msg) {
-		rq := m.Obj.(*writeReq)
+		rq := w.reqs.take(m.A[0])
 		rq.from.complete(t, rq.done)
 	})
 	w.hWriteReq = w.net.Register("sc.write.req", func(t *threads.Thread, m am.Msg) {
-		rq := m.Obj.(*writeReq)
+		rq := w.reqs.get(m.A[1])
 		*rq.ptr = math.Float64frombits(m.A[0])
-		w.ep(t).RequestShort(t, m.Src, w.hAck, [4]uint64{}, rq)
+		w.ep(t).RequestShort(t, m.Src, w.hAck, [4]uint64{m.A[1]})
 	})
 	w.hAtomicAdd = w.net.Register("sc.atomic.add", func(t *threads.Thread, m am.Msg) {
-		rq := m.Obj.(*writeReq)
+		rq := w.reqs.get(m.A[1])
 		*rq.ptr += math.Float64frombits(m.A[0])
-		w.ep(t).RequestShort(t, m.Src, w.hAck, [4]uint64{}, rq)
+		w.ep(t).RequestShort(t, m.Src, w.hAck, [4]uint64{m.A[1]})
 	})
 	w.hStore = w.net.Register("sc.store", func(t *threads.Thread, m am.Msg) {
-		rq := m.Obj.(*storeReq)
+		rq := w.reqs.take(m.A[1])
 		*rq.ptr = math.Float64frombits(m.A[0])
 		w.procs[m.Dst].storesRecvd++
 	})
 	w.hBulkReply = w.net.Register("sc.bulk.reply", func(t *threads.Thread, m am.Msg) {
-		rq := m.Obj.(*bulkReadReq)
-		decodeF64(t, m.Payload, rq.dst)
+		rq := w.reqs.take(m.A[0])
+		decodeF64(t, m.Payload, rq.vdst)
 		rq.from.complete(t, rq.done)
 	})
 	w.hBulkReadReq = w.net.Register("sc.bulk.read.req", func(t *threads.Thread, m am.Msg) {
-		rq := m.Obj.(*bulkReadReq)
-		payload := encodeF64(t, rq.src)
-		w.ep(t).RequestBulk(t, m.Src, w.hBulkReply, payload, [4]uint64{}, rq)
+		rq := w.reqs.get(m.A[1])
+		payload := encodeF64(t, rq.vsrc)
+		w.ep(t).RequestBulk(t, m.Src, w.hBulkReply, payload, [4]uint64{m.A[1]})
 	})
 	w.hBulkWriteReq = w.net.Register("sc.bulk.write.req", func(t *threads.Thread, m am.Msg) {
-		rq := m.Obj.(*bulkWriteReq)
-		decodeF64(t, m.Payload, rq.dst)
-		// Acks reuse the scalar ack path via a writeReq envelope.
-		w.ep(t).RequestShort(t, m.Src, w.hAck, [4]uint64{}, &writeReq{from: rq.from, done: rq.done})
+		rq := w.reqs.get(m.A[0])
+		decodeF64(t, m.Payload, rq.vdst)
+		w.ep(t).RequestShort(t, m.Src, w.hAck, [4]uint64{m.A[0]})
 	})
 	w.hBulkStore = w.net.Register("sc.bulk.store", func(t *threads.Thread, m am.Msg) {
-		rq := m.Obj.(*bulkStoreReq)
-		decodeF64(t, m.Payload, rq.dst)
+		rq := w.reqs.take(m.A[0])
+		decodeF64(t, m.Payload, rq.vdst)
 		w.procs[m.Dst].storesRecvd += rq.n
 	})
 	w.hRelease = w.net.Register("sc.barrier.release", func(t *threads.Thread, m am.Msg) {
@@ -222,7 +277,7 @@ func (w *World) registerHandlers() {
 	w.hBarrierArrive = w.net.Register("sc.barrier.arrive", func(t *threads.Thread, m am.Msg) {
 		if gen, release := w.barCtr.Arrive(); release {
 			for i := 0; i < w.m.NumNodes(); i++ {
-				w.ep(t).RequestShort(t, i, w.hRelease, [4]uint64{uint64(gen)}, nil)
+				w.ep(t).RequestShort(t, i, w.hRelease, [4]uint64{uint64(gen)})
 			}
 		}
 	})
@@ -296,10 +351,11 @@ func (p *Proc) Read(gp GPF) float64 {
 	p.node().Acct.Count(machine.CntRemoteRead, 1)
 	p.T.Charge(machine.CatRuntime, issueCost)
 	done := false
-	rq := &readReq{ptr: gp.P, dst: new(float64), from: p, done: &done}
-	p.ep.RequestShort(p.T, gp.PC, p.w.hReadReq, [4]uint64{}, rq)
+	dst := new(float64)
+	id := p.w.reqs.put(scReq{ptr: gp.P, dst: dst, from: p, done: &done})
+	p.ep.RequestShort(p.T, gp.PC, p.w.hReadReq, [4]uint64{id})
 	p.ep.PollUntil(p.T, func() bool { return done })
-	return *rq.dst
+	return *dst
 }
 
 // Write performs a synchronous write through a global pointer (*gp = v),
@@ -313,8 +369,8 @@ func (p *Proc) Write(gp GPF, v float64) {
 	p.node().Acct.Count(machine.CntRemoteWrite, 1)
 	p.T.Charge(machine.CatRuntime, issueCost)
 	done := false
-	rq := &writeReq{ptr: gp.P, from: p, done: &done}
-	p.ep.RequestShort(p.T, gp.PC, p.w.hWriteReq, [4]uint64{math.Float64bits(v)}, rq)
+	id := p.w.reqs.put(scReq{ptr: gp.P, from: p, done: &done})
+	p.ep.RequestShort(p.T, gp.PC, p.w.hWriteReq, [4]uint64{math.Float64bits(v), id})
 	p.ep.PollUntil(p.T, func() bool { return done })
 }
 
@@ -328,8 +384,8 @@ func (p *Proc) Get(dst *float64, gp GPF) {
 	p.node().Acct.Count(machine.CntRemoteRead, 1)
 	p.T.Charge(machine.CatRuntime, issueCost)
 	p.outstanding++
-	rq := &readReq{ptr: gp.P, dst: dst, from: p}
-	p.ep.RequestShort(p.T, gp.PC, p.w.hReadReq, [4]uint64{}, rq)
+	id := p.w.reqs.put(scReq{ptr: gp.P, dst: dst, from: p})
+	p.ep.RequestShort(p.T, gp.PC, p.w.hReadReq, [4]uint64{id})
 }
 
 // Put issues a split-phase write (*gp := v); completion is observed by Sync.
@@ -342,8 +398,8 @@ func (p *Proc) Put(gp GPF, v float64) {
 	p.node().Acct.Count(machine.CntRemoteWrite, 1)
 	p.T.Charge(machine.CatRuntime, issueCost)
 	p.outstanding++
-	rq := &writeReq{ptr: gp.P, from: p}
-	p.ep.RequestShort(p.T, gp.PC, p.w.hWriteReq, [4]uint64{math.Float64bits(v)}, rq)
+	id := p.w.reqs.put(scReq{ptr: gp.P, from: p})
+	p.ep.RequestShort(p.T, gp.PC, p.w.hWriteReq, [4]uint64{math.Float64bits(v), id})
 }
 
 // Store issues a one-way store (*gp :- v): no acknowledgement travels back;
@@ -357,7 +413,8 @@ func (p *Proc) Store(gp GPF, v float64) {
 	}
 	p.node().Acct.Count(machine.CntRemoteWrite, 1)
 	p.T.Charge(machine.CatRuntime, issueCost)
-	p.ep.RequestShort(p.T, gp.PC, p.w.hStore, [4]uint64{math.Float64bits(v)}, &storeReq{ptr: gp.P})
+	id := p.w.reqs.put(scReq{ptr: gp.P})
+	p.ep.RequestShort(p.T, gp.PC, p.w.hStore, [4]uint64{math.Float64bits(v), id})
 }
 
 // AtomicAdd issues a split-phase atomic read-modify-write (*gp += v): the
@@ -374,8 +431,8 @@ func (p *Proc) AtomicAdd(gp GPF, v float64) {
 	p.node().Acct.Count(machine.CntRemoteWrite, 1)
 	p.T.Charge(machine.CatRuntime, issueCost)
 	p.outstanding++
-	rq := &writeReq{ptr: gp.P, from: p}
-	p.ep.RequestShort(p.T, gp.PC, p.w.hAtomicAdd, [4]uint64{math.Float64bits(v)}, rq)
+	id := p.w.reqs.put(scReq{ptr: gp.P, from: p})
+	p.ep.RequestShort(p.T, gp.PC, p.w.hAtomicAdd, [4]uint64{math.Float64bits(v), id})
 }
 
 // Sync blocks until all of this processor's outstanding split-phase
@@ -405,8 +462,8 @@ func (p *Proc) BulkRead(dst []float64, gp GVF) {
 	p.node().Acct.Count(machine.CntRemoteRead, 1)
 	p.T.Charge(machine.CatRuntime, issueCost)
 	done := false
-	rq := &bulkReadReq{src: gp.S, dst: dst, from: p, done: &done}
-	p.ep.RequestShort(p.T, gp.PC, p.w.hBulkReadReq, [4]uint64{uint64(len(dst))}, rq)
+	id := p.w.reqs.put(scReq{vsrc: gp.S, vdst: dst, from: p, done: &done})
+	p.ep.RequestShort(p.T, gp.PC, p.w.hBulkReadReq, [4]uint64{uint64(len(dst)), id})
 	p.ep.PollUntil(p.T, func() bool { return done })
 }
 
@@ -425,9 +482,9 @@ func (p *Proc) BulkWrite(gp GVF, src []float64) {
 	p.node().Acct.Count(machine.CntRemoteWrite, 1)
 	p.T.Charge(machine.CatRuntime, issueCost)
 	done := false
-	rq := &bulkWriteReq{dst: gp.S, from: p, done: &done}
+	id := p.w.reqs.put(scReq{vdst: gp.S, from: p, done: &done})
 	payload := encodeF64(p.T, src)
-	p.ep.RequestBulk(p.T, gp.PC, p.w.hBulkWriteReq, payload, [4]uint64{}, rq)
+	p.ep.RequestBulk(p.T, gp.PC, p.w.hBulkWriteReq, payload, [4]uint64{id})
 	p.ep.PollUntil(p.T, func() bool { return done })
 }
 
@@ -445,8 +502,8 @@ func (p *Proc) BulkGet(dst []float64, gp GVF) {
 	p.node().Acct.Count(machine.CntRemoteRead, 1)
 	p.T.Charge(machine.CatRuntime, issueCost)
 	p.outstanding++
-	rq := &bulkReadReq{src: gp.S, dst: dst, from: p}
-	p.ep.RequestShort(p.T, gp.PC, p.w.hBulkReadReq, [4]uint64{uint64(len(dst))}, rq)
+	id := p.w.reqs.put(scReq{vsrc: gp.S, vdst: dst, from: p})
+	p.ep.RequestShort(p.T, gp.PC, p.w.hBulkReadReq, [4]uint64{uint64(len(dst)), id})
 }
 
 // BulkStore issues a one-way bulk store; the target's store counter advances
@@ -465,7 +522,8 @@ func (p *Proc) BulkStore(gp GVF, src []float64) {
 	p.node().Acct.Count(machine.CntRemoteWrite, 1)
 	p.T.Charge(machine.CatRuntime, issueCost)
 	payload := encodeF64(p.T, src)
-	p.ep.RequestBulk(p.T, gp.PC, p.w.hBulkStore, payload, [4]uint64{}, &bulkStoreReq{dst: gp.S, n: len(src)})
+	id := p.w.reqs.put(scReq{vdst: gp.S, n: len(src)})
+	p.ep.RequestBulk(p.T, gp.PC, p.w.hBulkStore, payload, [4]uint64{id})
 }
 
 // WaitStores blocks until at least n store values have landed at this node
@@ -485,7 +543,7 @@ func (p *Proc) ResetStores() { p.storesRecvd = 0 }
 func (p *Proc) Barrier() {
 	target := p.releasedGen + 1
 	p.T.Charge(machine.CatRuntime, issueCost)
-	p.ep.RequestShort(p.T, 0, p.w.hBarrierArrive, [4]uint64{}, nil)
+	p.ep.RequestShort(p.T, 0, p.w.hBarrierArrive, [4]uint64{})
 	p.ep.PollUntil(p.T, func() bool { return p.releasedGen >= target })
 }
 

@@ -92,11 +92,15 @@ type stubKey struct {
 	hash NameHash
 }
 
-// CacheEntry is one slot of the stub cache. RBuf is the sender-managed
-// persistent receive buffer attached to the remote method once resolved.
+// CacheEntry is one slot of the stub cache. RBufID names the sender-managed
+// persistent receive buffer attached to the remote method once resolved — an
+// ID into the *remote* node's buffer table, the stand-in for the raw buffer
+// address a real sender would ship in the message words. Holding an ID
+// rather than a pointer keeps the cache meaningful across address spaces
+// (the sharded netlive backend): only the owning node ever dereferences it.
 type CacheEntry struct {
-	Stub StubID
-	RBuf *RBuf
+	Stub   StubID
+	RBufID int32
 }
 
 // StubCache is a node's table of remote stub addresses.
@@ -143,6 +147,7 @@ func (c *StubCache) Stats() (hits, misses int64) { return c.hits, c.misses }
 // so the runtime serializes on it).
 type RBuf struct {
 	Node  int
+	ID    int32 // index in the owning node's BufMgr table (the wire name)
 	Data  []byte
 	InUse bool
 }
@@ -175,10 +180,19 @@ func (b *BufMgr) AllocRBuf(n int) *RBuf {
 	if n < 256 {
 		n = 256
 	}
-	rb := &RBuf{Node: b.node, Data: make([]byte, n)}
+	rb := &RBuf{Node: b.node, ID: int32(len(b.rbufs)), Data: make([]byte, n)}
 	b.rbufs = append(b.rbufs, rb)
 	b.allocs++
 	return rb
+}
+
+// RBuf returns the persistent buffer with the given ID — the destination-side
+// resolution of a buffer name received in a message's word arguments.
+func (b *BufMgr) RBuf(id int32) *RBuf {
+	if id < 0 || int(id) >= len(b.rbufs) {
+		panic(fmt.Sprintf("tham: node %d has no R-buffer %d (have %d)", b.node, id, len(b.rbufs)))
+	}
+	return b.rbufs[id]
 }
 
 // Reuse records a warm invocation landing directly in a persistent buffer,

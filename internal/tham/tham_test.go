@@ -59,10 +59,10 @@ func TestStubCacheLookupUpdateInvalidate(t *testing.T) {
 	if _, ok := c.Lookup(2, h); ok {
 		t.Fatal("hit on empty cache")
 	}
-	rb := &RBuf{Node: 2, Data: make([]byte, 64)}
-	c.Update(2, h, &CacheEntry{Stub: 7, RBuf: rb})
+	rb := &RBuf{Node: 2, ID: 5, Data: make([]byte, 64)}
+	c.Update(2, h, &CacheEntry{Stub: 7, RBufID: rb.ID})
 	e, ok := c.Lookup(2, h)
-	if !ok || e.Stub != 7 || e.RBuf != rb {
+	if !ok || e.Stub != 7 || e.RBufID != 5 {
 		t.Fatalf("lookup after update: %+v %v", e, ok)
 	}
 	// Same method, different processor: separate entry.

@@ -21,10 +21,12 @@ import (
 	"fmt"
 	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/am"
 	"repro/internal/machine"
 	"repro/internal/threads"
+	"repro/internal/transport"
 )
 
 // Factory builds a fresh machine with n nodes on the backend under test.
@@ -37,6 +39,8 @@ func Run(t *testing.T, f Factory) {
 	t.Run("PayloadRecycling", func(t *testing.T) { payloadRecycling(t, f) })
 	t.Run("HandlerRunToCompletion", func(t *testing.T) { runToCompletion(t, f) })
 	t.Run("ParkUnpark", func(t *testing.T) { parkUnpark(t, f) })
+	t.Run("Timers", func(t *testing.T) { timers(t, f) })
+	t.Run("CrossShardTraffic", func(t *testing.T) { crossShardTraffic(t, f) })
 	t.Run("Collectives", func(t *testing.T) { runCollectives(t, f) })
 }
 
@@ -68,7 +72,7 @@ func shortOrdering(t *testing.T, f Factory) {
 	})
 	r.scheds[0].Start("sender", func(th *threads.Thread) {
 		for i := 0; i < k; i++ {
-			r.net.Endpoint(0).RequestShort(th, 1, h, [4]uint64{uint64(i)}, nil)
+			r.net.Endpoint(0).RequestShort(th, 1, h, [4]uint64{uint64(i)})
 		}
 	})
 	r.scheds[1].Start("receiver", func(th *threads.Thread) {
@@ -126,7 +130,7 @@ func bulkIntegrity(t *testing.T, f Factory) {
 			for j := range buf {
 				buf[j] = pattern(i, j)
 			}
-			r.net.Endpoint(0).RequestBulk(th, 1, h, buf, [4]uint64{uint64(i)}, nil)
+			r.net.Endpoint(0).RequestBulk(th, 1, h, buf, [4]uint64{uint64(i)})
 			// Clobber the buffer immediately: the layer promised value
 			// semantics at send time.
 			for j := range buf {
@@ -214,7 +218,7 @@ func payloadRecycling(t *testing.T, f Factory) {
 				for j := range buf {
 					buf[j] = pattern(s, i, j)
 				}
-				r.net.Endpoint(s).RequestBulk(th, 0, h, buf, [4]uint64{uint64(s), uint64(i)}, nil)
+				r.net.Endpoint(s).RequestBulk(th, 0, h, buf, [4]uint64{uint64(s), uint64(i)})
 			}
 		})
 	}
@@ -268,7 +272,7 @@ func runToCompletion(t *testing.T, f Factory) {
 		s := s
 		r.scheds[s].Start("sender", func(th *threads.Thread) {
 			for i := 0; i < k; i++ {
-				r.net.Endpoint(s).RequestShort(th, 0, h, [4]uint64{}, nil)
+				r.net.Endpoint(s).RequestShort(th, 0, h, [4]uint64{})
 			}
 		})
 	}
@@ -283,6 +287,125 @@ func runToCompletion(t *testing.T, f Factory) {
 	}
 	if counter != senders*k {
 		t.Fatalf("counter %d, want %d (lost updates => handlers interleaved)", counter, senders*k)
+	}
+}
+
+// timers: After callbacks run in the node's execution context and can wake
+// blocked threads; a timer still pending when the run completes is cancelled
+// cleanly rather than leaking or landing on a closed queue (the live
+// backend's After used to drop both on the floor — this is the regression
+// case for that fix).
+func timers(t *testing.T, f Factory) {
+	const k = 3
+	m := f(machine.SP1997(), 1)
+	s := threads.NewScheduler(m.Node(0))
+	var (
+		fired  int
+		waiter *threads.Thread
+	)
+	for i := 0; i < k; i++ {
+		m.AfterNode(0, time.Duration(i+1)*time.Millisecond, func() {
+			fired++
+			if waiter != nil && waiter.State() == threads.Blocked {
+				s.MakeReady(waiter)
+			}
+		})
+	}
+	// Pending at completion: must be cancelled at shutdown, not leak and not
+	// error. (On the simulator virtual time jumps to it and it simply runs.)
+	m.AfterNode(0, time.Hour, func() {})
+	s.Start("waiter", func(th *threads.Thread) {
+		waiter = th
+		for fired < k {
+			th.Block()
+		}
+	})
+	if err := m.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired < k {
+		t.Fatalf("only %d of %d timers fired", fired, k)
+	}
+	if le, ok := m.Backend().(interface{ Err() error }); ok {
+		if err := le.Err(); err != nil {
+			t.Fatalf("backend lifecycle error after clean run: %v", err)
+		}
+	}
+}
+
+// crossShardTraffic: ordering plus bulk integrity on the node pair that is
+// most remote in the backend's topology — on a sharded backend (netlive)
+// node 0 and node n-1 live in different address spaces, so this is the
+// serialized path; single-address-space backends run the identical pattern
+// in memory, which is exactly the conformance claim: the application cannot
+// tell. Shorts and bulks interleave from one sender; each kind must arrive
+// in send order with intact payloads (cross-kind order is not part of the
+// contract — short and bulk messages have different modelled wire times).
+func crossShardTraffic(t *testing.T, f Factory) {
+	const (
+		nodes = 4
+		k     = 60
+		bytes = 2 << 10
+	)
+	pattern := func(i, j int) byte { return byte(i*37 + j*11) }
+	r := newRig(f(machine.SP1997(), nodes))
+	dst := nodes - 1
+	if topo, ok := r.m.Backend().(transport.Topology); ok && topo.IsLocal(dst) && topo.NumShards() > 1 {
+		t.Fatalf("topology says node %d is local to shard %d; pick a remote pair", dst, topo.Shard())
+	}
+	var (
+		shorts, bulks []uint64
+		bad           string
+	)
+	hShort := r.net.Register("conf.xs.short", func(_ *threads.Thread, m am.Msg) {
+		shorts = append(shorts, m.A[0])
+	})
+	hBulk := r.net.Register("conf.xs.bulk", func(_ *threads.Thread, m am.Msg) {
+		i := int(m.A[0])
+		if len(m.Payload) != bytes {
+			bad = fmt.Sprintf("bulk %d: %dB payload, want %d", i, len(m.Payload), bytes)
+		}
+		for j, by := range m.Payload {
+			if by != pattern(i, j) {
+				bad = fmt.Sprintf("bulk %d byte %d: %#x want %#x", i, j, by, pattern(i, j))
+				break
+			}
+		}
+		bulks = append(bulks, m.A[0])
+	})
+	r.scheds[0].Start("sender", func(th *threads.Thread) {
+		ep := r.net.Endpoint(0)
+		buf := make([]byte, bytes)
+		for i := 0; i < k; i++ {
+			ep.RequestShort(th, dst, hShort, [4]uint64{uint64(i)})
+			for j := range buf {
+				buf[j] = pattern(i, j)
+			}
+			ep.RequestBulk(th, dst, hBulk, buf, [4]uint64{uint64(i)})
+			for j := range buf {
+				buf[j] = 0xAA // copy-at-send: clobbering must not be visible
+			}
+		}
+	})
+	r.scheds[dst].Start("receiver", func(th *threads.Thread) {
+		r.net.Endpoint(dst).PollUntil(th, func() bool { return len(shorts)+len(bulks) == 2*k })
+	})
+	if err := r.m.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if bad != "" {
+		t.Fatal(bad)
+	}
+	if len(shorts) != k || len(bulks) != k {
+		t.Fatalf("received %d shorts, %d bulks, want %d each", len(shorts), len(bulks), k)
+	}
+	for i := 0; i < k; i++ {
+		if shorts[i] != uint64(i) {
+			t.Fatalf("short stream reordered at %d: %v", i, shorts[:i+1])
+		}
+		if bulks[i] != uint64(i) {
+			t.Fatalf("bulk stream reordered at %d: %v", i, bulks[:i+1])
+		}
 	}
 }
 
@@ -311,11 +434,11 @@ func parkUnpark(t *testing.T, f Factory) {
 	})
 	r.scheds[0].Start("sender", func(th *threads.Thread) {
 		ep0 := r.net.Endpoint(0)
-		ep0.RequestShort(th, 1, hEarly, [4]uint64{}, nil)
+		ep0.RequestShort(th, 1, hEarly, [4]uint64{})
 		// Wait for node 1's ack (its main thread is provably past the
 		// non-parking read) before sending the message it must park for.
 		ep0.PollUntil(th, func() bool { return ackSeen })
-		ep0.RequestShort(th, 1, hLate, [4]uint64{}, nil)
+		ep0.RequestShort(th, 1, hLate, [4]uint64{})
 	})
 	var got1, got2 int
 	r.scheds[1].Start("main", func(th *threads.Thread) {
@@ -323,7 +446,7 @@ func parkUnpark(t *testing.T, f Factory) {
 		// exercises the permit path (value already written).
 		ep1.PollUntil(th, func() bool { return early.IsSet() })
 		got1 = early.Read(th).(int)
-		ep1.RequestShort(th, 0, hAck, [4]uint64{}, nil)
+		ep1.RequestShort(th, 0, hAck, [4]uint64{})
 		// This Read parks: the poller below services the arrival and the
 		// handler's Write unparks us.
 		got2 = late.Read(th).(int)

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/machine"
 	"repro/internal/transport/live"
+	"repro/internal/transport/netlive"
 )
 
 // TestSimnet runs the conformance suite on the calibrated discrete-event
@@ -34,5 +35,22 @@ func TestLivePinned(t *testing.T) {
 	Run(t, func(cfg machine.Config, n int) *machine.Machine {
 		return machine.NewWithBackend(cfg, n,
 			live.New(n, live.Options{PinOSThread: true, Watchdog: 20 * time.Second}))
+	})
+}
+
+// TestNetLoopback runs the suite on the sharded multi-process backend in its
+// single-shard (in-process loopback) configuration: the degenerate case the
+// sharding was designed around, which must be indistinguishable from live.
+// The true multi-process path is covered by netlive's in-process two-shard
+// test and the mpmd re-exec smoke.
+func TestNetLoopback(t *testing.T) {
+	Run(t, func(cfg machine.Config, n int) *machine.Machine {
+		be, err := netlive.New(n, netlive.Options{
+			Live: live.Options{Watchdog: 20 * time.Second},
+		})
+		if err != nil {
+			t.Fatalf("netlive.New: %v", err)
+		}
+		return machine.NewWithBackend(cfg, n, be)
 	})
 }

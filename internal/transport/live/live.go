@@ -52,6 +52,12 @@ type Options struct {
 	// Batch caps how many notify callbacks the delivery worker runs per CPU
 	// acquisition. Zero means the 128 default.
 	Batch int
+	// Teardown bounds how long a stalled run (Run returned StallError) keeps
+	// its delivery workers alive waiting for the stragglers: after it
+	// expires the notify queues close and the workers plus the janitor exit,
+	// so a run that never finishes leaks only the stuck procs themselves.
+	// Zero means the 5s default.
+	Teardown time.Duration
 }
 
 // Backend is the live transport. Construct with New.
@@ -65,6 +71,16 @@ type Backend struct {
 
 	mu   sync.Mutex
 	live map[*Proc]struct{}
+
+	// timers tracks outstanding After callbacks so shutdown can cancel them
+	// instead of leaking them (a pending time.AfterFunc used to outlive Run,
+	// and one that fired after closeQueues pushed onto a closed queue and
+	// vanished silently). lateAfter counts callbacks that still slipped past
+	// cancellation into a closed queue — surfaced through Err.
+	timersMu  sync.Mutex
+	timers    map[*time.Timer]struct{}
+	closed    bool
+	lateAfter int
 }
 
 // New builds a live backend for n nodes and starts the per-node delivery
@@ -79,11 +95,15 @@ func New(n int, opts Options) *Backend {
 	if opts.Batch <= 0 {
 		opts.Batch = 128
 	}
+	if opts.Teardown <= 0 {
+		opts.Teardown = 5 * time.Second
+	}
 	b := &Backend{
-		opts:  opts,
-		start: make(chan struct{}),
-		epoch: time.Now(),
-		live:  make(map[*Proc]struct{}),
+		opts:   opts,
+		start:  make(chan struct{}),
+		epoch:  time.Now(),
+		live:   make(map[*Proc]struct{}),
+		timers: make(map[*time.Timer]struct{}),
 	}
 	for i := 0; i < n; i++ {
 		nd := &lnode{id: i}
@@ -112,19 +132,22 @@ type lnode struct {
 	batch []func()
 }
 
-// push appends fn to the notify queue. Never blocks (the queue is unbounded),
-// so senders holding their own node's CPU cannot deadlock against delivery.
-// The queue is a ring and the warm path's closures are long-lived (one per
-// destination node), so a steady-state push allocates nothing.
-func (nd *lnode) push(fn func()) {
+// push appends fn to the notify queue, reporting false if the queue has
+// already closed (shutdown raced the caller). Never blocks (the queue is
+// unbounded), so senders holding their own node's CPU cannot deadlock
+// against delivery. The queue is a ring and the warm path's closures are
+// long-lived (one per destination node), so a steady-state push allocates
+// nothing.
+func (nd *lnode) push(fn func()) bool {
 	nd.q.mu.Lock()
 	if nd.q.closed {
 		nd.q.mu.Unlock()
-		return
+		return false
 	}
 	nd.q.fns.Push(fn)
 	nd.q.mu.Unlock()
 	nd.q.cond.Signal()
+	return true
 }
 
 // deliveryLoop is the node's delivery worker: drain pending notifies and run
@@ -289,14 +312,76 @@ func (b *Backend) DeliverDirect(dst int, notify func()) {
 }
 
 // After implements transport.Backend: fn runs in node's execution context
-// after wall-clock delay d.
+// after wall-clock delay d. Timers pending when the run completes are
+// cancelled at shutdown (their callbacks never run); a callback that races
+// shutdown and finds the queues already closed is dropped and counted as a
+// lifecycle error (Err).
 func (b *Backend) After(node int, d time.Duration, fn func()) {
 	nd := b.nodes[node]
 	if d <= 0 {
-		nd.push(fn)
+		if !nd.push(fn) {
+			b.noteLateAfter()
+		}
 		return
 	}
-	time.AfterFunc(d, func() { nd.push(fn) })
+	// Register under timersMu *around* arming the timer: the callback's
+	// first act is to take the same mutex, so even a timer that fires
+	// immediately blocks until registration is complete — it always sees
+	// the assigned tm (no torn read) and always finds its table entry.
+	b.timersMu.Lock()
+	if b.closed {
+		// The run is already torn down; the callback could never be
+		// delivered into a node context.
+		b.lateAfter++
+		b.timersMu.Unlock()
+		return
+	}
+	var tm *time.Timer
+	tm = time.AfterFunc(d, func() {
+		b.timersMu.Lock()
+		delete(b.timers, tm)
+		b.timersMu.Unlock()
+		if !nd.push(fn) {
+			b.noteLateAfter()
+		}
+	})
+	b.timers[tm] = struct{}{}
+	b.timersMu.Unlock()
+}
+
+// noteLateAfter records a timer callback that outlived the run.
+func (b *Backend) noteLateAfter() {
+	b.timersMu.Lock()
+	b.lateAfter++
+	b.timersMu.Unlock()
+}
+
+// cancelTimers stops every outstanding After timer at shutdown. A timer
+// whose callback is already in flight unregisters itself; if it then finds
+// its queue closed it is counted by noteLateAfter.
+func (b *Backend) cancelTimers() {
+	b.timersMu.Lock()
+	b.closed = true
+	tms := make([]*time.Timer, 0, len(b.timers))
+	for tm := range b.timers {
+		tms = append(tms, tm)
+	}
+	b.timers = make(map[*time.Timer]struct{})
+	b.timersMu.Unlock()
+	for _, tm := range tms {
+		tm.Stop()
+	}
+}
+
+// Err reports lifecycle faults of a completed run: currently, After
+// callbacks that fired after shutdown and were dropped.
+func (b *Backend) Err() error {
+	b.timersMu.Lock()
+	defer b.timersMu.Unlock()
+	if b.lateAfter > 0 {
+		return fmt.Errorf("live: %d After callback(s) fired after shutdown and were dropped", b.lateAfter)
+	}
+	return nil
 }
 
 // StallError reports that the watchdog expired with procs still alive —
@@ -328,12 +413,19 @@ func (b *Backend) Run() error {
 	select {
 	case <-done:
 	case <-time.After(b.opts.Watchdog):
-		// Report, but do not tear anything down: the watchdog cannot
-		// distinguish a deadlock from a run that is merely slow. Delivery
-		// workers keep serving so a slow run can still finish; if it
-		// eventually does, the janitor releases the workers.
+		// Report, but keep serving for a bounded grace: the watchdog cannot
+		// distinguish a deadlock from a run that is merely slow, so the
+		// delivery workers stay up for Options.Teardown in case the
+		// stragglers finish. Then the janitor tears the queues down
+		// unconditionally — a stalled run must not pin its n delivery
+		// workers (plus this janitor) forever; only the stuck proc
+		// goroutines themselves remain, and those are the application's.
 		go func() {
-			<-done
+			select {
+			case <-done:
+			case <-time.After(b.opts.Teardown):
+			}
+			b.cancelTimers()
 			b.closeQueues()
 		}()
 		b.mu.Lock()
@@ -345,6 +437,7 @@ func (b *Backend) Run() error {
 		sort.Strings(names)
 		return &StallError{After: b.opts.Watchdog, Procs: names}
 	}
+	b.cancelTimers()
 	b.closeQueues()
 	return nil
 }

@@ -1,6 +1,7 @@
 package live
 
 import (
+	"runtime"
 	"testing"
 	"time"
 
@@ -98,6 +99,71 @@ func TestWatchdogReportsStall(t *testing.T) {
 	if len(se.Procs) != 1 || se.Procs[0] != "stuck" {
 		t.Fatalf("stall report %v, want [stuck]", se.Procs)
 	}
+}
+
+// TestPendingAfterCancelledAtShutdown: a timer still pending when the run
+// completes is cancelled — its callback never runs, nothing leaks, and a
+// clean run reports no lifecycle error. (Before the fix, the time.AfterFunc
+// outlived Run and its eventual firing pushed onto a closed queue silently.)
+func TestPendingAfterCancelledAtShutdown(t *testing.T) {
+	b := New(1, Options{Watchdog: 5 * time.Second})
+	ran := false
+	b.Go(0, "p", func(p transport.Proc) {})
+	b.After(0, 30*time.Minute, func() { ran = true })
+	if err := b.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	b.timersMu.Lock()
+	left := len(b.timers)
+	b.timersMu.Unlock()
+	if left != 0 {
+		t.Fatalf("%d timers still tracked after shutdown", left)
+	}
+	if ran {
+		t.Fatal("cancelled timer callback ran")
+	}
+	if err := b.Err(); err != nil {
+		t.Fatalf("clean run reported lifecycle error: %v", err)
+	}
+}
+
+// TestAfterAfterShutdownIsError: scheduling (or firing) a timer once the
+// backend has shut down surfaces through Err instead of vanishing.
+func TestAfterAfterShutdownIsError(t *testing.T) {
+	b := New(1, Options{Watchdog: 5 * time.Second})
+	b.Go(0, "p", func(p transport.Proc) {})
+	if err := b.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	b.After(0, time.Millisecond, func() {})
+	if err := b.Err(); err == nil {
+		t.Fatal("late After was dropped silently; want a lifecycle error")
+	}
+}
+
+// TestStallTeardownFreesWorkers: a run that stalls forever must not pin its
+// delivery workers and janitor for the life of the process — after the
+// teardown deadline only the stuck proc goroutines themselves remain.
+func TestStallTeardownFreesWorkers(t *testing.T) {
+	const nodes = 8
+	before := runtime.NumGoroutine()
+	b := New(nodes, Options{Watchdog: 50 * time.Millisecond, Teardown: 100 * time.Millisecond})
+	b.Go(0, "stuck", func(p transport.Proc) { p.Park() }) // parked forever
+	if _, ok := b.Run().(*StallError); !ok {
+		t.Fatal("expected StallError")
+	}
+	// Give the teardown deadline time to pass and the workers to drain.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		// Only the stuck proc (1 goroutine) may outlive the run; the n
+		// delivery workers and the janitor must be gone.
+		if g := runtime.NumGoroutine(); g <= before+1 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("goroutines before=%d after teardown=%d: stalled run leaked workers",
+		before, runtime.NumGoroutine())
 }
 
 // TestClockAdvances checks that Now is wall-clock during a run.

@@ -1,0 +1,735 @@
+// Package netlive is the sharded multi-process transport backend: the
+// machine's n nodes are partitioned into shards of NodesPerShard consecutive
+// nodes, each shard living in its own OS process, connected by Unix-domain
+// sockets carrying length-prefixed frames of the same Active-Messages wire
+// format the in-memory backends move — the 2026 analogue of the paper's SP
+// network, with the runtime specialized to the substrate exactly as the
+// paper argues it must be.
+//
+// # Topology and roles
+//
+// Shard 0 is the parent. Peer shards are either re-exec'd children (the
+// parent launches its own binary again with MPMD_NETLIVE_SHARD set — the
+// SPMD launch model, every process runs the identical program and therefore
+// builds identical stub registries, object tables, and buffer managers) or
+// independently launched workers pointed at the same rendezvous directory.
+// Each shard listens on <dir>/shard-<i>.sock; connections are dialed lazily
+// on first send, with retry while the peer comes up.
+//
+// Within a shard, execution delegates to the live backend unchanged: procs
+// are goroutines, one CPU mutex per node, wall-clock time. A single-shard
+// configuration (NodesPerShard >= n, the loopback mode) therefore behaves
+// exactly like live and runs the full conformance suite.
+//
+// # The serialized path
+//
+// The machine layer routes a cross-shard Send through ShardBackend
+// .DeliverRemote with the packet payload already encoded into a pooled
+// wire.Buf (am.Msg's wire codec). Each peer shard has one writer goroutine
+// owning the connection: frames queue on a ring and the writer drains them
+// in order — per-sender FIFO to a destination is preserved end to end — then
+// releases the buffers, so a warm cross-shard send allocates nothing beyond
+// what the socket write itself costs. Reader goroutines decode arriving
+// frames into pooled buffers and hand them to the machine's remote-arrival
+// handler, which enqueues into the destination node's (thread-safe) inbox
+// and wakes it through the live backend's delivery worker.
+//
+// # Lifecycle
+//
+// Runtimes call Topology.LocalQuiesced when their local node programs have
+// finished. Children report to the parent (kMainsDone); when every shard has
+// quiesced the parent broadcasts kAllDone, and each shard then runs its
+// quiesce callback (typically a grace-delayed endpoint shutdown) so servers
+// keep answering remote invocations until the whole machine is done. Run
+// returns when the local procs have finished; the parent additionally waits
+// for its children to exit and surfaces their status.
+package netlive
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/transport/live"
+	"repro/internal/wire"
+)
+
+// Environment variables of the re-exec harness. The parent sets them for
+// each child; a process finding them set assumes the worker role.
+const (
+	EnvShard = "MPMD_NETLIVE_SHARD"
+	EnvDir   = "MPMD_NETLIVE_DIR"
+	EnvNodes = "MPMD_NETLIVE_NODES"
+	EnvNPS   = "MPMD_NETLIVE_NPS"
+)
+
+// Options tune the net backend. The zero value is a single-shard (loopback)
+// configuration.
+type Options struct {
+	// NodesPerShard is how many consecutive nodes share one process. Zero or
+	// >= n means one shard: everything local, no sockets (loopback mode).
+	NodesPerShard int
+	// Live tunes the in-shard execution backend.
+	Live live.Options
+	// Shard fixes this backend's shard index explicitly (tests that build
+	// several shards inside one process). Nil selects the role automatically:
+	// MPMD_NETLIVE_SHARD when set (a re-exec'd child), else shard 0.
+	Shard *int
+	// Dir is the rendezvous directory holding the per-shard sockets. Empty
+	// means MPMD_NETLIVE_DIR, or a fresh temp directory on the parent.
+	Dir string
+	// NoSpawn stops the parent from re-exec'ing children; the peer shards
+	// are expected to be launched externally with the environment (or
+	// explicit Options) pointing at Dir.
+	NoSpawn bool
+	// ChildArgs overrides the argument vector for re-exec'd children
+	// (default: this process's own arguments). Tests use it to re-enter a
+	// single test function.
+	ChildArgs []string
+	// DialTimeout bounds how long a writer waits for a peer's socket to
+	// appear. Zero means 10s.
+	DialTimeout time.Duration
+}
+
+// frame kinds on the wire.
+const (
+	kPacket    = byte(1) // u32 src, u32 dst, u32 size, payload
+	kMainsDone = byte(2) // u32 shard
+	kAllDone   = byte(3) // empty
+)
+
+// packetHdrLen is the kPacket body header: src, dst, size.
+const packetHdrLen = 12
+
+// Backend is the sharded multi-process transport. Construct with New.
+type Backend struct {
+	inner *live.Backend
+
+	n, nps, shards, shard int
+	lo, hi                int // local node range [lo, hi)
+	dir                   string
+	ownsDir               bool
+	opts                  Options
+
+	ln       net.Listener
+	peers    []*peer // indexed by shard; nil for self
+	children []*exec.Cmd
+
+	// remote is the machine's arrival upcall (SetRemoteHandler). Atomic:
+	// reader goroutines may already be accepting peer connections while the
+	// machine layer is still being constructed.
+	remote atomic.Value // func(src, dst, size int, payload []byte)
+
+	q struct {
+		sync.Mutex
+		fn        func()       // quiesce callback (LocalQuiesced)
+		localDone bool         // this shard's programs finished
+		done      map[int]bool // parent: shards that reported mains-done
+		fired     bool
+	}
+
+	errMu sync.Mutex
+	errs  []error
+
+	// conns/sockClosed are guarded by errMu: acceptLoop registers each
+	// accepted connection (and its reader) under the lock, and shutdown
+	// flips sockClosed under the same lock before waiting on readers — a
+	// connection that races shutdown is closed on the spot instead of
+	// leaking an untracked reader.
+	conns      []net.Conn
+	sockClosed bool
+	readers    sync.WaitGroup
+}
+
+// New builds a net backend for n nodes. Role, shard layout, and rendezvous
+// directory come from opts and the environment (see the package comment).
+func New(n int, opts Options) (*Backend, error) {
+	if n <= 0 {
+		return nil, errors.New("netlive: need at least one node")
+	}
+	nps := opts.NodesPerShard
+	if nps <= 0 || nps > n {
+		nps = n
+	}
+	shards := (n + nps - 1) / nps
+	shard := 0
+	fromEnv := false
+	switch {
+	case opts.Shard != nil:
+		shard = *opts.Shard
+	case os.Getenv(EnvShard) != "":
+		v, err := strconv.Atoi(os.Getenv(EnvShard))
+		if err != nil {
+			return nil, fmt.Errorf("netlive: bad %s: %v", EnvShard, err)
+		}
+		shard = v
+		fromEnv = true
+	}
+	if shard < 0 || shard >= shards {
+		return nil, fmt.Errorf("netlive: shard %d out of range [0,%d)", shard, shards)
+	}
+	if fromEnv {
+		// The re-exec harness depends on every process building the identical
+		// machine; catch divergence before it turns into misrouted frames.
+		if en := os.Getenv(EnvNodes); en != "" && en != strconv.Itoa(n) {
+			return nil, fmt.Errorf("netlive: child built %d nodes, parent %s (program divergence)", n, en)
+		}
+		if ep := os.Getenv(EnvNPS); ep != "" && ep != strconv.Itoa(nps) {
+			return nil, fmt.Errorf("netlive: child built %d nodes/shard, parent %s (program divergence)", nps, ep)
+		}
+	}
+
+	b := &Backend{
+		inner:  live.New(n, opts.Live),
+		n:      n,
+		nps:    nps,
+		shards: shards,
+		shard:  shard,
+		lo:     shard * nps,
+		opts:   opts,
+	}
+	b.hi = b.lo + nps
+	if b.hi > n {
+		b.hi = n
+	}
+	b.q.done = make(map[int]bool)
+	if opts.DialTimeout <= 0 {
+		b.opts.DialTimeout = 10 * time.Second
+	}
+
+	if shards == 1 {
+		return b, nil // loopback: no sockets, no peers
+	}
+
+	b.dir = opts.Dir
+	if b.dir == "" {
+		b.dir = os.Getenv(EnvDir)
+	}
+	if b.dir == "" {
+		if shard != 0 {
+			return nil, errors.New("netlive: worker shard has no rendezvous dir (set Options.Dir or " + EnvDir + ")")
+		}
+		dir, err := os.MkdirTemp("", "netlive-*")
+		if err != nil {
+			return nil, fmt.Errorf("netlive: rendezvous dir: %w", err)
+		}
+		b.dir = dir
+		b.ownsDir = true
+	}
+
+	// Listen now — peers dial as soon as their first frame queues, and the
+	// kernel backlog holds their connections — but accept (and read) only
+	// once Run starts: machine and runtime construction happen between New
+	// and Run, and an early frame dispatched into a half-built machine
+	// would race it. Deferring the readers to Run gives every arriving
+	// frame a happens-before edge over the whole setup.
+	ln, err := net.Listen("unix", b.sockPath(shard))
+	if err != nil {
+		return nil, fmt.Errorf("netlive: shard %d listen: %w", shard, err)
+	}
+	b.ln = ln
+
+	b.peers = make([]*peer, shards)
+	for s := 0; s < shards; s++ {
+		if s == shard {
+			continue
+		}
+		b.peers[s] = newPeer(b, s)
+	}
+
+	if shard == 0 && !opts.NoSpawn && opts.Shard == nil {
+		if err := b.spawnChildren(); err != nil {
+			b.shutdownSockets()
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+func (b *Backend) sockPath(shard int) string {
+	return filepath.Join(b.dir, fmt.Sprintf("shard-%d.sock", shard))
+}
+
+// spawnChildren re-execs this binary once per peer shard, handing each the
+// rendezvous directory and its shard index through the environment. Child
+// stdout is redirected to stderr so the parent's own stdout (JSON reports)
+// stays clean.
+func (b *Backend) spawnChildren() error {
+	exe, err := os.Executable()
+	if err != nil {
+		return fmt.Errorf("netlive: cannot re-exec: %w", err)
+	}
+	args := b.opts.ChildArgs
+	if args == nil {
+		args = os.Args[1:]
+	}
+	for s := 1; s < b.shards; s++ {
+		cmd := exec.Command(exe, args...)
+		cmd.Env = append(os.Environ(),
+			EnvShard+"="+strconv.Itoa(s),
+			EnvDir+"="+b.dir,
+			EnvNodes+"="+strconv.Itoa(b.n),
+			EnvNPS+"="+strconv.Itoa(b.nps),
+		)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return fmt.Errorf("netlive: spawn shard %d: %w", s, err)
+		}
+		b.children = append(b.children, cmd)
+	}
+	return nil
+}
+
+// --- transport.Backend ------------------------------------------------------
+
+// Name implements transport.Backend.
+func (b *Backend) Name() string { return "net" }
+
+// NumNodes implements transport.Backend.
+func (b *Backend) NumNodes() int { return b.n }
+
+// Now implements transport.Backend (wall-clock since construction).
+func (b *Backend) Now() time.Duration { return b.inner.Now() }
+
+// Go implements transport.Backend. Procs can only be created on this
+// shard's nodes; runtimes consult Topology and never ask for more.
+func (b *Backend) Go(node int, name string, fn func(transport.Proc)) transport.Proc {
+	if !b.IsLocal(node) {
+		panic(fmt.Sprintf("netlive: proc %q on node %d, which lives in shard %d (this is shard %d)",
+			name, node, b.shardOf(node), b.shard))
+	}
+	return b.inner.Go(node, name, fn)
+}
+
+// Deliver implements transport.Backend for local destinations; cross-shard
+// packets travel through DeliverRemote (the machine routes them there).
+func (b *Backend) Deliver(dst int, lat time.Duration, enqueue, notify func()) {
+	if !b.IsLocal(dst) {
+		panic(fmt.Sprintf("netlive: Deliver to remote node %d (cross-shard messages go through DeliverRemote)", dst))
+	}
+	b.inner.Deliver(dst, lat, enqueue, notify)
+}
+
+// DeliverDirect implements transport.DirectDeliverer for local destinations.
+func (b *Backend) DeliverDirect(dst int, notify func()) {
+	b.inner.DeliverDirect(dst, notify)
+}
+
+// After implements transport.Backend for local nodes.
+func (b *Backend) After(node int, d time.Duration, fn func()) {
+	if !b.IsLocal(node) {
+		panic(fmt.Sprintf("netlive: After on remote node %d", node))
+	}
+	b.inner.After(node, d, fn)
+}
+
+// Run implements transport.Backend: execute the local shard, then tear the
+// process mesh down. The parent additionally reaps its children and
+// surfaces their exit status.
+func (b *Backend) Run() error {
+	if b.ln != nil {
+		go b.acceptLoop()
+	}
+	err := b.inner.Run()
+	if b.shards > 1 && b.shard == 0 {
+		b.waitChildren()
+	}
+	b.shutdownSockets()
+	if lerr := b.inner.Err(); lerr != nil {
+		b.addErr(lerr)
+	}
+	if err != nil {
+		return err
+	}
+	return b.Err()
+}
+
+// waitChildren reaps the re-exec'd workers, bounded by the watchdog.
+func (b *Backend) waitChildren() {
+	deadline := b.opts.Live.Watchdog
+	if deadline <= 0 {
+		deadline = 30 * time.Second
+	}
+	for i, cmd := range b.children {
+		c := cmd
+		done := make(chan error, 1)
+		go func() { done <- c.Wait() }()
+		select {
+		case werr := <-done:
+			if werr != nil {
+				b.addErr(fmt.Errorf("netlive: shard %d exited: %w", i+1, werr))
+			}
+		case <-time.After(deadline):
+			_ = c.Process.Kill()
+			b.addErr(fmt.Errorf("netlive: shard %d did not exit within %v; killed", i+1, deadline))
+		}
+	}
+}
+
+// shutdownSockets closes writers, accepted connections, and the listener,
+// and removes the rendezvous dir on the parent that created it.
+func (b *Backend) shutdownSockets() {
+	for _, p := range b.peers {
+		if p != nil {
+			p.close()
+		}
+	}
+	if b.ln != nil {
+		_ = b.ln.Close()
+	}
+	b.errMu.Lock()
+	b.sockClosed = true
+	conns := b.conns
+	b.conns = nil
+	b.errMu.Unlock()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	b.readers.Wait()
+	if b.ownsDir {
+		_ = os.RemoveAll(b.dir)
+	}
+}
+
+// Err returns the accumulated lifecycle errors (child exits, wire faults),
+// or nil.
+func (b *Backend) Err() error {
+	b.errMu.Lock()
+	defer b.errMu.Unlock()
+	return errors.Join(b.errs...)
+}
+
+func (b *Backend) addErr(err error) {
+	b.errMu.Lock()
+	b.errs = append(b.errs, err)
+	b.errMu.Unlock()
+}
+
+// --- transport.Topology -----------------------------------------------------
+
+// NumShards implements transport.Topology.
+func (b *Backend) NumShards() int { return b.shards }
+
+// Shard implements transport.Topology.
+func (b *Backend) Shard() int { return b.shard }
+
+func (b *Backend) shardOf(node int) int { return node / b.nps }
+
+// IsLocal implements transport.Topology.
+func (b *Backend) IsLocal(node int) bool { return node >= b.lo && node < b.hi }
+
+// LocalNodes implements transport.Topology.
+func (b *Backend) LocalNodes() []int {
+	nodes := make([]int, 0, b.hi-b.lo)
+	for i := b.lo; i < b.hi; i++ {
+		nodes = append(nodes, i)
+	}
+	return nodes
+}
+
+// LocalQuiesced implements transport.Topology: record the callback, tell the
+// parent this shard's programs are done, and fire once every shard is.
+func (b *Backend) LocalQuiesced(fn func()) {
+	b.q.Lock()
+	b.q.fn = fn
+	b.q.localDone = true
+	b.q.Unlock()
+	if b.shards == 1 {
+		b.fireQuiesce()
+		return
+	}
+	if b.shard == 0 {
+		b.shardDone(0)
+		return
+	}
+	f := b.frameBuf(4)
+	binary.LittleEndian.PutUint32(f.Bytes(), uint32(b.shard))
+	b.peers[0].push(outFrame{kind: kMainsDone, buf: f})
+}
+
+// shardDone (parent only) counts quiesced shards; on the last one it
+// broadcasts kAllDone and quiesces locally.
+func (b *Backend) shardDone(shard int) {
+	b.q.Lock()
+	b.q.done[shard] = true
+	all := len(b.q.done) == b.shards
+	b.q.Unlock()
+	if !all {
+		return
+	}
+	for _, p := range b.peers {
+		if p != nil {
+			p.push(outFrame{kind: kAllDone})
+		}
+	}
+	b.fireQuiesce()
+}
+
+// fireQuiesce runs the quiesce callback exactly once.
+func (b *Backend) fireQuiesce() {
+	b.q.Lock()
+	fn := b.q.fn
+	fired := b.q.fired
+	b.q.fired = fn != nil
+	b.q.Unlock()
+	if fn != nil && !fired {
+		fn()
+	}
+}
+
+// --- transport.ShardBackend -------------------------------------------------
+
+// SetRemoteHandler implements transport.ShardBackend.
+func (b *Backend) SetRemoteHandler(fn func(src, dst, size int, payload []byte)) {
+	b.remote.Store(fn)
+}
+
+// DeliverRemote implements transport.ShardBackend: frame the encoded packet
+// and queue it on the destination shard's writer. Ownership of payload
+// transfers here; the writer releases it after the bytes are on the wire.
+func (b *Backend) DeliverRemote(src, dst, size int, payload *wire.Buf) {
+	p := b.peers[b.shardOf(dst)]
+	if p == nil {
+		panic(fmt.Sprintf("netlive: DeliverRemote to local node %d", dst))
+	}
+	p.push(outFrame{kind: kPacket, src: src, dst: dst, size: size, buf: payload})
+}
+
+// frameBuf returns a pooled buffer for a control frame body.
+func (b *Backend) frameBuf(n int) *wire.Buf { return wire.Get(n) }
+
+// --- reading ----------------------------------------------------------------
+
+// acceptLoop admits peer connections and spawns a reader for each.
+func (b *Backend) acceptLoop() {
+	for {
+		conn, err := b.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		b.errMu.Lock()
+		if b.sockClosed {
+			// Shutdown won the race: this connection was accepted after the
+			// teardown snapshot, so nobody else would ever close it.
+			b.errMu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		b.conns = append(b.conns, conn)
+		b.readers.Add(1)
+		b.errMu.Unlock()
+		go b.readLoop(conn)
+	}
+}
+
+// readLoop decodes frames from one peer connection. Frame bodies land in
+// pooled buffers and are recycled after dispatch; the packet handler runs
+// synchronously here, which preserves the sender's frame order.
+func (b *Backend) readLoop(conn net.Conn) {
+	defer b.readers.Done()
+	var hdr [5]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			if err != io.EOF && !isClosedErr(err) {
+				b.addErr(fmt.Errorf("netlive: shard %d read: %w", b.shard, err))
+			}
+			return
+		}
+		n := int(binary.LittleEndian.Uint32(hdr[:4]))
+		kind := hdr[4]
+		var body []byte
+		var buf *wire.Buf
+		if n > 0 {
+			buf = wire.Get(n)
+			body = buf.Bytes()
+			if _, err := io.ReadFull(conn, body); err != nil {
+				buf.Release()
+				b.addErr(fmt.Errorf("netlive: shard %d read body: %w", b.shard, err))
+				return
+			}
+		}
+		switch kind {
+		case kPacket:
+			remote, _ := b.remote.Load().(func(src, dst, size int, payload []byte))
+			if remote == nil {
+				panic("netlive: packet frame before the machine installed its remote handler")
+			}
+			src := int(binary.LittleEndian.Uint32(body))
+			dst := int(binary.LittleEndian.Uint32(body[4:]))
+			size := int(binary.LittleEndian.Uint32(body[8:]))
+			remote(src, dst, size, body[packetHdrLen:])
+		case kMainsDone:
+			b.shardDone(int(binary.LittleEndian.Uint32(body)))
+		case kAllDone:
+			b.fireQuiesce()
+		default:
+			b.addErr(fmt.Errorf("netlive: unknown frame kind %d", kind))
+		}
+		if buf != nil {
+			buf.Release()
+		}
+	}
+}
+
+func isClosedErr(err error) bool {
+	return errors.Is(err, net.ErrClosed) || errors.Is(err, io.ErrClosedPipe)
+}
+
+// --- the per-peer writer ----------------------------------------------------
+
+// outFrame is one queued wire frame. buf (optional) is the body beyond the
+// packet header; ownership rides with the frame.
+type outFrame struct {
+	kind           byte
+	src, dst, size int
+	buf            *wire.Buf
+}
+
+// peer owns the connection to one remote shard: an unbounded ring of frames
+// drained by a single writer goroutine, so senders never block on the socket
+// and per-sender order is preserved. The connection is dialed lazily on the
+// first frame, retrying while the peer's listener comes up.
+type peer struct {
+	b     *Backend
+	shard int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      wire.Ring[outFrame]
+	closed bool
+
+	started bool
+}
+
+func newPeer(b *Backend, shard int) *peer {
+	p := &peer{b: b, shard: shard}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// push queues a frame (never blocks) and lazily starts the writer.
+func (p *peer) push(f outFrame) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		if f.buf != nil {
+			f.buf.Release()
+		}
+		return
+	}
+	p.q.Push(f)
+	if !p.started {
+		p.started = true
+		go p.writeLoop()
+	}
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
+// close shuts the queue; the writer exits after draining.
+func (p *peer) close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+// dial connects to the peer shard, waiting for its socket to appear.
+func (p *peer) dial() (net.Conn, error) {
+	path := p.b.sockPath(p.shard)
+	deadline := time.Now().Add(p.b.opts.DialTimeout)
+	for {
+		conn, err := net.Dial("unix", path)
+		if err == nil {
+			return conn, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("netlive: shard %d unreachable at %s: %w", p.shard, path, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// writeLoop drains the frame ring onto the socket. The frame header is
+// assembled in a reusable scratch buffer and the pooled body released after
+// the write, so steady-state cross-shard sends allocate nothing here.
+func (p *peer) writeLoop() {
+	conn, err := p.dial()
+	if err != nil {
+		p.b.addErr(err)
+		p.drainAndDrop()
+		return
+	}
+	defer conn.Close()
+	var scratch [5 + packetHdrLen]byte
+	for {
+		p.mu.Lock()
+		for p.q.Len() == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		f, ok := p.q.Pop()
+		p.mu.Unlock()
+		if !ok {
+			return // closed and drained
+		}
+		hdr := scratch[:5]
+		bodyLen := 0
+		if f.kind == kPacket {
+			bodyLen = packetHdrLen
+			hdr = scratch[:5+packetHdrLen]
+			binary.LittleEndian.PutUint32(hdr[5:], uint32(f.src))
+			binary.LittleEndian.PutUint32(hdr[9:], uint32(f.dst))
+			binary.LittleEndian.PutUint32(hdr[13:], uint32(f.size))
+		}
+		if f.buf != nil {
+			bodyLen += f.buf.Len()
+		}
+		binary.LittleEndian.PutUint32(hdr[:4], uint32(bodyLen))
+		hdr[4] = f.kind
+		_, werr := conn.Write(hdr)
+		if werr == nil && f.buf != nil {
+			_, werr = conn.Write(f.buf.Bytes())
+		}
+		if f.buf != nil {
+			f.buf.Release()
+		}
+		if werr != nil {
+			if !isClosedErr(werr) {
+				p.b.addErr(fmt.Errorf("netlive: write to shard %d: %w", p.shard, werr))
+			}
+			p.drainAndDrop()
+			return
+		}
+	}
+}
+
+// drainAndDrop releases queued frames after a connection failure so buffer
+// pools are not starved.
+func (p *peer) drainAndDrop() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		f, ok := p.q.Pop()
+		if !ok {
+			if p.closed {
+				return
+			}
+			p.cond.Wait()
+			continue
+		}
+		if f.buf != nil {
+			f.buf.Release()
+		}
+	}
+}

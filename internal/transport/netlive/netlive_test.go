@@ -1,0 +1,182 @@
+package netlive
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/am"
+	"repro/internal/machine"
+	"repro/internal/threads"
+	"repro/internal/transport"
+	"repro/internal/transport/live"
+)
+
+// shardRig is one shard's view of the machine: its own Backend, machine, AM
+// net, and schedulers for the local nodes only — exactly what one process of
+// a multi-process run builds, here constructed twice in one test process so
+// the race detector sees the whole serialized path.
+type shardRig struct {
+	be     *Backend
+	m      *machine.Machine
+	net    *am.Net
+	scheds map[int]*threads.Scheduler
+}
+
+func newShardRig(t *testing.T, n, nps, shard int, dir string) *shardRig {
+	t.Helper()
+	s := shard
+	be, err := New(n, Options{
+		NodesPerShard: nps,
+		Shard:         &s,
+		Dir:           dir,
+		NoSpawn:       true,
+		Live:          live.Options{Watchdog: 20 * time.Second},
+	})
+	if err != nil {
+		t.Fatalf("New shard %d: %v", shard, err)
+	}
+	r := &shardRig{be: be, m: machine.NewWithBackend(machine.SP1997(), n, be)}
+	r.net = am.NewNet(r.m)
+	r.scheds = make(map[int]*threads.Scheduler)
+	for _, i := range be.LocalNodes() {
+		sc := threads.NewScheduler(r.m.Node(i))
+		r.net.Endpoint(i).Attach(sc)
+		r.scheds[i] = sc
+	}
+	return r
+}
+
+// TestTopology pins the shard arithmetic.
+func TestTopology(t *testing.T) {
+	s := 1
+	be, err := New(5, Options{NodesPerShard: 2, Shard: &s, Dir: t.TempDir(), NoSpawn: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer be.shutdownSockets()
+	if be.NumShards() != 3 || be.Shard() != 1 {
+		t.Fatalf("shards=%d shard=%d", be.NumShards(), be.Shard())
+	}
+	if be.IsLocal(1) || !be.IsLocal(2) || !be.IsLocal(3) || be.IsLocal(4) {
+		t.Fatalf("locality wrong: %v", be.LocalNodes())
+	}
+	if got := be.LocalNodes(); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("LocalNodes = %v", got)
+	}
+}
+
+// TestLoopbackSingleShard: NodesPerShard >= n means no sockets and live
+// semantics; the conformance suite covers the full contract, this pins the
+// degenerate construction.
+func TestLoopbackSingleShard(t *testing.T) {
+	be, err := New(2, Options{Live: live.Options{Watchdog: 10 * time.Second}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if be.NumShards() != 1 || !be.IsLocal(1) {
+		t.Fatalf("loopback topology wrong: shards=%d", be.NumShards())
+	}
+	done := false
+	be.Go(0, "p", func(p transport.Proc) { done = true })
+	if err := be.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !done {
+		t.Fatal("proc never ran")
+	}
+}
+
+// TestTwoShardsInProcess runs a 2-shard × 2-nodes-per-shard machine as two
+// backends inside this test process, connected by real Unix sockets: node 0
+// (shard 0) blasts node 2 (shard 1) with ordered shorts and patterned bulk
+// payloads; node 2's handler verifies and acks. This is the serialized wire
+// path under -race, without the re-exec harness.
+func TestTwoShardsInProcess(t *testing.T) {
+	const (
+		n     = 4
+		nps   = 2
+		k     = 100
+		bytes = 1 << 10
+	)
+	dir := t.TempDir()
+	a := newShardRig(t, n, nps, 0, dir)
+	b := newShardRig(t, n, nps, 1, dir)
+
+	pattern := func(i, j int) byte { return byte(i*13 + j*7) }
+
+	// Shard 1: node 2 receives k shorts (ordered) and k bulks (patterned),
+	// acking each bulk back to node 0.
+	var (
+		gotShort []uint64
+		gotBulk  int
+		bad      string
+	)
+	var hAck am.HandlerID
+	hShort := b.net.Register("t.short", func(th *threads.Thread, m am.Msg) {
+		gotShort = append(gotShort, m.A[0])
+	})
+	hBulk := b.net.Register("t.bulk", func(th *threads.Thread, m am.Msg) {
+		i := int(m.A[0])
+		if len(m.Payload) != bytes {
+			bad = "bad payload length"
+		}
+		for j, by := range m.Payload {
+			if by != pattern(i, j) {
+				bad = "payload corrupted in flight"
+				break
+			}
+		}
+		gotBulk++
+		b.net.Endpoint(2).RequestShort(th, 0, hAck, [4]uint64{uint64(i)})
+	})
+	// Shard 0: the ack handler registers on shard 0's net under the same ID
+	// sequence — identical registration order across shards, as the SPMD
+	// launch model requires. Register all three on both nets.
+	_ = a.net.Register("t.short", func(*threads.Thread, am.Msg) {})
+	_ = a.net.Register("t.bulk", func(*threads.Thread, am.Msg) {})
+	acks := 0
+	hAck = a.net.Register("t.ack", func(th *threads.Thread, m am.Msg) { acks++ })
+	_ = b.net.Register("t.ack", func(*threads.Thread, am.Msg) {})
+
+	a.scheds[0].Start("sender", func(th *threads.Thread) {
+		ep := a.net.Endpoint(0)
+		buf := make([]byte, bytes)
+		for i := 0; i < k; i++ {
+			ep.RequestShort(th, 2, hShort, [4]uint64{uint64(i)})
+			for j := range buf {
+				buf[j] = pattern(i, j)
+			}
+			ep.RequestBulk(th, 2, hBulk, buf, [4]uint64{uint64(i)})
+			// Clobber: the wire path promised copy-at-send semantics.
+			for j := range buf {
+				buf[j] = 0xEE
+			}
+		}
+		ep.PollUntil(th, func() bool { return acks == k })
+	})
+	b.scheds[2].Start("receiver", func(th *threads.Thread) {
+		b.net.Endpoint(2).PollUntil(th, func() bool { return gotBulk == k && len(gotShort) == k })
+	})
+
+	var wg sync.WaitGroup
+	var errA, errB error
+	wg.Add(2)
+	go func() { defer wg.Done(); errA = a.m.Run() }()
+	go func() { defer wg.Done(); errB = b.m.Run() }()
+	wg.Wait()
+	if errA != nil || errB != nil {
+		t.Fatalf("Run: shard0=%v shard1=%v", errA, errB)
+	}
+	if bad != "" {
+		t.Fatal(bad)
+	}
+	if len(gotShort) != k || gotBulk != k || acks != k {
+		t.Fatalf("short=%d bulk=%d acks=%d, want %d each", len(gotShort), gotBulk, acks, k)
+	}
+	for i, v := range gotShort {
+		if v != uint64(i) {
+			t.Fatalf("short %d carried %d: cross-shard delivery reordered", i, v)
+		}
+	}
+}

@@ -29,7 +29,11 @@
 // real parallel hardware.
 package transport
 
-import "time"
+import (
+	"time"
+
+	"repro/internal/wire"
+)
 
 // Proc is one schedulable context on a node: a simulated process on the
 // simnet backend, a goroutine on the live backend. The thread scheduler
@@ -57,6 +61,45 @@ type Proc interface {
 	Now() time.Duration
 	// Name returns the debug name given at Go time.
 	Name() string
+}
+
+// Topology is an optional Backend extension for backends whose nodes are
+// sharded across address spaces (the netlive backend: one OS process per
+// shard). Single-address-space backends simply do not implement it; callers
+// treat every node as local then.
+type Topology interface {
+	// NumShards reports how many address spaces the machine spans.
+	NumShards() int
+	// Shard returns this process's shard index (shard 0 is the parent).
+	Shard() int
+	// IsLocal reports whether node executes in this address space.
+	IsLocal(node int) bool
+	// LocalNodes returns the nodes of this shard, in ID order.
+	LocalNodes() []int
+	// LocalQuiesced tells the backend that every node program of this shard
+	// has finished. fn runs exactly once — possibly on an internal backend
+	// goroutine — after every shard of the machine has quiesced; runtimes use
+	// it to begin their (grace-delayed) machine-wide shutdown, so that a
+	// shard whose programs finished early keeps serving remote invocations
+	// until the whole machine is done.
+	LocalQuiesced(fn func())
+}
+
+// ShardBackend is the message plane of a sharded backend: the machine layer
+// routes packets for non-local nodes through DeliverRemote as serialized
+// frames, and receives frames from peer shards through the handler installed
+// with SetRemoteHandler.
+type ShardBackend interface {
+	Topology
+	// DeliverRemote ships an encoded packet payload to the shard owning dst.
+	// Ownership of frame transfers to the backend (released after the bytes
+	// are on the wire). size is the modelled wire size of the packet.
+	// Per-sender delivery order to a given destination is preserved.
+	DeliverRemote(src, dst, size int, frame *wire.Buf)
+	// SetRemoteHandler installs the upcall for packets arriving from peer
+	// shards. fn runs on a backend reader goroutine; payload is valid only
+	// for the duration of the call (the backend recycles the frame buffer).
+	SetRemoteHandler(fn func(src, dst, size int, payload []byte))
 }
 
 // DirectDeliverer is an optional Backend fast path for backends that ignore

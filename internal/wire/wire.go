@@ -110,6 +110,9 @@ type Ring[T any] struct {
 	buf  []T
 	head int
 	n    int
+	// low counts consecutive pops that observed occupancy below a quarter
+	// of the backing array — the shrink hysteresis (see Pop).
+	low int
 }
 
 // Len reports the number of queued elements.
@@ -127,6 +130,15 @@ func (r *Ring[T]) Push(v T) {
 // Pop removes and returns the head element; ok is false when empty. The
 // vacated slot is zeroed so popped payloads do not leak through the backing
 // array.
+//
+// Shrink policy: one burst must not pin its peak memory for the life of the
+// queue, but a fill/drain cycle must not thrash either (halving eagerly at
+// ¼ occupancy made every deep drain pay reallocation and copy — a measured
+// 2× regression in the inbox drain benchmark). So the backing array halves
+// only after *sustained* low occupancy: a full capacity's worth of
+// consecutive pops all observing the queue below a quarter full. A single
+// deep drain never trips it; steady low traffic over an oversized ring
+// walks the capacity back down to the floor, one cheap halving at a time.
 func (r *Ring[T]) Pop() (v T, ok bool) {
 	if r.n == 0 {
 		return v, false
@@ -136,11 +148,36 @@ func (r *Ring[T]) Pop() (v T, ok bool) {
 	r.buf[r.head] = zero
 	r.head = (r.head + 1) % len(r.buf)
 	r.n--
+	if len(r.buf) > minRingCap {
+		if r.n < len(r.buf)/4 {
+			if r.low++; r.low > len(r.buf) {
+				r.resize(len(r.buf) / 2)
+				r.low = 0
+			}
+		} else {
+			r.low = 0
+		}
+	}
 	return v, true
 }
 
+// Cap reports the backing array's capacity (tests; shrink observability).
+func (r *Ring[T]) Cap() int { return len(r.buf) }
+
+// minRingCap is the smallest backing array the shrink path keeps (and the
+// smallest growth target), so a queue oscillating around a few elements
+// never reallocates in either direction.
+const minRingCap = 64
+
 func (r *Ring[T]) grow() {
-	next := make([]T, max(4, 2*len(r.buf)))
+	r.resize(max(minRingCap, 2*len(r.buf)))
+	r.low = 0
+}
+
+// resize moves the queued elements into a backing array of the given size
+// (which must hold them) with the head rewound to 0.
+func (r *Ring[T]) resize(size int) {
+	next := make([]T, size)
 	for i := 0; i < r.n; i++ {
 		next[i] = r.buf[(r.head+i)%len(r.buf)]
 	}

@@ -105,3 +105,86 @@ func TestRingPopZeroesSlot(t *testing.T) {
 		t.Fatal("popped slot not zeroed; payload leaks through backing array")
 	}
 }
+
+// TestRingShrinksOnDrain: a burst grows the backing array; sustained low
+// traffic afterwards releases the capacity instead of pinning the burst's
+// peak memory for the life of the queue. (A single fill/drain cycle keeps
+// its capacity — that is the anti-thrash hysteresis, also asserted here.)
+func TestRingShrinksOnDrain(t *testing.T) {
+	var r Ring[int]
+	const burst = 4096
+	for i := 0; i < burst; i++ {
+		r.Push(i)
+	}
+	peak := r.Cap()
+	if peak < burst {
+		t.Fatalf("cap %d after %d pushes", peak, burst)
+	}
+	for i := 0; i < burst; i++ {
+		v, ok := r.Pop()
+		if !ok || v != i {
+			t.Fatalf("pop %d: got %d,%v", i, v, ok)
+		}
+	}
+	// One deep drain alone must not thrash the capacity away...
+	if c := r.Cap(); c < peak/2 {
+		t.Fatalf("cap collapsed to %d during a single drain (peak %d): shrink too eager", c, peak)
+	}
+	// ...but steady low-occupancy traffic walks it back down to the floor.
+	seq := burst
+	for i := 0; i < 16*peak; i++ {
+		r.Push(seq)
+		if v, ok := r.Pop(); !ok || v != seq {
+			t.Fatalf("cycle %d: got %d,%v want %d", i, v, ok, seq)
+		}
+		seq++
+		if r.Cap() == minRingCap {
+			break
+		}
+	}
+	if c := r.Cap(); c != minRingCap {
+		t.Fatalf("cap still %d after sustained low occupancy (peak %d): burst memory pinned", c, peak)
+	}
+	// The queue must remain fully usable after shrinking.
+	for i := 0; i < 100; i++ {
+		r.Push(i)
+	}
+	for i := 0; i < 100; i++ {
+		if v, ok := r.Pop(); !ok || v != i {
+			t.Fatalf("post-shrink pop %d: got %d,%v", i, v, ok)
+		}
+	}
+}
+
+// TestRingShrinkPreservesOrderAcrossWrap: shrink with a wrapped head keeps
+// FIFO order intact.
+func TestRingShrinkPreservesOrderAcrossWrap(t *testing.T) {
+	var r Ring[int]
+	seq := 0
+	// Wrap the head: push/pop cycles leave head mid-array.
+	for i := 0; i < 3*minRingCap/2; i++ {
+		r.Push(i)
+	}
+	for i := 0; i < minRingCap; i++ {
+		v, _ := r.Pop()
+		if v != seq {
+			t.Fatalf("got %d want %d", v, seq)
+		}
+		seq++
+	}
+	// Grow big, then drain and check order the whole way down.
+	base := 3 * minRingCap / 2
+	for i := 0; i < 2048; i++ {
+		r.Push(base + i)
+	}
+	for {
+		v, ok := r.Pop()
+		if !ok {
+			break
+		}
+		if v != seq {
+			t.Fatalf("got %d want %d (cap %d)", v, seq, r.Cap())
+		}
+		seq++
+	}
+}

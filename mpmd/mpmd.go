@@ -62,7 +62,8 @@
 //   - a deterministic simulated multicomputer calibrated to the paper's
 //     IBM RS/6000 SP measurements (NewMachine, SPConfig), plus pluggable
 //     execution backends: the same machine, runtimes, and programs run on
-//     real goroutines with wall-clock timing via NewLiveMachine (see the
+//     real goroutines with wall-clock timing via NewLiveMachine, or sharded
+//     across OS processes connected by sockets via NewNetMachine (see the
 //     transport packages);
 //   - the paper's contribution, a lean CC++ runtime over Active Messages
 //     ("CC++/ThAM"): processor objects, remote method invocation with stub

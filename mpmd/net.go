@@ -1,0 +1,84 @@
+package mpmd
+
+import (
+	"os"
+
+	"repro/internal/machine"
+	"repro/internal/transport/netlive"
+)
+
+// NetOptions tune the sharded multi-process backend (see NewNetMachine).
+// The zero value runs every node in this process (loopback).
+type NetOptions struct {
+	// NodesPerShard is how many consecutive nodes share one OS process.
+	// Zero (or >= n) keeps everything in-process.
+	NodesPerShard int
+	// Live tunes in-shard execution (watchdog, OS-thread pinning, batching).
+	Live LiveOptions
+	// NoSpawn stops the parent from re-exec'ing worker processes; workers
+	// are then launched externally with MPMD_NETLIVE_SHARD/_DIR set.
+	NoSpawn bool
+	// ChildArgs overrides the re-exec argument vector (default: this
+	// process's own arguments — the SPMD launch model).
+	ChildArgs []string
+}
+
+// NetInfo describes this process's place in a sharded machine.
+type NetInfo struct {
+	// Shards is the number of OS processes the machine spans.
+	Shards int
+	// Shard is this process's index; 0 is the parent.
+	Shard int
+	// Worker reports whether this process is a re-exec'd (or externally
+	// launched) peer shard rather than the parent.
+	Worker bool
+	// LocalNodes are the machine nodes executing in this process.
+	LocalNodes []int
+}
+
+// ExitIfWorker terminates a worker process once its shard's Run has
+// completed, so the code after Run — report printing, result collection —
+// executes only in the parent. err (normally the value returned by Run)
+// selects the exit status. No-op in the parent.
+func (i *NetInfo) ExitIfWorker(err error) {
+	if !i.Worker {
+		return
+	}
+	if err != nil {
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// NewNetMachine builds a multicomputer whose n nodes are sharded across OS
+// processes connected by Unix-domain sockets — the live backend's semantics
+// per shard, real serialized Active-Messages frames between shards.
+//
+// Every process must execute the identical program up to Run (register the
+// same classes, create the same objects, install the same node programs):
+// the parent re-execs its own binary for the worker shards, and each process
+// runs only its local nodes' programs while serving remote invocations.
+// After Run, call NetInfo.ExitIfWorker so workers do not fall through into
+// parent-only reporting code.
+func NewNetMachine(cfg Config, n int, o NetOptions) (*Machine, *NetInfo, error) {
+	be, err := netlive.New(n, netlive.Options{
+		NodesPerShard: o.NodesPerShard,
+		Live:          o.Live,
+		NoSpawn:       o.NoSpawn,
+		ChildArgs:     o.ChildArgs,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	info := &NetInfo{
+		Shards:     be.NumShards(),
+		Shard:      be.Shard(),
+		Worker:     be.Shard() != 0,
+		LocalNodes: be.LocalNodes(),
+	}
+	return machine.NewWithBackend(cfg, n, be), info, nil
+}
+
+// NetWorkerEnv reports whether this process was launched as a netlive worker
+// (the re-exec environment is set) — useful before any machine exists.
+func NetWorkerEnv() bool { return os.Getenv(netlive.EnvShard) != "" }

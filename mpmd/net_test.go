@@ -1,0 +1,131 @@
+package mpmd_test
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/mpmd"
+)
+
+// NetCounter is the processor object of the multi-process smoke test.
+type NetCounter struct{ n int64 }
+
+// Add accumulates; exercised cross-shard through serialized frames.
+func (c *NetCounter) Add(t *mpmd.Thread, v int64) { c.n += v }
+
+// Get returns the accumulated value.
+func (c *NetCounter) Get(t *mpmd.Thread) int64 { return c.n }
+
+// Fill is the bulk-path probe: a payload travels out, a derived payload back.
+func (c *NetCounter) Fill(t *mpmd.Thread, b []byte) []byte {
+	out := make([]byte, len(b))
+	for i, v := range b {
+		out[i] = v + 1
+	}
+	return out
+}
+
+// TestNetMachineMultiProcess is the true multi-process smoke: a 4-node
+// machine sharded 2×2, the peer shard a re-exec of this test binary (the
+// parent sets the worker environment; the worker re-enters this very test
+// function and builds the identical machine). Node 0 drives typed RMIs at
+// every other node — nodes 2 and 3 live in the other OS process, so those
+// invocations cross real sockets, cold resolution, persistent-buffer
+// updates, replies and all — and every node joins a world AllReduce.
+func TestNetMachineMultiProcess(t *testing.T) {
+	const (
+		n   = 4
+		nps = 2
+	)
+	m, info, err := mpmd.NewNetMachine(mpmd.SPConfig(), n, mpmd.NetOptions{
+		NodesPerShard: nps,
+		Live:          mpmd.LiveOptions{Watchdog: 30 * time.Second},
+		// Re-enter exactly this test in the worker process.
+		ChildArgs: []string{"-test.run=^TestNetMachineMultiProcess$", "-test.count=1"},
+	})
+	if err != nil {
+		t.Fatalf("NewNetMachine: %v", err)
+	}
+	if !info.Worker && info.Shards != 2 {
+		t.Fatalf("expected 2 shards, got %d", info.Shards)
+	}
+
+	rt := mpmd.NewRuntime(m)
+	if err := mpmd.RegisterClass[NetCounter](rt); err != nil {
+		t.Fatalf("RegisterClass: %v", err)
+	}
+	// Identical setup in every process: one counter per node, same order.
+	ctrs := make([]mpmd.Ref[NetCounter], n)
+	for i := 0; i < n; i++ {
+		ctrs[i], err = mpmd.NewObject[NetCounter](rt, i)
+		if err != nil {
+			t.Fatalf("NewObject(%d): %v", i, err)
+		}
+	}
+	world, err := mpmd.WorldTeam(rt)
+	if err != nil {
+		t.Fatalf("WorldTeam: %v", err)
+	}
+
+	var failures atomic.Int32
+	check := func(ok bool, msg string) {
+		if !ok {
+			failures.Add(1)
+			t.Errorf("%s (shard %d)", msg, info.Shard)
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		i := i
+		rt.OnNode(i, func(th *mpmd.Thread) {
+			if i == 0 {
+				// Drive every peer: same-shard (node 1) and cross-shard
+				// (nodes 2, 3), twice each so both the cold and the warm
+				// (persistent-buffer) paths cross the wire.
+				for round := 0; round < 2; round++ {
+					for peer := 1; peer < n; peer++ {
+						if _, err := mpmd.Invoke[int64, mpmd.Void](th, ctrs[peer], "Add", int64(10*peer)); err != nil {
+							t.Errorf("Add(node %d): %v", peer, err)
+						}
+					}
+				}
+				for peer := 1; peer < n; peer++ {
+					got, err := mpmd.Invoke[mpmd.Void, int64](th, ctrs[peer], "Get", mpmd.Void{})
+					check(err == nil && got == int64(20*peer), "cross-shard Get mismatch")
+				}
+				// Bulk payload across the shard boundary.
+				in := make([]byte, 2048)
+				for j := range in {
+					in[j] = byte(j)
+				}
+				out, err := mpmd.Invoke[[]byte, []byte](th, ctrs[3], "Fill", in)
+				check(err == nil && len(out) == len(in), "bulk Fill failed")
+				for j := range out {
+					if out[j] != byte(j)+1 {
+						check(false, "bulk payload corrupted across shards")
+						break
+					}
+				}
+			}
+			// Every member contributes its node ID; the collective runs over
+			// the same serialized wire path.
+			sum, err := mpmd.AllReduce(th, world, i, mpmd.Sum)
+			check(err == nil && sum == 0+1+2+3, "world AllReduce wrong")
+		})
+	}
+
+	runErr := rt.Run()
+	if info.Worker {
+		// A worker that failed its checks (or its run) must exit non-zero so
+		// the parent's child-reaping surfaces it as a Run error.
+		if failures.Load() > 0 || runErr != nil {
+			info.ExitIfWorker(errors.New("worker shard failed"))
+		}
+		info.ExitIfWorker(nil)
+	}
+	if runErr != nil {
+		t.Fatalf("Run: %v", runErr)
+	}
+}
