@@ -14,21 +14,50 @@
 // sustained-throughput experiment (warm RMI/s and bulk MB/s per node count).
 //
 // -json replaces the text tables with one machine-readable report on
-// stdout (schema mpmdbench/v3; duration fields in nanoseconds), so runs can
+// stdout (schema mpmdbench/v4; duration fields in nanoseconds), so runs can
 // be accumulated into a performance trajectory:
 //
 //	mpmdbench -quick -json table4 > BENCH_table4.json
 //	mpmdbench -quick -json -backend=live > BENCH_live.json
+//
+// Observability flags: -trace=FILE writes the stats experiment's machine as
+// a Chrome trace-event JSON loadable in Perfetto; -debug-addr=ADDR serves
+// expvar (including live "mpmd.stats") and net/http/pprof for long runs;
+// -cpuprofile/-memprofile write pprof profiles of the whole run.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/trace"
+	"repro/internal/transport/netlive"
 )
+
+// writeTrace exports tl as Chrome trace-event JSON (Perfetto-loadable).
+func writeTrace(path string, tl *trace.Log) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := trace.WritePerfetto(f, tl); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mpmdbench: "+format+"\n", args...)
+	os.Exit(1)
+}
 
 func main() {
 	quick := flag.Bool("quick", false, "run the reduced-size configuration")
@@ -37,8 +66,12 @@ func main() {
 		"execution backend: sim (calibrated discrete-event model), live (real goroutines, wall-clock), or net (nodes sharded across OS processes over sockets)")
 	netNodes := flag.Int("net-nodes", 0, "net backend: machine size (default 4, or 8 at full scale)")
 	netNPS := flag.Int("nodes-per-shard", 0, "net backend: nodes per OS process (default half the nodes: clients in the parent, servers in the worker)")
+	traceOut := flag.String("trace", "", "write the stats experiment's event trace to this file as Chrome trace-event JSON (open in https://ui.perfetto.dev)")
+	debugAddr := flag.String("debug-addr", "", "serve expvar (/debug/vars, incl. live mpmd.stats) and net/http/pprof on this address for the duration of the run")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (taken at exit) to this file")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mpmdbench [-quick] [-json] [-backend=sim|live|net] [table1|table4|fig5|fig6-water|fig6-lu|nexus|ablate|irregular|coll|throughput|all ...]\n")
+		fmt.Fprintf(os.Stderr, "usage: mpmdbench [-quick] [-json] [-backend=sim|live|net] [-trace=FILE] [-debug-addr=ADDR] [table1|table4|fig5|fig6-water|fig6-lu|nexus|ablate|irregular|coll|throughput|stats|all ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -48,6 +81,59 @@ func main() {
 		scale = bench.Quick()
 	}
 	cfg := bench.Cfg()
+
+	// A re-exec'd netlive worker runs with the parent's argument vector:
+	// observability outputs (profiles, traces, debug server) belong to the
+	// parent alone, or the worker would clobber its files and ports.
+	worker := os.Getenv(netlive.EnvShard) != ""
+
+	var tl *trace.Log
+	if *traceOut != "" && !worker {
+		tl = trace.New(0)
+	}
+	if *debugAddr != "" && !worker {
+		// DefaultServeMux carries /debug/vars (expvar, imported by bench) and
+		// /debug/pprof (the blank net/http/pprof import above).
+		bench.PublishDebugVars()
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "mpmdbench: debug server: %v\n", err)
+			}
+		}()
+	}
+	if *cpuProfile != "" && !worker {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" && !worker {
+		mp := *memProfile
+		defer func() {
+			f, err := os.Create(mp)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mpmdbench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "mpmdbench: memprofile: %v\n", err)
+			}
+		}()
+	}
+	if tl != nil {
+		out := *traceOut
+		defer func() {
+			if err := writeTrace(out, tl); err != nil {
+				fmt.Fprintf(os.Stderr, "mpmdbench: trace: %v\n", err)
+			}
+		}()
+	}
 
 	report := bench.NewReport(*backend, cfg.Name, scale.Name)
 	emit := func() {
@@ -80,8 +166,8 @@ func main() {
 			nps = nodes / 2
 		}
 		start := time.Now()
-		rows, worker, err := bench.RunThroughputNet(cfg, scale, nodes, nps)
-		if worker {
+		rows, statsRows, isWorker, err := bench.RunThroughputNet(cfg, scale, nodes, nps, tl)
+		if isWorker {
 			// A re-exec'd worker shard: the parent owns the report.
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "mpmdbench: worker shard: %v\n", err)
@@ -96,12 +182,14 @@ func main() {
 		elapsed := time.Since(start)
 		if *asJSON {
 			report.Add("throughput", elapsed, rows)
+			report.Add("stats", 0, statsRows)
 			emit()
 			return
 		}
 		fmt.Printf("MPMD runtime on the net backend — %d nodes, %d per shard, scale %q\n\n", nodes, nps, scale.Name)
 		fmt.Print(bench.FormatThroughput(rows, "net"))
-		fmt.Printf("[throughput finished in %v]\n", elapsed.Round(time.Millisecond))
+		fmt.Printf("[throughput finished in %v]\n\n", elapsed.Round(time.Millisecond))
+		fmt.Print(bench.FormatStats(statsRows, "net"))
 		return
 	case "live":
 		if len(flag.Args()) > 0 {
@@ -121,10 +209,17 @@ func main() {
 		start = time.Now()
 		tputRows := bench.RunThroughput(cfg, scale, "live")
 		tputDur := time.Since(start)
+		start = time.Now()
+		statsRows, err := bench.RunStats(cfg, scale, "live", tl)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		statsDur := time.Since(start)
 		if *asJSON {
 			report.Add("live-micro", micro, rows)
 			report.Add("coll", collDur, collRows)
 			report.Add("throughput", tputDur, tputRows)
+			report.Add("stats", statsDur, statsRows)
 			emit()
 			return
 		}
@@ -133,7 +228,9 @@ func main() {
 		fmt.Print(bench.FormatColl(collRows, "live"))
 		fmt.Printf("[coll finished in %v]\n\n", collDur.Round(time.Millisecond))
 		fmt.Print(bench.FormatThroughput(tputRows, "live"))
-		fmt.Printf("[throughput finished in %v]\n", tputDur.Round(time.Millisecond))
+		fmt.Printf("[throughput finished in %v]\n\n", tputDur.Round(time.Millisecond))
+		fmt.Print(bench.FormatStats(statsRows, "live"))
+		fmt.Printf("[stats finished in %v]\n", statsDur.Round(time.Millisecond))
 		return
 	default:
 		fmt.Fprintf(os.Stderr, "mpmdbench: unknown backend %q (want sim, live, or net)\n", *backend)
@@ -214,6 +311,13 @@ func main() {
 	run("throughput", func() (any, func() string) {
 		rows := bench.RunThroughput(cfg, scale, "sim")
 		return rows, func() string { return bench.FormatThroughput(rows, "sim") }
+	})
+	run("stats", func() (any, func() string) {
+		rows, err := bench.RunStats(cfg, scale, "sim", tl)
+		if err != nil {
+			fatalf("stats: %v", err)
+		}
+		return rows, func() string { return bench.FormatStats(rows, "sim") }
 	})
 
 	if ran == 0 {

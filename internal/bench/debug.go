@@ -1,0 +1,37 @@
+package bench
+
+import (
+	"expvar"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/machine"
+)
+
+// curMachine is the machine the debug endpoint samples: the most recently
+// built benchmark machine. Atomic because the expvar handler reads it from
+// HTTP serving goroutines while experiments swap machines.
+var (
+	curMachine atomic.Pointer[machine.Machine]
+	debugOnce  sync.Once
+)
+
+// track points the debug endpoint at m.
+func track(m *machine.Machine) { curMachine.Store(m) }
+
+// PublishDebugVars exposes the current machine's stats as the "mpmd.stats"
+// expvar (served by -debug-addr alongside net/http/pprof). The dump is safe
+// mid-run: accounting cells and metrics instruments are individually atomic.
+// Idempotent.
+func PublishDebugVars() {
+	debugOnce.Do(func() {
+		expvar.Publish("mpmd.stats", expvar.Func(func() any {
+			m := curMachine.Load()
+			if m == nil {
+				return nil
+			}
+			s := m.LocalStats()
+			return &s
+		}))
+	})
+}

@@ -35,11 +35,15 @@ type Experiment struct {
 	Rows any `json:"rows"`
 }
 
-// ReportSchema is the current report schema identifier. v3 added the
-// sustained-throughput experiment ("throughput", []ThroughputRow) on both
-// backends; v2 added the collective-operations experiment ("coll",
-// []CollRow). Earlier reports are otherwise layout-compatible.
-const ReportSchema = "mpmdbench/v3"
+// ReportSchema is the current report schema identifier. v4 added the
+// observability experiment ("stats", []StatsRow): machine-wide merged
+// accounting counters — on the net backend the true cross-process merge of
+// every shard's kStats report — plus wall-clock latency histograms with
+// p50/p99/p999 on the live backends. v3 added the sustained-throughput
+// experiment ("throughput", []ThroughputRow) on both backends; v2 added the
+// collective-operations experiment ("coll", []CollRow). Earlier reports are
+// otherwise layout-compatible.
+const ReportSchema = "mpmdbench/v4"
 
 // NewReport starts an empty report for the given backend, profile and scale.
 func NewReport(backend, profile, scale string) *Report {

@@ -25,9 +25,13 @@ type LiveRow struct {
 // liveBulkWords sizes the bulk-bandwidth rows (doubles per transfer).
 const liveBulkWords = 1024
 
-// liveMachine builds an n-node machine on the live backend.
+// liveMachine builds an n-node machine on the live backend. Every live
+// benchmark machine is tracked for the -debug-addr expvar, so a long
+// wall-clock run can be sampled mid-flight.
 func liveMachine(cfg machine.Config, n int) *machine.Machine {
-	return machine.NewWithBackend(cfg, n, live.New(n, live.Options{Watchdog: 2 * time.Minute}))
+	m := machine.NewWithBackend(cfg, n, live.New(n, live.Options{Watchdog: 2 * time.Minute}))
+	track(m)
+	return m
 }
 
 // liveBulkClass is a Bench variant holding a transfer buffer large enough

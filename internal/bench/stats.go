@@ -1,0 +1,164 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/metrics"
+)
+
+// HistRow is one latency (or size) histogram rendered for a report: count,
+// log-bucket percentiles, observed max, and mean. Durations are nanoseconds.
+type HistRow struct {
+	Count int64 `json:"count"`
+	P50   int64 `json:"p50"`
+	P99   int64 `json:"p99"`
+	P999  int64 `json:"p999"`
+	Max   int64 `json:"max"`
+	Mean  int64 `json:"mean"`
+}
+
+// GaugeRow is one gauge rendered for a report: last sampled level and
+// high-water mark.
+type GaugeRow struct {
+	Last int64 `json:"last"`
+	Max  int64 `json:"max"`
+}
+
+// StatsRow is one scope of the observability experiment: the machine-wide
+// merge, or one shard's contribution. Counter/gauge/histogram maps are
+// name-keyed (Go marshals map keys sorted, so the JSON is deterministic) and
+// carry only non-zero instruments.
+type StatsRow struct {
+	// Scope is "machine" for the merged row, "shard<i>" for per-shard rows.
+	Scope string `json:"scope"`
+	Nodes int    `json:"nodes"`
+	// BusyNS and Buckets are the accounting side: charged time, total and per
+	// category (virtual time on sim, modelled charges on live).
+	BusyNS  int64            `json:"busy_ns"`
+	Buckets map[string]int64 `json:"buckets_ns,omitempty"`
+	// Counters are the machine.Acct event counters (RMIs, handlers, bytes).
+	Counters map[string]int64 `json:"counters,omitempty"`
+	// Wall, Gauges and Hists are the wall-clock metrics registry: message
+	// plane counters, queue-depth gauges, and latency/size histograms with
+	// percentiles. Empty on the sim backend, which has no wall-clock story.
+	Wall   map[string]int64    `json:"wall_counters,omitempty"`
+	Gauges map[string]GaugeRow `json:"gauges,omitempty"`
+	Hists  map[string]HistRow  `json:"hists,omitempty"`
+}
+
+// statsRow renders one scope.
+func statsRow(scope string, nodes int, acct machine.Snapshot, met metrics.Snapshot) StatsRow {
+	row := StatsRow{Scope: scope, Nodes: nodes, BusyNS: int64(acct.Busy())}
+	for _, c := range machine.Categories() {
+		if d := acct.Get(c); d != 0 {
+			if row.Buckets == nil {
+				row.Buckets = map[string]int64{}
+			}
+			row.Buckets[c.String()] = int64(d)
+		}
+	}
+	for c, v := range acct.Counters {
+		if v != 0 {
+			if row.Counters == nil {
+				row.Counters = map[string]int64{}
+			}
+			row.Counters[machine.Cnt(c).String()] = v
+		}
+	}
+	for _, c := range metrics.Counters() {
+		if v := met.Counter(c); v != 0 {
+			if row.Wall == nil {
+				row.Wall = map[string]int64{}
+			}
+			row.Wall[c.String()] = v
+		}
+	}
+	for _, g := range metrics.Gauges() {
+		if gs := met.Gauge(g); gs.Max != 0 || gs.Last != 0 {
+			if row.Gauges == nil {
+				row.Gauges = map[string]GaugeRow{}
+			}
+			row.Gauges[g.String()] = GaugeRow{Last: gs.Last, Max: gs.Max}
+		}
+	}
+	for _, h := range metrics.Hists() {
+		hs := met.Hist(h)
+		if hs.Count == 0 {
+			continue
+		}
+		if row.Hists == nil {
+			row.Hists = map[string]HistRow{}
+		}
+		row.Hists[h.String()] = HistRow{
+			Count: hs.Count, P50: hs.P50(), P99: hs.P99(), P999: hs.P999(),
+			Max: hs.Max, Mean: hs.Mean(),
+		}
+	}
+	return row
+}
+
+// StatsRows renders a machine-wide ClusterStats as report rows: the merged
+// "machine" row first, then one row per shard (only when the machine actually
+// spans several).
+func StatsRows(cs machine.ClusterStats) []StatsRow {
+	nodes := 0
+	for _, ss := range cs.Shards {
+		nodes += len(ss.Nodes)
+	}
+	rows := []StatsRow{statsRow("machine", nodes, cs.Acct, cs.Metrics)}
+	if len(cs.Shards) > 1 {
+		for _, ss := range cs.Shards {
+			rows = append(rows, statsRow(fmt.Sprintf("shard%d", ss.Shard), len(ss.Nodes), ss.Acct, ss.Metrics))
+		}
+	}
+	return rows
+}
+
+// FormatStats renders the observability rows: per-scope latency percentiles
+// and the most load-bearing counters.
+func FormatStats(rows []StatsRow, backend string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Machine-wide observability (%s backend)\n", backend)
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s (%d nodes): busy %v", r.Scope, r.Nodes, time.Duration(r.BusyNS).Round(time.Microsecond))
+		for _, name := range sortedKeys(r.Counters) {
+			switch name {
+			case "core.rmi", "am.handlers", "am.msg.short", "am.msg.bulk":
+				fmt.Fprintf(&b, "  %s=%d", name, r.Counters[name])
+			}
+		}
+		b.WriteByte('\n')
+		for _, name := range sortedKeys(r.Wall) {
+			fmt.Fprintf(&b, "  %s=%d", name, r.Wall[name])
+		}
+		if len(r.Wall) > 0 {
+			b.WriteByte('\n')
+		}
+		for _, name := range sortedKeys(r.Hists) {
+			h := r.Hists[name]
+			if strings.HasSuffix(name, ".ns") {
+				fmt.Fprintf(&b, "  %-20s n=%-8d p50=%-10v p99=%-10v p999=%-10v max=%v\n",
+					name, h.Count, time.Duration(h.P50), time.Duration(h.P99),
+					time.Duration(h.P999), time.Duration(h.Max))
+			} else {
+				fmt.Fprintf(&b, "  %-20s n=%-8d p50=%-10d p99=%-10d p999=%-10d max=%d\n",
+					name, h.Count, h.P50, h.P99, h.P999, h.Max)
+			}
+		}
+	}
+	fmt.Fprintf(&b, "(counters merge every shard of the machine; percentiles are log-bucket upper bounds)\n")
+	return b.String()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

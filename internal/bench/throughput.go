@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/threads"
+	"repro/internal/trace"
 	"repro/internal/transport/netlive"
 )
 
@@ -55,14 +56,18 @@ func throughputClass() *core.Class {
 // body runs one warm operation; the returned duration is the backend-clock
 // span from the first post-warm-up operation to the last completion across
 // all clients.
-func runThroughputOnce(cfg machine.Config, backend string, nodes, iters int,
-	body func(rt *core.Runtime, gp core.GPtr, t *threads.Thread)) time.Duration {
+func runThroughputOnce(cfg machine.Config, backend string, nodes, iters int, tl *trace.Log,
+	body func(rt *core.Runtime, gp core.GPtr, t *threads.Thread)) (time.Duration, *machine.Machine) {
 	var m *machine.Machine
 	if backend == "live" {
 		m = liveMachine(cfg, nodes)
 	} else {
 		m = machine.New(cfg, nodes)
 	}
+	if tl != nil {
+		trace.Attach(m, tl)
+	}
+	track(m)
 	rt := core.NewRuntime(m)
 	rt.RegisterClass(throughputClass())
 	pairs := nodes / 2
@@ -94,7 +99,7 @@ func runThroughputOnce(cfg machine.Config, backend string, nodes, iters int,
 	if err := rt.Run(); err != nil {
 		panic(fmt.Sprintf("throughput %s/%d nodes: %v", backend, nodes, err))
 	}
-	return end - start
+	return end - start, m
 }
 
 // throughputNodeCounts picks the machine sizes per scale.
@@ -116,7 +121,7 @@ func RunThroughput(cfg machine.Config, sc Scale, backend string) []ThroughputRow
 	var rows []ThroughputRow
 	for _, nodes := range throughputNodeCounts(sc) {
 		pairs := nodes / 2
-		elapsed := runThroughputOnce(cfg, backend, nodes, iters,
+		elapsed, _ := runThroughputOnce(cfg, backend, nodes, iters, nil,
 			func(rt *core.Runtime, gp core.GPtr, t *threads.Thread) {
 				rt.Call(t, gp, "null", nil, nil)
 			})
@@ -130,7 +135,7 @@ func RunThroughput(cfg machine.Config, sc Scale, backend string) []ThroughputRow
 		// Hoisted: a fresh []Arg literal inside the measured loop would add
 		// one allocation per op to the very metric this experiment tracks.
 		bulkArgs := []core.Arg{&core.Bytes{V: payload}}
-		elapsed = runThroughputOnce(cfg, backend, nodes, iters,
+		elapsed, _ = runThroughputOnce(cfg, backend, nodes, iters, nil,
 			func(rt *core.Runtime, gp core.GPtr, t *threads.Thread) {
 				rt.Call(t, gp, "sink", bulkArgs, nil)
 			})
@@ -145,6 +150,24 @@ func RunThroughput(cfg machine.Config, sc Scale, backend string) []ThroughputRow
 	return rows
 }
 
+// RunStats drives the warm null-RMI workload on one machine of the given
+// backend and returns the machine-wide observability rows: merged accounting
+// counters plus (on live backends) wall-clock latency percentiles and queue
+// metrics. When tl is non-nil the run is traced into it — this is the
+// machine mpmdbench's -trace flag captures.
+func RunStats(cfg machine.Config, sc Scale, backend string, tl *trace.Log) ([]StatsRow, error) {
+	const nodes = 4
+	_, m := runThroughputOnce(cfg, backend, nodes, sc.MicroIters, tl,
+		func(rt *core.Runtime, gp core.GPtr, t *threads.Thread) {
+			rt.Call(t, gp, "null", nil, nil)
+		})
+	cs, err := m.ClusterStats()
+	if err != nil {
+		return nil, err
+	}
+	return StatsRows(cs), nil
+}
+
 // RunThroughputNet measures sustained warm-RMI rate and bulk bandwidth on
 // the sharded multi-process backend: clients live in shard 0 (this process),
 // servers in the peer shards, so every measured operation crosses a real
@@ -155,16 +178,25 @@ func RunThroughput(cfg machine.Config, sc Scale, backend string) []ThroughputRow
 // worker reports whether this process is a re-exec'd peer shard; the caller
 // must then discard the rows and exit instead of reporting (the parent owns
 // stdout).
-func RunThroughputNet(cfg machine.Config, sc Scale, nodes, nodesPerShard int) (rows []ThroughputRow, worker bool, err error) {
+//
+// On the parent, stats carries the machine-wide observability rows assembled
+// from every shard's kStats report — the counters are the true cross-process
+// merge, not this process's view. When tl is non-nil the parent shard's
+// events are traced into it.
+func RunThroughputNet(cfg machine.Config, sc Scale, nodes, nodesPerShard int, tl *trace.Log) (rows []ThroughputRow, stats []StatsRow, worker bool, err error) {
 	if nodes%2 != 0 || nodesPerShard <= 0 {
-		return nil, false, fmt.Errorf("throughput/net: need an even node count and positive nodes-per-shard (got %d/%d)", nodes, nodesPerShard)
+		return nil, nil, false, fmt.Errorf("throughput/net: need an even node count and positive nodes-per-shard (got %d/%d)", nodes, nodesPerShard)
 	}
 	be, err := netlive.New(nodes, netlive.Options{NodesPerShard: nodesPerShard})
 	if err != nil {
-		return nil, false, err
+		return nil, nil, false, err
 	}
 	worker = be.Shard() != 0
 	m := machine.NewWithBackend(cfg, nodes, be)
+	if tl != nil && !worker {
+		trace.Attach(m, tl)
+	}
+	track(m)
 	rt := core.NewRuntime(m)
 	rt.RegisterClass(throughputClass())
 	pairs := nodes / 2
@@ -202,11 +234,16 @@ func RunThroughputNet(cfg machine.Config, sc Scale, nodes, nodesPerShard int) (r
 		})
 	}
 	if err := rt.Run(); err != nil {
-		return nil, worker, fmt.Errorf("throughput/net %d nodes: %w", nodes, err)
+		return nil, nil, worker, fmt.Errorf("throughput/net %d nodes: %w", nodes, err)
 	}
 	if worker {
-		return nil, true, nil
+		return nil, nil, true, nil
 	}
+	cs, err := m.ClusterStats()
+	if err != nil {
+		return nil, nil, false, fmt.Errorf("throughput/net %d nodes: %w", nodes, err)
+	}
+	stats = StatsRows(cs)
 	rmiRow := ThroughputRow{Experiment: "rmi", Nodes: nodes, Pairs: pairs, Iters: iters, Elapsed: tRMI}
 	if tRMI > 0 {
 		rmiRow.OpsPerSec = float64(pairs*iters) / tRMI.Seconds()
@@ -216,7 +253,7 @@ func RunThroughputNet(cfg machine.Config, sc Scale, nodes, nodesPerShard int) (r
 		bulkRow.OpsPerSec = float64(pairs*iters) / tBulk.Seconds()
 		bulkRow.MBps = bulkRow.OpsPerSec * throughputBulkBytes / (1 << 20)
 	}
-	return []ThroughputRow{rmiRow, bulkRow}, false, nil
+	return []ThroughputRow{rmiRow, bulkRow}, stats, false, nil
 }
 
 // FormatThroughput renders the sustained-throughput table.

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/machine"
+	"repro/internal/metrics"
 	"repro/internal/threads"
 	"repro/internal/transport/live"
 )
@@ -79,5 +80,16 @@ func TestWarmPathAllocsPerRun(t *testing.T) {
 	}
 	if bulkAllocs > budget {
 		t.Errorf("warm 1KiB bulk RMI allocates %.2f/op, budget %v", bulkAllocs, budget)
+	}
+	// The budget above must hold WITH observability on, not by switching it
+	// off: prove the metrics plane was live and recording throughout the
+	// measured window. Every measured round trip observes into the RMI
+	// latency histogram — atomics into preallocated buckets, zero garbage.
+	snap, ok := m.Metrics()
+	if !ok {
+		t.Fatal("live machine reports no metrics plane; the alloc budget must be measured with metrics enabled")
+	}
+	if n := snap.Hist(metrics.HstRMILatency).Count; n < 300 {
+		t.Errorf("RMI latency histogram recorded %d round trips during an instrumented run, want >= 300", n)
 	}
 }

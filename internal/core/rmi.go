@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/am"
 	"repro/internal/machine"
+	"repro/internal/metrics"
 	"repro/internal/tham"
 	"repro/internal/threads"
 	"repro/internal/wire"
@@ -52,6 +53,11 @@ type completion struct {
 type rmiMsg struct {
 	comp *completion
 	ret  Arg
+	// t0 is the send instant on the backend clock, set only when the node
+	// has a wall-clock metrics registry (live backends); the reply handler
+	// turns it into an RMI round-trip latency observation. Zero means "not
+	// timed" (simulator, or one-way call).
+	t0 time.Duration
 }
 
 // addPending stores an in-flight call record and returns its wire request
@@ -239,6 +245,9 @@ func (rt *Runtime) invoke(t *threads.Thread, gp GPtr, method string, args []Arg,
 		// The reply finds this call through the sender's pending table; only
 		// the slot's wire ID travels, packed into the flags word's high half.
 		reqID = n.addPending(msg)
+		if n.node.Met != nil {
+			msg.t0 = n.node.M.Now()
+		}
 	}
 	a := [4]uint64{0, uint64(gp.obj), 0, 0}
 	if cold {
@@ -536,6 +545,11 @@ func (rt *Runtime) runMethod(t *threads.Thread, n *nodeRT, bm *boundMethod, m am
 func (rt *Runtime) handleReply(t *threads.Thread, m am.Msg) {
 	n := rt.nodes[m.Dst]
 	msg := n.takePending(m.A[0])
+	if msg.t0 > 0 {
+		if met := n.node.Met; met != nil {
+			met.ObserveDur(metrics.HstRMILatency, n.node.M.Now()-msg.t0)
+		}
+	}
 	cfg := t.Cfg()
 	lockPair(t, &n.commLock)
 	if msg.ret != nil {

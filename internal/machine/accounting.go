@@ -1,8 +1,10 @@
 package machine
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"time"
 )
 
@@ -121,12 +123,42 @@ func (s CounterSet) MarshalJSON() ([]byte, error) {
 	return []byte(b.String()), nil
 }
 
+// cntByName maps report labels back to counter indices for UnmarshalJSON.
+var cntByName = func() map[string]Cnt {
+	m := make(map[string]Cnt, numCounters)
+	for i, n := range cntNames {
+		m[n] = Cnt(i)
+	}
+	return m
+}()
+
+// UnmarshalJSON implements json.Unmarshaler, inverting MarshalJSON's
+// name-keyed encoding. Unknown names are ignored (a newer shard talking to an
+// older parent just loses counters it does not know, rather than failing the
+// whole stats merge). Counters absent from the object are zero.
+func (s *CounterSet) UnmarshalJSON(b []byte) error {
+	var named map[string]int64
+	if err := json.Unmarshal(b, &named); err != nil {
+		return err
+	}
+	*s = CounterSet{}
+	for name, v := range named {
+		if c, ok := cntByName[name]; ok {
+			s[c] = v
+		}
+	}
+	return nil
+}
+
 // Accounting accumulates per-category virtual time and event counters for
-// one node. It is manipulated only from inside the simulation (single
-// logical thread), so it needs no locking.
+// one node. Writers are the node's own execution context (one logical thread
+// at a time), but every cell is an atomic so a concurrent stats reader — the
+// netlive control plane answering a mid-run kStats request, or the expvar
+// debug endpoint — can snapshot it without a data race and without putting a
+// lock on the charge path.
 type Accounting struct {
-	buckets  [numCategories]time.Duration
-	counters CounterSet
+	buckets  [numCategories]atomic.Int64
+	counters [numCounters]atomic.Int64
 }
 
 func newAccounting() *Accounting { return &Accounting{} }
@@ -136,26 +168,36 @@ func (a *Accounting) Add(c Category, d time.Duration) {
 	if c < 0 || c >= numCategories {
 		panic("machine: bad category")
 	}
-	a.buckets[c] += d
+	a.buckets[c].Add(int64(d))
 }
 
 // Get returns the accumulated time in category c.
-func (a *Accounting) Get(c Category) time.Duration { return a.buckets[c] }
+func (a *Accounting) Get(c Category) time.Duration { return time.Duration(a.buckets[c].Load()) }
 
 // Count adds n to counter c.
-func (a *Accounting) Count(c Cnt, n int64) { a.counters[c] += n }
+func (a *Accounting) Count(c Cnt, n int64) { a.counters[c].Add(n) }
 
 // Counter returns the value of counter c.
-func (a *Accounting) Counter(c Cnt) int64 { return a.counters[c] }
+func (a *Accounting) Counter(c Cnt) int64 { return a.counters[c].Load() }
 
 // Counters returns a copy of all counters.
-func (a *Accounting) Counters() CounterSet { return a.counters }
+func (a *Accounting) Counters() CounterSet {
+	var s CounterSet
+	for i := range a.counters {
+		s[i] = a.counters[i].Load()
+	}
+	return s
+}
 
 // Reset zeroes all buckets and counters. The benchmark harness resets
 // between warm-up and measurement phases.
 func (a *Accounting) Reset() {
-	a.buckets = [numCategories]time.Duration{}
-	a.counters = CounterSet{}
+	for i := range a.buckets {
+		a.buckets[i].Store(0)
+	}
+	for i := range a.counters {
+		a.counters[i].Store(0)
+	}
 }
 
 // Snapshot is a point-in-time copy of an Accounting, used to compute deltas
@@ -167,17 +209,22 @@ type Snapshot struct {
 
 // Snapshot captures the current state.
 func (a *Accounting) Snapshot() Snapshot {
-	return Snapshot{Buckets: a.buckets, Counters: a.counters}
+	var s Snapshot
+	for i := range a.buckets {
+		s.Buckets[i] = time.Duration(a.buckets[i].Load())
+	}
+	s.Counters = a.Counters()
+	return s
 }
 
 // Delta returns a snapshot holding the difference now-minus-then.
 func (a *Accounting) Delta(then Snapshot) Snapshot {
-	d := Snapshot{}
+	d := a.Snapshot()
 	for i := range d.Buckets {
-		d.Buckets[i] = a.buckets[i] - then.Buckets[i]
+		d.Buckets[i] -= then.Buckets[i]
 	}
 	for i := range d.Counters {
-		d.Counters[i] = a.counters[i] - then.Counters[i]
+		d.Counters[i] -= then.Counters[i]
 	}
 	return d
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/transport"
 	"repro/internal/transport/simnet"
@@ -34,6 +35,12 @@ type Machine struct {
 	// wireDec (installed by the messaging layer) reconstructs arriving ones.
 	shard   transport.ShardBackend
 	wireDec func(src, dst int, b []byte) any
+
+	// mets is be's wall-clock metrics seam, nil on backends without one (the
+	// simulator); stats is be's cross-shard stats control plane, nil off the
+	// netlive backend.
+	mets  transport.MetricsSource
+	stats transport.StatsPlane
 
 	// Trace, when non-nil, receives instrumentation callbacks from the
 	// layers above (kind is "send", "recv", "spawn", "switch", or "charge";
@@ -75,11 +82,19 @@ func NewWithBackend(cfg Config, n int, be transport.Backend) *Machine {
 		m.shard = sb
 		sb.SetRemoteHandler(m.remoteArrival)
 	}
+	m.mets, _ = be.(transport.MetricsSource)
+	if sp, ok := be.(transport.StatsPlane); ok {
+		m.stats = sp
+		sp.SetStatsProvider(m.localStatsPayload)
+	}
 	for i := 0; i < n; i++ {
 		nd := &Node{
 			ID:   i,
 			M:    m,
 			Acct: newAccounting(),
+		}
+		if m.mets != nil {
+			nd.Met = m.mets.NodeMetrics(i)
 		}
 		// One long-lived arrival closure per node: the direct-delivery path
 		// hands this same func to the backend on every send, so a delivery
@@ -182,6 +197,11 @@ type Node struct {
 	ID   int
 	M    *Machine
 	Acct *Accounting
+
+	// Met is the node's wall-clock metrics registry, nil on backends without
+	// one (the simulator). Layers that record into it — the core RMI path,
+	// for one — must nil-check; the nil path is the 0 allocs/op contract.
+	Met *metrics.Registry
 
 	// inboxMu guards inbox. On the simulator it is uncontended (one
 	// goroutine runs at a time); on the live backend it is what lets a

@@ -1,0 +1,125 @@
+package machine
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/metrics"
+)
+
+// ShardStats is one address space's contribution to the machine-wide stats
+// report: which nodes it ran, their merged accounting, and the shard's merged
+// wall-clock metrics. It is the JSON payload of the netlive kStats control
+// frame — workers serialize one at quiesce (and on request) and ship it to
+// the parent.
+type ShardStats struct {
+	Shard   int              `json:"shard"`
+	Nodes   []int            `json:"nodes"`
+	Acct    Snapshot         `json:"acct"`
+	Metrics metrics.Snapshot `json:"metrics"`
+}
+
+// LocalStats reports the stats of the nodes executing in this address space:
+// every node on single-process backends, this shard's nodes on netlive. Safe
+// to call while the machine runs — accounting cells and metrics instruments
+// are individually atomic (the whole is a racy-but-consistent-enough cut, as
+// merged reporting wants).
+func (m *Machine) LocalStats() ShardStats {
+	s := ShardStats{}
+	local := make([]int, 0, len(m.nodes))
+	if m.shard != nil {
+		s.Shard = m.shard.Shard()
+		local = append(local, m.shard.LocalNodes()...)
+	} else {
+		for i := range m.nodes {
+			local = append(local, i)
+		}
+	}
+	s.Nodes = local
+	snaps := make([]Snapshot, 0, len(local))
+	for _, i := range local {
+		snaps = append(snaps, m.nodes[i].Acct.Snapshot())
+	}
+	s.Acct = MergeSnapshots(snaps...)
+	if m.mets != nil {
+		s.Metrics = m.mets.MetricsSnapshot()
+	}
+	return s
+}
+
+// localStatsPayload serializes LocalStats for the backend's stats control
+// plane (the kStats frame body). Installed as the StatsPlane provider at
+// machine construction.
+func (m *Machine) localStatsPayload() []byte {
+	b, err := json.Marshal(m.LocalStats())
+	if err != nil {
+		// A ShardStats is plain data; marshalling cannot fail short of a bug.
+		panic(fmt.Sprintf("machine: stats payload marshal: %v", err))
+	}
+	return b
+}
+
+// Metrics returns the merged wall-clock metrics of this address space's
+// backend. ok is false on backends without metrics (the simulator).
+func (m *Machine) Metrics() (s metrics.Snapshot, ok bool) {
+	if m.mets == nil {
+		return metrics.Snapshot{}, false
+	}
+	return m.mets.MetricsSnapshot(), true
+}
+
+// ClusterStats is the machine-wide stats report: every shard's contribution
+// plus the merged totals. On single-process backends it has exactly one
+// shard; on netlive the parent assembles it from its own LocalStats and the
+// kStats payloads received from worker shards.
+type ClusterStats struct {
+	Shards  []ShardStats     `json:"shards"`
+	Acct    Snapshot         `json:"acct"`
+	Metrics metrics.Snapshot `json:"metrics"`
+}
+
+// ClusterStats assembles the machine-wide report. On sharded backends it must
+// be called on the parent after Run returns (workers have reported by then);
+// it errors if any worker shard's payload is missing or unparseable, so a
+// lost stats frame is a loud failure rather than silently under-counted
+// totals.
+func (m *Machine) ClusterStats() (ClusterStats, error) {
+	cs := ClusterStats{Shards: []ShardStats{m.LocalStats()}}
+	if m.stats != nil && m.shard != nil {
+		if m.shard.Shard() != 0 {
+			return ClusterStats{}, fmt.Errorf("machine: ClusterStats on worker shard %d (parent only)", m.shard.Shard())
+		}
+		peers := m.stats.PeerStats()
+		for shard := 1; shard < m.shard.NumShards(); shard++ {
+			payload, ok := peers[shard]
+			if !ok {
+				return ClusterStats{}, fmt.Errorf("machine: no stats payload from shard %d", shard)
+			}
+			var ss ShardStats
+			if err := json.Unmarshal(payload, &ss); err != nil {
+				return ClusterStats{}, fmt.Errorf("machine: stats payload from shard %d: %v", shard, err)
+			}
+			cs.Shards = append(cs.Shards, ss)
+		}
+		sort.Slice(cs.Shards, func(i, j int) bool { return cs.Shards[i].Shard < cs.Shards[j].Shard })
+	}
+	accts := make([]Snapshot, 0, len(cs.Shards))
+	mets := make([]metrics.Snapshot, 0, len(cs.Shards))
+	for _, ss := range cs.Shards {
+		accts = append(accts, ss.Acct)
+		mets = append(mets, ss.Metrics)
+	}
+	cs.Acct = MergeSnapshots(accts...)
+	cs.Metrics = metrics.Merge(mets...)
+	return cs, nil
+}
+
+// RequestStats asks every worker shard for a fresh stats report (mid-run
+// sampling; payloads land asynchronously and show up in the next
+// ClusterStats). No-op off the netlive parent.
+func (m *Machine) RequestStats() {
+	if m.stats != nil && m.shard != nil && m.shard.Shard() == 0 {
+		m.stats.RequestStats()
+	}
+}

@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// WritePerfetto renders the log in the Chrome trace-event JSON format, which
+// Perfetto (https://ui.perfetto.dev) and about://tracing load directly. Each
+// machine node becomes one "thread" of process 0; charges render as complete
+// slices (ph "X", real start/duration — the event's At is the charge's end),
+// everything else as instant events (ph "i"). Timestamps are microseconds,
+// the format's unit; sub-microsecond precision survives because the values
+// are fractional.
+//
+// The log need not be sorted — the format carries explicit timestamps — so
+// live-backend logs (nodes emit concurrently) export as-is. The return
+// includes how many events were written; a non-zero Dropped count is
+// surfaced as a metadata annotation so a saturated trace is visibly
+// truncated in the viewer.
+func WritePerfetto(w io.Writer, l *Log) (int, error) {
+	events, dropped := l.snapshot()
+	bw := &errWriter{w: w}
+	bw.printf("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[")
+
+	// Name the threads after the machine nodes so the viewer's rows read
+	// n0, n1, ... rather than bare tids.
+	maxNode := 0
+	for _, e := range events {
+		if e.Node > maxNode {
+			maxNode = e.Node
+		}
+	}
+	first := true
+	for n := 0; n <= maxNode; n++ {
+		bw.sep(&first)
+		bw.printf(`{"ph":"M","pid":0,"tid":%d,"name":"thread_name","args":{"name":"n%d"}}`, n, n)
+	}
+	if dropped > 0 {
+		bw.sep(&first)
+		bw.printf(`{"ph":"M","pid":0,"tid":0,"name":"process_labels","args":{"labels":"%d events dropped (log saturated)"}}`, dropped)
+	}
+	for _, e := range events {
+		bw.sep(&first)
+		switch {
+		case e.Kind == KindCharge && e.Dur > 0:
+			// At marks the end of the charge.
+			bw.printf(`{"ph":"X","pid":0,"tid":%d,"ts":%s,"dur":%s,"name":%q,"cat":"charge"}`,
+				e.Node, usec(e.At-e.Dur), usec(e.Dur), e.Label)
+		default:
+			bw.printf(`{"ph":"i","pid":0,"tid":%d,"ts":%s,"s":"t","name":%q,"cat":%q}`,
+				e.Node, usec(e.At), instantName(e), e.Kind.String())
+		}
+	}
+	bw.printf("]}\n")
+	return len(events), bw.err
+}
+
+// usec formats a duration as fractional microseconds without float rounding
+// surprises (three decimal places carry full nanosecond precision).
+func usec(d time.Duration) string {
+	return fmt.Sprintf("%d.%03d", d/time.Microsecond, d%time.Microsecond)
+}
+
+// instantName compacts an instant event's label for the viewer: the kind
+// plus the label, which for sends is the destination and size.
+func instantName(e Event) string {
+	if e.Label == "" {
+		return e.Kind.String()
+	}
+	return e.Kind.String() + " " + strings.TrimSpace(e.Label)
+}
+
+// errWriter latches the first write error so the emit loop stays linear.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (b *errWriter) printf(format string, args ...any) {
+	if b.err != nil {
+		return
+	}
+	_, b.err = fmt.Fprintf(b.w, format, args...)
+}
+
+func (b *errWriter) sep(first *bool) {
+	if *first {
+		*first = false
+		return
+	}
+	b.printf(",\n")
+}

@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWritePerfetto pins the exporter's contract: valid JSON in the Chrome
+// trace-event shape, charges as complete slices with real start/duration,
+// instants for the rest, and thread-name metadata per node.
+func TestWritePerfetto(t *testing.T) {
+	l := New(0)
+	l.Add(Event{At: 10 * time.Microsecond, Node: 0, Kind: KindSend, Label: "->n1 16B"})
+	l.Add(Event{At: 25 * time.Microsecond, Node: 1, Kind: KindRecv, Label: "h3"})
+	// A 5µs charge ending at 30µs: the slice must start at 25µs.
+	l.Add(Event{At: 30 * time.Microsecond, Node: 1, Kind: KindCharge, Label: "cpu", Dur: 5 * time.Microsecond})
+
+	var buf bytes.Buffer
+	n, err := WritePerfetto(&buf, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("wrote %d events, want 3", n)
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string          `json:"ph"`
+			Pid  int             `json:"pid"`
+			Tid  int             `json:"tid"`
+			Ts   float64         `json:"ts"`
+			Dur  float64         `json:"dur"`
+			Name string          `json:"name"`
+			Cat  string          `json:"cat"`
+			Args json.RawMessage `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exporter emitted invalid JSON: %v\n%s", err, buf.String())
+	}
+
+	var slices, instants, metas int
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "X":
+			slices++
+			if e.Ts != 25 || e.Dur != 5 {
+				t.Errorf("charge slice ts=%v dur=%v, want ts=25 dur=5", e.Ts, e.Dur)
+			}
+			if e.Tid != 1 || e.Name != "cpu" {
+				t.Errorf("charge slice tid=%d name=%q", e.Tid, e.Name)
+			}
+		case "i":
+			instants++
+		case "M":
+			metas++
+		}
+	}
+	if slices != 1 || instants != 2 {
+		t.Errorf("slices=%d instants=%d, want 1 and 2", slices, instants)
+	}
+	if metas < 2 {
+		t.Errorf("thread-name metadata events = %d, want one per node", metas)
+	}
+	if !strings.Contains(buf.String(), `"n1"`) {
+		t.Errorf("missing node thread name:\n%s", buf.String())
+	}
+}
+
+// TestWritePerfettoSurfacesDrops: a saturated log annotates the trace.
+func TestWritePerfettoSurfacesDrops(t *testing.T) {
+	l := New(1)
+	l.Add(Event{Node: 0, Kind: KindMark})
+	l.Add(Event{Node: 0, Kind: KindMark}) // dropped
+	var buf bytes.Buffer
+	if _, err := WritePerfetto(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "dropped") {
+		t.Errorf("saturated trace not annotated:\n%s", buf.String())
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Errorf("invalid JSON:\n%s", buf.String())
+	}
+}
+
+// TestSummaryAndUtilizationSurfaceDrops pins the fix for renderers silently
+// ignoring truncation: both must mention the dropped count.
+func TestSummaryAndUtilizationSurfaceDrops(t *testing.T) {
+	l := New(1)
+	l.Add(Event{At: time.Microsecond, Node: 0, Kind: KindCharge, Label: "cpu", Dur: time.Microsecond})
+	l.Add(Event{At: 2 * time.Microsecond, Node: 0, Kind: KindMark}) // dropped
+	if s := l.Summary(1); !strings.Contains(s, "dropped") {
+		t.Errorf("summary hides truncation:\n%s", s)
+	}
+	if u := l.Utilization(1, 0, 3*time.Microsecond, 10); !strings.Contains(u, "dropped") {
+		t.Errorf("utilization hides truncation:\n%s", u)
+	}
+	// And an unsaturated log stays byte-identical to before (no new lines).
+	l2 := New(0)
+	l2.Add(Event{At: time.Microsecond, Node: 0, Kind: KindCharge, Label: "cpu", Dur: time.Microsecond})
+	if s := l2.Summary(1); strings.Contains(s, "dropped") {
+		t.Errorf("unsaturated summary mentions drops:\n%s", s)
+	}
+}

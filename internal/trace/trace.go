@@ -180,7 +180,7 @@ func (l *Log) Utilization(nodes int, from, to time.Duration, width int) string {
 	for i := range busy {
 		busy[i] = make([]cell, width)
 	}
-	events, _ := l.snapshot()
+	events, dropped := l.snapshot()
 	for _, e := range events {
 		if e.Kind != KindCharge || e.Dur == 0 || e.Node >= nodes {
 			continue
@@ -245,6 +245,12 @@ func (l *Log) Utilization(nodes int, from, to time.Duration, width int) string {
 		}
 		b.WriteString("|\n")
 	}
+	if dropped > 0 {
+		// A saturated log silently missing charges would make the strips lie
+		// about idleness — say so.
+		fmt.Fprintf(&b, "… %d events dropped at the %d-event limit; strips under-report activity\n",
+			dropped, l.limit)
+	}
 	return b.String()
 }
 
@@ -254,7 +260,7 @@ func (l *Log) Summary(nodes int) string {
 	for i := range counts {
 		counts[i] = make(map[Kind]int)
 	}
-	events, _ := l.snapshot()
+	events, dropped := l.snapshot()
 	for _, e := range events {
 		if e.Node < nodes {
 			counts[e.Node][e.Kind]++
@@ -266,6 +272,10 @@ func (l *Log) Summary(nodes int) string {
 		fmt.Fprintf(&b, "n%-4d %8d %8d %8d %8d %8d\n", i,
 			counts[i][KindSend], counts[i][KindRecv], counts[i][KindSpawn],
 			counts[i][KindSwitch], counts[i][KindCharge])
+	}
+	if dropped > 0 {
+		fmt.Fprintf(&b, "… %d events dropped at the %d-event limit; counts are lower bounds\n",
+			dropped, l.limit)
 	}
 	return b.String()
 }

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/am"
 	"repro/internal/machine"
+	"repro/internal/metrics"
 	"repro/internal/threads"
 	"repro/internal/transport"
 )
@@ -42,6 +43,7 @@ func Run(t *testing.T, f Factory) {
 	t.Run("Timers", func(t *testing.T) { timers(t, f) })
 	t.Run("CrossShardTraffic", func(t *testing.T) { crossShardTraffic(t, f) })
 	t.Run("Collectives", func(t *testing.T) { runCollectives(t, f) })
+	t.Run("StatsMerge", func(t *testing.T) { statsMerge(t, f) })
 }
 
 // rig wires an AM net with one scheduler per node over a machine.
@@ -406,6 +408,81 @@ func crossShardTraffic(t *testing.T, f Factory) {
 		if bulks[i] != uint64(i) {
 			t.Fatalf("bulk stream reordered at %d: %v", i, bulks[:i+1])
 		}
+	}
+}
+
+// statsMerge: the machine-wide stats report is the exact sum of its parts.
+// After real traffic, ClusterStats' merged accounting must equal both the
+// merge of every shard's reported accounting and the merge of every node's
+// own accounting, and (on backends with a wall-clock metrics plane) the
+// merged metrics must equal the merge of the per-shard metrics snapshots.
+// This is the parity claim behind every machine-wide counter mpmdbench
+// reports: merged == sum of the parts, nothing fabricated, nothing dropped.
+func statsMerge(t *testing.T, f Factory) {
+	const (
+		nodes = 4
+		k     = 80
+	)
+	r := newRig(f(machine.SP1997(), nodes))
+	var got int
+	h := r.net.Register("conf.stats", func(_ *threads.Thread, _ am.Msg) { got++ })
+	r.scheds[0].Start("sender", func(th *threads.Thread) {
+		for i := 0; i < k; i++ {
+			r.net.Endpoint(0).RequestShort(th, nodes-1, h, [4]uint64{uint64(i)})
+		}
+	})
+	r.scheds[nodes-1].Start("receiver", func(th *threads.Thread) {
+		r.net.Endpoint(nodes-1).PollUntil(th, func() bool { return got == k })
+	})
+	if err := r.m.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	cs, err := r.m.ClusterStats()
+	if err != nil {
+		t.Fatalf("ClusterStats: %v", err)
+	}
+	// Merged accounting == sum over reported shards.
+	shardAccts := make([]machine.Snapshot, 0, len(cs.Shards))
+	shardMets := make([]metrics.Snapshot, 0, len(cs.Shards))
+	seen := 0
+	for _, ss := range cs.Shards {
+		shardAccts = append(shardAccts, ss.Acct)
+		shardMets = append(shardMets, ss.Metrics)
+		seen += len(ss.Nodes)
+	}
+	if seen != nodes {
+		t.Fatalf("shards cover %d nodes, want %d", seen, nodes)
+	}
+	if want := machine.MergeSnapshots(shardAccts...); cs.Acct != want {
+		t.Fatalf("merged acct != sum of shard accts:\n got %v\nwant %v", cs.Acct, want)
+	}
+	// Merged accounting == sum over the nodes themselves (every conformance
+	// factory runs all nodes in this address space, so the per-node truth is
+	// directly observable).
+	nodeAccts := make([]machine.Snapshot, 0, nodes)
+	for _, nd := range r.m.Nodes() {
+		nodeAccts = append(nodeAccts, nd.Acct.Snapshot())
+	}
+	if want := machine.MergeSnapshots(nodeAccts...); cs.Acct != want {
+		t.Fatalf("merged acct != sum of per-node accts:\n got %v\nwant %v", cs.Acct, want)
+	}
+	if n := cs.Acct.Counters[machine.CntMsgShort]; n < k {
+		t.Fatalf("merged am.msg.short = %d, want >= %d", n, k)
+	}
+	if n := cs.Acct.Counters[machine.CntHandlersRun]; n < k {
+		t.Fatalf("merged am.handlers = %d, want >= %d", n, k)
+	}
+	// Wall-clock metrics: present on live backends, absent on the simulator;
+	// when present the merged snapshot must equal the merge of the parts.
+	if _, ok := r.m.Metrics(); ok {
+		if want := metrics.Merge(shardMets...); cs.Metrics != want {
+			t.Fatalf("merged metrics != merge of shard metrics:\n got %+v\nwant %+v", cs.Metrics, want)
+		}
+		if n := cs.Metrics.Counter(metrics.CtrNotifies); n == 0 {
+			t.Fatal("live backend reported zero notify events after real traffic")
+		}
+	} else if cs.Metrics != (metrics.Snapshot{}) {
+		t.Fatal("backend without a metrics plane reported non-zero metrics")
 	}
 }
 

@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -106,7 +107,7 @@ func New(n int, opts Options) *Backend {
 		timers: make(map[*time.Timer]struct{}),
 	}
 	for i := 0; i < n; i++ {
-		nd := &lnode{id: i}
+		nd := &lnode{id: i, met: metrics.NewRegistry()}
 		nd.q.cond = sync.NewCond(&nd.q.mu)
 		b.nodes = append(b.nodes, nd)
 		go nd.deliveryLoop(opts.Batch)
@@ -114,10 +115,29 @@ func New(n int, opts Options) *Backend {
 	return b
 }
 
+// NodeMetrics implements transport.MetricsSource.
+func (b *Backend) NodeMetrics(node int) *metrics.Registry {
+	if node < 0 || node >= len(b.nodes) {
+		return nil
+	}
+	return b.nodes[node].met
+}
+
+// MetricsSnapshot implements transport.MetricsSource: the merge of every
+// node's registry.
+func (b *Backend) MetricsSnapshot() metrics.Snapshot {
+	snaps := make([]metrics.Snapshot, 0, len(b.nodes))
+	for _, nd := range b.nodes {
+		snaps = append(snaps, nd.met.Snapshot())
+	}
+	return metrics.Merge(snaps...)
+}
+
 // lnode is one node's execution context: the CPU mutex and the notify queue.
 type lnode struct {
-	id int
-	mu sync.Mutex // the node's CPU: held by whichever context is executing
+	id  int
+	mu  sync.Mutex        // the node's CPU: held by whichever context is executing
+	met *metrics.Registry // wall-clock instruments; shared with upper layers via NodeMetrics
 
 	q struct {
 		mu     sync.Mutex
@@ -145,7 +165,10 @@ func (nd *lnode) push(fn func()) bool {
 		return false
 	}
 	nd.q.fns.Push(fn)
+	depth := nd.q.fns.Len()
 	nd.q.mu.Unlock()
+	nd.met.Add(metrics.CtrNotifies, 1)
+	nd.met.Set(metrics.GgeNotifyDepth, int64(depth))
 	nd.q.cond.Signal()
 	return true
 }
@@ -173,6 +196,8 @@ func (nd *lnode) deliveryLoop(batch int) {
 			take = append(take, fn)
 		}
 		nd.q.mu.Unlock()
+		nd.met.Add(metrics.CtrNotifyBatches, 1)
+		nd.met.Observe(metrics.HstPollBatch, int64(len(take)))
 
 		nd.mu.Lock()
 		for i, fn := range take {

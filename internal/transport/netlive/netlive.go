@@ -59,6 +59,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/transport"
 	"repro/internal/transport/live"
 	"repro/internal/wire"
@@ -106,6 +107,8 @@ const (
 	kPacket    = byte(1) // u32 src, u32 dst, u32 size, payload
 	kMainsDone = byte(2) // u32 shard
 	kAllDone   = byte(3) // empty
+	kStats     = byte(4) // u32 shard, JSON machine.ShardStats (worker -> parent)
+	kStatsReq  = byte(5) // empty (parent -> worker: report your stats now)
 )
 
 // packetHdrLen is the kPacket body header: src, dst, size.
@@ -137,6 +140,21 @@ type Backend struct {
 		done      map[int]bool // parent: shards that reported mains-done
 		fired     bool
 	}
+
+	// met is the shard's message-plane registry: frame/byte counters, peer
+	// ring depths, writer stalls. Per-node instruments live in the inner
+	// live backend's registries.
+	met *metrics.Registry
+
+	// statsProv serializes this shard's stats payload (machine.ShardStats
+	// JSON); the machine layer installs it via SetStatsProvider. Atomic: the
+	// reader goroutines may field a kStatsReq while it is being installed.
+	statsProv atomic.Value // func() []byte
+
+	// statsMu guards peerStats, the latest kStats payload from each worker
+	// shard (parent only).
+	statsMu   sync.Mutex
+	peerStats map[int][]byte
 
 	errMu sync.Mutex
 	errs  []error
@@ -202,6 +220,8 @@ func New(n int, opts Options) (*Backend, error) {
 	if b.hi > n {
 		b.hi = n
 	}
+	b.met = metrics.NewRegistry()
+	b.peerStats = make(map[int][]byte)
 	b.q.done = make(map[int]bool)
 	if opts.DialTimeout <= 0 {
 		b.opts.DialTimeout = 10 * time.Second
@@ -342,8 +362,15 @@ func (b *Backend) Run() error {
 		go b.acceptLoop()
 	}
 	err := b.inner.Run()
+	if b.shards > 1 && b.shard != 0 {
+		// Final stats report: every local proc has finished, so the snapshot
+		// covers the whole run, and the writer queue is drained before close —
+		// the frame reaches the parent before this process exits.
+		b.sendStats()
+	}
 	if b.shards > 1 && b.shard == 0 {
 		b.waitChildren()
+		b.waitStats()
 	}
 	b.shutdownSockets()
 	if lerr := b.inner.Err(); lerr != nil {
@@ -509,6 +536,108 @@ func (b *Backend) DeliverRemote(src, dst, size int, payload *wire.Buf) {
 // frameBuf returns a pooled buffer for a control frame body.
 func (b *Backend) frameBuf(n int) *wire.Buf { return wire.Get(n) }
 
+// --- transport.MetricsSource ------------------------------------------------
+
+// NodeMetrics implements transport.MetricsSource: the inner live backend's
+// per-node registry for local nodes, nil for nodes of other shards.
+func (b *Backend) NodeMetrics(node int) *metrics.Registry {
+	if !b.IsLocal(node) {
+		return nil
+	}
+	return b.inner.NodeMetrics(node)
+}
+
+// MetricsSnapshot implements transport.MetricsSource: this shard's local
+// nodes merged with the shard's message-plane registry.
+func (b *Backend) MetricsSnapshot() metrics.Snapshot {
+	snaps := make([]metrics.Snapshot, 0, b.hi-b.lo+1)
+	snaps = append(snaps, b.met.Snapshot())
+	for i := b.lo; i < b.hi; i++ {
+		snaps = append(snaps, b.inner.NodeMetrics(i).Snapshot())
+	}
+	return metrics.Merge(snaps...)
+}
+
+// --- transport.StatsPlane ---------------------------------------------------
+
+// SetStatsProvider implements transport.StatsPlane.
+func (b *Backend) SetStatsProvider(fn func() []byte) { b.statsProv.Store(fn) }
+
+// PeerStats implements transport.StatsPlane: the latest kStats payload from
+// each worker shard (parent only; complete after Run).
+func (b *Backend) PeerStats() map[int][]byte {
+	b.statsMu.Lock()
+	defer b.statsMu.Unlock()
+	out := make(map[int][]byte, len(b.peerStats))
+	for s, p := range b.peerStats {
+		out[s] = p
+	}
+	return out
+}
+
+// RequestStats implements transport.StatsPlane: ask every worker shard to
+// report now. Safe mid-run — accounting and metrics are atomic on the worker.
+func (b *Backend) RequestStats() {
+	if b.shard != 0 {
+		return
+	}
+	for _, p := range b.peers {
+		if p != nil {
+			p.push(outFrame{kind: kStatsReq})
+		}
+	}
+}
+
+// sendStats (workers) serializes the local stats payload and ships it to the
+// parent as a kStats frame. No-op before the machine installs a provider.
+func (b *Backend) sendStats() {
+	prov, _ := b.statsProv.Load().(func() []byte)
+	if prov == nil || b.shard == 0 || b.peers == nil {
+		return
+	}
+	// Drain the peer writers first: frames a proc queued just before
+	// quiescing may still be sitting in a ring, and a snapshot taken now
+	// would under-count net.frames.out against what provably reached the
+	// peers. Bounded, so a dead connection cannot wedge the report.
+	for _, p := range b.peers {
+		if p != nil {
+			p.flush(b.opts.DialTimeout)
+		}
+	}
+	payload := prov()
+	f := b.frameBuf(4 + len(payload))
+	binary.LittleEndian.PutUint32(f.Bytes(), uint32(b.shard))
+	copy(f.Bytes()[4:], payload)
+	b.peers[0].push(outFrame{kind: kStats, buf: f})
+	// Bound the wait so a dead parent cannot wedge the worker's exit; the
+	// frame is almost always already on the wire.
+	b.peers[0].flush(b.opts.DialTimeout)
+}
+
+// waitStats (parent) waits for every worker shard's final kStats payload
+// before the sockets come down. Workers flush the frame before exiting, so
+// by the time waitChildren has reaped them the bytes are at worst sitting in
+// the parent's socket buffer; this wait gives the reader goroutines time to
+// dispatch them. A missing payload after the timeout is a lifecycle error
+// (and ClusterStats will refuse to fabricate totals).
+func (b *Backend) waitStats() {
+	deadline := time.Now().Add(b.opts.DialTimeout)
+	for {
+		b.statsMu.Lock()
+		got := len(b.peerStats)
+		b.statsMu.Unlock()
+		if got >= b.shards-1 {
+			return
+		}
+		if time.Now().After(deadline) {
+			b.addErr(fmt.Errorf("netlive: stats from only %d of %d worker shards within %v",
+				got, b.shards-1, b.opts.DialTimeout))
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
 // --- reading ----------------------------------------------------------------
 
 // acceptLoop admits peer connections and spawns a reader for each.
@@ -559,6 +688,8 @@ func (b *Backend) readLoop(conn net.Conn) {
 				return
 			}
 		}
+		b.met.Add(metrics.CtrFramesIn, 1)
+		b.met.Add(metrics.CtrBytesIn, int64(5+n))
 		switch kind {
 		case kPacket:
 			remote, _ := b.remote.Load().(func(src, dst, size int, payload []byte))
@@ -573,6 +704,14 @@ func (b *Backend) readLoop(conn net.Conn) {
 			b.shardDone(int(binary.LittleEndian.Uint32(body)))
 		case kAllDone:
 			b.fireQuiesce()
+		case kStats:
+			// The pooled body is recycled below; the payload must outlive it.
+			shard := int(binary.LittleEndian.Uint32(body))
+			b.statsMu.Lock()
+			b.peerStats[shard] = append([]byte(nil), body[4:]...)
+			b.statsMu.Unlock()
+		case kStatsReq:
+			b.sendStats()
 		default:
 			b.addErr(fmt.Errorf("netlive: unknown frame kind %d", kind))
 		}
@@ -594,6 +733,7 @@ type outFrame struct {
 	kind           byte
 	src, dst, size int
 	buf            *wire.Buf
+	at             time.Duration // push time (backend clock), for writer-stall metrics
 }
 
 // peer owns the connection to one remote shard: an unbounded ring of frames
@@ -610,6 +750,13 @@ type peer struct {
 	closed bool
 
 	started bool
+
+	// queued counts frames ever pushed; sent counts frames the writer has
+	// fully put on the wire (or dropped after a connection failure). flush
+	// waits for them to meet — how a worker guarantees its final kStats frame
+	// is out before the process exits.
+	queued atomic.Int64
+	sent   atomic.Int64
 }
 
 func newPeer(b *Backend, shard int) *peer {
@@ -620,6 +767,7 @@ func newPeer(b *Backend, shard int) *peer {
 
 // push queues a frame (never blocks) and lazily starts the writer.
 func (p *peer) push(f outFrame) {
+	f.at = p.b.inner.Now()
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -629,12 +777,29 @@ func (p *peer) push(f outFrame) {
 		return
 	}
 	p.q.Push(f)
+	depth := p.q.Len()
 	if !p.started {
 		p.started = true
 		go p.writeLoop()
 	}
+	p.queued.Add(1)
 	p.mu.Unlock()
+	p.b.met.Set(metrics.GgePeerRingDepth, int64(depth))
 	p.cond.Signal()
+}
+
+// flush waits (bounded) until every frame queued so far is on the wire. Only
+// meaningful while the queue is still open.
+func (p *peer) flush(timeout time.Duration) bool {
+	want := p.queued.Load()
+	deadline := time.Now().Add(timeout)
+	for p.sent.Load() < want {
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return true
 }
 
 // close shuts the queue; the writer exits after draining.
@@ -683,6 +848,7 @@ func (p *peer) writeLoop() {
 		if !ok {
 			return // closed and drained
 		}
+		p.b.met.ObserveDur(metrics.HstWriterStall, p.b.inner.Now()-f.at)
 		hdr := scratch[:5]
 		bodyLen := 0
 		if f.kind == kPacket {
@@ -704,6 +870,7 @@ func (p *peer) writeLoop() {
 		if f.buf != nil {
 			f.buf.Release()
 		}
+		p.sent.Add(1)
 		if werr != nil {
 			if !isClosedErr(werr) {
 				p.b.addErr(fmt.Errorf("netlive: write to shard %d: %w", p.shard, werr))
@@ -711,6 +878,8 @@ func (p *peer) writeLoop() {
 			p.drainAndDrop()
 			return
 		}
+		p.b.met.Add(metrics.CtrFramesOut, 1)
+		p.b.met.Add(metrics.CtrBytesOut, int64(5+bodyLen)) // total wire bytes: length prefix + kind + body
 	}
 }
 
@@ -731,5 +900,6 @@ func (p *peer) drainAndDrop() {
 		if f.buf != nil {
 			f.buf.Release()
 		}
+		p.sent.Add(1)
 	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/am"
 	"repro/internal/machine"
+	"repro/internal/metrics"
 	"repro/internal/threads"
 	"repro/internal/transport"
 	"repro/internal/transport/live"
@@ -177,6 +178,90 @@ func TestTwoShardsInProcess(t *testing.T) {
 	for i, v := range gotShort {
 		if v != uint64(i) {
 			t.Fatalf("short %d carried %d: cross-shard delivery reordered", i, v)
+		}
+	}
+}
+
+// TestTwoShardsStats drives cross-shard traffic through two in-process
+// backends and verifies the kStats control plane end to end under -race: at
+// quiesce the worker shard serializes its stats and ships them over the real
+// socket, the parent's ClusterStats merges them, and the merged counters
+// equal the sum of the per-shard reports — with the worker's handler activity
+// visible only through its kStats payload, never fabricated locally.
+func TestTwoShardsStats(t *testing.T) {
+	const (
+		n   = 4
+		nps = 2
+		k   = 60
+	)
+	dir := t.TempDir()
+	a := newShardRig(t, n, nps, 0, dir)
+	b := newShardRig(t, n, nps, 1, dir)
+
+	// Node 0 (shard 0) sends k shorts to node 2 (shard 1); node 2 acks each.
+	var hAck am.HandlerID
+	gotPing := 0
+	hPing := b.net.Register("s.ping", func(th *threads.Thread, m am.Msg) {
+		gotPing++
+		b.net.Endpoint(2).RequestShort(th, 0, hAck, m.A)
+	})
+	_ = a.net.Register("s.ping", func(*threads.Thread, am.Msg) {})
+	acks := 0
+	hAck = a.net.Register("s.ack", func(*threads.Thread, am.Msg) { acks++ })
+	_ = b.net.Register("s.ack", func(*threads.Thread, am.Msg) {})
+
+	a.scheds[0].Start("sender", func(th *threads.Thread) {
+		ep := a.net.Endpoint(0)
+		for i := 0; i < k; i++ {
+			ep.RequestShort(th, 2, hPing, [4]uint64{uint64(i)})
+		}
+		ep.PollUntil(th, func() bool { return acks == k })
+	})
+	b.scheds[2].Start("receiver", func(th *threads.Thread) {
+		b.net.Endpoint(2).PollUntil(th, func() bool { return gotPing == k })
+	})
+
+	var wg sync.WaitGroup
+	var errA, errB error
+	wg.Add(2)
+	go func() { defer wg.Done(); errA = a.m.Run() }()
+	go func() { defer wg.Done(); errB = b.m.Run() }()
+	wg.Wait()
+	if errA != nil || errB != nil {
+		t.Fatalf("Run: shard0=%v shard1=%v", errA, errB)
+	}
+
+	if _, err := b.m.ClusterStats(); err == nil {
+		t.Fatal("ClusterStats on the worker shard should refuse (parent only)")
+	}
+	cs, err := a.m.ClusterStats()
+	if err != nil {
+		t.Fatalf("ClusterStats on parent: %v", err)
+	}
+	if len(cs.Shards) != 2 || cs.Shards[0].Shard != 0 || cs.Shards[1].Shard != 1 {
+		t.Fatalf("shards = %+v, want [0 1]", cs.Shards)
+	}
+	// The worker's handler ran k times in shard 1's address space; the merged
+	// total must carry it, and it must come from the kStats payload (shard 0
+	// never saw those handler runs locally).
+	if got := cs.Shards[1].Acct.Counters[machine.CntHandlersRun]; got < k {
+		t.Fatalf("shard 1 reported %d handler runs over the wire, want >= %d", got, k)
+	}
+	sum := machine.MergeSnapshots(cs.Shards[0].Acct, cs.Shards[1].Acct)
+	if cs.Acct != sum {
+		t.Fatalf("merged acct != shard0 + shard1:\n got %v\nwant %v", cs.Acct, sum)
+	}
+	if local := a.m.LocalStats().Acct.Counters[machine.CntHandlersRun]; cs.Acct.Counters[machine.CntHandlersRun] <= local {
+		t.Fatal("merged handler count does not exceed the parent-local count: worker contribution missing")
+	}
+	// Both shards moved real frames; the merged wall-clock metrics must agree
+	// with the per-shard reports and show socket traffic on both sides.
+	if cs.Metrics != metrics.Merge(cs.Shards[0].Metrics, cs.Shards[1].Metrics) {
+		t.Fatal("merged metrics != merge of shard metrics")
+	}
+	for i, ss := range cs.Shards {
+		if ss.Metrics.Counter(metrics.CtrFramesOut) == 0 || ss.Metrics.Counter(metrics.CtrFramesIn) == 0 {
+			t.Fatalf("shard %d reported no socket frames after cross-shard traffic", i)
 		}
 	}
 }

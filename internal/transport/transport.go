@@ -32,6 +32,7 @@ package transport
 import (
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/wire"
 )
 
@@ -100,6 +101,43 @@ type ShardBackend interface {
 	// shards. fn runs on a backend reader goroutine; payload is valid only
 	// for the duration of the call (the backend recycles the frame buffer).
 	SetRemoteHandler(fn func(src, dst, size int, payload []byte))
+}
+
+// MetricsSource is an optional Backend extension for backends that record
+// wall-clock metrics (the live and netlive backends). The simulator does not
+// implement it — its virtual time is already the full instrumented story —
+// and every recording site above the seam nil-checks the registry, so a
+// backend without metrics pays nothing.
+type MetricsSource interface {
+	// NodeMetrics returns the registry recording for node, or nil when the
+	// node is not local to this address space.
+	NodeMetrics(node int) *metrics.Registry
+	// MetricsSnapshot merges this address space's registries (per-node plus
+	// any backend-plane registry) into one snapshot.
+	MetricsSnapshot() metrics.Snapshot
+}
+
+// StatsPlane is an optional extension of sharded backends carrying the
+// control-plane stats protocol (the netlive kStats frame): each worker shard
+// serializes a stats payload — the machine layer provides it — and ships it
+// to shard 0, which merges all shards into one machine-wide report.
+type StatsPlane interface {
+	// SetStatsProvider installs the callback that serializes this shard's
+	// stats payload. The backend calls it when a shard reports: at quiesce
+	// (always) and on a parent-initiated request. It may run on a backend
+	// goroutine concurrently with node execution, so the provider must read
+	// racily-safe state only (the machine's accounting and metrics are
+	// atomic).
+	SetStatsProvider(fn func() []byte)
+	// PeerStats returns the latest stats payload received from each peer
+	// shard, keyed by shard index. Only the parent (shard 0) receives peer
+	// stats; workers get an empty map. Complete after Run returns on the
+	// parent.
+	PeerStats() map[int][]byte
+	// RequestStats asks every peer shard to report its stats now (mid-run
+	// sampling). Fire-and-forget: fresh payloads show up in PeerStats as they
+	// arrive. Parent only.
+	RequestStats()
 }
 
 // DirectDeliverer is an optional Backend fast path for backends that ignore

@@ -81,9 +81,12 @@
 package mpmd
 
 import (
+	"io"
+
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/metrics"
 	"repro/internal/nexus"
 	"repro/internal/splitc"
 	"repro/internal/threads"
@@ -289,6 +292,45 @@ func NewTraceLog(limit int) *TraceLog { return trace.New(limit) }
 
 // AttachTrace installs the log as m's tracer; call before running.
 func AttachTrace(m *Machine, l *TraceLog) { trace.Attach(m, l) }
+
+// WriteTrace renders the log as Chrome trace-event JSON, loadable in Perfetto
+// (ui.perfetto.dev) or chrome://tracing; returns the number of events written.
+func WriteTrace(w io.Writer, l *TraceLog) (int, error) { return trace.WritePerfetto(w, l) }
+
+// --- observability ---------------------------------------------------------------
+
+// AcctSnapshot is a point-in-time copy of one scope's accounting: charged
+// time per category plus the event counters. Since Machine is an alias,
+// Machine.LocalStats, Machine.ClusterStats, Machine.Metrics and
+// Machine.RequestStats are the public stats surface.
+type AcctSnapshot = machine.Snapshot
+
+// MergeAcct sums accounting snapshots, e.g. per-node into machine-wide.
+func MergeAcct(snaps ...AcctSnapshot) AcctSnapshot { return machine.MergeSnapshots(snaps...) }
+
+// ShardStats is one address space's contribution to the machine-wide stats
+// report — on the net backend, the payload workers ship to the parent at
+// quiesce.
+type ShardStats = machine.ShardStats
+
+// ClusterStats is the machine-wide stats report: every shard's contribution
+// plus the merged totals (Machine.ClusterStats assembles it on the parent).
+type ClusterStats = machine.ClusterStats
+
+// MetricsSnapshot is a merged view of the wall-clock metrics registries:
+// message-plane counters, queue-depth gauges, and log-bucketed latency
+// histograms with p50/p99/p999. Live backends only; the simulator has no
+// wall-clock story.
+type MetricsSnapshot = metrics.Snapshot
+
+// Accounting counter indices into AcctSnapshot.Counters, for asserting on
+// merged totals without string matching.
+const (
+	CntMsgShort    = machine.CntMsgShort
+	CntMsgBulk     = machine.CntMsgBulk
+	CntHandlersRun = machine.CntHandlersRun
+	CntRMI         = machine.CntRMI
+)
 
 // --- experiment harness ----------------------------------------------------------
 

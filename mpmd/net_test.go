@@ -128,4 +128,32 @@ func TestNetMachineMultiProcess(t *testing.T) {
 	if runErr != nil {
 		t.Fatalf("Run: %v", runErr)
 	}
+
+	// Cross-process accounting merge: the worker shard shipped its stats over
+	// the real socket at quiesce; the parent's machine-wide report must carry
+	// them. This is the only place the full re-exec stats path is observable.
+	cs, err := m.ClusterStats()
+	if err != nil {
+		t.Fatalf("ClusterStats: %v", err)
+	}
+	if len(cs.Shards) != 2 {
+		t.Fatalf("cluster report covers %d shards, want 2", len(cs.Shards))
+	}
+	sum := mpmd.MergeAcct(cs.Shards[0].Acct, cs.Shards[1].Acct)
+	if cs.Acct != sum {
+		t.Fatalf("merged counters != sum of per-shard counters:\n got %v\nwant %v", cs.Acct, sum)
+	}
+	// Nodes 2 and 3 ran their handlers in the other OS process: the worker's
+	// contribution must be visible in its shard row and push the merged total
+	// strictly past what this process observed locally.
+	if cs.Shards[1].Acct.Counters[mpmd.CntHandlersRun] == 0 {
+		t.Fatal("worker shard reported zero handler runs across the re-exec boundary")
+	}
+	local := m.LocalStats().Acct.Counters[mpmd.CntHandlersRun]
+	if merged := cs.Acct.Counters[mpmd.CntHandlersRun]; merged <= local {
+		t.Fatalf("merged handler count %d <= parent-local %d: worker contribution missing", merged, local)
+	}
+	if cs.Acct.Counters[mpmd.CntRMI] == 0 || cs.Acct.Counters[mpmd.CntMsgBulk] == 0 {
+		t.Fatal("merged report missing RMI or bulk traffic the test provably drove")
+	}
 }
