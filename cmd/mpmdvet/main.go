@@ -1,0 +1,65 @@
+// Command mpmdvet statically enforces the runtime's hand-shaken invariants:
+// wire.Buf ownership flow (bufown), nil-gated metrics record sites (nilgate),
+// allocation-free //mpmd:hotpath functions (hotpath), word-resolvable wire
+// structs (wirewords), and fenced accounting cells (acctdirect).
+//
+// Two modes share the same passes:
+//
+//	go run ./cmd/mpmdvet ./...                 standalone, whole-tree
+//	go vet -vettool=$(which mpmdvet) ./...     toolchain-driven, cached
+//
+// Standalone mode prints diagnostics plus a one-line summary counting
+// //mpmdvet:ignore suppressions per pass; -summary=<file> also writes the
+// machine-readable JSON CI uploads next to BENCH_live.json.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/suite"
+)
+
+func main() {
+	analyzers := suite.Analyzers()
+
+	// `go vet -vettool` invocations (-flags / -V=full / <unit>.cfg) are
+	// dispatched before flag parsing: the protocol owns those argument forms.
+	if analysis.UnitcheckerMain(os.Args[1:], analyzers) {
+		return
+	}
+
+	summaryPath := flag.String("summary", "", "write a JSON run summary to this file")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: mpmdvet [-summary=file.json] [package patterns]\n\npasses:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-10s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpmdvet:", err)
+		os.Exit(1)
+	}
+	sum, clean, err := analysis.Run(os.Stdout, dir, analyzers, flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpmdvet:", err)
+		os.Exit(1)
+	}
+	fmt.Println(sum.Line())
+	if *summaryPath != "" {
+		if err := analysis.WriteSummary(*summaryPath, sum); err != nil {
+			fmt.Fprintln(os.Stderr, "mpmdvet: writing summary:", err)
+			os.Exit(1)
+		}
+	}
+	if !clean {
+		os.Exit(2)
+	}
+}

@@ -46,6 +46,7 @@ type Msg struct {
 	// PayloadBuf is the pooled buffer backing Payload (nil for short
 	// messages). Handlers normally leave it alone; see Payload for the
 	// retention rule.
+	//mpmdvet:ignore wirewords envelope-side bookkeeping — EncodeWire releases it and frames only Payload bytes
 	PayloadBuf *wire.Buf
 	// RecvExtra is additional receiver-side CPU charged when the message is
 	// polled, set by slow transports (the Nexus/TCP profile) to model their
@@ -272,6 +273,8 @@ func (ep *Endpoint) RequestBulk(t *threads.Thread, dst int, h HandlerID, payload
 // its own buffer immediately), the sender pays its overheads plus per-byte
 // occupancy, and wire delivery is delayed by the serialization time plus
 // opts.ExtraWire.
+//
+//mpmd:hotpath
 func (ep *Endpoint) Request(t *threads.Thread, dst int, h HandlerID, a [4]uint64, payload []byte, opts SendOpts) {
 	var buf *wire.Buf
 	if len(payload) > 0 {
@@ -286,6 +289,8 @@ func (ep *Endpoint) Request(t *threads.Thread, dst int, h HandlerID, a [4]uint64
 // completes. The caller must not touch buf after the call. The runtime's
 // marshalling path uses this to ship argument bytes with no staging copy and
 // no per-send allocation.
+//
+//mpmd:hotpath
 func (ep *Endpoint) RequestOwned(t *threads.Thread, dst int, h HandlerID, a [4]uint64, buf *wire.Buf, opts SendOpts) {
 	cfg := t.Cfg()
 	n := 0
@@ -332,6 +337,7 @@ var msgPool = sync.Pool{New: func() any { return new(Msg) }}
 // shortWireBytes models the wire footprint of a short AM (header + 4 words).
 const shortWireBytes = 48
 
+//mpmd:hotpath
 func (ep *Endpoint) send(dst int, extraWire time.Duration, size int, msg *Msg) {
 	if dst == ep.node.ID {
 		ep.node.Loopback(size, msg)
@@ -343,6 +349,8 @@ func (ep *Endpoint) send(dst int, extraWire time.Duration, size int, msg *Msg) {
 // pollOnSend drains any pending arrivals after a send, unless this send was
 // itself issued from inside a handler (reply from a poll), which would
 // otherwise recurse.
+//
+//mpmd:hotpath
 func (ep *Endpoint) pollOnSend(t *threads.Thread) {
 	if ep.polling || ep.interruptCost > 0 {
 		return
@@ -355,6 +363,8 @@ func (ep *Endpoint) pollOnSend(t *threads.Thread) {
 // handled. The handler receives a value copy of the envelope; the pooled
 // envelope recycles immediately and the payload buffer (if any) recycles
 // when the handler returns — the run-to-completion retention window.
+//
+//mpmd:hotpath
 func (ep *Endpoint) Poll(t *threads.Thread) bool {
 	ep.node.Acct.Count(machine.CntPolls, 1)
 	pkt, ok := ep.node.PopInbox()

@@ -1,0 +1,243 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// listPkg is the slice of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	ImportMap  map[string]string
+	Standard   bool
+	DepOnly    bool
+	ForTest    string
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// LoadPackages loads, parses, and type-checks the packages matched by
+// patterns in the module rooted at dir, resolving imports through compiler
+// export data produced by `go list -export`. When tests is true each
+// package's test variant (the unit `go vet` analyzes: GoFiles + TestGoFiles,
+// plus the external _test package) replaces the plain one.
+//
+// The loader shells out to the go command exactly once; everything else is
+// stdlib go/parser + go/types, so it works hermetically offline.
+func LoadPackages(dir string, tests bool, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := []string{"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,ImportMap,Standard,DepOnly,ForTest,Incomplete,Error"}
+	if tests {
+		args = append(args, "-test")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	var pkgs []*listPkg
+	exports := map[string]string{} // ImportPath (incl. test-variant form) -> export data file
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		pp := p
+		pkgs = append(pkgs, &pp)
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+
+	roots := chooseRoots(pkgs, tests)
+	fset := token.NewFileSet()
+	var loaded []*Package
+	for _, lp := range roots {
+		pkg, err := checkPackage(fset, lp, exports)
+		if err != nil {
+			return nil, err
+		}
+		loaded = append(loaded, pkg)
+	}
+	sort.Slice(loaded, func(i, j int) bool { return loaded[i].ID < loaded[j].ID })
+	return loaded, nil
+}
+
+// chooseRoots picks the analysis units from a -deps listing: every
+// non-dependency, non-stdlib package, with a package's plain form dropped
+// when its test variant (which contains a superset of its files) is present,
+// and generated ".test" main stubs skipped.
+func chooseRoots(pkgs []*listPkg, tests bool) []*listPkg {
+	testVariantOf := map[string]bool{}
+	if tests {
+		for _, p := range pkgs {
+			if p.ForTest != "" && !p.DepOnly && !strings.HasSuffix(p.ImportPath, "_test") {
+				testVariantOf[p.ForTest] = true
+			}
+		}
+	}
+	var roots []*listPkg
+	for _, p := range pkgs {
+		switch {
+		case p.DepOnly || p.Standard:
+			continue
+		case strings.HasSuffix(p.ImportPath, ".test"):
+			continue // synthesized test main
+		case p.Error != nil && len(p.GoFiles) == 0:
+			continue
+		case p.ForTest == "" && testVariantOf[p.ImportPath]:
+			continue // the test variant supersedes it
+		}
+		roots = append(roots, p)
+	}
+	return roots
+}
+
+// checkPackage parses and type-checks one listed package against the export
+// data of its dependencies.
+func checkPackage(fset *token.FileSet, lp *listPkg, exports map[string]string) (*Package, error) {
+	if len(lp.GoFiles) == 0 {
+		return nil, fmt.Errorf("package %s has no Go files (build error?)", lp.ImportPath)
+	}
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(lp.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %v", path, err)
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := lp.ImportMap[path]; ok {
+			path = mapped
+		}
+		e, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q (dependency of %s)", path, lp.ImportPath)
+		}
+		return os.Open(e)
+	}
+	info := NewInfo()
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+	}
+	importPath := lp.ImportPath
+	if i := strings.Index(importPath, " ["); i >= 0 {
+		importPath = importPath[:i] // "p [p.test]" -> "p"
+	}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", lp.ImportPath, err)
+	}
+	return &Package{
+		ID:         lp.ImportPath,
+		ImportPath: importPath,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        tpkg,
+		Info:       info,
+	}, nil
+}
+
+// LoadFixture parses the .go files of one fixture directory as a single
+// package and type-checks it against the module's dependency export data —
+// fixtures may therefore import the real repro/internal/... packages. The
+// exports map comes from ModuleExports.
+func LoadFixture(fset *token.FileSet, dir, importPath string, exports map[string]string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parse fixture %s: %v", e.Name(), err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fixture dir %s has no .go files", dir)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		e, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q — fixtures may only import packages reachable from the module", path)
+		}
+		return os.Open(e)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck fixture %s: %v", dir, err)
+	}
+	return &Package{
+		ID:         importPath,
+		ImportPath: importPath,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        tpkg,
+		Info:       info,
+	}, nil
+}
+
+// ModuleExports builds the ImportPath -> export-data map for every package
+// reachable from the module rooted at dir (used to type-check fixtures).
+func ModuleExports(dir string) (map[string]string, error) {
+	cmd := exec.Command("go", "list", "-e", "-export", "-deps", "-json=ImportPath,Export", "./...")
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	exports := map[string]string{}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}

@@ -1,0 +1,142 @@
+// Package acctdirect fences the per-node accounting cells: outside
+// internal/machine, code may observe accounting state only through the
+// Accounting.Add/Count/Snapshot API. Reaching into a Snapshot's Buckets or
+// Counters arrays is read-only territory, and even reads must index with the
+// typed constants (machine.Category / machine.Cnt) so a renumbering of the
+// cells cannot silently misattribute time.
+//
+// Flagged outside internal/machine:
+//
+//   - any write through .Buckets or .Counters (assignment, ++/--, &-escape)
+//   - indexing either array with an expression that is not typed
+//     machine.Category / machine.Cnt
+//
+// Reads via typed constants and whole-value copies stay legal — snapshots
+// are values by design. Test fixtures that fabricate synthetic snapshots use
+// the //mpmdvet:ignore acctdirect pragma.
+package acctdirect
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "acctdirect",
+	Doc: "check that accounting cells outside internal/machine are touched only via " +
+		"Accounting.Add/Count/Snapshot, with typed-constant indexing on snapshot reads",
+	Run: run,
+}
+
+// cells maps the exported array field name to the typed index it requires.
+var cells = map[string]string{
+	"Buckets":  "Category",
+	"Counters": "Cnt",
+}
+
+func run(pass *analysis.Pass) error {
+	if analysis.PkgPathMatches(pass.Pkg, "internal/machine") {
+		return nil // the implementation owns its cells
+	}
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		analysis.WalkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if sel, name := cellRef(info, lhs); sel != nil {
+						pass.Reportf(lhs.Pos(),
+							"writes accounting cell %s directly outside internal/machine: go through Accounting.Add/Count; snapshots are read-only", name)
+					}
+				}
+			case *ast.IncDecStmt:
+				if sel, name := cellRef(info, n.X); sel != nil {
+					pass.Reportf(n.Pos(),
+						"mutates accounting cell %s directly outside internal/machine: go through Accounting.Add/Count", name)
+				}
+			case *ast.UnaryExpr:
+				if n.Op == token.AND {
+					if sel, name := cellRef(info, n.X); sel != nil {
+						pass.Reportf(n.Pos(),
+							"takes the address of accounting cell %s: the cells must not escape the Accounting API", name)
+					}
+				}
+			case *ast.IndexExpr:
+				checkIndex(pass, info, n, stack)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// cellRef unwraps index expressions and reports whether the expression
+// resolves to a .Buckets/.Counters selector on a machine.Snapshot (or a
+// machine.CounterSet value reached any other way).
+func cellRef(info *types.Info, e ast.Expr) (ast.Expr, string) {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.IndexExpr:
+			e = x.X
+			continue
+		case *ast.SelectorExpr:
+			if _, isCell := cells[x.Sel.Name]; isCell && analysis.IsNamed(exprType(info, x.X), "internal/machine", "Snapshot") {
+				return x, x.Sel.Name
+			}
+			if analysis.IsNamed(exprType(info, x), "internal/machine", "CounterSet") {
+				return x, "CounterSet"
+			}
+			return nil, ""
+		case *ast.Ident:
+			if analysis.IsNamed(exprType(info, x), "internal/machine", "CounterSet") {
+				return x, "CounterSet"
+			}
+			return nil, ""
+		default:
+			return nil, ""
+		}
+	}
+}
+
+func exprType(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// checkIndex flags raw (untyped-int) indexing of the cell arrays on reads.
+func checkIndex(pass *analysis.Pass, info *types.Info, idx *ast.IndexExpr, stack []ast.Node) {
+	base, name := cellRef(info, idx.X)
+	if base == nil {
+		return
+	}
+	want, ok := cells[name]
+	if !ok {
+		want = "Cnt" // CounterSet reached directly
+	}
+	itv, ok := info.Types[idx.Index]
+	if !ok {
+		return
+	}
+	if analysis.IsNamed(itv.Type, "internal/machine", want) {
+		return
+	}
+	// Range loop index variables are ints by construction; allow `for i :=
+	// range s.Counters` reads by accepting indices defined by a range over
+	// the same array. Cheap approximation: allow when the enclosing
+	// statement chain includes a RangeStmt whose X is the same cell.
+	for i := len(stack) - 1; i >= 0; i-- {
+		if r, ok := stack[i].(*ast.RangeStmt); ok {
+			if rb, _ := cellRef(info, r.X); rb != nil {
+				return
+			}
+		}
+	}
+	pass.Reportf(idx.Index.Pos(),
+		"indexes accounting cell %s with raw %s: use the typed machine.%s constants so cell renumbering cannot misattribute",
+		name, itv.Type, want)
+}

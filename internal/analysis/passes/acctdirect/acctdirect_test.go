@@ -1,0 +1,15 @@
+package acctdirect_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/acctdirect"
+)
+
+func TestAcctdirect(t *testing.T) {
+	results := analysistest.Run(t, acctdirect.Analyzer, "a")
+	if n := len(results[0].Suppressed); n != 1 {
+		t.Errorf("expected exactly 1 pragma-suppressed diagnostic (the synthetic snapshot), got %d", n)
+	}
+}

@@ -1,0 +1,57 @@
+// Package a exercises the acctdirect pass: outside internal/machine the
+// accounting cells are reachable read-only, with typed-constant indexing.
+package a
+
+import (
+	"time"
+
+	"repro/internal/machine"
+)
+
+// --- positives -------------------------------------------------------------
+
+func badWrite(s *machine.Snapshot) {
+	s.Buckets[machine.CatCPU] = time.Second // want `writes accounting cell`
+}
+
+func badIncrement(s *machine.Snapshot) {
+	s.Counters[machine.CntMsgShort]++ // want `mutates accounting cell`
+}
+
+func badRawIndex(s machine.Snapshot) int64 {
+	return s.Counters[0] // want `raw`
+}
+
+func badAddressEscape(s *machine.Snapshot) *time.Duration {
+	return &s.Buckets[machine.CatNet] // want `address`
+}
+
+func badCounterSetRaw(cs machine.CounterSet) int64 {
+	return cs[1] // want `raw`
+}
+
+// --- negatives -------------------------------------------------------------
+
+func okTypedRead(s machine.Snapshot) int64 {
+	return s.Counters[machine.CntMsgShort]
+}
+
+func okRangeRead(s machine.Snapshot) time.Duration {
+	var tot time.Duration
+	for i := range s.Buckets {
+		tot += s.Buckets[i]
+	}
+	return tot
+}
+
+func okWholeCopy(s machine.Snapshot) machine.CounterSet {
+	return s.Counters
+}
+
+func okTypedCounterSet(cs machine.CounterSet) int64 {
+	return cs[machine.CntMsgBulk]
+}
+
+func okPragma(s *machine.Snapshot) {
+	s.Buckets[machine.CatCPU] = time.Millisecond //mpmdvet:ignore acctdirect fixture fabricates a synthetic snapshot
+}

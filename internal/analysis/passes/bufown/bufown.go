@@ -1,0 +1,767 @@
+// Package bufown enforces the pooled wire.Buf ownership contract documented
+// at the top of internal/wire/wire.go: Get/Copy hand back a buffer with
+// refcount 1 and the caller owns it; ownership transfers on send (passing
+// the buffer to a call, storing it into a message, returning it); handlers
+// borrow the payload for the duration of the callback and must Retain before
+// keeping it; Release ends an ownership, and touching the bytes after the
+// final Release corrupts the pool.
+//
+// The pass runs a conservative flow-sensitive abstract interpretation per
+// function body, tracking each *wire.Buf-typed variable or field path
+// through the states owned / borrowed / released / maybe-released / gone.
+// It reports only definite violations (plus "may" wordings where one branch
+// releases and another does not):
+//
+//   - Release on a released buffer (double release), including an explicit
+//     Release while a deferred Release is pending
+//   - Bytes/Len/Retain or any other use of a buffer after its final Release
+//   - storing a borrowed buffer into a field, global, composite literal, or
+//     channel — or capturing it in an escaping closure — without Retain
+//   - returning (or falling off the end of a function) while still owning a
+//     buffer the function got from wire.Get/wire.Copy: the error-path leak
+//
+// Branches fork the state and merge conservatively; loops widen any state
+// the body changes to unknown, so re-Get-in-loop patterns stay quiet.
+package bufown
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "bufown",
+	Doc: "check wire.Buf ownership flow: no double Release, no use after final Release, " +
+		"no unretained stores of borrowed payload buffers, no owned-buffer leaks on return paths",
+	Run: run,
+}
+
+type state uint8
+
+const (
+	stUnknown  state = iota // widened / conflicting paths: no reports
+	stOwned                 // this function holds the reference (wire.Get/Copy)
+	stBorrowed              // borrowed payload field: no release obligation, no keeping without Retain
+	stParam                 // *wire.Buf parameter: ownership transfers in by convention (send path)
+	stReleased              // definitely released on every path here
+	stMaybeRel              // released on some path
+	stGone                  // ownership transferred away
+)
+
+// varInfo is the per-variable abstract state.
+type varInfo struct {
+	st       state
+	retained bool // Retain() seen: keeping a reference is legitimate
+	deferred bool // a deferred Release covers function exit
+}
+
+// env maps ExprKey -> abstract state. Forked per branch, merged at joins.
+type env map[string]varInfo
+
+func (e env) clone() env {
+	c := make(env, len(e))
+	for k, v := range e {
+		c[k] = v
+	}
+	return c
+}
+
+// merge joins two reachable branch outcomes in place.
+func (e env) merge(o env) {
+	for k, a := range e {
+		b, ok := o[k]
+		if !ok {
+			b = varInfo{st: stUnknown}
+		}
+		e[k] = joinVar(a, b)
+	}
+	for k, b := range o {
+		if _, ok := e[k]; !ok {
+			e[k] = joinVar(varInfo{st: stUnknown}, b)
+		}
+	}
+}
+
+func joinVar(a, b varInfo) varInfo {
+	out := varInfo{retained: a.retained || b.retained, deferred: a.deferred || b.deferred}
+	switch {
+	case a.st == b.st:
+		out.st = a.st
+	case a.st == stReleased || b.st == stReleased ||
+		a.st == stMaybeRel || b.st == stMaybeRel:
+		out.st = stMaybeRel
+	default:
+		out.st = stUnknown
+	}
+	return out
+}
+
+func run(pass *analysis.Pass) error {
+	if analysis.PkgPathMatches(pass.Pkg, "internal/wire") {
+		return nil // the pool itself manipulates refcounts below the contract
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			a := &analyzer{pass: pass, info: pass.TypesInfo}
+			e := env{}
+			// Seed parameters (including the receiver) of type *wire.Buf as
+			// borrowed: run-to-completion retention, no release obligation.
+			seedFieldList(a, e, fd.Recv)
+			seedFieldList(a, e, fd.Type.Params)
+			a.block(e, fd.Body)
+			a.checkLeaks(e, fd.Body.Rbrace, false)
+			return false // nested FuncLits are analyzed by the closure logic
+		})
+	}
+	return nil
+}
+
+func seedFieldList(a *analyzer, e env, fl *ast.FieldList) {
+	if fl == nil {
+		return
+	}
+	for _, field := range fl.List {
+		for _, name := range field.Names {
+			obj := a.info.Defs[name]
+			if obj == nil || !isBufPtr(obj.Type()) {
+				continue
+			}
+			if k, ok := analysis.ExprKey(a.info, name); ok {
+				// The wire contract transfers ownership on send: a function
+				// that accepts a naked *wire.Buf (SendBuf, DeliverRemote,
+				// RequestOwned) owns or forwards it. Borrowing happens
+				// through payload *fields* (m.PayloadBuf), seeded lazily.
+				e[k] = varInfo{st: stParam}
+			}
+		}
+	}
+}
+
+type analyzer struct {
+	pass *analysis.Pass
+	info *types.Info
+}
+
+func isBufPtr(t types.Type) bool {
+	p, ok := types.Unalias(t).Underlying().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	return analysis.IsNamed(p.Elem(), "internal/wire", "Buf")
+}
+
+// key returns the tracking key of e if it is a trackable *wire.Buf location,
+// lazily seeding field paths (m.PayloadBuf and the like) as borrowed.
+func (a *analyzer) key(en env, x ast.Expr) (string, bool) {
+	x = ast.Unparen(x)
+	tv, ok := a.info.Types[x]
+	if !ok || !isBufPtr(tv.Type) {
+		return "", false
+	}
+	k, ok := analysis.ExprKey(a.info, x)
+	if !ok {
+		return "", false
+	}
+	if _, seen := en[k]; !seen {
+		en[k] = varInfo{st: stBorrowed}
+	}
+	return k, true
+}
+
+// ---- statement interpretation ----
+
+func (a *analyzer) block(e env, b *ast.BlockStmt) bool {
+	for _, s := range b.List {
+		if a.stmt(e, s) {
+			return true // control left the block
+		}
+	}
+	return false
+}
+
+// stmt interprets one statement; the return value reports whether control
+// definitely leaves the enclosing function/block (return, panic, branch).
+func (a *analyzer) stmt(e env, s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		a.assign(e, s)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					var rhs ast.Expr
+					if i < len(vs.Values) {
+						rhs = vs.Values[i]
+					}
+					a.assignOne(e, name, rhs)
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		a.expr(e, s.X)
+	case *ast.SendStmt:
+		a.expr(e, s.Chan)
+		a.expr(e, s.Value)
+		if k, ok := a.key(e, s.Value); ok {
+			a.storeEvent(e, k, s.Value.Pos(), "sends")
+		}
+	case *ast.DeferStmt:
+		a.deferStmt(e, s)
+	case *ast.GoStmt:
+		a.expr(e, s.Call)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			a.expr(e, r)
+			if k, ok := a.key(e, r); ok {
+				v := e[k]
+				v.st = stGone // returning transfers ownership to the caller
+				e[k] = v
+			}
+		}
+		a.checkLeaks(e, s.Pos(), true)
+		return true
+	case *ast.IfStmt:
+		if s.Init != nil {
+			a.stmt(e, s.Init)
+		}
+		a.expr(e, s.Cond)
+		thenEnv := e.clone()
+		thenDone := a.block(thenEnv, s.Body)
+		elseEnv := e.clone()
+		elseDone := false
+		if s.Else != nil {
+			elseDone = a.stmt(elseEnv, s.Else)
+		}
+		switch {
+		case thenDone && elseDone:
+			return true
+		case thenDone:
+			replace(e, elseEnv)
+		case elseDone:
+			replace(e, thenEnv)
+		default:
+			thenEnv.merge(elseEnv)
+			replace(e, thenEnv)
+		}
+	case *ast.BlockStmt:
+		return a.block(e, s)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			a.stmt(e, s.Init)
+		}
+		if s.Cond != nil {
+			a.expr(e, s.Cond)
+		}
+		a.widenLoop(e, func(le env) {
+			a.block(le, s.Body)
+			if s.Post != nil {
+				a.stmt(le, s.Post)
+			}
+		})
+	case *ast.RangeStmt:
+		a.expr(e, s.X)
+		a.widenLoop(e, func(le env) { a.block(le, s.Body) })
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			a.stmt(e, s.Init)
+		}
+		if s.Tag != nil {
+			a.expr(e, s.Tag)
+		}
+		a.branches(e, caseBodies(s.Body), !hasDefault(s.Body))
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			a.stmt(e, s.Init)
+		}
+		a.branches(e, caseBodies(s.Body), !hasDefault(s.Body))
+	case *ast.SelectStmt:
+		var bodies [][]ast.Stmt
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			if cc.Comm != nil {
+				a.stmt(e, cc.Comm)
+			}
+			bodies = append(bodies, cc.Body)
+		}
+		a.branches(e, bodies, false)
+	case *ast.LabeledStmt:
+		return a.stmt(e, s.Stmt)
+	case *ast.BranchStmt:
+		return true
+	case *ast.IncDecStmt:
+		a.expr(e, s.X)
+	}
+	if analysis.Terminates(s) {
+		return true
+	}
+	return false
+}
+
+func replace(dst, src env) {
+	for k := range dst {
+		delete(dst, k)
+	}
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+func caseBodies(b *ast.BlockStmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	for _, c := range b.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			out = append(out, cc.Body)
+		}
+	}
+	return out
+}
+
+func hasDefault(b *ast.BlockStmt) bool {
+	for _, c := range b.List {
+		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// branches forks e per branch body and merges the reachable outcomes;
+// mayFallThrough adds the pre-state as one outcome (switch without default).
+func (a *analyzer) branches(e env, bodies [][]ast.Stmt, mayFallThrough bool) {
+	var merged env
+	add := func(be env) {
+		if merged == nil {
+			merged = be
+		} else {
+			merged.merge(be)
+		}
+	}
+	if mayFallThrough || len(bodies) == 0 {
+		add(e.clone())
+	}
+	for _, body := range bodies {
+		be := e.clone()
+		done := false
+		for _, s := range body {
+			if a.stmt(be, s) {
+				done = true
+				break
+			}
+		}
+		if !done {
+			add(be)
+		}
+	}
+	if merged != nil {
+		replace(e, merged)
+	}
+}
+
+// widenLoop runs body once on a copy and widens every key the body changed
+// to unknown — sound for reporting only definite violations.
+func (a *analyzer) widenLoop(e env, body func(env)) {
+	le := e.clone()
+	body(le)
+	for k, after := range le {
+		before, had := e[k]
+		if !had || before != after {
+			e[k] = varInfo{st: stUnknown, retained: before.retained || after.retained}
+		}
+	}
+}
+
+// ---- assignments, stores, and ownership transfer ----
+
+func (a *analyzer) assign(e env, s *ast.AssignStmt) {
+	for _, r := range s.Rhs {
+		a.expr(e, r)
+	}
+	if len(s.Lhs) == len(s.Rhs) {
+		for i := range s.Lhs {
+			a.assignOne(e, s.Lhs[i], s.Rhs[i])
+		}
+		return
+	}
+	// Multi-value RHS (call or comma-ok): each buf-typed LHS becomes unknown.
+	for _, l := range s.Lhs {
+		a.assignOne(e, l, nil)
+	}
+}
+
+func (a *analyzer) assignOne(e env, lhs ast.Expr, rhs ast.Expr) {
+	lhs = ast.Unparen(lhs)
+	lt := a.lhsType(lhs)
+	if lt == nil || !isBufPtr(lt) {
+		return
+	}
+
+	// Storing into a field / global / element is an escape of the RHS value.
+	if rhs != nil {
+		if rk, ok := a.key(e, rhs); ok && isEscapingLHS(a.info, lhs) {
+			a.storeEvent(e, rk, rhs.Pos(), "stores")
+		}
+	}
+
+	lk, trackable := analysis.ExprKey(a.info, lhs)
+	if !trackable {
+		return
+	}
+	switch {
+	case rhs == nil:
+		e[lk] = varInfo{st: stUnknown}
+	case isNil(rhs):
+		delete(e, lk)
+	default:
+		if rk, ok := a.key(e, rhs); ok {
+			// Alias: the LHS inherits the source's state; the source keeps
+			// its own (they now alias — we stay conservative about that by
+			// leaving both tracked; releases through either are still
+			// individually checked).
+			e[lk] = e[rk]
+			return
+		}
+		if _, isCall := ast.Unparen(rhs).(*ast.CallExpr); isCall {
+			// A call handing back a *wire.Buf confers ownership (wire.Get,
+			// wire.Copy, or any constructor following the contract).
+			e[lk] = varInfo{st: stOwned}
+			return
+		}
+		e[lk] = varInfo{st: stUnknown}
+	}
+}
+
+// lhsType resolves the type of an assignment target. Idents on the left of
+// := are absent from info.Types, so they resolve through Defs/Uses.
+func (a *analyzer) lhsType(lhs ast.Expr) types.Type {
+	if id, ok := lhs.(*ast.Ident); ok {
+		obj := a.info.Defs[id]
+		if obj == nil {
+			obj = a.info.Uses[id]
+		}
+		if obj == nil {
+			return nil
+		}
+		return obj.Type()
+	}
+	if tv, ok := a.info.Types[lhs]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// isEscapingLHS reports whether assigning to lhs publishes the value beyond
+// the current activation: a field selector, an index expression, a
+// dereference, or a package-level variable.
+func isEscapingLHS(info *types.Info, lhs ast.Expr) bool {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		return true
+	case *ast.IndexExpr, *ast.StarExpr:
+		return true
+	case *ast.Ident:
+		obj := info.Defs[l]
+		if obj == nil {
+			obj = info.Uses[l]
+		}
+		if v, ok := obj.(*types.Var); ok {
+			return v.Parent() == v.Pkg().Scope() // package-level var
+		}
+	}
+	return false
+}
+
+func isNil(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// storeEvent handles a buffer value escaping into longer-lived storage.
+// Owned: ownership transfers (fine). Borrowed without Retain: violation.
+// Released: use after release.
+func (a *analyzer) storeEvent(e env, k string, pos token.Pos, verb string) {
+	v := e[k]
+	switch v.st {
+	case stOwned, stParam:
+		v.st = stGone
+		e[k] = v
+	case stBorrowed:
+		if !v.retained {
+			a.pass.Reportf(pos,
+				"%s a borrowed payload buffer beyond the handler without Retain: the pool reclaims it when the dispatcher releases (wire.Buf contract, internal/wire/wire.go)", verb)
+		}
+	case stReleased:
+		a.pass.Reportf(pos, "%s a wire.Buf after its final Release", verb)
+	}
+}
+
+// ---- expression interpretation ----
+
+// expr walks an expression, firing ownership events for method calls,
+// argument transfers, composite-literal stores, and closures.
+func (a *analyzer) expr(e env, x ast.Expr) {
+	switch x := ast.Unparen(x).(type) {
+	case nil:
+	case *ast.CallExpr:
+		a.call(e, x)
+	case *ast.FuncLit:
+		a.closure(e, x, false)
+	case *ast.CompositeLit:
+		for _, elt := range x.Elts {
+			val := elt
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				val = kv.Value
+			}
+			a.expr(e, val)
+			if k, ok := a.key(e, val); ok {
+				a.storeEvent(e, k, val.Pos(), "stores")
+			}
+		}
+	case *ast.UnaryExpr:
+		a.expr(e, x.X)
+	case *ast.BinaryExpr:
+		a.expr(e, x.X)
+		a.expr(e, x.Y)
+	case *ast.StarExpr:
+		a.expr(e, x.X)
+	case *ast.IndexExpr:
+		a.expr(e, x.X)
+		a.expr(e, x.Index)
+	case *ast.SliceExpr:
+		a.expr(e, x.X)
+	case *ast.TypeAssertExpr:
+		a.expr(e, x.X)
+	case *ast.SelectorExpr:
+		// Field read through a tracked buffer (b.anything) or a tracked
+		// path itself: a read after final Release is a use-after-release.
+		if k, ok := a.key(e, x.X); ok {
+			a.useEvent(e, k, x.Pos(), "accesses")
+		}
+	}
+}
+
+// call interprets a call expression: Retain/Release/Bytes/Len method events
+// on tracked buffers, and ownership transfer for buffers passed as args.
+func (a *analyzer) call(e env, call *ast.CallExpr) {
+	// Method events on a tracked receiver.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if k, ok := a.key(e, sel.X); ok {
+			switch sel.Sel.Name {
+			case "Release":
+				a.releaseEvent(e, k, call.Pos(), false)
+			case "Retain":
+				a.useEvent(e, k, call.Pos(), "retains")
+				v := e[k]
+				v.retained = true
+				e[k] = v
+			default: // Bytes, Len, ...
+				a.useEvent(e, k, call.Pos(), "calls "+sel.Sel.Name+" on")
+			}
+			for _, arg := range call.Args {
+				a.expr(e, arg)
+			}
+			return
+		}
+	}
+	a.expr(e, call.Fun)
+	for _, arg := range call.Args {
+		if fl, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+			a.closure(e, fl, true) // closure handed to a callee: escapes
+			continue
+		}
+		a.expr(e, arg)
+		if k, ok := a.key(e, arg); ok {
+			v := e[k]
+			switch v.st {
+			case stOwned, stParam:
+				// Passing an owned buffer is the send/transfer idiom: the
+				// callee now owns it.
+				v.st = stGone
+				e[k] = v
+			case stReleased:
+				a.pass.Reportf(arg.Pos(), "passes a wire.Buf after its final Release")
+			}
+		}
+	}
+}
+
+// closure analyzes a function literal. Captured tracked buffers keep their
+// outer keys; an escaping closure capturing a borrowed, unretained buffer is
+// a violation (the buffer may be reclaimed before the closure runs), and an
+// owned buffer captured by an escaping closure transfers ownership into it.
+func (a *analyzer) closure(e env, fl *ast.FuncLit, escapes bool) {
+	inner := e.clone()
+	seedFieldList(a, inner, fl.Type.Params)
+	if escapes {
+		captured := capturedKeys(a, e, fl)
+		for _, k := range captured {
+			v := e[k]
+			switch v.st {
+			case stBorrowed:
+				if !v.retained {
+					a.pass.Reportf(fl.Pos(),
+						"closure escapes with a borrowed payload buffer captured without Retain: the pool may reclaim it before the closure runs")
+				}
+			case stOwned, stParam:
+				v.st = stGone // the closure body is now responsible for it
+				e[k] = v
+			case stReleased:
+				a.pass.Reportf(fl.Pos(), "closure captures a wire.Buf after its final Release")
+			}
+		}
+		// The closure runs later, against state we cannot order: analyze its
+		// body only for local (inner) violations, with captured state reset.
+		for _, k := range captured {
+			inner[k] = varInfo{st: stUnknown, retained: e[k].retained}
+		}
+	}
+	a.block(inner, fl.Body)
+	if !escapes {
+		// Immediately-invoked literal: releases inside it happened.
+		for k, v := range inner {
+			if _, outer := e[k]; outer {
+				e[k] = v
+			}
+		}
+	}
+}
+
+// capturedKeys returns the keys of *wire.Buf locations the literal
+// references from the enclosing scope (root variable declared outside the
+// literal), lazily seeding previously-untouched payload fields so a closure
+// can be the buffer's first use.
+func capturedKeys(a *analyzer, e env, fl *ast.FuncLit) []string {
+	seen := map[string]bool{}
+	var out []string
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		x, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		root := rootIdent(x)
+		if root == nil {
+			return true
+		}
+		obj := a.info.Uses[root]
+		if obj == nil {
+			obj = a.info.Defs[root]
+		}
+		if obj == nil || (fl.Pos() <= obj.Pos() && obj.Pos() <= fl.End()) {
+			return true // declared inside the literal: not a capture
+		}
+		if k, ok := a.key(e, x); ok && !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+		return true
+	})
+	return out
+}
+
+// rootIdent returns the base identifier of an ident/selector chain.
+func rootIdent(x ast.Expr) *ast.Ident {
+	for {
+		switch e := ast.Unparen(x).(type) {
+		case *ast.Ident:
+			return e
+		case *ast.SelectorExpr:
+			x = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// deferStmt marks deferred Releases (they cover every exit) and analyzes
+// other deferred calls normally.
+func (a *analyzer) deferStmt(e env, s *ast.DeferStmt) {
+	marked := false
+	if sel, ok := s.Call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Release" {
+		if k, ok := a.key(e, sel.X); ok {
+			v := e[k]
+			v.deferred = true
+			e[k] = v
+			marked = true
+		}
+	}
+	if fl, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+		// defer func() { b.Release() }(): find releases of tracked keys.
+		ast.Inspect(fl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Release" {
+				if k, ok := analysis.ExprKey(a.info, sel.X); ok {
+					if _, tracked := e[k]; tracked {
+						v := e[k]
+						v.deferred = true
+						e[k] = v
+						marked = true
+					}
+				}
+			}
+			return true
+		})
+		return
+	}
+	if !marked {
+		a.expr(e, s.Call)
+	}
+}
+
+// releaseEvent fires for an explicit b.Release().
+func (a *analyzer) releaseEvent(e env, k string, pos token.Pos, viaDefer bool) {
+	v := e[k]
+	switch v.st {
+	case stReleased:
+		a.pass.Reportf(pos, "wire.Buf released twice on this path")
+		return
+	case stMaybeRel:
+		a.pass.Reportf(pos, "wire.Buf may already be released on some path reaching this Release")
+		return
+	case stGone:
+		// Ownership was transferred; releasing now double-frees somewhere
+		// downstream — but aliasing makes this too noisy to assert. Skip.
+		return
+	}
+	if v.deferred && !viaDefer {
+		a.pass.Reportf(pos, "explicit Release with a deferred Release pending: the buffer is released twice at function exit")
+		return
+	}
+	v.st = stReleased
+	e[k] = v
+}
+
+// useEvent fires for any read/method use of a tracked buffer.
+func (a *analyzer) useEvent(e env, k string, pos token.Pos, verb string) {
+	switch e[k].st {
+	case stReleased:
+		a.pass.Reportf(pos, "%s a wire.Buf after its final Release: the pool may have reissued it", verb)
+	}
+}
+
+// checkLeaks reports owned, unreleased, untransferred buffers at an exit
+// point; atReturn distinguishes the message wording.
+func (a *analyzer) checkLeaks(e env, pos token.Pos, atReturn bool) {
+	for _, v := range e {
+		if v.st == stOwned && !v.deferred && !v.retained {
+			where := "at end of function"
+			if atReturn {
+				where = "on this return path"
+			}
+			a.pass.Reportf(pos,
+				"owned wire.Buf leaks %s: release it or transfer ownership before returning (wire pool contract)", where)
+		}
+	}
+}

@@ -1,0 +1,15 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/hotpath"
+)
+
+func TestHotpath(t *testing.T) {
+	results := analysistest.Run(t, hotpath.Analyzer, "a")
+	if n := len(results[0].Suppressed); n != 1 {
+		t.Errorf("expected exactly 1 pragma-suppressed diagnostic (the trace-gated case), got %d", n)
+	}
+}

@@ -1,0 +1,102 @@
+// Package a exercises the hotpath pass: //mpmd:hotpath functions must not
+// contain allocating constructs; unannotated functions are never checked.
+package a
+
+import "fmt"
+
+type point struct{ x, y int }
+
+var sinkAny any
+
+// --- positives -------------------------------------------------------------
+
+//mpmd:hotpath
+func hotClosure() func() {
+	f := func() {} // want `closure literal`
+	return f
+}
+
+//mpmd:hotpath
+func hotFmt(n int) string {
+	return fmt.Sprintf("%d", n) // want `package fmt allocates`
+}
+
+//mpmd:hotpath
+func hotForeignAppend(dst, src []int) []int {
+	out := append(src, 1) // want `foreign slice`
+	_ = dst
+	return out
+}
+
+//mpmd:hotpath
+func hotMake() []int {
+	return make([]int, 4) // want `make allocates`
+}
+
+//mpmd:hotpath
+func hotBox(v int64) {
+	sinkAny = v // want `boxing`
+}
+
+//mpmd:hotpath
+func hotConcat(a, b string) string {
+	return a + b // want `string concatenation`
+}
+
+//mpmd:hotpath
+func hotHeapLit() *point {
+	return &point{1, 2} // want `escapes to the heap`
+}
+
+//mpmd:hotpath
+func hotSliceLit() []int {
+	s := []int{1, 2, 3} // want `map/slice literal`
+	return s
+}
+
+//mpmd:hotpath
+func hotStringConv(b []byte) string {
+	return string(b) // want `conversion copies`
+}
+
+// --- negatives -------------------------------------------------------------
+
+//mpmd:hotpath
+func warmSelfAppend(buf []byte, w uint64) []byte {
+	var tmp [8]byte
+	for i := range tmp {
+		tmp[i] = byte(w >> (8 * i))
+	}
+	buf = append(buf, tmp[:]...) // reuse idiom: amortizes to zero
+	return buf
+}
+
+//mpmd:hotpath
+func warmValueLit(x, y int) point {
+	p := point{x, y} // stack value literal
+	return p
+}
+
+//mpmd:hotpath
+func warmPanicPath(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("negative %d", n)) // panicking is off the warm path
+	}
+	return n * 2
+}
+
+//mpmd:hotpath
+func warmPointerBox(p *point) {
+	sinkAny = p // pointer-shaped: no box allocation
+}
+
+func coldUnannotated() string {
+	return fmt.Sprintf("cold paths may allocate freely %v", []int{1, 2})
+}
+
+//mpmd:hotpath
+func warmTraceGated(on bool, n int) {
+	if on {
+		_ = fmt.Sprintf("trace %d", n) //mpmdvet:ignore hotpath trace-gated cold branch inside a warm function
+	}
+}

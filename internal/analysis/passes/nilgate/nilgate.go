@@ -1,0 +1,181 @@
+// Package nilgate enforces that every metrics.Registry record call is
+// dominated by a nil check of the registry.
+//
+// The simulator backend runs with nil per-node registries so that the
+// instrumentation provably costs nothing when disabled; a single un-gated
+// Add/Observe would panic there (or worse, force every backend to allocate
+// registries defensively). The canonical idiom is the one in
+// internal/core/rmi.go:
+//
+//	if met := n.node.Met; met != nil {
+//		met.ObserveDur(metrics.HstDispatch, dur)
+//	}
+//
+// The pass accepts that form, a direct `if x.met != nil { x.met.Add(...) }`,
+// an inverted gate (`if met == nil { ... } else { met.Add(...) }`), and an
+// early-return guard (`if met == nil { return }` earlier in the same block).
+package nilgate
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// recordMethods are the *metrics.Registry methods that touch cells; reads
+// (Counter, Snapshot, NodeMetrics) are safe on a nil receiver by convention
+// and not gated.
+var recordMethods = map[string]bool{
+	"Add":        true,
+	"Set":        true,
+	"Observe":    true,
+	"ObserveDur": true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "nilgate",
+	Doc: "check that metrics.Registry record calls are nil-gated " +
+		"(`if met := …; met != nil { met.Add(...) }`) so disabled backends pay nothing",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if analysis.PkgPathMatches(pass.Pkg, "internal/metrics") {
+		return nil // the registry's own methods handle nil receivers internally
+	}
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		analysis.WalkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !recordMethods[sel.Sel.Name] {
+				return true
+			}
+			if s := info.Selections[sel]; s == nil || !analysis.IsNamed(s.Recv(), "internal/metrics", "Registry") {
+				return true
+			}
+			recvKey, keyable := analysis.ExprKey(info, sel.X)
+			if !keyable {
+				// Receiver is a fresh expression (e.g. metrics.NewRegistry().Add):
+				// nothing to gate on, and nothing we can track — let it pass.
+				return true
+			}
+			if gated(info, recvKey, stack) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"un-gated metrics record call %s.%s: dominate it with the `if met := …; met != nil { met.%s(...) }` idiom so nil-registry backends pay nothing",
+				exprString(sel.X), sel.Sel.Name, sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}
+
+// gated walks the ancestor stack looking for a dominating nil check of the
+// receiver: an enclosing `if recv != nil` (call in then-branch), an enclosing
+// `if recv == nil` (call in else-branch), or a preceding sibling
+// `if recv == nil { return/... }` guard whose body terminates.
+func gated(info *types.Info, recvKey string, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch anc := stack[i].(type) {
+		case *ast.IfStmt:
+			inThen := i+1 < len(stack) && stack[i+1] == anc.Body
+			inElse := i+1 < len(stack) && stack[i+1] == anc.Else
+			if inThen && condChecksNonNil(info, anc.Cond, recvKey) {
+				return true
+			}
+			if inElse && condChecksNil(info, anc.Cond, recvKey) {
+				return true
+			}
+		case *ast.BlockStmt:
+			// Which child of the block are we inside?
+			if i+1 >= len(stack) {
+				continue
+			}
+			child, ok := stack[i+1].(ast.Stmt)
+			if !ok {
+				continue
+			}
+			for _, s := range anc.List {
+				if s == child {
+					break
+				}
+				ifs, ok := s.(*ast.IfStmt)
+				if !ok || ifs.Else != nil {
+					continue
+				}
+				if condChecksNil(info, ifs.Cond, recvKey) && analysis.Terminates(ifs.Body) {
+					return true
+				}
+			}
+		case *ast.FuncLit, *ast.FuncDecl:
+			// Guards outside the enclosing function don't dominate its body:
+			// the closure may run later, after the registry changed.
+			return false
+		}
+	}
+	return false
+}
+
+// condChecksNonNil reports whether cond guarantees recvKey != nil when true.
+// && operands each guarantee their own conditions.
+func condChecksNonNil(info *types.Info, cond ast.Expr, recvKey string) bool {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LAND:
+			return condChecksNonNil(info, e.X, recvKey) || condChecksNonNil(info, e.Y, recvKey)
+		case token.NEQ:
+			return nilCompare(info, e, recvKey)
+		}
+	}
+	return false
+}
+
+// condChecksNil reports whether cond guarantees recvKey == nil when true
+// (hence recvKey != nil when false — gating the else branch or post-guard
+// code). || operands each individually imply the whole is true, so every
+// operand must be the nil check for the negation to be useful — but for an
+// early-return guard `if a == nil || b == nil { return }`, the negation
+// guarantees both non-nil, so OR decomposition is sound here.
+func condChecksNil(info *types.Info, cond ast.Expr, recvKey string) bool {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LOR:
+			return condChecksNil(info, e.X, recvKey) || condChecksNil(info, e.Y, recvKey)
+		case token.EQL:
+			return nilCompare(info, e, recvKey)
+		}
+	}
+	return false
+}
+
+// nilCompare reports whether e compares the receiver expression against nil.
+func nilCompare(info *types.Info, e *ast.BinaryExpr, recvKey string) bool {
+	for _, pair := range [2][2]ast.Expr{{e.X, e.Y}, {e.Y, e.X}} {
+		if id, ok := ast.Unparen(pair[1]).(*ast.Ident); !ok || id.Name != "nil" {
+			continue
+		}
+		if k, ok := analysis.ExprKey(info, pair[0]); ok && k == recvKey {
+			return true
+		}
+	}
+	return false
+}
+
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	}
+	return "registry"
+}

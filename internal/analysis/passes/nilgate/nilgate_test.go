@@ -1,0 +1,15 @@
+package nilgate_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/nilgate"
+)
+
+func TestNilgate(t *testing.T) {
+	results := analysistest.Run(t, nilgate.Analyzer, "a")
+	if n := len(results[0].Suppressed); n != 1 {
+		t.Errorf("expected exactly 1 pragma-suppressed diagnostic, got %d", n)
+	}
+}

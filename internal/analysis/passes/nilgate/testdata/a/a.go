@@ -1,0 +1,86 @@
+// Package a exercises the nilgate pass: record calls must be dominated by a
+// nil check of the registry receiver.
+package a
+
+import "repro/internal/metrics"
+
+var global *metrics.Registry
+
+// --- positives -------------------------------------------------------------
+
+func ungatedGlobal() {
+	global.Add(metrics.CtrNotifies, 1) // want `un-gated metrics record call`
+}
+
+func checkDoesNotDominate(r *metrics.Registry) {
+	if r != nil {
+		_ = r
+	}
+	r.Set(metrics.GgeNotifyDepth, 2) // want `un-gated metrics record call`
+}
+
+func wrongBranch(r *metrics.Registry) {
+	if r != nil {
+		_ = r
+	} else {
+		r.Observe(metrics.HstPollBatch, 1) // want `un-gated metrics record call`
+	}
+}
+
+func gateChecksOtherVariable(r, s *metrics.Registry) {
+	if s != nil {
+		r.ObserveDur(metrics.HstWriterStall, 0) // want `un-gated metrics record call`
+	}
+}
+
+func guardDoesNotTerminate(r *metrics.Registry) {
+	if r == nil {
+		_ = r // falls through: not a dominating guard
+	}
+	r.Add(metrics.CtrNotifies, 1) // want `un-gated metrics record call`
+}
+
+// --- negatives -------------------------------------------------------------
+
+func idiomRebind(n struct{ Met *metrics.Registry }) {
+	// The canonical core/rmi.go form.
+	if met := n.Met; met != nil {
+		met.Add(metrics.CtrNotifies, 1)
+	}
+}
+
+func directFieldGate(r *metrics.Registry) {
+	if r != nil {
+		r.Set(metrics.GgeNotifyDepth, 1)
+	}
+}
+
+func earlyReturnGuard(r *metrics.Registry) {
+	if r == nil {
+		return
+	}
+	r.Observe(metrics.HstPollBatch, 3)
+}
+
+func elseOfNilCheck(r *metrics.Registry) {
+	if r == nil {
+		_ = r
+	} else {
+		r.ObserveDur(metrics.HstWriterStall, 0)
+	}
+}
+
+func conjunctionGate(r *metrics.Registry, on bool) {
+	if r != nil && on {
+		r.Add(metrics.CtrNotifies, 1)
+	}
+}
+
+func readsAreFree(r *metrics.Registry) int64 {
+	// Snapshot/read methods are nil-safe by contract and not gated.
+	return r.Counter(metrics.CtrNotifies)
+}
+
+func pragmaEscapeHatch(r *metrics.Registry) {
+	r.Add(metrics.CtrNotifies, 1) //mpmdvet:ignore nilgate registry proven non-nil by construction in this harness
+}

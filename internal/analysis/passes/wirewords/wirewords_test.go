@@ -1,0 +1,15 @@
+package wirewords_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/wirewords"
+)
+
+func TestWirewords(t *testing.T) {
+	results := analysistest.Run(t, wirewords.Analyzer, "a")
+	if n := len(results[0].Suppressed); n != 1 {
+		t.Errorf("expected exactly 1 pragma-suppressed diagnostic (the envelope field), got %d", n)
+	}
+}

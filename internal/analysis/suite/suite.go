@@ -1,0 +1,24 @@
+// Package suite registers the full mpmdvet pass list in one place, shared by
+// cmd/mpmdvet (both its standalone and vettool modes) and the meta-test that
+// asserts the tree is clean.
+package suite
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/passes/acctdirect"
+	"repro/internal/analysis/passes/bufown"
+	"repro/internal/analysis/passes/hotpath"
+	"repro/internal/analysis/passes/nilgate"
+	"repro/internal/analysis/passes/wirewords"
+)
+
+// Analyzers is every enforced pass, in report order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		acctdirect.Analyzer,
+		bufown.Analyzer,
+		hotpath.Analyzer,
+		nilgate.Analyzer,
+		wirewords.Analyzer,
+	}
+}

@@ -1,0 +1,57 @@
+package suite_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/suite"
+)
+
+// TestTreeClean is the meta-test: the full mpmdvet suite must run clean over
+// every package in the module (test files included), so a regression against
+// any enforced invariant fails `go test ./...` even before CI's dedicated
+// vet step runs.
+func TestTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	root := moduleRoot(t)
+	var out strings.Builder
+	sum, clean, err := analysis.Run(&out, root, suite.Analyzers())
+	if err != nil {
+		t.Fatalf("mpmdvet over ./...: %v", err)
+	}
+	if !clean {
+		t.Errorf("mpmdvet found violations:\n%s", out.String())
+	}
+	t.Logf("%s", sum.Line())
+	if sum.Packages == 0 {
+		t.Fatalf("loaded 0 packages — loader regression")
+	}
+	// Every suppression must carry its justification.
+	for _, s := range sum.Suppressed {
+		if strings.TrimSpace(s.Reason) == "" {
+			t.Errorf("suppression at %s has no reason", s.Position)
+		}
+	}
+}
+
+func moduleRoot(t *testing.T) string {
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod found")
+		}
+		dir = parent
+	}
+}

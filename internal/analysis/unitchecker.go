@@ -1,0 +1,191 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// vetConfig mirrors the JSON configuration `go vet` hands a -vettool for each
+// package unit (cmd/go writes one <pkg>.cfg per unit and invokes the tool
+// with it as the sole argument).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+	GoVersion                 string
+}
+
+// UnitcheckerMain implements the protocol `go vet -vettool=...` speaks:
+//
+//	tool -flags          print the tool's flags as JSON ("[]": we have none)
+//	tool -V=full         print "<name> version <...> buildID=<hex>" — cmd/go
+//	                     folds the ID into its action cache key, so it must
+//	                     change whenever the tool's behavior does; we hash
+//	                     the executable itself
+//	tool <unit>.cfg      analyze one package unit
+//
+// It returns true when it handled the invocation (the caller should exit);
+// false means the arguments are not a unitchecker invocation and the caller
+// should fall through to its standalone mode.
+func UnitcheckerMain(args []string, analyzers []*Analyzer) bool {
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-flags":
+			fmt.Println("[]")
+			os.Exit(0)
+		case strings.HasPrefix(args[0], "-V="):
+			fmt.Printf("%s version devel buildID=%s\n", filepath.Base(os.Args[0]), selfBuildID())
+			os.Exit(0)
+		case strings.HasSuffix(args[0], ".cfg"):
+			runUnit(args[0], analyzers)
+			os.Exit(0)
+		}
+	}
+	return false
+}
+
+// selfBuildID hashes the running executable so recompiling the tool (or any
+// pass) invalidates go vet's cached results.
+func selfBuildID() string {
+	exe, err := os.Executable()
+	if err == nil {
+		if f, err := os.Open(exe); err == nil {
+			defer f.Close()
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				return fmt.Sprintf("%x", h.Sum(nil)[:16])
+			}
+		}
+	}
+	// Degrade to a constant: vet still works, it just re-runs more often.
+	return "0000000000000000"
+}
+
+// runUnit analyzes one package unit described by a vet config file.
+// Diagnostics go to stderr as file:line:col: pass: message and the process
+// exits 2, which go vet renders and turns into a non-zero build result; a
+// clean unit writes its (empty) .vetx facts file and exits 0.
+func runUnit(cfgPath string, analyzers []*Analyzer) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fatalf("reading vet config: %v", err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatalf("parsing vet config %s: %v", cfgPath, err)
+	}
+
+	// Dependencies are visited only for their facts; we keep no cross-package
+	// facts, so an empty output file satisfies cmd/go's cache.
+	if cfg.VetxOnly {
+		writeVetx(cfg.VetxOutput)
+		return
+	}
+
+	pkg, err := loadUnit(&cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx(cfg.VetxOutput)
+			return
+		}
+		fatalf("%v", err)
+	}
+
+	diags, err := RunAnalyzers(pkg, analyzers)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	ignores, malformed := CollectIgnores(pkg.Fset, pkg.Files)
+	kept, _ := ignores.Filter(diags)
+	kept = append(kept, malformed...)
+	kept = append(kept, ignores.Unused()...)
+	sortDiags(kept)
+
+	if len(kept) > 0 {
+		for _, d := range kept {
+			fmt.Fprintf(os.Stderr, "%s: %s: %s\n", pkg.Fset.Position(d.Pos), d.Pass, d.Message)
+		}
+		os.Exit(2)
+	}
+	writeVetx(cfg.VetxOutput)
+}
+
+// loadUnit parses and type-checks the unit from a vet config: cmd/go has
+// already built export data for every dependency (PackageFile), so this is
+// the same importer arrangement as load.go with cmd/go doing the listing.
+func loadUnit(cfg *vetConfig) (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("unit %s has no Go files", cfg.ImportPath)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		e, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q in vet config for %s", path, cfg.ImportPath)
+		}
+		return os.Open(e)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: importer.ForCompiler(fset, compiler, lookup)}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", cfg.ImportPath, err)
+	}
+	return &Package{
+		ID:         cfg.ID,
+		ImportPath: cfg.ImportPath,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        tpkg,
+		Info:       info,
+	}, nil
+}
+
+func writeVetx(path string) {
+	if path == "" {
+		return
+	}
+	if err := os.WriteFile(path, nil, 0o666); err != nil {
+		fatalf("writing vetx output: %v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mpmdvet: "+format+"\n", args...)
+	os.Exit(1)
+}

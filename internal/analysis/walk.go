@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// WalkStack traverses root in depth-first order, calling fn with each node
+// and the stack of its ancestors (outermost first, not including n itself).
+// If fn returns false the node's children are skipped.
+func WalkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			// Children are skipped: push a placeholder so the matching
+			// nil pop stays balanced.
+			stack = append(stack, n)
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// PkgPathMatches reports whether p's import path is suffix itself or ends in
+// "/"+suffix. Matching by suffix keeps the passes independent of the module
+// name while still anchoring on the full package directory path.
+func PkgPathMatches(p *types.Package, suffix string) bool {
+	if p == nil {
+		return false
+	}
+	path := p.Path()
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// Deref unwraps one level of pointer.
+func Deref(t types.Type) types.Type {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// IsNamed reports whether t (after alias resolution and one pointer deref)
+// is the named type pkgSuffix.name.
+func IsNamed(t types.Type, pkgSuffix, name string) bool {
+	if t == nil {
+		return false
+	}
+	t = Deref(types.Unalias(t))
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	return n.Obj().Name() == name && PkgPathMatches(n.Obj().Pkg(), pkgSuffix)
+}
+
+// ExprKey canonicalizes an expression naming a storage location — an
+// identifier or a chain of field selections rooted at one — into a key that
+// is stable for the current package. Two expressions with equal keys name
+// the same variable/field path. ok is false for anything else (calls,
+// indexing, literals).
+func ExprKey(info *types.Info, e ast.Expr) (string, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		if obj == nil {
+			return "", false
+		}
+		if _, isVar := obj.(*types.Var); !isVar {
+			return "", false
+		}
+		return objKey(obj), true
+	case *ast.SelectorExpr:
+		base, ok := ExprKey(info, e.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + e.Sel.Name, true
+	}
+	return "", false
+}
+
+func objKey(obj types.Object) string {
+	// Pointer identity of the types.Object is unique within one
+	// type-checked package; the position disambiguates across packages.
+	return obj.Name() + "@" + obj.Pkg().Path() + ":" + itoa(int(obj.Pos()))
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}
+
+// Terminates reports whether stmt definitely transfers control out of the
+// enclosing block: return, panic, os.Exit, continue/break/goto, or a block
+// ending in one.
+func Terminates(stmt ast.Stmt) bool {
+	switch s := stmt.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.Ident:
+				return fun.Name == "panic"
+			case *ast.SelectorExpr:
+				if id, ok := fun.X.(*ast.Ident); ok {
+					return (id.Name == "os" && fun.Sel.Name == "Exit") ||
+						(id.Name == "runtime" && fun.Sel.Name == "Goexit")
+				}
+			}
+		}
+	case *ast.BlockStmt:
+		if n := len(s.List); n > 0 {
+			return Terminates(s.List[n-1])
+		}
+	}
+	return false
+}
+
+// FuncDocHasDirective reports whether the function's doc comment block
+// contains the given //-directive (e.g. "//mpmd:hotpath").
+func FuncDocHasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == directive || strings.HasPrefix(text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}

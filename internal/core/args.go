@@ -175,6 +175,8 @@ func encodeArgs(args []Arg) (buf []byte, units int) {
 // count; both feed the modelled marshalling charge exactly as encodeArgs
 // did. Ownership of the buffer passes to the caller (typically straight
 // through to the message layer).
+//
+//mpmd:hotpath
 func marshalArgs(args []Arg, extra int) (buf *wire.Buf, argLen, units int) {
 	for _, a := range args {
 		argLen += a.WireSize()
@@ -197,6 +199,8 @@ func marshalArgs(args []Arg, extra int) (buf *wire.Buf, argLen, units int) {
 
 // marshalOne encodes a single return Arg into a pooled buffer — the reply
 // path's allocation-free counterpart of encodeArgs([]Arg{ret}).
+//
+//mpmd:hotpath
 func marshalOne(ret Arg) (buf *wire.Buf, n, units int) {
 	n = ret.WireSize()
 	units = ret.MarshalUnits()
@@ -212,6 +216,8 @@ func marshalOne(ret Arg) (buf *wire.Buf, n, units int) {
 
 // decodeOne decodes a single Arg from buf — the reply path's
 // allocation-free counterpart of decodeArgs(buf, []Arg{ret}).
+//
+//mpmd:hotpath
 func decodeOne(buf []byte, ret Arg) (units int) {
 	off := ret.Decode(buf)
 	if off != len(buf) {
@@ -222,6 +228,8 @@ func decodeOne(buf []byte, ret Arg) (units int) {
 
 // decodeArgs unmarshals buf into the given argument instances, returning the
 // serializer-invocation count.
+//
+//mpmd:hotpath
 func decodeArgs(buf []byte, args []Arg) (units int) {
 	off := 0
 	for _, a := range args {

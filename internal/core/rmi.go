@@ -64,6 +64,8 @@ type rmiMsg struct {
 // ID (slot + 1, so 0 means "no reply expected"). Called from the sender
 // node's execution context only, like takePending — the reply handler runs
 // on the same node — so the table needs no lock.
+//
+//mpmd:hotpath
 func (n *nodeRT) addPending(msg *rmiMsg) uint64 {
 	if ln := len(n.freeIDs); ln > 0 {
 		id := n.freeIDs[ln-1]
@@ -76,6 +78,8 @@ func (n *nodeRT) addPending(msg *rmiMsg) uint64 {
 }
 
 // takePending resolves a reply's request ID and frees the slot.
+//
+//mpmd:hotpath
 func (n *nodeRT) takePending(wireID uint64) *rmiMsg {
 	id := uint32(wireID - 1)
 	msg := n.pending[id]
@@ -161,6 +165,8 @@ func (rt *Runtime) CallOneWay(t *threads.Thread, gp GPtr, method string, args []
 }
 
 // invoke is the common sender path.
+//
+//mpmd:hotpath
 func (rt *Runtime) invoke(t *threads.Thread, gp GPtr, method string, args []Arg, ret Arg, mode callMode) *completion {
 	if gp.Nil() {
 		panic("core: RMI through nil global pointer")
@@ -234,8 +240,8 @@ func (rt *Runtime) invoke(t *threads.Thread, gp GPtr, method string, args []Arg,
 		comp, msg = &rec.comp, &rec.msg
 		comp.mode = mode
 	} else {
-		comp = &completion{mode: mode}
-		msg = &rmiMsg{}
+		comp = &completion{mode: mode} //mpmdvet:ignore hotpath future/one-way completions outlive the call — documented cold branch
+		msg = &rmiMsg{}                //mpmdvet:ignore hotpath future/one-way envelopes outlive the call — documented cold branch
 	}
 	msg.comp, msg.ret = comp, ret
 	var flags uint64
@@ -306,6 +312,8 @@ func (rt *Runtime) lookupMethod(gp GPtr, method string) *boundMethod {
 // dispatchLocal runs an RMI whose target lives on the calling node: no
 // marshalling, no messages, but threaded/atomic semantics are preserved.
 // The returned completion lets local futures join exactly like remote ones.
+// Not //mpmd:hotpath: local dispatch spawns threads and builds completions by
+// design; the allocation-free contract covers the remote wire path.
 func (rt *Runtime) dispatchLocal(t *threads.Thread, n *nodeRT, bm *boundMethod, gp GPtr, args []Arg, ret Arg, mode callMode) *completion {
 	self := n.objs.Get(gp.obj)
 	run := func(t2 *threads.Thread) {
@@ -395,6 +403,8 @@ func (rt *Runtime) pollUntilDone(t *threads.Thread, me int, comp *completion) {
 }
 
 // chargeRuntime charges d to the runtime-overhead bucket.
+//
+//mpmd:hotpath
 func chargeRuntime(t *threads.Thread, d time.Duration) {
 	t.Charge(machine.CatRuntime, d)
 }
@@ -408,6 +418,8 @@ func (rt *Runtime) registerHandlers() {
 }
 
 // handleInvoke is the generic invocation handler on the receiving node.
+//
+//mpmd:hotpath
 func (rt *Runtime) handleInvoke(t *threads.Thread, m am.Msg) {
 	n := rt.nodes[m.Dst]
 	cfg := t.Cfg()
@@ -468,7 +480,7 @@ func (rt *Runtime) handleInvoke(t *threads.Thread, m am.Msg) {
 		if pb != nil {
 			pb.Retain()
 		}
-		t.Spawn("rmi:"+bm.m.Name, func(t2 *threads.Thread) {
+		t.Spawn("rmi:"+bm.m.Name, func(t2 *threads.Thread) { //mpmdvet:ignore hotpath threaded dispatch creates a thread per §4; the spawn dwarfs these allocations
 			rt.runMethod(t2, n, bm, m, reqID, argBytes, wantReply)
 			if pb != nil {
 				pb.Release()
@@ -495,6 +507,8 @@ func (rt *Runtime) stage(t *threads.Thread, n *nodeRT, rb *tham.RBuf, argBytes [
 // runMethod unmarshals, executes, and (when requested) replies. Argument
 // and return-value instances come from the method's pooled decode frames
 // and recycle when the call completes (methods must not retain them).
+//
+//mpmd:hotpath
 func (rt *Runtime) runMethod(t *threads.Thread, n *nodeRT, bm *boundMethod, m am.Msg, reqID uint64, argBytes []byte, wantReply bool) {
 	cfg := t.Cfg()
 	var frame *argFrame
@@ -542,6 +556,8 @@ func (rt *Runtime) runMethod(t *threads.Thread, n *nodeRT, bm *boundMethod, m am
 
 // handleReply lands an RMI completion (and return value) at the initiator:
 // the echoed request ID resolves the pending-call record in the local table.
+//
+//mpmd:hotpath
 func (rt *Runtime) handleReply(t *threads.Thread, m am.Msg) {
 	n := rt.nodes[m.Dst]
 	msg := n.takePending(m.A[0])

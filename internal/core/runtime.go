@@ -181,16 +181,22 @@ func (tr *AMTransport) Register(name string, h am.Handler) am.HandlerID {
 }
 
 // Send implements Transport.
+//
+//mpmd:hotpath
 func (tr *AMTransport) Send(t *threads.Thread, src, dst int, h am.HandlerID, a [4]uint64, payload []byte, forceBulk bool) {
 	tr.net.Endpoint(src).Request(t, dst, h, a, payload, am.SendOpts{Bulk: forceBulk || len(payload) > 0})
 }
 
 // SendBuf implements Transport.
+//
+//mpmd:hotpath
 func (tr *AMTransport) SendBuf(t *threads.Thread, src, dst int, h am.HandlerID, a [4]uint64, buf *wire.Buf, forceBulk bool) {
 	tr.net.Endpoint(src).RequestOwned(t, dst, h, a, buf, am.SendOpts{Bulk: forceBulk || buf != nil})
 }
 
 // Poll implements Transport.
+//
+//mpmd:hotpath
 func (tr *AMTransport) Poll(t *threads.Thread, me int) bool { return tr.net.Endpoint(me).Poll(t) }
 
 // WaitMessage implements Transport.

@@ -164,6 +164,8 @@ type Accounting struct {
 func newAccounting() *Accounting { return &Accounting{} }
 
 // Add charges d to category c.
+//
+//mpmd:hotpath
 func (a *Accounting) Add(c Category, d time.Duration) {
 	if c < 0 || c >= numCategories {
 		panic("machine: bad category")
@@ -175,6 +177,8 @@ func (a *Accounting) Add(c Category, d time.Duration) {
 func (a *Accounting) Get(c Category) time.Duration { return time.Duration(a.buckets[c].Load()) }
 
 // Count adds n to counter c.
+//
+//mpmd:hotpath
 func (a *Accounting) Count(c Cnt, n int64) { a.counters[c].Add(n) }
 
 // Counter returns the value of counter c.

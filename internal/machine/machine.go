@@ -236,6 +236,8 @@ func (n *Node) InboxLen() int {
 
 // pushInbox appends a packet to the inbound queue. Safe to call from any
 // goroutine (live senders enqueue directly).
+//
+//mpmd:hotpath
 func (n *Node) pushInbox(pkt Packet) {
 	n.inboxMu.Lock()
 	n.inbox.Push(pkt)
@@ -244,6 +246,8 @@ func (n *Node) pushInbox(pkt Packet) {
 
 // PopInbox removes and returns the oldest queued packet. ok is false when
 // the inbox is empty.
+//
+//mpmd:hotpath
 func (n *Node) PopInbox() (pkt Packet, ok bool) {
 	n.inboxMu.Lock()
 	defer n.inboxMu.Unlock()
@@ -259,11 +263,13 @@ func (n *Node) PopInbox() (pkt Packet, ok bool) {
 // Delivery order between a given (src,dst) pair is FIFO for equal latencies:
 // on the simulator because the event queue breaks ties in schedule order, on
 // the live backend because enqueue runs in send order.
+//
+//mpmd:hotpath
 func (n *Node) Send(dst int, extraWire time.Duration, size int, payload any) {
 	m := n.M
 	target := m.Node(dst)
 	if m.Trace != nil {
-		m.Emit(n.ID, "send", fmt.Sprintf("->n%d %dB", dst, size), 0)
+		m.Emit(n.ID, "send", fmt.Sprintf("->n%d %dB", dst, size), 0) //mpmdvet:ignore hotpath trace-gated: only runs when m.Trace is enabled
 	}
 	if m.shard != nil && !m.shard.IsLocal(dst) {
 		// Cross-shard: the destination lives in another address space, so
@@ -291,13 +297,15 @@ func (n *Node) Send(dst int, extraWire time.Duration, size int, payload any) {
 		return
 	}
 	m.be.Deliver(dst, m.Cfg.WireLatency+extraWire,
-		func() { target.pushInbox(pkt) },
+		func() { target.pushInbox(pkt) }, //mpmdvet:ignore hotpath simulator backend only; live backends take the direct path above
 		target.notify)
 }
 
 // Loopback enqueues a packet to the node itself with zero latency. Some
 // runtimes route node-local operations through the same handler path to keep
 // semantics uniform; the machine model charges no wire time for them.
+//
+//mpmd:hotpath
 func (n *Node) Loopback(size int, payload any) {
 	pkt := Packet{Src: n.ID, Dst: n.ID, Size: size, Payload: payload}
 	m := n.M
@@ -307,6 +315,6 @@ func (n *Node) Loopback(size int, payload any) {
 		return
 	}
 	m.be.Deliver(n.ID, 0,
-		func() { n.pushInbox(pkt) },
+		func() { n.pushInbox(pkt) }, //mpmdvet:ignore hotpath simulator backend only; live backends take the direct path above
 		n.notify)
 }

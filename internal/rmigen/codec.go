@@ -156,6 +156,8 @@ func (p *valuePlan) newArgs() []core.Arg {
 
 // storePtr copies the Go value at p into the wire Args — the compiled,
 // reflection-free per-call path.
+//
+//mpmd:hotpath
 func (p *valuePlan) storePtr(ptr unsafe.Pointer, args []core.Arg) {
 	for i := range p.fields {
 		p.fields[i].store(ptr, args[i])
@@ -163,6 +165,8 @@ func (p *valuePlan) storePtr(ptr unsafe.Pointer, args []core.Arg) {
 }
 
 // loadPtr copies the wire Args into the Go value at p.
+//
+//mpmd:hotpath
 func (p *valuePlan) loadPtr(ptr unsafe.Pointer, args []core.Arg) {
 	for i := range p.fields {
 		p.fields[i].load(ptr, args[i])
@@ -208,6 +212,8 @@ func (p *valuePlan) storeRet(v reflect.Value, ret core.Arg) {
 }
 
 // storeRetPtr fills a return Arg from the result value at ptr.
+//
+//mpmd:hotpath
 func (p *valuePlan) storeRetPtr(ptr unsafe.Pointer, ret core.Arg) {
 	if len(p.fields) == 1 {
 		p.fields[0].store(ptr, ret)
@@ -222,6 +228,8 @@ func (p *valuePlan) loadRet(v reflect.Value, ret core.Arg) {
 }
 
 // loadRetPtr decodes a return Arg into the result value at ptr.
+//
+//mpmd:hotpath
 func (p *valuePlan) loadRetPtr(ptr unsafe.Pointer, ret core.Arg) {
 	if len(p.fields) == 1 {
 		p.fields[0].load(ptr, ret)

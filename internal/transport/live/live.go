@@ -158,6 +158,8 @@ type lnode struct {
 // against delivery. The queue is a ring and the warm path's closures are
 // long-lived (one per destination node), so a steady-state push allocates
 // nothing.
+//
+//mpmd:hotpath
 func (nd *lnode) push(fn func()) bool {
 	nd.q.mu.Lock()
 	if nd.q.closed {
@@ -167,8 +169,10 @@ func (nd *lnode) push(fn func()) bool {
 	nd.q.fns.Push(fn)
 	depth := nd.q.fns.Len()
 	nd.q.mu.Unlock()
-	nd.met.Add(metrics.CtrNotifies, 1)
-	nd.met.Set(metrics.GgeNotifyDepth, int64(depth))
+	if met := nd.met; met != nil {
+		met.Add(metrics.CtrNotifies, 1)
+		met.Set(metrics.GgeNotifyDepth, int64(depth))
+	}
 	nd.q.cond.Signal()
 	return true
 }
@@ -176,8 +180,10 @@ func (nd *lnode) push(fn func()) bool {
 // deliveryLoop is the node's delivery worker: drain pending notifies and run
 // them on the node's CPU, at most batch per acquisition. The drain buffer is
 // reused across batches.
+//
+//mpmd:hotpath
 func (nd *lnode) deliveryLoop(batch int) {
-	nd.batch = make([]func(), 0, batch)
+	nd.batch = make([]func(), 0, batch) //mpmdvet:ignore hotpath one-time drain-buffer init before the loop; reused every batch after
 	for {
 		nd.q.mu.Lock()
 		for nd.q.fns.Len() == 0 && !nd.q.closed {
@@ -196,8 +202,10 @@ func (nd *lnode) deliveryLoop(batch int) {
 			take = append(take, fn)
 		}
 		nd.q.mu.Unlock()
-		nd.met.Add(metrics.CtrNotifyBatches, 1)
-		nd.met.Observe(metrics.HstPollBatch, int64(len(take)))
+		if met := nd.met; met != nil {
+			met.Add(metrics.CtrNotifyBatches, 1)
+			met.Observe(metrics.HstPollBatch, int64(len(take)))
+		}
 
 		nd.mu.Lock()
 		for i, fn := range take {

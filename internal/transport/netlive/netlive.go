@@ -688,8 +688,10 @@ func (b *Backend) readLoop(conn net.Conn) {
 				return
 			}
 		}
-		b.met.Add(metrics.CtrFramesIn, 1)
-		b.met.Add(metrics.CtrBytesIn, int64(5+n))
+		if met := b.met; met != nil {
+			met.Add(metrics.CtrFramesIn, 1)
+			met.Add(metrics.CtrBytesIn, int64(5+n))
+		}
 		switch kind {
 		case kPacket:
 			remote, _ := b.remote.Load().(func(src, dst, size int, payload []byte))
@@ -784,7 +786,9 @@ func (p *peer) push(f outFrame) {
 	}
 	p.queued.Add(1)
 	p.mu.Unlock()
-	p.b.met.Set(metrics.GgePeerRingDepth, int64(depth))
+	if met := p.b.met; met != nil {
+		met.Set(metrics.GgePeerRingDepth, int64(depth))
+	}
 	p.cond.Signal()
 }
 
@@ -848,7 +852,9 @@ func (p *peer) writeLoop() {
 		if !ok {
 			return // closed and drained
 		}
-		p.b.met.ObserveDur(metrics.HstWriterStall, p.b.inner.Now()-f.at)
+		if met := p.b.met; met != nil {
+			met.ObserveDur(metrics.HstWriterStall, p.b.inner.Now()-f.at)
+		}
 		hdr := scratch[:5]
 		bodyLen := 0
 		if f.kind == kPacket {
@@ -878,8 +884,10 @@ func (p *peer) writeLoop() {
 			p.drainAndDrop()
 			return
 		}
-		p.b.met.Add(metrics.CtrFramesOut, 1)
-		p.b.met.Add(metrics.CtrBytesOut, int64(5+bodyLen)) // total wire bytes: length prefix + kind + body
+		if met := p.b.met; met != nil {
+			met.Add(metrics.CtrFramesOut, 1)
+			met.Add(metrics.CtrBytesOut, int64(5+bodyLen)) // total wire bytes: length prefix + kind + body
+		}
 	}
 }
 
