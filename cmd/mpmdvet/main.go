@@ -1,7 +1,11 @@
 // Command mpmdvet statically enforces the runtime's hand-shaken invariants:
 // wire.Buf ownership flow (bufown), nil-gated metrics record sites (nilgate),
 // allocation-free //mpmd:hotpath functions (hotpath), word-resolvable wire
-// structs (wirewords), and fenced accounting cells (acctdirect).
+// structs (wirewords), fenced accounting cells (acctdirect), lock-guarded
+// fields (lockguard), a cycle-free lock acquisition order (lockorder), no
+// mixed atomic/plain access (atomicmix), no blocking under a //mpmd:cpu mutex
+// (blockhold), and exhaustive switches over //mpmdvet:exhaustive constants
+// (framekind).
 //
 // Two modes share the same passes:
 //
@@ -10,7 +14,9 @@
 //
 // Standalone mode prints diagnostics plus a one-line summary counting
 // //mpmdvet:ignore suppressions per pass; -summary=<file> also writes the
-// machine-readable JSON CI uploads next to BENCH_live.json.
+// machine-readable JSON CI uploads next to BENCH_live.json, and
+// -baseline=<file> ratchets the suppression ledger: every pragma needs a
+// reason, and the per-pass counts must match the committed baseline exactly.
 package main
 
 import (
@@ -32,9 +38,10 @@ func main() {
 	}
 
 	summaryPath := flag.String("summary", "", "write a JSON run summary to this file")
+	baselinePath := flag.String("baseline", "", "check suppressions against this committed baseline file")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: mpmdvet [-summary=file.json] [package patterns]\n\npasses:\n")
+			"usage: mpmdvet [-summary=file.json] [-baseline=file.json] [package patterns]\n\npasses:\n")
 		for _, a := range analyzers {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %-10s %s\n", a.Name, a.Doc)
 		}
@@ -57,6 +64,19 @@ func main() {
 		if err := analysis.WriteSummary(*summaryPath, sum); err != nil {
 			fmt.Fprintln(os.Stderr, "mpmdvet: writing summary:", err)
 			os.Exit(1)
+		}
+	}
+	if *baselinePath != "" {
+		base, err := analysis.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mpmdvet:", err)
+			os.Exit(1)
+		}
+		if drift := sum.DiffBaseline(base); len(drift) > 0 {
+			for _, msg := range drift {
+				fmt.Fprintln(os.Stderr, "mpmdvet:", msg)
+			}
+			clean = false
 		}
 	}
 	if !clean {

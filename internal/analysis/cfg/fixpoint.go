@@ -1,0 +1,85 @@
+package cfg
+
+import "go/ast"
+
+// Flow is a forward dataflow problem over a Graph, solved to fixpoint by a
+// worklist with accumulate-join: a block's in-state only ever moves up the
+// join closure, so any finite state domain with an absorbing join
+// terminates. The same Transfer runs in two regimes — report=false while
+// iterating (a block may be visited many times) and report=true during the
+// single deterministic sweep Report makes afterwards, so diagnostics fire
+// exactly once, against the converged entry states.
+type Flow[S any] struct {
+	Graph *Graph
+	// Entry produces the state at function entry.
+	Entry func() S
+	// Clone deep-copies a state.
+	Clone func(S) S
+	// Join folds src into dst and reports whether dst changed. dst is
+	// always a state previously produced by Entry/Clone/Transfer.
+	Join func(dst, src S) bool
+	// Transfer interprets one flat node, mutating s. Diagnostics must fire
+	// only when report is true.
+	Transfer func(s S, n ast.Node, report bool)
+}
+
+// maxVisits caps per-block worklist visits as a defense against a
+// non-converging Join; real domains settle in a handful of passes.
+const maxVisits = 64
+
+// Solve iterates to fixpoint and returns the entry state of every
+// reachable block.
+func (f *Flow[S]) Solve() map[*Block]S {
+	in := map[*Block]S{}
+	entry := f.Graph.Entry()
+	in[entry] = f.Entry()
+	work := []*Block{entry}
+	queued := map[*Block]bool{entry: true}
+	visits := map[*Block]int{}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk] = false
+		if visits[blk]++; visits[blk] > maxVisits {
+			continue
+		}
+		out := f.Clone(in[blk])
+		for _, n := range blk.Nodes {
+			f.Transfer(out, n, false)
+		}
+		for _, succ := range blk.Succs {
+			changed := false
+			if cur, ok := in[succ]; ok {
+				changed = f.Join(cur, out)
+			} else {
+				in[succ] = f.Clone(out)
+				changed = true
+			}
+			if changed && !queued[succ] {
+				queued[succ] = true
+				work = append(work, succ)
+			}
+		}
+	}
+	return in
+}
+
+// Report runs one reporting sweep: every reachable block once, in source
+// order, with Transfer(report=true) against its converged entry state.
+func (f *Flow[S]) Report(in map[*Block]S) {
+	for _, blk := range f.Graph.Blocks {
+		s, ok := in[blk]
+		if !ok {
+			continue // unreachable
+		}
+		out := f.Clone(s)
+		for _, n := range blk.Nodes {
+			f.Transfer(out, n, true)
+		}
+	}
+}
+
+// Analyze is Solve followed by Report.
+func (f *Flow[S]) Analyze() {
+	f.Report(f.Solve())
+}

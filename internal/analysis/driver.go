@@ -15,6 +15,10 @@ type Summary struct {
 	Diagnostics int            `json:"diagnostics"`
 	ByPass      map[string]int `json:"by_pass"`
 	Suppressed  []Suppression  `json:"suppressed"`
+
+	// SuppressedByPass counts the pragma suppressions per pass — the number
+	// CI ratchets against the committed baseline.
+	SuppressedByPass map[string]int `json:"suppressed_by_pass"`
 }
 
 // Line renders the one-line human summary the driver prints after a run.
@@ -65,7 +69,69 @@ func Run(w io.Writer, dir string, analyzers []*Analyzer, patterns ...string) (*S
 	sort.Slice(sum.Suppressed, func(i, j int) bool {
 		return sum.Suppressed[i].Position < sum.Suppressed[j].Position
 	})
+	sum.SuppressedByPass = map[string]int{}
+	for _, s := range sum.Suppressed {
+		sum.SuppressedByPass[s.Pass]++
+	}
 	return sum, clean, nil
+}
+
+// Baseline pins the expected per-pass //mpmdvet:ignore counts for the tree.
+// CI compares each run against the committed file: a count above its pinned
+// value means a pragma slipped in without the baseline being updated in the
+// same (reviewed) change; a count below it means the baseline is stale and
+// should be tightened. Both directions fail, so the file stays exact.
+type Baseline struct {
+	SuppressedByPass map[string]int `json:"suppressed_by_pass"`
+}
+
+// LoadBaseline reads a committed baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("baseline %s: %v", path, err)
+	}
+	return &b, nil
+}
+
+// DiffBaseline compares the run's suppression ledger against the baseline and
+// returns one message per violation: a suppression with no reason, or a
+// per-pass count that drifted from its pinned value in either direction.
+func (s *Summary) DiffBaseline(b *Baseline) []string {
+	var out []string
+	for _, sup := range s.Suppressed {
+		if sup.Reason == "" {
+			out = append(out, fmt.Sprintf("%s: suppression of %s has no reason (write //mpmdvet:ignore %s <why>)",
+				sup.Position, sup.Pass, sup.Pass))
+		}
+	}
+	passes := make([]string, 0, len(s.SuppressedByPass)+len(b.SuppressedByPass))
+	seen := map[string]bool{}
+	for p := range s.SuppressedByPass {
+		passes, seen[p] = append(passes, p), true
+	}
+	for p := range b.SuppressedByPass {
+		if !seen[p] {
+			passes = append(passes, p)
+		}
+	}
+	sort.Strings(passes)
+	for _, p := range passes {
+		got, want := s.SuppressedByPass[p], b.SuppressedByPass[p]
+		switch {
+		case got > want:
+			out = append(out, fmt.Sprintf("pass %s: %d suppressions, baseline pins %d — new pragmas need a baseline update in the same change",
+				p, got, want))
+		case got < want:
+			out = append(out, fmt.Sprintf("pass %s: %d suppressions, baseline pins %d — tighten the baseline",
+				p, got, want))
+		}
+	}
+	return out
 }
 
 // WriteSummary writes the summary as indented JSON to path.

@@ -12,7 +12,10 @@ import (
 //	//mpmdvet:ignore <pass> <reason>
 //
 // placed either on the flagged line itself (trailing comment) or on the line
-// directly above it. <pass> is one analyzer name or "all"; <reason> is
+// directly above it. When the pragma trails a line inside a multi-line
+// statement, it covers the whole statement's span: a diagnostic anchored on
+// the first line of a wrapped call is suppressed by a pragma trailing any of
+// its continuation lines. <pass> is one analyzer name or "all"; <reason> is
 // mandatory — an ignore without a justification is itself reported. The
 // driver counts every honored pragma in its summary, so exceptions stay
 // visible instead of silently accumulating.
@@ -77,8 +80,80 @@ func CollectIgnores(fset *token.FileSet, files []*ast.File) (*IgnoreSet, []Diagn
 				s.order = append(s.order, d)
 			}
 		}
+		s.attachSpans(f)
 	}
 	return s, malformed
+}
+
+// attachSpans extends each of the file's directives over the line span of
+// its enclosing simple statement, so a pragma trailing a continuation line
+// of a multi-line statement suppresses diagnostics anchored anywhere in the
+// statement. Only statements whose interior lines are genuinely their own
+// text qualify (assignments, calls, returns, …) — block-shaped statements
+// (if/for/switch bodies) would make a pragma on one line silence unrelated
+// neighbours.
+func (s *IgnoreSet) attachSpans(f *ast.File) {
+	fname := s.fset.Position(f.Pos()).Filename
+	lines := s.byLine[fname]
+	if len(lines) == 0 {
+		return
+	}
+	// Innermost statement (by byte position) whose line span covers each
+	// pragma line. Tracking every statement kind and filtering afterwards
+	// keeps a pragma inside a nested block (a func-lit body, an if body)
+	// from attaching to the much wider statement that encloses the block.
+	best := map[int]ast.Stmt{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		stmt, ok := n.(ast.Stmt)
+		if !ok {
+			return true
+		}
+		start := s.fset.Position(stmt.Pos()).Line
+		end := s.fset.Position(stmt.End()).Line
+		for line := range lines {
+			if line < start || line > end {
+				continue
+			}
+			b := best[line]
+			if b == nil || stmt.Pos() > b.Pos() || (stmt.Pos() == b.Pos() && stmt.End() < b.End()) {
+				best[line] = stmt
+			}
+		}
+		return true
+	})
+	// Snapshot each pragma line's own directives before extending, so
+	// overlapping spans cannot compound.
+	orig := map[int][]*ignoreDirective{}
+	for line := range best {
+		orig[line] = append([]*ignoreDirective(nil), lines[line]...)
+	}
+	for line, stmt := range best {
+		if !spanEligible(stmt) {
+			continue
+		}
+		start := s.fset.Position(stmt.Pos()).Line
+		end := s.fset.Position(stmt.End()).Line
+		if start == end {
+			continue
+		}
+		for l := start; l <= end; l++ {
+			if l != line {
+				lines[l] = append(lines[l], orig[line]...)
+			}
+		}
+	}
+}
+
+// spanEligible reports whether a multi-line statement's interior lines all
+// belong to the statement itself, as opposed to nested statements.
+func spanEligible(stmt ast.Stmt) bool {
+	switch stmt.(type) {
+	case *ast.BlockStmt, *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt,
+		*ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt,
+		*ast.LabeledStmt, *ast.CaseClause, *ast.CommClause:
+		return false
+	}
+	return true
 }
 
 // Match reports whether d is suppressed by a pragma on its line or the line
@@ -117,7 +192,7 @@ func (s *IgnoreSet) Unused() []Diagnostic {
 			out = append(out, Diagnostic{
 				Pass:    "mpmdvet",
 				Pos:     d.pos,
-				Message: fmt.Sprintf("unused ignore pragma for pass %q (%s): nothing was suppressed on this or the next line", d.pass, d.reason),
+				Message: fmt.Sprintf("unused ignore pragma for pass %q (%s): nothing was suppressed on this line, the next line, or the enclosing statement", d.pass, d.reason),
 			})
 		}
 	}

@@ -1,0 +1,191 @@
+// Package atomicmix enforces all-or-nothing atomicity: once a variable or
+// field is touched through sync/atomic anywhere in the package — its address
+// passed to an atomic.Add/Load/Store/Swap/CompareAndSwap call, or its type
+// one of the sync/atomic wrapper types — every other access must be atomic
+// too. A single plain read mixed in ("just a stats counter") is still a data
+// race under the memory model: the compiler may tear, cache, or reorder it.
+//
+// Two shapes are diagnosed:
+//
+//   - plain reads/writes of a location whose address reaches a sync/atomic
+//     call elsewhere in the package
+//   - direct (non-method) uses of a value with a sync/atomic wrapper type
+//     (atomic.Int64, atomic.Value, …), which includes copying it
+//
+// Taking the address of such a location is allowed — that is how atomic
+// calls receive it — as is construction in a composite literal, which runs
+// before the value is shared.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc: "report plain accesses to variables that are accessed with " +
+		"sync/atomic elsewhere, and direct uses of atomic wrapper types",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	// mixed holds locations whose address reaches a sync/atomic call.
+	mixed := map[*types.Var]bool{}
+	// sanctioned marks expression nodes in positions where an atomic-class
+	// value may legally appear: under unary & and as a method receiver.
+	sanctioned := map[ast.Node]bool{}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if atomicCallee(info, n) {
+					for _, arg := range n.Args {
+						u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+						if !ok || u.Op != token.AND {
+							continue
+						}
+						if v := targetVar(info, u.X); v != nil {
+							mixed[v] = true
+						}
+					}
+				}
+				if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+					if s := info.Selections[sel]; s != nil && s.Kind() == types.MethodVal {
+						sanctioned[ast.Unparen(sel.X)] = true
+					}
+				}
+			case *ast.UnaryExpr:
+				if n.Op == token.AND {
+					sanctioned[ast.Unparen(n.X)] = true
+				}
+			}
+			return true
+		})
+	}
+
+	for _, f := range pass.Files {
+		analysis.WalkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if sanctioned[n] {
+					return false
+				}
+				v, ok := fieldOf(info, n)
+				if !ok {
+					return true
+				}
+				if mixed[v] {
+					pass.Reportf(n.Pos(),
+						"%s is accessed with sync/atomic elsewhere in this package: this plain access races with those atomic operations",
+						render(n))
+					return false
+				}
+				if isAtomicWrapper(v.Type()) {
+					pass.Reportf(n.Pos(),
+						"%s has atomic type %s: access it through its methods, not directly",
+						render(n), v.Type())
+					return false
+				}
+			case *ast.Ident:
+				if len(stack) > 0 {
+					switch p := stack[len(stack)-1].(type) {
+					case *ast.SelectorExpr:
+						if p.Sel == n {
+							return true
+						}
+					case *ast.KeyValueExpr:
+						// Composite-literal construction happens before the
+						// value can be shared.
+						if p.Key == n {
+							return false
+						}
+					}
+				}
+				if sanctioned[n] {
+					return true
+				}
+				v, ok := info.Uses[n].(*types.Var)
+				if !ok {
+					return true
+				}
+				if mixed[v] {
+					pass.Reportf(n.Pos(),
+						"%s is accessed with sync/atomic elsewhere in this package: this plain access races with those atomic operations",
+						n.Name)
+				} else if isAtomicWrapper(v.Type()) {
+					pass.Reportf(n.Pos(),
+						"%s has atomic type %s: access it through its methods, not directly",
+						n.Name, v.Type())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// atomicCallee reports whether call is pkg-qualified into sync/atomic.
+func atomicCallee(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "sync/atomic"
+}
+
+// targetVar resolves the variable or field an address-of operand names.
+func targetVar(info *types.Info, e ast.Expr) *types.Var {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		v, _ := info.Uses[e].(*types.Var)
+		return v
+	case *ast.SelectorExpr:
+		if v, ok := fieldOf(info, e); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// fieldOf resolves a selector to the field or package-level variable it
+// names. ok is false for method selections and non-variable objects.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) (*types.Var, bool) {
+	if s := info.Selections[sel]; s != nil {
+		if s.Kind() != types.FieldVal {
+			return nil, false
+		}
+		v, ok := s.Obj().(*types.Var)
+		return v, ok
+	}
+	v, ok := info.Uses[sel.Sel].(*types.Var)
+	return v, ok
+}
+
+// isAtomicWrapper reports whether t is one of the sync/atomic wrapper types
+// (Int32, Int64, Uint32, Uint64, Uintptr, Bool, Pointer, Value).
+func isAtomicWrapper(t types.Type) bool {
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := n.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync/atomic"
+}
+
+func render(e ast.Expr) string {
+	if s, ok := analysis.ExprText(e); ok {
+		return s
+	}
+	return "this location"
+}

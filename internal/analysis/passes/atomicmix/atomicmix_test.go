@@ -1,0 +1,17 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/atomicmix"
+)
+
+func TestAtomicmix(t *testing.T) {
+	results := analysistest.Run(t, atomicmix.Analyzer, "a")
+	// One from the escape-hatch case, two from the multi-line statement
+	// whose single pragma covers both of its lines.
+	if n := len(results[0].Suppressed); n != 3 {
+		t.Errorf("expected exactly 3 pragma-suppressed diagnostics, got %d", n)
+	}
+}

@@ -1,0 +1,234 @@
+// Package blockhold forbids blocking operations while a //mpmd:cpu mutex is
+// held. Holding such a mutex models occupying a node's simulated processor:
+// anything that can park the goroutine — channel operations, network I/O,
+// time.Sleep, WaitGroup.Wait, a cond wait on some other lock, or an
+// unbounded spin — stalls the CPU for every other goroutine queued on it.
+//
+// The cfg lockset analysis supplies the must-hold set at each statement, so
+// operations after the Unlock (or on paths where the lock was released) are
+// not flagged. Two blocking shapes are sanctioned:
+//
+//   - a select with a default clause is a poll, not a block
+//   - Wait on the sync.Cond tied (//mpmdvet:cond) to the held CPU mutex
+//     itself: Wait releases that lock while parked, which is the one
+//     legitimate way to block "on CPU"
+package blockhold
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/cfg"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "blockhold",
+	Doc: "report blocking operations (channel ops, net I/O, sleeps, waits, " +
+		"unbounded loops) while a //mpmd:cpu mutex is held",
+	Run: run,
+}
+
+type checker struct {
+	pass   *analysis.Pass
+	info   *types.Info
+	annots *cfg.Annotations
+	// nonBlocking holds the comm statements of selects that carry a default
+	// clause: those are polls.
+	nonBlocking map[ast.Stmt]bool
+}
+
+func run(pass *analysis.Pass) error {
+	annots := cfg.CollectAnnotations(pass.TypesInfo, pass.Files)
+	if len(annots.CPU) == 0 {
+		return nil
+	}
+	c := &checker{
+		pass:        pass,
+		info:        pass.TypesInfo,
+		annots:      annots,
+		nonBlocking: map[ast.Stmt]bool{},
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectStmt)
+			if !ok {
+				return true
+			}
+			hasDefault := false
+			for _, cl := range sel.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				return true
+			}
+			for _, cl := range sel.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok && cc.Comm != nil {
+					c.nonBlocking[cc.Comm] = true
+				}
+			}
+			return true
+		})
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					c.body(n.Body, cfg.EntryLocks(pass.TypesInfo, pass.Pkg, n, annots))
+				}
+			case *ast.FuncLit:
+				c.body(n.Body, cfg.LockSet{})
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func (c *checker) body(body *ast.BlockStmt, entry cfg.LockSet) {
+	cfg.WalkLocked(c.info, body, entry, func(s cfg.LockSet, n ast.Node) {
+		_, held, ok := s.HoldsClass(func(v *types.Var) bool { return c.annots.CPU[v] })
+		if !ok {
+			return
+		}
+		switch n := n.(type) {
+		case *cfg.Fall:
+			return
+		case *ast.DeferStmt, *ast.GoStmt:
+			// Registering a defer or spawning a goroutine does not block.
+			return
+		case *ast.RangeStmt:
+			// The flat node stands for the range expression only; body
+			// statements are their own nodes.
+			if t := typeOf(c.info, n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					c.flag(n.Pos(), "range over a channel", held)
+				}
+			}
+			return
+		case *ast.ForStmt:
+			// A condition-less for is emitted as a marker node: an unbounded
+			// loop entered with the CPU held never yields it.
+			if n.Cond == nil {
+				c.flag(n.Pos(), "unbounded loop", held)
+			}
+			return
+		}
+		if stmt, isStmt := n.(ast.Stmt); isStmt && c.nonBlocking[stmt] {
+			return
+		}
+		c.scan(n, s, held)
+	})
+}
+
+// scan walks one flat node's expressions for blocking operations. Nested
+// function literals are separate functions with their own locksets.
+func (c *checker) scan(n ast.Node, s cfg.LockSet, held cfg.HeldLock) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			c.flag(m.Arrow, "channel send", held)
+		case *ast.UnaryExpr:
+			if m.Op == token.ARROW {
+				c.flag(m.Pos(), "channel receive", held)
+			}
+		case *ast.CallExpr:
+			if desc, blocking := c.classifyCall(m, s); blocking {
+				c.flag(m.Pos(), desc, held)
+			}
+		}
+		return true
+	})
+}
+
+// classifyCall reports whether the call is a blocking operation under a held
+// CPU lock, with a human description.
+func (c *checker) classifyCall(call *ast.CallExpr, s cfg.LockSet) (string, bool) {
+	// Cond.Wait: blocking unless it waits on the held CPU lock itself.
+	if op, condKey, class, ok := cfg.MutexOp(c.info, call); ok {
+		if op != cfg.OpWait {
+			// Lock/Unlock ordering is lockorder's concern.
+			return "", false
+		}
+		lockKey, known := c.condLock(condKey, class)
+		if !known {
+			return "sync.Cond.Wait on a cond with no //mpmdvet:cond annotation", true
+		}
+		if h, isHeld := s[lockKey]; isHeld && c.annots.CPU[h.Class] {
+			return "", false
+		}
+		return "sync.Cond.Wait on a lock other than the held CPU mutex", true
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	// Package-qualified calls: time.Sleep and anything in net.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := c.info.Uses[id].(*types.PkgName); ok {
+			path := pn.Imported().Path()
+			if path == "time" && sel.Sel.Name == "Sleep" {
+				return "time.Sleep", true
+			}
+			if path == "net" {
+				return fmt.Sprintf("network call net.%s", sel.Sel.Name), true
+			}
+			return "", false
+		}
+	}
+	// Method calls: WaitGroup.Wait and net.Conn (or any net type) methods.
+	selection := c.info.Selections[sel]
+	if selection == nil || selection.Kind() != types.MethodVal {
+		return "", false
+	}
+	rt := analysis.Deref(types.Unalias(selection.Recv()))
+	if analysis.IsNamed(rt, "sync", "WaitGroup") && sel.Sel.Name == "Wait" {
+		return "sync.WaitGroup.Wait", true
+	}
+	if n, ok := types.Unalias(rt).(*types.Named); ok {
+		if pkg := n.Obj().Pkg(); pkg != nil && pkg.Path() == "net" {
+			return fmt.Sprintf("network I/O (%s.%s)", n.Obj().Name(), sel.Sel.Name), true
+		}
+	}
+	return "", false
+}
+
+// condLock derives the lockset key of the mutex a cond is tied to: the
+// cond's own key with its last segment replaced by the //mpmdvet:cond path.
+func (c *checker) condLock(condKey string, class *types.Var) (string, bool) {
+	path, ok := c.annots.Conds[class]
+	if !ok {
+		return "", false
+	}
+	i := strings.LastIndex(condKey, ".")
+	if i < 0 {
+		return "", false
+	}
+	return condKey[:i] + "." + path, true
+}
+
+func (c *checker) flag(pos token.Pos, desc string, held cfg.HeldLock) {
+	c.pass.Reportf(pos,
+		"%s while holding %s, a //mpmd:cpu mutex: blocking operations stall the simulated CPU",
+		desc, classLabel(c.pass.Fset, held.Class))
+}
+
+func classLabel(fset *token.FileSet, v *types.Var) string {
+	pos := fset.Position(v.Pos())
+	return fmt.Sprintf("%s (declared at %s:%d)", v.Name(), pos.Filename, pos.Line)
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}

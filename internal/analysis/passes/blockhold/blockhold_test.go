@@ -1,0 +1,15 @@
+package blockhold_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/blockhold"
+)
+
+func TestBlockhold(t *testing.T) {
+	results := analysistest.Run(t, blockhold.Analyzer, "a")
+	if n := len(results[0].Suppressed); n != 1 {
+		t.Errorf("expected exactly 1 pragma-suppressed diagnostic (the escape-hatch case), got %d", n)
+	}
+}

@@ -7,10 +7,13 @@
 // final Release corrupts the pool.
 //
 // The pass runs a conservative flow-sensitive abstract interpretation per
-// function body, tracking each *wire.Buf-typed variable or field path
-// through the states owned / borrowed / released / maybe-released / gone.
-// It reports only definite violations (plus "may" wordings where one branch
-// releases and another does not):
+// function body over the cfg package's basic-block graph, tracking each
+// *wire.Buf-typed variable or field path through the states owned /
+// borrowed / released / maybe-released / gone. The fixpoint driver joins
+// states at merge points and around loop back edges; reporting happens in a
+// single deterministic sweep against the converged entry states. It reports
+// only definite violations (plus "may" wordings where one path releases and
+// another does not):
 //
 //   - Release on a released buffer (double release), including an explicit
 //     Release while a deferred Release is pending
@@ -19,17 +22,16 @@
 //     channel — or capturing it in an escaping closure — without Retain
 //   - returning (or falling off the end of a function) while still owning a
 //     buffer the function got from wire.Get/wire.Copy: the error-path leak
-//
-// Branches fork the state and merge conservatively; loops widen any state
-// the body changes to unknown, so re-Get-in-loop patterns stay quiet.
 package bufown
 
 import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/cfg"
 )
 
 var Analyzer = &analysis.Analyzer{
@@ -51,14 +53,15 @@ const (
 	stGone                  // ownership transferred away
 )
 
-// varInfo is the per-variable abstract state.
+// varInfo is the per-variable abstract state. The zero value (stUnknown, no
+// flags) is the canonical "untracked": join treats an absent key as it.
 type varInfo struct {
 	st       state
 	retained bool // Retain() seen: keeping a reference is legitimate
 	deferred bool // a deferred Release covers function exit
 }
 
-// env maps ExprKey -> abstract state. Forked per branch, merged at joins.
+// env maps ExprKey -> abstract state.
 type env map[string]varInfo
 
 func (e env) clone() env {
@@ -69,22 +72,46 @@ func (e env) clone() env {
 	return c
 }
 
-// merge joins two reachable branch outcomes in place.
+// merge joins another branch outcome in place (no change reporting; the
+// fixpoint join is joinEnv).
 func (e env) merge(o env) {
-	for k, a := range e {
-		b, ok := o[k]
-		if !ok {
-			b = varInfo{st: stUnknown}
-		}
-		e[k] = joinVar(a, b)
-	}
-	for k, b := range o {
-		if _, ok := e[k]; !ok {
-			e[k] = joinVar(varInfo{st: stUnknown}, b)
-		}
-	}
+	joinEnv(e, o)
 }
 
+// joinEnv folds src into dst and reports whether dst changed. Absent keys
+// are the zero varInfo, and entries that join to it are dropped, so equal
+// states compare equal structurally.
+func joinEnv(dst, src env) bool {
+	var zero varInfo
+	changed := false
+	for k, a := range dst {
+		b := src[k] // zero when absent
+		j := joinVar(a, b)
+		if j == a {
+			continue
+		}
+		changed = true
+		if j == zero {
+			delete(dst, k)
+		} else {
+			dst[k] = j
+		}
+	}
+	for k, b := range src {
+		if _, ok := dst[k]; ok {
+			continue
+		}
+		if j := joinVar(varInfo{}, b); j != zero {
+			dst[k] = j
+			changed = true
+		}
+	}
+	return changed
+}
+
+// joinVar is the state semilattice: released-ness on any path degrades to
+// maybe-released (the absorbing "report may-wordings only" point);
+// conflicting concrete states degrade to unknown (no reports).
 func joinVar(a, b varInfo) varInfo {
 	out := varInfo{retained: a.retained || b.retained, deferred: a.deferred || b.deferred}
 	switch {
@@ -112,11 +139,10 @@ func run(pass *analysis.Pass) error {
 			a := &analyzer{pass: pass, info: pass.TypesInfo}
 			e := env{}
 			// Seed parameters (including the receiver) of type *wire.Buf as
-			// borrowed: run-to-completion retention, no release obligation.
+			// transfer-in ownership; borrowed payload fields seed lazily.
 			seedFieldList(a, e, fd.Recv)
 			seedFieldList(a, e, fd.Type.Params)
-			a.block(e, fd.Body)
-			a.checkLeaks(e, fd.Body.Rbrace, false)
+			a.runFlow(e, fd.Body, false)
 			return false // nested FuncLits are analyzed by the closure logic
 		})
 	}
@@ -147,6 +173,15 @@ func seedFieldList(a *analyzer, e env, fl *ast.FieldList) {
 type analyzer struct {
 	pass *analysis.Pass
 	info *types.Info
+	// mute suppresses diagnostics while the fixpoint driver iterates; the
+	// reporting sweep clears it so each violation fires exactly once.
+	mute bool
+}
+
+func (a *analyzer) reportf(pos token.Pos, format string, args ...any) {
+	if !a.mute {
+		a.pass.Reportf(pos, format, args...)
+	}
 }
 
 func isBufPtr(t types.Type) bool {
@@ -175,25 +210,51 @@ func (a *analyzer) key(en env, x ast.Expr) (string, bool) {
 	return k, true
 }
 
-// ---- statement interpretation ----
+// ---- flow driving ----
 
-func (a *analyzer) block(e env, b *ast.BlockStmt) bool {
-	for _, s := range b.List {
-		if a.stmt(e, s) {
-			return true // control left the block
-		}
+// runFlow analyzes body as its own control-flow graph starting from entry,
+// and returns the join of the states at every exit (returns and the fall
+// off the closing brace). muted suppresses all diagnostics — used when a
+// closure body is re-interpreted during the enclosing function's fixpoint
+// iterations.
+func (a *analyzer) runFlow(entry env, body *ast.BlockStmt, muted bool) env {
+	var exit env
+	f := &cfg.Flow[env]{
+		Graph: cfg.New(body),
+		Entry: entry.clone,
+		Clone: env.clone,
+		Join:  joinEnv,
+		Transfer: func(e env, n ast.Node, report bool) {
+			prev := a.mute
+			a.mute = muted || !report
+			a.transfer(e, n)
+			a.mute = prev
+			if report {
+				switch n.(type) {
+				case *ast.ReturnStmt, *cfg.Fall:
+					if exit == nil {
+						exit = e.clone()
+					} else {
+						exit.merge(e)
+					}
+				}
+			}
+		},
 	}
-	return false
+	f.Analyze()
+	if exit == nil {
+		exit = env{}
+	}
+	return exit
 }
 
-// stmt interprets one statement; the return value reports whether control
-// definitely leaves the enclosing function/block (return, panic, branch).
-func (a *analyzer) stmt(e env, s ast.Stmt) bool {
-	switch s := s.(type) {
+// transfer interprets one flat CFG node.
+func (a *analyzer) transfer(e env, n ast.Node) {
+	switch n := n.(type) {
 	case *ast.AssignStmt:
-		a.assign(e, s)
+		a.assign(e, n)
 	case *ast.DeclStmt:
-		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
 			for _, spec := range gd.Specs {
 				vs, ok := spec.(*ast.ValueSpec)
 				if !ok {
@@ -209,19 +270,21 @@ func (a *analyzer) stmt(e env, s ast.Stmt) bool {
 			}
 		}
 	case *ast.ExprStmt:
-		a.expr(e, s.X)
+		a.expr(e, n.X)
 	case *ast.SendStmt:
-		a.expr(e, s.Chan)
-		a.expr(e, s.Value)
-		if k, ok := a.key(e, s.Value); ok {
-			a.storeEvent(e, k, s.Value.Pos(), "sends")
+		a.expr(e, n.Chan)
+		a.expr(e, n.Value)
+		if k, ok := a.key(e, n.Value); ok {
+			a.storeEvent(e, k, n.Value.Pos(), "sends")
 		}
 	case *ast.DeferStmt:
-		a.deferStmt(e, s)
+		a.deferStmt(e, n)
 	case *ast.GoStmt:
-		a.expr(e, s.Call)
+		a.expr(e, n.Call)
+	case *ast.IncDecStmt:
+		a.expr(e, n.X)
 	case *ast.ReturnStmt:
-		for _, r := range s.Results {
+		for _, r := range n.Results {
 			a.expr(e, r)
 			if k, ok := a.key(e, r); ok {
 				v := e[k]
@@ -229,155 +292,16 @@ func (a *analyzer) stmt(e env, s ast.Stmt) bool {
 				e[k] = v
 			}
 		}
-		a.checkLeaks(e, s.Pos(), true)
-		return true
-	case *ast.IfStmt:
-		if s.Init != nil {
-			a.stmt(e, s.Init)
-		}
-		a.expr(e, s.Cond)
-		thenEnv := e.clone()
-		thenDone := a.block(thenEnv, s.Body)
-		elseEnv := e.clone()
-		elseDone := false
-		if s.Else != nil {
-			elseDone = a.stmt(elseEnv, s.Else)
-		}
-		switch {
-		case thenDone && elseDone:
-			return true
-		case thenDone:
-			replace(e, elseEnv)
-		case elseDone:
-			replace(e, thenEnv)
-		default:
-			thenEnv.merge(elseEnv)
-			replace(e, thenEnv)
-		}
-	case *ast.BlockStmt:
-		return a.block(e, s)
-	case *ast.ForStmt:
-		if s.Init != nil {
-			a.stmt(e, s.Init)
-		}
-		if s.Cond != nil {
-			a.expr(e, s.Cond)
-		}
-		a.widenLoop(e, func(le env) {
-			a.block(le, s.Body)
-			if s.Post != nil {
-				a.stmt(le, s.Post)
-			}
-		})
+		a.checkLeaks(e, n.Pos(), true)
+	case *cfg.Fall:
+		a.checkLeaks(e, n.Brace, false)
 	case *ast.RangeStmt:
-		a.expr(e, s.X)
-		a.widenLoop(e, func(le env) { a.block(le, s.Body) })
-	case *ast.SwitchStmt:
-		if s.Init != nil {
-			a.stmt(e, s.Init)
-		}
-		if s.Tag != nil {
-			a.expr(e, s.Tag)
-		}
-		a.branches(e, caseBodies(s.Body), !hasDefault(s.Body))
-	case *ast.TypeSwitchStmt:
-		if s.Init != nil {
-			a.stmt(e, s.Init)
-		}
-		a.branches(e, caseBodies(s.Body), !hasDefault(s.Body))
-	case *ast.SelectStmt:
-		var bodies [][]ast.Stmt
-		for _, c := range s.Body.List {
-			cc := c.(*ast.CommClause)
-			if cc.Comm != nil {
-				a.stmt(e, cc.Comm)
-			}
-			bodies = append(bodies, cc.Body)
-		}
-		a.branches(e, bodies, false)
-	case *ast.LabeledStmt:
-		return a.stmt(e, s.Stmt)
-	case *ast.BranchStmt:
-		return true
-	case *ast.IncDecStmt:
-		a.expr(e, s.X)
-	}
-	if analysis.Terminates(s) {
-		return true
-	}
-	return false
-}
-
-func replace(dst, src env) {
-	for k := range dst {
-		delete(dst, k)
-	}
-	for k, v := range src {
-		dst[k] = v
-	}
-}
-
-func caseBodies(b *ast.BlockStmt) [][]ast.Stmt {
-	var out [][]ast.Stmt
-	for _, c := range b.List {
-		if cc, ok := c.(*ast.CaseClause); ok {
-			out = append(out, cc.Body)
-		}
-	}
-	return out
-}
-
-func hasDefault(b *ast.BlockStmt) bool {
-	for _, c := range b.List {
-		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
-			return true
-		}
-	}
-	return false
-}
-
-// branches forks e per branch body and merges the reachable outcomes;
-// mayFallThrough adds the pre-state as one outcome (switch without default).
-func (a *analyzer) branches(e env, bodies [][]ast.Stmt, mayFallThrough bool) {
-	var merged env
-	add := func(be env) {
-		if merged == nil {
-			merged = be
-		} else {
-			merged.merge(be)
-		}
-	}
-	if mayFallThrough || len(bodies) == 0 {
-		add(e.clone())
-	}
-	for _, body := range bodies {
-		be := e.clone()
-		done := false
-		for _, s := range body {
-			if a.stmt(be, s) {
-				done = true
-				break
-			}
-		}
-		if !done {
-			add(be)
-		}
-	}
-	if merged != nil {
-		replace(e, merged)
-	}
-}
-
-// widenLoop runs body once on a copy and widens every key the body changed
-// to unknown — sound for reporting only definite violations.
-func (a *analyzer) widenLoop(e env, body func(env)) {
-	le := e.clone()
-	body(le)
-	for k, after := range le {
-		before, had := e[k]
-		if !had || before != after {
-			e[k] = varInfo{st: stUnknown, retained: before.retained || after.retained}
-		}
+		a.expr(e, n.X)
+	case *ast.ForStmt:
+		// Condition-less loop marker: no data effect.
+	case ast.Expr:
+		// Decomposed conditions, switch tags, and case guards.
+		a.expr(e, n)
 	}
 }
 
@@ -401,6 +325,16 @@ func (a *analyzer) assign(e env, s *ast.AssignStmt) {
 
 func (a *analyzer) assignOne(e env, lhs ast.Expr, rhs ast.Expr) {
 	lhs = ast.Unparen(lhs)
+	// Reassigning any location invalidates tracked buffer paths under it:
+	// after `f, ok = q.Pop()` the old state of f.buf says nothing about the
+	// new frame's buffer.
+	if lk, ok := analysis.ExprKey(a.info, lhs); ok {
+		for k := range e {
+			if strings.HasPrefix(k, lk+".") {
+				delete(e, k)
+			}
+		}
+	}
 	lt := a.lhsType(lhs)
 	if lt == nil || !isBufPtr(lt) {
 		return
@@ -497,11 +431,11 @@ func (a *analyzer) storeEvent(e env, k string, pos token.Pos, verb string) {
 		e[k] = v
 	case stBorrowed:
 		if !v.retained {
-			a.pass.Reportf(pos,
+			a.reportf(pos,
 				"%s a borrowed payload buffer beyond the handler without Retain: the pool reclaims it when the dispatcher releases (wire.Buf contract, internal/wire/wire.go)", verb)
 		}
 	case stReleased:
-		a.pass.Reportf(pos, "%s a wire.Buf after its final Release", verb)
+		a.reportf(pos, "%s a wire.Buf after its final Release", verb)
 	}
 }
 
@@ -589,7 +523,7 @@ func (a *analyzer) call(e env, call *ast.CallExpr) {
 				v.st = stGone
 				e[k] = v
 			case stReleased:
-				a.pass.Reportf(arg.Pos(), "passes a wire.Buf after its final Release")
+				a.reportf(arg.Pos(), "passes a wire.Buf after its final Release")
 			}
 		}
 	}
@@ -609,14 +543,14 @@ func (a *analyzer) closure(e env, fl *ast.FuncLit, escapes bool) {
 			switch v.st {
 			case stBorrowed:
 				if !v.retained {
-					a.pass.Reportf(fl.Pos(),
+					a.reportf(fl.Pos(),
 						"closure escapes with a borrowed payload buffer captured without Retain: the pool may reclaim it before the closure runs")
 				}
 			case stOwned, stParam:
 				v.st = stGone // the closure body is now responsible for it
 				e[k] = v
 			case stReleased:
-				a.pass.Reportf(fl.Pos(), "closure captures a wire.Buf after its final Release")
+				a.reportf(fl.Pos(), "closure captures a wire.Buf after its final Release")
 			}
 		}
 		// The closure runs later, against state we cannot order: analyze its
@@ -625,10 +559,10 @@ func (a *analyzer) closure(e env, fl *ast.FuncLit, escapes bool) {
 			inner[k] = varInfo{st: stUnknown, retained: e[k].retained}
 		}
 	}
-	a.block(inner, fl.Body)
+	exit := a.runFlow(inner, fl.Body, a.mute)
 	if !escapes {
 		// Immediately-invoked literal: releases inside it happened.
-		for k, v := range inner {
+		for k, v := range exit {
 			if _, outer := e[k]; outer {
 				e[k] = v
 			}
@@ -725,10 +659,10 @@ func (a *analyzer) releaseEvent(e env, k string, pos token.Pos, viaDefer bool) {
 	v := e[k]
 	switch v.st {
 	case stReleased:
-		a.pass.Reportf(pos, "wire.Buf released twice on this path")
+		a.reportf(pos, "wire.Buf released twice on this path")
 		return
 	case stMaybeRel:
-		a.pass.Reportf(pos, "wire.Buf may already be released on some path reaching this Release")
+		a.reportf(pos, "wire.Buf may already be released on some path reaching this Release")
 		return
 	case stGone:
 		// Ownership was transferred; releasing now double-frees somewhere
@@ -736,7 +670,7 @@ func (a *analyzer) releaseEvent(e env, k string, pos token.Pos, viaDefer bool) {
 		return
 	}
 	if v.deferred && !viaDefer {
-		a.pass.Reportf(pos, "explicit Release with a deferred Release pending: the buffer is released twice at function exit")
+		a.reportf(pos, "explicit Release with a deferred Release pending: the buffer is released twice at function exit")
 		return
 	}
 	v.st = stReleased
@@ -747,7 +681,7 @@ func (a *analyzer) releaseEvent(e env, k string, pos token.Pos, viaDefer bool) {
 func (a *analyzer) useEvent(e env, k string, pos token.Pos, verb string) {
 	switch e[k].st {
 	case stReleased:
-		a.pass.Reportf(pos, "%s a wire.Buf after its final Release: the pool may have reissued it", verb)
+		a.reportf(pos, "%s a wire.Buf after its final Release: the pool may have reissued it", verb)
 	}
 }
 
@@ -760,7 +694,7 @@ func (a *analyzer) checkLeaks(e env, pos token.Pos, atReturn bool) {
 			if atReturn {
 				where = "on this return path"
 			}
-			a.pass.Reportf(pos,
+			a.reportf(pos,
 				"owned wire.Buf leaks %s: release it or transfer ownership before returning (wire pool contract)", where)
 		}
 	}

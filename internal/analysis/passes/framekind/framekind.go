@@ -1,0 +1,124 @@
+// Package framekind enforces exhaustive dispatch over wire-protocol kind
+// constants. A defined constant type annotated //mpmdvet:exhaustive (the
+// netlive frame-kind byte is the motivating case) promises that every switch
+// over a value of the type:
+//
+//   - covers every package-level constant of the type (compared by constant
+//     value, so aliases like kLast = kClose count as covered together), and
+//   - carries a non-empty default clause, so a corrupt or future kind byte
+//     is rejected loudly instead of falling through silently
+//
+// Adding a constant to the kind set then fails vet at every dispatch site
+// that has not learned about it — the property a hand-maintained switch
+// silently loses.
+package framekind
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/cfg"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "framekind",
+	Doc: "switches over //mpmdvet:exhaustive constant types must cover every " +
+		"constant and reject unknown values in a non-empty default",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	annots := cfg.CollectAnnotations(pass.TypesInfo, pass.Files)
+	if len(annots.Exhaustive) == 0 {
+		return nil
+	}
+	// Collect the package's constants of each exhaustive type, grouped by
+	// constant value: names[tn][exactValue] = sorted const names.
+	names := map[*types.TypeName]map[string][]string{}
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() { // Names() is sorted
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		tn := namedObj(c.Type())
+		if tn == nil || !annots.Exhaustive[tn] {
+			continue
+		}
+		if names[tn] == nil {
+			names[tn] = map[string][]string{}
+		}
+		key := c.Val().ExactString()
+		names[tn][key] = append(names[tn][key], name)
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[sw.Tag]
+			if !ok {
+				return true
+			}
+			tn := namedObj(tv.Type)
+			if tn == nil || !annots.Exhaustive[tn] {
+				return true
+			}
+			check(pass, sw, tn, names[tn])
+			return true
+		})
+	}
+	return nil
+}
+
+func check(pass *analysis.Pass, sw *ast.SwitchStmt, tn *types.TypeName, vals map[string][]string) {
+	covered := map[string]bool{}
+	hasDefault, defaultEmpty := false, false
+	for _, cl := range sw.Body.List {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+			defaultEmpty = len(cc.Body) == 0
+			continue
+		}
+		for _, e := range cc.List {
+			if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil {
+				covered[tv.Value.ExactString()] = true
+			}
+		}
+	}
+	var missing []string
+	for key, ns := range vals {
+		if !covered[key] {
+			// One name per value: aliases are covered together, so naming
+			// the first is enough to locate the gap.
+			missing = append(missing, ns[0])
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		pass.Reportf(sw.Switch,
+			"switch over %s (//mpmdvet:exhaustive) is not exhaustive: missing %s",
+			tn.Name(), strings.Join(missing, ", "))
+	}
+	if !hasDefault || defaultEmpty {
+		pass.Reportf(sw.Switch,
+			"switch over %s (//mpmdvet:exhaustive) needs a non-empty default clause rejecting unknown values",
+			tn.Name())
+	}
+}
+
+// namedObj returns the defined type's name object, nil for non-named types.
+func namedObj(t types.Type) *types.TypeName {
+	if n, ok := types.Unalias(t).(*types.Named); ok {
+		return n.Obj()
+	}
+	return nil
+}

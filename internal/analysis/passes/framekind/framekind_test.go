@@ -1,0 +1,15 @@
+package framekind_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/framekind"
+)
+
+func TestFramekind(t *testing.T) {
+	results := analysistest.Run(t, framekind.Analyzer, "a")
+	if n := len(results[0].Suppressed); n != 1 {
+		t.Errorf("expected exactly 1 pragma-suppressed diagnostic (the escape-hatch case), got %d", n)
+	}
+}

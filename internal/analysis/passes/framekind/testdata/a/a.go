@@ -1,0 +1,99 @@
+// Package a exercises the framekind pass: switches over an annotated
+// constant kind type must cover every constant and carry a non-empty
+// default, while unannotated types stay unchecked.
+package a
+
+// kind discriminates wire frames.
+//
+//mpmdvet:exhaustive
+type kind byte
+
+const (
+	kData kind = iota
+	kAck
+	kPing
+	kClose
+)
+
+// kLast aliases kClose: same value, covered together.
+const kLast = kClose
+
+// --- positives -------------------------------------------------------------
+
+func missingOne(k kind) int {
+	switch k { // want `not exhaustive: missing kClose`
+	case kData:
+		return 1
+	case kAck:
+		return 2
+	case kPing:
+		return 3
+	default:
+		panic("bad kind")
+	}
+}
+
+func noDefault(k kind) int {
+	switch k { // want `non-empty default`
+	case kData, kAck, kPing, kClose:
+		return 1
+	}
+	return 0
+}
+
+func emptyDefault(k kind) int {
+	switch k { // want `non-empty default`
+	case kData, kAck, kPing, kClose:
+		return 1
+	default:
+	}
+	return 0
+}
+
+// --- negatives -------------------------------------------------------------
+
+func fullSwitch(k kind) int {
+	switch k {
+	case kData:
+		return 1
+	case kAck, kPing, kClose:
+		return 2
+	default:
+		panic("unknown kind")
+	}
+}
+
+func aliasCovers(k kind) int {
+	// kLast has kClose's value, so listing it covers kClose too.
+	switch k {
+	case kData, kAck, kPing, kLast:
+		return 1
+	default:
+		panic("unknown kind")
+	}
+}
+
+// color is not annotated: partial switches over it are fine.
+type color int
+
+const (
+	red color = iota
+	green
+)
+
+func colors(c color) int {
+	switch c {
+	case red:
+		return 1
+	}
+	return 0
+}
+
+func pragmaEscapeHatch(k kind) int {
+	switch k { //mpmdvet:ignore framekind decoder strips kClose frames before dispatch
+	case kData, kAck, kPing:
+		return 1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,180 @@
+// Package lockguard turns `Guarded by` prose into a checked invariant: a
+// struct field annotated
+//
+//	done bool //mpmdvet:guard nd.mu
+//
+// may only be accessed while the named mutex is held. The pass runs the cfg
+// package's must-hold lockset analysis over every function body and checks
+// each field selector against the guard path, which is resolved relative to
+// the access base: p.done requires p.nd.mu in the lockset. A function the
+// runtime only calls with a lock already held declares it with
+// //mpmdvet:locked <recv.path>, which seeds the entry lockset; cond.Wait is
+// lock-preserving (sync.Cond reacquires before returning), so wait loops
+// check clean. Writes under an RLock are reported separately: a read lock
+// licenses reads only.
+//
+// Construction sites are exempt by shape: composite-literal keys
+// (&Proc{done: …}) are not selector accesses, matching the convention that
+// a value is unshared until published. Accesses whose base is not a
+// variable/field path (a call result, a map element) cannot be proven and
+// are skipped — keep guarded fields reachable through named paths.
+//
+// Malformed or unresolvable concurrency annotations (guard/locked/cond/cpu)
+// are reported by this pass, once per package.
+package lockguard
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/cfg"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockguard",
+	Doc: "check that //mpmdvet:guard fields are only accessed with their mutex held " +
+		"(lockset analysis; //mpmdvet:locked seeds entry locks, cond.Wait preserves them)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	annots := cfg.CollectAnnotations(pass.TypesInfo, pass.Files)
+	c := &checker{pass: pass, info: pass.TypesInfo, annots: annots}
+	if len(annots.Guards) > 0 {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					if n.Body != nil {
+						entry := cfg.EntryLocks(pass.TypesInfo, pass.Pkg, n, annots)
+						c.body(n.Body, entry)
+					}
+				case *ast.FuncLit:
+					// Every literal is its own function starting lock-free;
+					// one that needs a lock takes it itself (the Go()
+					// closure idiom). Inspect finds nested literals too.
+					c.body(n.Body, cfg.LockSet{})
+				}
+				return true
+			})
+		}
+	}
+	for _, w := range annots.Warnings {
+		pass.Reportf(w.Pos, "%s", w.Message)
+	}
+	return nil
+}
+
+type checker struct {
+	pass   *analysis.Pass
+	info   *types.Info
+	annots *cfg.Annotations
+}
+
+func (c *checker) body(body *ast.BlockStmt, entry cfg.LockSet) {
+	cfg.WalkLocked(c.info, body, entry, c.node)
+}
+
+// node checks one flat CFG node's expressions against the pre-state.
+func (c *checker) node(s cfg.LockSet, n ast.Node) {
+	switch n := n.(type) {
+	case *cfg.Fall, *ast.ForStmt:
+		// Synthetic exit / condition-less loop marker: no expressions.
+	case *ast.RangeStmt:
+		c.tree(s, n.X, nil)
+		writes := map[ast.Expr]bool{}
+		if n.Key != nil {
+			writes[ast.Unparen(n.Key)] = true
+			c.tree(s, n.Key, writes)
+		}
+		if n.Value != nil {
+			writes[ast.Unparen(n.Value)] = true
+			c.tree(s, n.Value, writes)
+		}
+	case *ast.AssignStmt:
+		writes := map[ast.Expr]bool{}
+		for _, l := range n.Lhs {
+			writes[ast.Unparen(l)] = true
+		}
+		for _, l := range n.Lhs {
+			c.tree(s, l, writes)
+		}
+		for _, r := range n.Rhs {
+			c.tree(s, r, nil)
+		}
+	case *ast.IncDecStmt:
+		writes := map[ast.Expr]bool{ast.Unparen(n.X): true}
+		c.tree(s, n.X, writes)
+	default:
+		c.tree(s, n, nil)
+	}
+}
+
+// tree walks a node subtree checking guarded-field selectors. writes marks
+// expressions that are assignment targets (write accesses). FuncLit bodies
+// are skipped — they are analyzed as their own functions.
+func (c *checker) tree(s cfg.LockSet, root ast.Node, writes map[ast.Expr]bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectorExpr:
+			c.selector(s, n, writes[n])
+		}
+		return true
+	})
+}
+
+func (c *checker) selector(s cfg.LockSet, sel *ast.SelectorExpr, isWrite bool) {
+	selection := c.info.Selections[sel]
+	if selection == nil || selection.Kind() != types.FieldVal {
+		return
+	}
+	field, ok := selection.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	guard, guarded := c.annots.Guards[field]
+	if !guarded {
+		return
+	}
+	base, ok := analysis.ExprKey(c.info, sel.X)
+	if !ok {
+		return // unprovable base (call result, map element): skip
+	}
+	// Splice embedded hops from promoted access so the base names the
+	// field's immediate owner struct, which the guard path is relative to.
+	index := selection.Index()
+	if len(index) > 1 {
+		t := baseType(c.info, sel.X)
+		for _, idx := range index[:len(index)-1] {
+			st, isStruct := analysis.Deref(types.Unalias(t)).Underlying().(*types.Struct)
+			if !isStruct {
+				return
+			}
+			f := st.Field(idx)
+			base += "." + f.Name()
+			t = f.Type()
+		}
+	}
+	required := base + "." + guard
+	held, ok := s[required]
+	if !ok {
+		c.pass.Reportf(sel.Sel.Pos(),
+			"field %s is guarded by %s (%s): not provably held at this access",
+			field.Name(), guard, cfg.GuardDirective)
+		return
+	}
+	if held.RLock && isWrite {
+		c.pass.Reportf(sel.Sel.Pos(),
+			"write to field %s while holding only the read lock of %s", field.Name(), guard)
+	}
+}
+
+func baseType(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	results := analysistest.Run(t, lockorder.Analyzer, "a")
+	if n := len(results[0].Suppressed); n != 1 {
+		t.Errorf("expected exactly 1 pragma-suppressed diagnostic (the escape-hatch case), got %d", n)
+	}
+}

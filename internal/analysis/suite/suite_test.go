@@ -1,6 +1,7 @@
 package suite_test
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -37,9 +38,31 @@ func TestTreeClean(t *testing.T) {
 			t.Errorf("suppression at %s has no reason", s.Position)
 		}
 	}
+	// The suppression ledger must match the committed baseline exactly: new
+	// pragmas (and removed ones) update mpmdvet_baseline.json in the same
+	// reviewed change.
+	base, err := analysis.LoadBaseline(filepath.Join(root, "mpmdvet_baseline.json"))
+	if err != nil {
+		t.Fatalf("committed baseline: %v", err)
+	}
+	for _, msg := range sum.DiffBaseline(base) {
+		t.Errorf("baseline drift: %s", msg)
+	}
 }
 
-func moduleRoot(t *testing.T) string {
+// BenchmarkMpmdvetTree times a full ten-pass run over the whole module —
+// load, type-check, analyze, filter pragmas. Loading dominates; the number to
+// watch across changes is the marginal cost of adding a pass.
+func BenchmarkMpmdvetTree(b *testing.B) {
+	root := moduleRoot(b)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := analysis.Run(io.Discard, root, suite.Analyzers()); err != nil {
+			b.Fatalf("mpmdvet over ./...: %v", err)
+		}
+	}
+}
+
+func moduleRoot(t testing.TB) string {
 	dir, err := os.Getwd()
 	if err != nil {
 		t.Fatal(err)

@@ -89,6 +89,26 @@ func ExprKey(info *types.Info, e ast.Expr) (string, bool) {
 	return "", false
 }
 
+// ExprText renders an ident/selector chain back to source text ("p.nd.mu"),
+// for diagnostics; ok is false for other expression forms.
+func ExprText(e ast.Expr) (string, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name, true
+	case *ast.SelectorExpr:
+		base, ok := ExprText(e.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + e.Sel.Name, true
+	}
+	return "", false
+}
+
+// VarKey returns the ExprKey root key of a variable object, so callers can
+// construct keys for paths they resolve themselves (annotation paths).
+func VarKey(obj types.Object) string { return objKey(obj) }
+
 func objKey(obj types.Object) string {
 	// Pointer identity of the types.Object is unique within one
 	// type-checked package; the position disambiguates across packages.

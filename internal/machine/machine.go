@@ -210,7 +210,7 @@ type Node struct {
 	// instead of sliding the whole queue, so deep inboxes (a node being
 	// blasted by many senders) drain in linear, not quadratic, time.
 	inboxMu sync.Mutex
-	inbox   wire.Ring[Packet]
+	inbox   wire.Ring[Packet] //mpmdvet:guard inboxMu
 
 	// notify wakes the node's reception; built once at machine construction
 	// and reused by every direct delivery.

@@ -71,7 +71,7 @@ type Backend struct {
 	wg    sync.WaitGroup
 
 	mu   sync.Mutex
-	live map[*Proc]struct{}
+	live map[*Proc]struct{} //mpmdvet:guard mu
 
 	// timers tracks outstanding After callbacks so shutdown can cancel them
 	// instead of leaking them (a pending time.AfterFunc used to outlive Run,
@@ -79,9 +79,9 @@ type Backend struct {
 	// vanished silently). lateAfter counts callbacks that still slipped past
 	// cancellation into a closed queue — surfaced through Err.
 	timersMu  sync.Mutex
-	timers    map[*time.Timer]struct{}
-	closed    bool
-	lateAfter int
+	timers    map[*time.Timer]struct{} //mpmdvet:guard timersMu
+	closed    bool                     //mpmdvet:guard timersMu
+	lateAfter int                      //mpmdvet:guard timersMu
 }
 
 // New builds a live backend for n nodes and starts the per-node delivery
@@ -135,15 +135,16 @@ func (b *Backend) MetricsSnapshot() metrics.Snapshot {
 
 // lnode is one node's execution context: the CPU mutex and the notify queue.
 type lnode struct {
-	id  int
-	mu  sync.Mutex        // the node's CPU: held by whichever context is executing
+	id int
+	// mu is the node's CPU: held by whichever context is executing.
+	mu  sync.Mutex        //mpmd:cpu
 	met *metrics.Registry // wall-clock instruments; shared with upper layers via NodeMetrics
 
 	q struct {
 		mu     sync.Mutex
-		cond   *sync.Cond
-		fns    wire.Ring[func()]
-		closed bool
+		cond   *sync.Cond        //mpmdvet:cond mu
+		fns    wire.Ring[func()] //mpmdvet:guard mu
+		closed bool              //mpmdvet:guard mu
 	}
 
 	// batch is the delivery worker's reusable drain buffer (worker-private,
@@ -230,12 +231,11 @@ type Proc struct {
 	b    *Backend
 	nd   *lnode
 	name string
-	cond *sync.Cond // tied to nd.mu
+	cond *sync.Cond //mpmdvet:cond nd.mu
 
-	// Guarded by nd.mu.
-	permit bool
-	parked bool
-	done   bool
+	permit bool //mpmdvet:guard nd.mu
+	parked bool //mpmdvet:guard nd.mu
+	done   bool //mpmdvet:guard nd.mu
 }
 
 // Name implements transport.Proc.
@@ -248,6 +248,8 @@ func (p *Proc) Now() time.Duration { return p.b.Now() }
 // Park implements transport.Proc. Called with the node CPU held; the
 // condition wait releases it, which is what lets the delivery worker and
 // sibling procs run.
+//
+//mpmdvet:locked p.nd.mu
 func (p *Proc) Park() {
 	if p.permit {
 		p.permit = false
@@ -263,6 +265,8 @@ func (p *Proc) Park() {
 
 // Unpark implements transport.Proc. Must be called from the same node's
 // execution context (which holds the node CPU).
+//
+//mpmdvet:locked p.nd.mu
 func (p *Proc) Unpark() {
 	if p.done {
 		panic("live: Unpark of dead proc " + p.name)
@@ -281,6 +285,8 @@ func (p *Proc) Unpark() {
 // costs a few atomic operations. (An unconditional runtime.Gosched here was
 // the single largest cost of the warm RMI path: each modelled charge forced
 // a scheduler round trip, and a round trip has several charges per side.)
+//
+//mpmdvet:locked p.nd.mu
 func (p *Proc) Sleep(d time.Duration) {
 	if d <= 0 {
 		return
@@ -315,10 +321,12 @@ func (b *Backend) Go(node int, name string, fn func(transport.Proc)) transport.P
 			defer runtime.UnlockOSThread()
 		}
 		<-b.start
-		nd.mu.Lock()
+		// Lock through p.nd (== nd) so the acquisition names the same lock
+		// path the //mpmdvet:guard annotation on p.done resolves to.
+		p.nd.mu.Lock()
 		fn(p)
 		p.done = true
-		nd.mu.Unlock()
+		p.nd.mu.Unlock()
 		b.mu.Lock()
 		delete(b.live, p)
 		b.mu.Unlock()

@@ -102,13 +102,20 @@ type Options struct {
 	DialTimeout time.Duration
 }
 
+// frameKind is the frame discriminator on the wire. Every switch over it
+// must dispatch all kinds and reject unknown bytes in a default clause —
+// adding a kind then fails vet at every dispatch site that missed it.
+//
+//mpmdvet:exhaustive
+type frameKind byte
+
 // frame kinds on the wire.
 const (
-	kPacket    = byte(1) // u32 src, u32 dst, u32 size, payload
-	kMainsDone = byte(2) // u32 shard
-	kAllDone   = byte(3) // empty
-	kStats     = byte(4) // u32 shard, JSON machine.ShardStats (worker -> parent)
-	kStatsReq  = byte(5) // empty (parent -> worker: report your stats now)
+	kPacket    = frameKind(1) // u32 src, u32 dst, u32 size, payload
+	kMainsDone = frameKind(2) // u32 shard
+	kAllDone   = frameKind(3) // empty
+	kStats     = frameKind(4) // u32 shard, JSON machine.ShardStats (worker -> parent)
+	kStatsReq  = frameKind(5) // empty (parent -> worker: report your stats now)
 )
 
 // packetHdrLen is the kPacket body header: src, dst, size.
@@ -135,10 +142,10 @@ type Backend struct {
 
 	q struct {
 		sync.Mutex
-		fn        func()       // quiesce callback (LocalQuiesced)
-		localDone bool         // this shard's programs finished
-		done      map[int]bool // parent: shards that reported mains-done
-		fired     bool
+		fn        func()       //mpmdvet:guard Mutex — quiesce callback (LocalQuiesced)
+		localDone bool         //mpmdvet:guard Mutex — this shard's programs finished
+		done      map[int]bool //mpmdvet:guard Mutex — parent: shards that reported mains-done
+		fired     bool         //mpmdvet:guard Mutex
 	}
 
 	// met is the shard's message-plane registry: frame/byte counters, peer
@@ -151,21 +158,20 @@ type Backend struct {
 	// reader goroutines may field a kStatsReq while it is being installed.
 	statsProv atomic.Value // func() []byte
 
-	// statsMu guards peerStats, the latest kStats payload from each worker
-	// shard (parent only).
+	// peerStats is the latest kStats payload from each worker shard
+	// (parent only).
 	statsMu   sync.Mutex
-	peerStats map[int][]byte
+	peerStats map[int][]byte //mpmdvet:guard statsMu
 
 	errMu sync.Mutex
-	errs  []error
+	errs  []error //mpmdvet:guard errMu
 
-	// conns/sockClosed are guarded by errMu: acceptLoop registers each
-	// accepted connection (and its reader) under the lock, and shutdown
-	// flips sockClosed under the same lock before waiting on readers — a
-	// connection that races shutdown is closed on the spot instead of
-	// leaking an untracked reader.
-	conns      []net.Conn
-	sockClosed bool
+	// conns/sockClosed: acceptLoop registers each accepted connection (and
+	// its reader) under errMu, and shutdown flips sockClosed under the same
+	// lock before waiting on readers — a connection that races shutdown is
+	// closed on the spot instead of leaking an untracked reader.
+	conns      []net.Conn //mpmdvet:guard errMu
+	sockClosed bool       //mpmdvet:guard errMu
 	readers    sync.WaitGroup
 }
 
@@ -221,8 +227,14 @@ func New(n int, opts Options) (*Backend, error) {
 		b.hi = n
 	}
 	b.met = metrics.NewRegistry()
+	// The maps are guarded; take the (uncontended) locks so construction is
+	// checked by the same rule as every later access.
+	b.statsMu.Lock()
 	b.peerStats = make(map[int][]byte)
+	b.statsMu.Unlock()
+	b.q.Lock()
 	b.q.done = make(map[int]bool)
+	b.q.Unlock()
 	if opts.DialTimeout <= 0 {
 		b.opts.DialTimeout = 10 * time.Second
 	}
@@ -676,7 +688,7 @@ func (b *Backend) readLoop(conn net.Conn) {
 			return
 		}
 		n := int(binary.LittleEndian.Uint32(hdr[:4]))
-		kind := hdr[4]
+		kind := frameKind(hdr[4])
 		var body []byte
 		var buf *wire.Buf
 		if n > 0 {
@@ -732,7 +744,7 @@ func isClosedErr(err error) bool {
 // outFrame is one queued wire frame. buf (optional) is the body beyond the
 // packet header; ownership rides with the frame.
 type outFrame struct {
-	kind           byte
+	kind           frameKind
 	src, dst, size int
 	buf            *wire.Buf
 	at             time.Duration // push time (backend clock), for writer-stall metrics
@@ -747,11 +759,11 @@ type peer struct {
 	shard int
 
 	mu     sync.Mutex
-	cond   *sync.Cond
-	q      wire.Ring[outFrame]
-	closed bool
+	cond   *sync.Cond          //mpmdvet:cond mu
+	q      wire.Ring[outFrame] //mpmdvet:guard mu
+	closed bool                //mpmdvet:guard mu
 
-	started bool
+	started bool //mpmdvet:guard mu
 
 	// queued counts frames ever pushed; sent counts frames the writer has
 	// fully put on the wire (or dropped after a connection failure). flush
@@ -868,7 +880,7 @@ func (p *peer) writeLoop() {
 			bodyLen += f.buf.Len()
 		}
 		binary.LittleEndian.PutUint32(hdr[:4], uint32(bodyLen))
-		hdr[4] = f.kind
+		hdr[4] = byte(f.kind)
 		_, werr := conn.Write(hdr)
 		if werr == nil && f.buf != nil {
 			_, werr = conn.Write(f.buf.Bytes())
