@@ -14,7 +14,7 @@
 // sustained-throughput experiment (warm RMI/s and bulk MB/s per node count).
 //
 // -json replaces the text tables with one machine-readable report on
-// stdout (schema mpmdbench/v4; duration fields in nanoseconds), so runs can
+// stdout (schema mpmdbench/v5; duration fields in nanoseconds), so runs can
 // be accumulated into a performance trajectory:
 //
 //	mpmdbench -quick -json table4 > BENCH_table4.json
@@ -64,7 +64,7 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit one machine-readable JSON report on stdout instead of text tables")
 	backend := flag.String("backend", "sim",
 		"execution backend: sim (calibrated discrete-event model), live (real goroutines, wall-clock), or net (nodes sharded across OS processes over sockets)")
-	netNodes := flag.Int("net-nodes", 0, "net backend: machine size (default 4, or 8 at full scale)")
+	netNodes := flag.Int("net-nodes", 0, "net backend: machine size (default 16: eight client/server pairs)")
 	netNPS := flag.Int("nodes-per-shard", 0, "net backend: nodes per OS process (default half the nodes: clients in the parent, servers in the worker)")
 	traceOut := flag.String("trace", "", "write the stats experiment's event trace to this file as Chrome trace-event JSON (open in https://ui.perfetto.dev)")
 	debugAddr := flag.String("debug-addr", "", "serve expvar (/debug/vars, incl. live mpmd.stats) and net/http/pprof on this address for the duration of the run")
@@ -151,22 +151,26 @@ func main() {
 		if len(flag.Args()) > 0 {
 			fmt.Fprintf(os.Stderr, "mpmdbench: note: experiment names %v select sim-backend tables; the net backend runs its sharded throughput experiment\n", flag.Args())
 		}
-		// One net machine per process: the experiment re-execs this whole
-		// program for the worker shards, so exactly one sharded machine is
-		// built per run, carrying both the rmi and the bulk phase.
+		// One net machine per process per wave: the experiment re-execs this
+		// whole program for the worker shards, so exactly one sharded machine
+		// is built per run, carrying both the rmi and the bulk phase. The
+		// parent runs two waves — shared-memory rings, then the socket path —
+		// so the report carries both transports over the identical workload.
+		// A re-exec'd worker only ever sees the first call: it inherits its
+		// wave's transport through the environment and exits after reporting.
+		// Default to 8 client/server pairs: sustained throughput is what the
+		// experiment measures, and fewer pairs under-fill the rings — the
+		// per-switch batch is what amortizes the process hand-off cost.
 		nodes := *netNodes
 		if nodes == 0 {
-			nodes = 4
-			if !*quick {
-				nodes = 8
-			}
+			nodes = 16
 		}
 		nps := *netNPS
 		if nps == 0 {
 			nps = nodes / 2
 		}
 		start := time.Now()
-		rows, statsRows, isWorker, err := bench.RunThroughputNet(cfg, scale, nodes, nps, tl)
+		rows, statsRows, isWorker, err := bench.RunThroughputNet(cfg, scale, nodes, nps, tl, false)
 		if isWorker {
 			// A re-exec'd worker shard: the parent owns the report.
 			if err != nil {
@@ -179,6 +183,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "mpmdbench: %v\n", err)
 			os.Exit(1)
 		}
+		sockRows, _, _, err := bench.RunThroughputNet(cfg, scale, nodes, nps, nil, true)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpmdbench: socket wave: %v\n", err)
+			os.Exit(1)
+		}
+		rows = append(rows, sockRows...)
 		elapsed := time.Since(start)
 		if *asJSON {
 			report.Add("throughput", elapsed, rows)

@@ -126,6 +126,26 @@ func branchReleaseBothPaths(cond bool) {
 	}
 }
 
+// Slot-backed buffers (wire.NewSlot, the shm ring marshal target) follow the
+// same owned lifecycle: Bind/marshal/Release per frame is clean, touching the
+// Buf after Release is the slot-aliasing bug the severed backing store exists
+// to catch.
+
+func slotBindMarshalRelease(region []byte) int {
+	b := wire.NewSlot()
+	b.Bind(region)
+	n := sink(b.Bytes())
+	b.Release()
+	return n
+}
+
+func slotUseAfterRelease(region []byte) int {
+	b := wire.NewSlot()
+	b.Bind(region)
+	b.Release()
+	return sink(b.Bytes()) // want `after its final Release`
+}
+
 // The escape hatch: a deliberate violation justified in place is suppressed
 // and counted, not reported.
 func pragmaEscapeHatch() {

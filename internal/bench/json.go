@@ -35,15 +35,18 @@ type Experiment struct {
 	Rows any `json:"rows"`
 }
 
-// ReportSchema is the current report schema identifier. v4 added the
-// observability experiment ("stats", []StatsRow): machine-wide merged
-// accounting counters — on the net backend the true cross-process merge of
-// every shard's kStats report — plus wall-clock latency histograms with
-// p50/p99/p999 on the live backends. v3 added the sustained-throughput
-// experiment ("throughput", []ThroughputRow) on both backends; v2 added the
-// collective-operations experiment ("coll", []CollRow). Earlier reports are
-// otherwise layout-compatible.
-const ReportSchema = "mpmdbench/v4"
+// ReportSchema is the current report schema identifier. v5 added per-row
+// RMI-latency percentiles (rmi_p50_ns/rmi_p99_ns/rmi_p999_ns) and the
+// transport label ("shm" or "socket") to throughput rows; on the net backend
+// the throughput experiment now carries both transports' waves in one
+// report. v4 added the observability experiment ("stats", []StatsRow):
+// machine-wide merged accounting counters — on the net backend the true
+// cross-process merge of every shard's kStats report — plus wall-clock
+// latency histograms with p50/p99/p999 on the live backends. v3 added the
+// sustained-throughput experiment ("throughput", []ThroughputRow) on both
+// backends; v2 added the collective-operations experiment ("coll",
+// []CollRow). Earlier reports are otherwise layout-compatible.
+const ReportSchema = "mpmdbench/v5"
 
 // NewReport starts an empty report for the given backend, profile and scale.
 func NewReport(backend, profile, scale string) *Report {

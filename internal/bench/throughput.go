@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/metrics"
 	"repro/internal/threads"
 	"repro/internal/trace"
 	"repro/internal/transport/netlive"
@@ -19,13 +20,31 @@ import (
 // time on the simulator — so OpsPerSec is directly comparable across runs of
 // the same backend and establishes the wire-path performance trajectory.
 type ThroughputRow struct {
-	Experiment string        `json:"experiment"` // "rmi" or "bulk"
-	Nodes      int           `json:"nodes"`
-	Pairs      int           `json:"pairs"`
-	Iters      int           `json:"iters_per_pair"`
-	Elapsed    time.Duration `json:"elapsed_ns"`
-	OpsPerSec  float64       `json:"ops_per_sec"`
-	MBps       float64       `json:"mbps"` // non-zero for bulk rows
+	Experiment string `json:"experiment"` // "rmi" or "bulk"
+	// Transport labels which wire path carried the cross-shard frames on the
+	// net backend: "shm" (shared-memory shard rings) or "socket". Empty on
+	// single-process backends, where there is no wire.
+	Transport string        `json:"transport,omitempty"`
+	Nodes     int           `json:"nodes"`
+	Pairs     int           `json:"pairs"`
+	Iters     int           `json:"iters_per_pair"`
+	Elapsed   time.Duration `json:"elapsed_ns"`
+	OpsPerSec float64       `json:"ops_per_sec"`
+	MBps      float64       `json:"mbps"` // non-zero for bulk rows
+	// P50/P99/P999 are wall-clock RMI round-trip latency percentiles over the
+	// row's operations (log-bucket upper bounds from the metrics registry).
+	// Zero on the sim backend, which has no wall-clock registry.
+	P50  time.Duration `json:"rmi_p50_ns,omitempty"`
+	P99  time.Duration `json:"rmi_p99_ns,omitempty"`
+	P999 time.Duration `json:"rmi_p999_ns,omitempty"`
+}
+
+// latencyPercentiles copies a latency histogram window's report percentiles
+// into the row.
+func (r *ThroughputRow) latencyPercentiles(h metrics.HistSnap) {
+	r.P50 = time.Duration(h.P50())
+	r.P99 = time.Duration(h.P99())
+	r.P999 = time.Duration(h.P999())
 }
 
 // throughputBulkBytes sizes the bulk rows (1 KiB, the pinned warm-bulk size).
@@ -121,7 +140,7 @@ func RunThroughput(cfg machine.Config, sc Scale, backend string) []ThroughputRow
 	var rows []ThroughputRow
 	for _, nodes := range throughputNodeCounts(sc) {
 		pairs := nodes / 2
-		elapsed, _ := runThroughputOnce(cfg, backend, nodes, iters, nil,
+		elapsed, m := runThroughputOnce(cfg, backend, nodes, iters, nil,
 			func(rt *core.Runtime, gp core.GPtr, t *threads.Thread) {
 				rt.Call(t, gp, "null", nil, nil)
 			})
@@ -130,12 +149,17 @@ func RunThroughput(cfg machine.Config, sc Scale, backend string) []ThroughputRow
 		if elapsed > 0 {
 			row.OpsPerSec = float64(pairs*iters) / elapsed.Seconds()
 		}
+		// Each row ran on a fresh machine, so the whole-run latency histogram
+		// is (warm-up ops aside) exactly this row's operations.
+		if ms, ok := m.Metrics(); ok {
+			row.latencyPercentiles(ms.Hist(metrics.HstRMILatency))
+		}
 		rows = append(rows, row)
 
 		// Hoisted: a fresh []Arg literal inside the measured loop would add
 		// one allocation per op to the very metric this experiment tracks.
 		bulkArgs := []core.Arg{&core.Bytes{V: payload}}
-		elapsed, _ = runThroughputOnce(cfg, backend, nodes, iters, nil,
+		elapsed, m = runThroughputOnce(cfg, backend, nodes, iters, nil,
 			func(rt *core.Runtime, gp core.GPtr, t *threads.Thread) {
 				rt.Call(t, gp, "sink", bulkArgs, nil)
 			})
@@ -144,6 +168,9 @@ func RunThroughput(cfg machine.Config, sc Scale, backend string) []ThroughputRow
 		if elapsed > 0 {
 			row.OpsPerSec = float64(pairs*iters) / elapsed.Seconds()
 			row.MBps = row.OpsPerSec * throughputBulkBytes / (1 << 20)
+		}
+		if ms, ok := m.Metrics(); ok {
+			row.latencyPercentiles(ms.Hist(metrics.HstRMILatency))
 		}
 		rows = append(rows, row)
 	}
@@ -171,9 +198,14 @@ func RunStats(cfg machine.Config, sc Scale, backend string, tl *trace.Log) ([]St
 // RunThroughputNet measures sustained warm-RMI rate and bulk bandwidth on
 // the sharded multi-process backend: clients live in shard 0 (this process),
 // servers in the peer shards, so every measured operation crosses a real
-// socket. Unlike RunThroughput it builds exactly one machine and runs both
-// experiments inside one Run — a process re-execs its whole program per
-// machine, so one net machine per process is the contract.
+// wire — the shared-memory shard rings by default, or (disableShm) the
+// socket path, which is how the shm speedup is measured: two waves of the
+// same workload, one per transport. Unlike RunThroughput it builds exactly
+// one machine and runs both experiments inside one Run — a process re-execs
+// its whole program per machine, so one net machine per process (per wave)
+// is the contract. Re-exec'd workers of a disableShm parent inherit the
+// choice through the environment, so a worker's own disableShm argument is
+// irrelevant and the caller can pass false in both waves.
 //
 // worker reports whether this process is a re-exec'd peer shard; the caller
 // must then discard the rows and exit instead of reporting (the parent owns
@@ -183,11 +215,11 @@ func RunStats(cfg machine.Config, sc Scale, backend string, tl *trace.Log) ([]St
 // from every shard's kStats report — the counters are the true cross-process
 // merge, not this process's view. When tl is non-nil the parent shard's
 // events are traced into it.
-func RunThroughputNet(cfg machine.Config, sc Scale, nodes, nodesPerShard int, tl *trace.Log) (rows []ThroughputRow, stats []StatsRow, worker bool, err error) {
+func RunThroughputNet(cfg machine.Config, sc Scale, nodes, nodesPerShard int, tl *trace.Log, disableShm bool) (rows []ThroughputRow, stats []StatsRow, worker bool, err error) {
 	if nodes%2 != 0 || nodesPerShard <= 0 {
 		return nil, nil, false, fmt.Errorf("throughput/net: need an even node count and positive nodes-per-shard (got %d/%d)", nodes, nodesPerShard)
 	}
-	be, err := netlive.New(nodes, netlive.Options{NodesPerShard: nodesPerShard})
+	be, err := netlive.New(nodes, netlive.Options{NodesPerShard: nodesPerShard, DisableShm: disableShm})
 	if err != nil {
 		return nil, nil, false, err
 	}
@@ -211,12 +243,19 @@ func RunThroughputNet(cfg machine.Config, sc Scale, nodes, nodesPerShard int, tl
 	}
 	bar := rt.NewBarrier(0, pairs)
 	var tRMI, tBulk time.Duration
+	// All clients run in this shard, so the parent's local registry holds
+	// every RMI-latency observation. midRMI splits the one histogram into the
+	// rmi window and the bulk window (end minus mid).
+	var midRMI metrics.HistSnap
 	for i := 0; i < pairs; i++ {
 		i := i
 		rt.OnNode(i, func(t *threads.Thread) {
 			bulkArgs := []core.Arg{&core.Bytes{V: payload}}
 			phase := func(dur *time.Duration, body func()) {
-				for k := 0; k < 3; k++ { // warm stubs, buffers, pools
+				// More warm-up than the single-process experiment: besides
+				// stubs, buffers, and pools, these ops ride out re-exec'd
+				// worker processes still settling (GC, page tables, scheduler).
+				for k := 0; k < 16; k++ {
 					body()
 				}
 				bar.Arrive(t)
@@ -230,6 +269,11 @@ func RunThroughputNet(cfg machine.Config, sc Scale, nodes, nodesPerShard int, tl
 				}
 			}
 			phase(&tRMI, func() { rt.Call(t, gps[i], "null", nil, nil) })
+			if i == 0 {
+				if ms, ok := m.Metrics(); ok {
+					midRMI = ms.Hist(metrics.HstRMILatency)
+				}
+			}
 			phase(&tBulk, func() { rt.Call(t, gps[i], "sink", bulkArgs, nil) })
 		})
 	}
@@ -244,14 +288,23 @@ func RunThroughputNet(cfg machine.Config, sc Scale, nodes, nodesPerShard int, tl
 		return nil, nil, false, fmt.Errorf("throughput/net %d nodes: %w", nodes, err)
 	}
 	stats = StatsRows(cs)
-	rmiRow := ThroughputRow{Experiment: "rmi", Nodes: nodes, Pairs: pairs, Iters: iters, Elapsed: tRMI}
+	transport := "socket"
+	if be.ShmActive() {
+		transport = "shm"
+	}
+	rmiRow := ThroughputRow{Experiment: "rmi", Transport: transport, Nodes: nodes, Pairs: pairs, Iters: iters, Elapsed: tRMI}
 	if tRMI > 0 {
 		rmiRow.OpsPerSec = float64(pairs*iters) / tRMI.Seconds()
 	}
-	bulkRow := ThroughputRow{Experiment: "bulk", Nodes: nodes, Pairs: pairs, Iters: iters, Elapsed: tBulk}
+	bulkRow := ThroughputRow{Experiment: "bulk", Transport: transport, Nodes: nodes, Pairs: pairs, Iters: iters, Elapsed: tBulk}
 	if tBulk > 0 {
 		bulkRow.OpsPerSec = float64(pairs*iters) / tBulk.Seconds()
 		bulkRow.MBps = bulkRow.OpsPerSec * throughputBulkBytes / (1 << 20)
+	}
+	if ms, ok := m.Metrics(); ok {
+		end := ms.Hist(metrics.HstRMILatency)
+		rmiRow.latencyPercentiles(midRMI)
+		bulkRow.latencyPercentiles(end.Sub(midRMI))
 	}
 	return []ThroughputRow{rmiRow, bulkRow}, stats, false, nil
 }
@@ -264,15 +317,26 @@ func FormatThroughput(rows []ThroughputRow, backend string) string {
 		clock = "wall-clock"
 	}
 	fmt.Fprintf(&b, "Sustained wire-path throughput (%s backend, %s)\n", backend, clock)
-	fmt.Fprintf(&b, "%-6s | %5s | %5s | %10s | %12s | %10s\n",
-		"exp", "nodes", "pairs", "elapsed", "ops/s", "bandwidth")
+	fmt.Fprintf(&b, "%-6s | %-6s | %5s | %5s | %10s | %12s | %10s | %8s | %8s | %8s\n",
+		"exp", "wire", "nodes", "pairs", "elapsed", "ops/s", "bandwidth", "p50", "p99", "p999")
 	for _, r := range rows {
 		bw := "-"
 		if r.MBps > 0 {
 			bw = fmt.Sprintf("%.0f MB/s", r.MBps)
 		}
-		fmt.Fprintf(&b, "%-6s | %5d | %5d | %10s | %12.0f | %10s\n",
-			r.Experiment, r.Nodes, r.Pairs, r.Elapsed.Round(10*time.Microsecond), r.OpsPerSec, bw)
+		wire := r.Transport
+		if wire == "" {
+			wire = "-"
+		}
+		pct := func(d time.Duration) string {
+			if d == 0 {
+				return "-"
+			}
+			return d.Round(time.Microsecond).String()
+		}
+		fmt.Fprintf(&b, "%-6s | %-6s | %5d | %5d | %10s | %12.0f | %10s | %8s | %8s | %8s\n",
+			r.Experiment, wire, r.Nodes, r.Pairs, r.Elapsed.Round(10*time.Microsecond), r.OpsPerSec, bw,
+			pct(r.P50), pct(r.P99), pct(r.P999))
 	}
 	fmt.Fprintf(&b, "(half the nodes drive warm null RMIs / 1 KiB bulk puts at the other half;\n")
 	fmt.Fprintf(&b, " rates use the backend clock, so live rows track real GC and scheduling cost)\n")

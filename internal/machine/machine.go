@@ -36,6 +36,11 @@ type Machine struct {
 	shard   transport.ShardBackend
 	wireDec func(src, dst int, b []byte) any
 
+	// slots is be's zero-copy slot fast path (the netlive shm rings), nil
+	// when the backend has none; Send offers every cross-shard payload here
+	// first and falls back to the pooled-frame path on refusal.
+	slots transport.SlotSender
+
 	// mets is be's wall-clock metrics seam, nil on backends without one (the
 	// simulator); stats is be's cross-shard stats control plane, nil off the
 	// netlive backend.
@@ -81,6 +86,7 @@ func NewWithBackend(cfg Config, n int, be transport.Backend) *Machine {
 	if sb, ok := be.(transport.ShardBackend); ok {
 		m.shard = sb
 		sb.SetRemoteHandler(m.remoteArrival)
+		m.slots, _ = be.(transport.SlotSender)
 	}
 	m.mets, _ = be.(transport.MetricsSource)
 	if sp, ok := be.(transport.StatsPlane); ok {
@@ -280,6 +286,13 @@ func (n *Node) Send(dst int, extraWire time.Duration, size int, payload any) {
 		wp, ok := payload.(WirePayload)
 		if !ok {
 			panic(fmt.Sprintf("machine: packet payload %T for remote node %d is not wire-serializable", payload, dst))
+		}
+		// Zero-copy fast path first: the backend marshals wp straight into a
+		// transport slot (shm ring) when the destination shard has one. The
+		// WirePayload-to-FrameMarshaler conversion is interface-to-interface
+		// (identical method sets), so nothing boxes or allocates here.
+		if m.slots != nil && m.slots.DeliverSlot(n.ID, dst, size, wp) {
+			return
 		}
 		f := wire.Get(wp.WireLen())
 		wp.EncodeWire(f.Bytes())

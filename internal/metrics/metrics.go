@@ -43,12 +43,30 @@ const (
 	// peer shards (netlive reader side).
 	CtrFramesIn
 	CtrBytesIn
+	// CtrShmFramesOut / CtrShmBytesOut count packet frames and record bytes
+	// published into shared-memory shard rings (netlive producer side).
+	CtrShmFramesOut
+	CtrShmBytesOut
+	// CtrShmFramesIn / CtrShmBytesIn count frames and record bytes consumed
+	// from shared-memory shard rings (netlive consumer side).
+	CtrShmFramesIn
+	CtrShmBytesIn
+	// CtrShmDoorbells counts doorbell frames sent to wake a parked ring
+	// consumer (the slow path of the spin-then-park protocol).
+	CtrShmDoorbells
+	// CtrShmSpinWakes / CtrShmParkWakes classify how a waiting ring consumer
+	// found new data: within its bounded spin, or only after parking (their
+	// ratio is how often the doorbell path is actually needed).
+	CtrShmSpinWakes
+	CtrShmParkWakes
 	numCtrs
 )
 
 var ctrNames = [numCtrs]string{
 	"live.notifies", "live.notify.batches",
 	"net.frames.out", "net.bytes.out", "net.frames.in", "net.bytes.in",
+	"shm.frames.out", "shm.bytes.out", "shm.frames.in", "shm.bytes.in",
+	"shm.doorbells", "shm.wakes.spin", "shm.wakes.park",
 }
 
 // String returns the label used in reports.
@@ -69,10 +87,13 @@ const (
 	// GgePeerRingDepth is the depth of a peer shard's writer ring, sampled at
 	// each cross-shard frame push (netlive message plane).
 	GgePeerRingDepth
+	// GgeShmRingDepth is the occupancy in bytes of a shared-memory shard
+	// ring, sampled at each record publish (netlive shm producer side).
+	GgeShmRingDepth
 	numGges
 )
 
-var ggeNames = [numGges]string{"live.notify.depth", "net.peer.ring.depth"}
+var ggeNames = [numGges]string{"live.notify.depth", "net.peer.ring.depth", "shm.ring.depth"}
 
 // String returns the label used in reports.
 func (g Gge) String() string {
@@ -244,6 +265,19 @@ func (h HistSnap) Quantile(q float64) int64 {
 		}
 	}
 	return h.Max
+}
+
+// Sub returns the observations recorded since prev was taken: per-bucket,
+// count and sum differences between two snapshots of the same histogram
+// (prev must be the earlier one). Max stays the cumulative maximum — the
+// log buckets cannot recover the window's own max, so windowed quantiles
+// clamp against the overall max, a safe upper bound.
+func (h HistSnap) Sub(prev HistSnap) HistSnap {
+	out := HistSnap{Count: h.Count - prev.Count, Sum: h.Sum - prev.Sum, Max: h.Max}
+	for i := range out.Buckets {
+		out.Buckets[i] = h.Buckets[i] - prev.Buckets[i]
+	}
+	return out
 }
 
 // P50, P99 and P999 are the report percentiles.

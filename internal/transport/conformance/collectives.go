@@ -1,6 +1,8 @@
 package conformance
 
 import (
+	"errors"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -18,30 +20,64 @@ import (
 // isolation between sub-teams created by Split. Results only, never
 // timings.
 
-func runCollectives(t *testing.T, f Factory) {
+func runCollectives(t *testing.T, f ShardedFactory) {
 	t.Run("Participation", func(t *testing.T) { collParticipation(t, f) })
 	t.Run("Ordering", func(t *testing.T) { collOrdering(t, f) })
 	t.Run("SubTeamIsolation", func(t *testing.T) { collSubTeamIsolation(t, f) })
 }
 
-// collRig builds a CC++ runtime with the collective engine over a fresh
-// machine.
-func collRig(f Factory, n int) (*core.Runtime, *coll.Team) {
-	rt := core.NewRuntime(f(machine.SP1997(), n))
-	return rt, coll.For(rt).World()
+// collRig builds a CC++ runtime with the collective engine over each of the
+// factory's co-resident machines.
+func collRig(f ShardedFactory, n int) ([]*core.Runtime, []*coll.Team) {
+	ms := f(machine.SP1997(), n)
+	rts := make([]*core.Runtime, len(ms))
+	tms := make([]*coll.Team, len(ms))
+	for k, m := range ms {
+		rts[k] = core.NewRuntime(m)
+		tms[k] = coll.For(rts[k]).World()
+	}
+	return rts, tms
+}
+
+// collOnNode installs body as node i's program on every runtime — the SPMD
+// model: each runtime executes only its own shard's nodes — handing the body
+// that runtime's world team.
+func collOnNode(rts []*core.Runtime, tms []*coll.Team, i int, body func(th *threads.Thread, tm *coll.Team)) {
+	for k, rt := range rts {
+		tm := tms[k]
+		rt.OnNode(i, func(th *threads.Thread) { body(th, tm) })
+	}
+}
+
+// collRun runs every runtime concurrently and joins their errors.
+func collRun(rts []*core.Runtime) error {
+	if len(rts) == 1 {
+		return rts[0].Run()
+	}
+	errs := make([]error, len(rts))
+	var wg sync.WaitGroup
+	for k, rt := range rts {
+		wg.Add(1)
+		go func(k int, rt *core.Runtime) {
+			defer wg.Done()
+			errs[k] = rt.Run()
+		}(k, rt)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
 }
 
 // collParticipation: an AllReduce completes only once every member has
 // contributed, and every member sees the full combination — including a
 // deliberately late member.
-func collParticipation(t *testing.T, f Factory) {
+func collParticipation(t *testing.T, f ShardedFactory) {
 	const n = 4
-	rt, tm := collRig(f, n)
+	rts, tms := collRig(f, n)
 	got := make([]float64, n)
 	var lateContributed atomic.Bool
 	for i := 0; i < n; i++ {
 		i := i
-		rt.OnNode(i, func(th *threads.Thread) {
+		collOnNode(rts, tms, i, func(th *threads.Thread, tm *coll.Team) {
 			if i == n-1 {
 				// The late member: everyone else is already blocked in the
 				// collective when this contribution enters.
@@ -55,7 +91,7 @@ func collParticipation(t *testing.T, f Factory) {
 			got[i] = v
 		})
 	}
-	if err := rt.Run(); err != nil {
+	if err := collRun(rts); err != nil {
 		t.Fatalf("Run: %v", err)
 	}
 	for i, v := range got {
@@ -69,16 +105,16 @@ func collParticipation(t *testing.T, f Factory) {
 // per-round results on every member, in order — no cross-operation
 // contamination even when members enter successive operations at different
 // times.
-func collOrdering(t *testing.T, f Factory) {
+func collOrdering(t *testing.T, f ShardedFactory) {
 	const (
 		n      = 3
 		rounds = 8
 	)
-	rt, tm := collRig(f, n)
+	rts, tms := collRig(f, n)
 	results := make([][]float64, n)
 	for i := 0; i < n; i++ {
 		i := i
-		rt.OnNode(i, func(th *threads.Thread) {
+		collOnNode(rts, tms, i, func(th *threads.Thread, tm *coll.Team) {
 			for r := 0; r < rounds; r++ {
 				s := coll.DecF64(tm.AllReduce(th, coll.EncF64(float64(r*10+i)), coll.SumF64))
 				b := coll.DecF64(tm.Bcast(th, r%n, coll.EncF64(s+float64(r))))
@@ -86,7 +122,7 @@ func collOrdering(t *testing.T, f Factory) {
 			}
 		})
 	}
-	if err := rt.Run(); err != nil {
+	if err := collRun(rts); err != nil {
 		t.Fatalf("Run: %v", err)
 	}
 	for r := 0; r < rounds; r++ {
@@ -104,14 +140,14 @@ func collOrdering(t *testing.T, f Factory) {
 // collSubTeamIsolation: collectives on disjoint sub-teams run concurrently
 // without observing each other's traffic, and the parent team still works
 // afterwards.
-func collSubTeamIsolation(t *testing.T, f Factory) {
+func collSubTeamIsolation(t *testing.T, f ShardedFactory) {
 	const n = 5 // splits into teams of 3 (even nodes) and 2 (odd nodes)
-	rt, tm := collRig(f, n)
+	rts, tms := collRig(f, n)
 	subSums := make([]float64, n)
 	worldSums := make([]float64, n)
 	for i := 0; i < n; i++ {
 		i := i
-		rt.OnNode(i, func(th *threads.Thread) {
+		collOnNode(rts, tms, i, func(th *threads.Thread, tm *coll.Team) {
 			sub := tm.Split(th, i%2, i)
 			// Different iteration counts per team: the odd team runs more
 			// operations, so any cross-team key collision would surface.
@@ -127,7 +163,7 @@ func collSubTeamIsolation(t *testing.T, f Factory) {
 			worldSums[i] = coll.DecF64(tm.AllReduce(th, coll.EncF64(1), coll.SumF64))
 		})
 	}
-	if err := rt.Run(); err != nil {
+	if err := collRun(rts); err != nil {
 		t.Fatalf("Run: %v", err)
 	}
 	for i := 0; i < n; i++ {

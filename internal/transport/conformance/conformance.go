@@ -15,11 +15,20 @@
 //
 // The suite asserts results, never timings, so the calibrated simulator and
 // the wall-clock live backend must pass identically.
+//
+// Sharded backends can additionally run the suite across several co-resident
+// machines via RunSharded: the factory returns one machine per shard (shard 0
+// first), all inside the test process, and the rig mirrors the SPMD launch
+// model — identical handler registration on every shard, schedulers and node
+// programs only on the shard that owns each node. This is how the netlive
+// shared-memory ring path runs the full suite under -race.
 package conformance
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -33,8 +42,21 @@ import (
 // Factory builds a fresh machine with n nodes on the backend under test.
 type Factory func(cfg machine.Config, n int) *machine.Machine
 
+// ShardedFactory builds one machine per co-resident shard for an n-node
+// run — shard 0 (the parent/stats shard) first. A single-address-space
+// backend returns exactly one machine.
+type ShardedFactory func(cfg machine.Config, n int) []*machine.Machine
+
 // Run executes the full conformance suite against the backend.
 func Run(t *testing.T, f Factory) {
+	RunSharded(t, func(cfg machine.Config, n int) []*machine.Machine {
+		return []*machine.Machine{f(cfg, n)}
+	})
+}
+
+// RunSharded executes the full conformance suite over a multi-machine
+// (sharded, co-resident) configuration.
+func RunSharded(t *testing.T, f ShardedFactory) {
 	t.Run("ShortOrdering", func(t *testing.T) { shortOrdering(t, f) })
 	t.Run("BulkIntegrity", func(t *testing.T) { bulkIntegrity(t, f) })
 	t.Run("PayloadRecycling", func(t *testing.T) { payloadRecycling(t, f) })
@@ -46,41 +68,104 @@ func Run(t *testing.T, f Factory) {
 	t.Run("StatsMerge", func(t *testing.T) { statsMerge(t, f) })
 }
 
-// rig wires an AM net with one scheduler per node over a machine.
+// rig wires an AM net per machine with one scheduler per node, built on the
+// machine that owns the node. With a single machine it degenerates to the
+// classic one-net rig; with several, it reproduces in-process what the SPMD
+// re-exec harness does across processes.
 type rig struct {
-	m      *machine.Machine
-	net    *am.Net
+	ms     []*machine.Machine
+	m      *machine.Machine // ms[0]: the parent/stats shard
+	nets   []*am.Net        // parallel to ms; identical registration order
+	owner  []int            // node -> index into ms
 	scheds []*threads.Scheduler
 }
 
-func newRig(m *machine.Machine) *rig {
-	r := &rig{m: m, net: am.NewNet(m)}
-	for i := 0; i < m.NumNodes(); i++ {
-		s := threads.NewScheduler(m.Node(i))
-		r.net.Endpoint(i).Attach(s)
-		r.scheds = append(r.scheds, s)
+// localTo reports whether node i executes in m's address space.
+func localTo(m *machine.Machine, i int) bool {
+	if topo, ok := m.Backend().(transport.Topology); ok {
+		return topo.IsLocal(i)
+	}
+	return true
+}
+
+func newRig(ms []*machine.Machine) *rig {
+	r := &rig{ms: ms, m: ms[0]}
+	n := ms[0].NumNodes()
+	r.owner = make([]int, n)
+	r.scheds = make([]*threads.Scheduler, n)
+	for k, m := range ms {
+		net := am.NewNet(m)
+		r.nets = append(r.nets, net)
+		for i := 0; i < n; i++ {
+			if localTo(m, i) && r.scheds[i] == nil {
+				s := threads.NewScheduler(m.Node(i))
+				net.Endpoint(i).Attach(s)
+				r.scheds[i] = s
+				r.owner[i] = k
+			}
+		}
+	}
+	for i, s := range r.scheds {
+		if s == nil {
+			panic(fmt.Sprintf("conformance: no machine owns node %d", i))
+		}
 	}
 	return r
 }
 
+// register installs a handler on every machine's net, in the same order —
+// the identical-registration requirement of the SPMD launch model. The one
+// shared closure is only ever invoked on the machine owning the destination
+// node, so case-local result variables stay single-writer.
+func (r *rig) register(name string, h am.Handler) am.HandlerID {
+	var id am.HandlerID
+	for _, net := range r.nets {
+		id = net.Register(name, h)
+	}
+	return id
+}
+
+// ep returns node i's endpoint on its owning machine.
+func (r *rig) ep(i int) *am.Endpoint { return r.nets[r.owner[i]].Endpoint(i) }
+
+// run executes every machine concurrently and joins their errors.
+func (r *rig) run() error { return runAll(r.ms) }
+
+func runAll(ms []*machine.Machine) error {
+	if len(ms) == 1 {
+		return ms[0].Run()
+	}
+	errs := make([]error, len(ms))
+	var wg sync.WaitGroup
+	for k, m := range ms {
+		wg.Add(1)
+		go func(k int, m *machine.Machine) {
+			defer wg.Done()
+			errs[k] = m.Run()
+		}(k, m)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
 // shortOrdering: short messages from one sender arrive and are handled in
 // send order.
-func shortOrdering(t *testing.T, f Factory) {
+func shortOrdering(t *testing.T, f ShardedFactory) {
 	const k = 200
 	r := newRig(f(machine.SP1997(), 2))
 	var got []uint64
-	h := r.net.Register("conf.seq", func(_ *threads.Thread, m am.Msg) {
+	h := r.register("conf.seq", func(_ *threads.Thread, m am.Msg) {
 		got = append(got, m.A[0])
 	})
 	r.scheds[0].Start("sender", func(th *threads.Thread) {
 		for i := 0; i < k; i++ {
-			r.net.Endpoint(0).RequestShort(th, 1, h, [4]uint64{uint64(i)})
+			r.ep(0).RequestShort(th, 1, h, [4]uint64{uint64(i)})
 		}
 	})
 	r.scheds[1].Start("receiver", func(th *threads.Thread) {
-		r.net.Endpoint(1).PollUntil(th, func() bool { return len(got) == k })
+		r.ep(1).PollUntil(th, func() bool { return len(got) == k })
 	})
-	if err := r.m.Run(); err != nil {
+	if err := r.run(); err != nil {
 		t.Fatalf("Run: %v", err)
 	}
 	if len(got) != k {
@@ -98,7 +183,7 @@ func shortOrdering(t *testing.T, f Factory) {
 // payload out keeps a stable snapshot after the pooled buffer recycles (the
 // no-retain contract: the raw Payload slice is valid only while the handler
 // runs; retention means copying).
-func bulkIntegrity(t *testing.T, f Factory) {
+func bulkIntegrity(t *testing.T, f ShardedFactory) {
 	const (
 		k     = 40
 		bytes = 1 << 10
@@ -110,7 +195,7 @@ func bulkIntegrity(t *testing.T, f Factory) {
 		retained []byte // copy of message 0's payload, checked at the end
 		bad      string
 	)
-	h := r.net.Register("conf.bulk", func(_ *threads.Thread, m am.Msg) {
+	h := r.register("conf.bulk", func(_ *threads.Thread, m am.Msg) {
 		i := int(m.A[0])
 		if len(m.Payload) != bytes {
 			bad = fmt.Sprintf("message %d: payload %dB, want %dB", i, len(m.Payload), bytes)
@@ -132,7 +217,7 @@ func bulkIntegrity(t *testing.T, f Factory) {
 			for j := range buf {
 				buf[j] = pattern(i, j)
 			}
-			r.net.Endpoint(0).RequestBulk(th, 1, h, buf, [4]uint64{uint64(i)})
+			r.ep(0).RequestBulk(th, 1, h, buf, [4]uint64{uint64(i)})
 			// Clobber the buffer immediately: the layer promised value
 			// semantics at send time.
 			for j := range buf {
@@ -141,9 +226,9 @@ func bulkIntegrity(t *testing.T, f Factory) {
 		}
 	})
 	r.scheds[1].Start("receiver", func(th *threads.Thread) {
-		r.net.Endpoint(1).PollUntil(th, func() bool { return received == k })
+		r.ep(1).PollUntil(th, func() bool { return received == k })
 	})
-	if err := r.m.Run(); err != nil {
+	if err := r.run(); err != nil {
 		t.Fatalf("Run: %v", err)
 	}
 	if bad != "" {
@@ -169,7 +254,7 @@ func bulkIntegrity(t *testing.T, f Factory) {
 // the race detector) would see the next message's bytes. A payload copied
 // out by an early handler is re-verified at the end, long after its buffer
 // has been recycled many times over.
-func payloadRecycling(t *testing.T, f Factory) {
+func payloadRecycling(t *testing.T, f ShardedFactory) {
 	const (
 		senders = 2
 		k       = 120
@@ -182,7 +267,7 @@ func payloadRecycling(t *testing.T, f Factory) {
 		snapshot []byte // copy taken by handler (sender 1, message 0)
 		bad      string
 	)
-	h := r.net.Register("conf.recycle", func(_ *threads.Thread, m am.Msg) {
+	h := r.register("conf.recycle", func(_ *threads.Thread, m am.Msg) {
 		s, i := int(m.A[0]), int(m.A[1])
 		if len(m.Payload) != bytes {
 			bad = fmt.Sprintf("s%d msg %d: payload %dB, want %dB", s, i, len(m.Payload), bytes)
@@ -220,14 +305,14 @@ func payloadRecycling(t *testing.T, f Factory) {
 				for j := range buf {
 					buf[j] = pattern(s, i, j)
 				}
-				r.net.Endpoint(s).RequestBulk(th, 0, h, buf, [4]uint64{uint64(s), uint64(i)})
+				r.ep(s).RequestBulk(th, 0, h, buf, [4]uint64{uint64(s), uint64(i)})
 			}
 		})
 	}
 	r.scheds[0].Start("receiver", func(th *threads.Thread) {
-		r.net.Endpoint(0).PollUntil(th, func() bool { return received == senders*k })
+		r.ep(0).PollUntil(th, func() bool { return received == senders*k })
 	})
-	if err := r.m.Run(); err != nil {
+	if err := r.run(); err != nil {
 		t.Fatalf("Run: %v", err)
 	}
 	if bad != "" {
@@ -247,7 +332,7 @@ func payloadRecycling(t *testing.T, f Factory) {
 // context — no other handler (or delivery callback) of the same node
 // interleaves with it, even with multiple remote senders blasting the node
 // concurrently on a real-concurrency backend.
-func runToCompletion(t *testing.T, f Factory) {
+func runToCompletion(t *testing.T, f ShardedFactory) {
 	const (
 		senders = 3
 		k       = 150
@@ -258,7 +343,7 @@ func runToCompletion(t *testing.T, f Factory) {
 		inHandler bool
 		reentered bool
 	)
-	h := r.net.Register("conf.rtc", func(_ *threads.Thread, _ am.Msg) {
+	h := r.register("conf.rtc", func(_ *threads.Thread, _ am.Msg) {
 		if inHandler {
 			reentered = true
 		}
@@ -274,14 +359,14 @@ func runToCompletion(t *testing.T, f Factory) {
 		s := s
 		r.scheds[s].Start("sender", func(th *threads.Thread) {
 			for i := 0; i < k; i++ {
-				r.net.Endpoint(s).RequestShort(th, 0, h, [4]uint64{})
+				r.ep(s).RequestShort(th, 0, h, [4]uint64{})
 			}
 		})
 	}
 	r.scheds[0].Start("receiver", func(th *threads.Thread) {
-		r.net.Endpoint(0).PollUntil(th, func() bool { return counter == senders*k })
+		r.ep(0).PollUntil(th, func() bool { return counter == senders*k })
 	})
-	if err := r.m.Run(); err != nil {
+	if err := r.run(); err != nil {
 		t.Fatalf("Run: %v", err)
 	}
 	if reentered {
@@ -297,9 +382,10 @@ func runToCompletion(t *testing.T, f Factory) {
 // cleanly rather than leaking or landing on a closed queue (the live
 // backend's After used to drop both on the floor — this is the regression
 // case for that fix).
-func timers(t *testing.T, f Factory) {
+func timers(t *testing.T, f ShardedFactory) {
 	const k = 3
-	m := f(machine.SP1997(), 1)
+	ms := f(machine.SP1997(), 1)
+	m := ms[0] // node 0 always lives on shard 0
 	s := threads.NewScheduler(m.Node(0))
 	var (
 		fired  int
@@ -322,7 +408,7 @@ func timers(t *testing.T, f Factory) {
 			th.Block()
 		}
 	})
-	if err := m.Run(); err != nil {
+	if err := runAll(ms); err != nil {
 		t.Fatalf("Run: %v", err)
 	}
 	if fired < k {
@@ -343,7 +429,7 @@ func timers(t *testing.T, f Factory) {
 // tell. Shorts and bulks interleave from one sender; each kind must arrive
 // in send order with intact payloads (cross-kind order is not part of the
 // contract — short and bulk messages have different modelled wire times).
-func crossShardTraffic(t *testing.T, f Factory) {
+func crossShardTraffic(t *testing.T, f ShardedFactory) {
 	const (
 		nodes = 4
 		k     = 60
@@ -359,10 +445,10 @@ func crossShardTraffic(t *testing.T, f Factory) {
 		shorts, bulks []uint64
 		bad           string
 	)
-	hShort := r.net.Register("conf.xs.short", func(_ *threads.Thread, m am.Msg) {
+	hShort := r.register("conf.xs.short", func(_ *threads.Thread, m am.Msg) {
 		shorts = append(shorts, m.A[0])
 	})
-	hBulk := r.net.Register("conf.xs.bulk", func(_ *threads.Thread, m am.Msg) {
+	hBulk := r.register("conf.xs.bulk", func(_ *threads.Thread, m am.Msg) {
 		i := int(m.A[0])
 		if len(m.Payload) != bytes {
 			bad = fmt.Sprintf("bulk %d: %dB payload, want %d", i, len(m.Payload), bytes)
@@ -376,7 +462,7 @@ func crossShardTraffic(t *testing.T, f Factory) {
 		bulks = append(bulks, m.A[0])
 	})
 	r.scheds[0].Start("sender", func(th *threads.Thread) {
-		ep := r.net.Endpoint(0)
+		ep := r.ep(0)
 		buf := make([]byte, bytes)
 		for i := 0; i < k; i++ {
 			ep.RequestShort(th, dst, hShort, [4]uint64{uint64(i)})
@@ -390,9 +476,9 @@ func crossShardTraffic(t *testing.T, f Factory) {
 		}
 	})
 	r.scheds[dst].Start("receiver", func(th *threads.Thread) {
-		r.net.Endpoint(dst).PollUntil(th, func() bool { return len(shorts)+len(bulks) == 2*k })
+		r.ep(dst).PollUntil(th, func() bool { return len(shorts)+len(bulks) == 2*k })
 	})
-	if err := r.m.Run(); err != nil {
+	if err := r.run(); err != nil {
 		t.Fatalf("Run: %v", err)
 	}
 	if bad != "" {
@@ -418,23 +504,23 @@ func crossShardTraffic(t *testing.T, f Factory) {
 // merged metrics must equal the merge of the per-shard metrics snapshots.
 // This is the parity claim behind every machine-wide counter mpmdbench
 // reports: merged == sum of the parts, nothing fabricated, nothing dropped.
-func statsMerge(t *testing.T, f Factory) {
+func statsMerge(t *testing.T, f ShardedFactory) {
 	const (
 		nodes = 4
 		k     = 80
 	)
 	r := newRig(f(machine.SP1997(), nodes))
 	var got int
-	h := r.net.Register("conf.stats", func(_ *threads.Thread, _ am.Msg) { got++ })
+	h := r.register("conf.stats", func(_ *threads.Thread, _ am.Msg) { got++ })
 	r.scheds[0].Start("sender", func(th *threads.Thread) {
 		for i := 0; i < k; i++ {
-			r.net.Endpoint(0).RequestShort(th, nodes-1, h, [4]uint64{uint64(i)})
+			r.ep(0).RequestShort(th, nodes-1, h, [4]uint64{uint64(i)})
 		}
 	})
 	r.scheds[nodes-1].Start("receiver", func(th *threads.Thread) {
-		r.net.Endpoint(nodes-1).PollUntil(th, func() bool { return got == k })
+		r.ep(nodes-1).PollUntil(th, func() bool { return got == k })
 	})
-	if err := r.m.Run(); err != nil {
+	if err := r.run(); err != nil {
 		t.Fatalf("Run: %v", err)
 	}
 	cs, err := r.m.ClusterStats()
@@ -456,12 +542,12 @@ func statsMerge(t *testing.T, f Factory) {
 	if want := machine.MergeSnapshots(shardAccts...); cs.Acct != want {
 		t.Fatalf("merged acct != sum of shard accts:\n got %v\nwant %v", cs.Acct, want)
 	}
-	// Merged accounting == sum over the nodes themselves (every conformance
-	// factory runs all nodes in this address space, so the per-node truth is
-	// directly observable).
+	// Merged accounting == sum over the nodes themselves. Every shard is
+	// co-resident in this test process, so each node's truth is directly
+	// observable on the machine that owns it.
 	nodeAccts := make([]machine.Snapshot, 0, nodes)
-	for _, nd := range r.m.Nodes() {
-		nodeAccts = append(nodeAccts, nd.Acct.Snapshot())
+	for i := 0; i < nodes; i++ {
+		nodeAccts = append(nodeAccts, r.ms[r.owner[i]].Nodes()[i].Acct.Snapshot())
 	}
 	if want := machine.MergeSnapshots(nodeAccts...); cs.Acct != want {
 		t.Fatalf("merged acct != sum of per-node accts:\n got %v\nwant %v", cs.Acct, want)
@@ -489,28 +575,28 @@ func statsMerge(t *testing.T, f Factory) {
 // parkUnpark: a thread parked on message arrival wakes when the message
 // lands; a completion that races ahead of the wait is not lost (permit
 // semantics up the whole threads/am stack).
-func parkUnpark(t *testing.T, f Factory) {
+func parkUnpark(t *testing.T, f ShardedFactory) {
 	r := newRig(f(machine.SP1997(), 2))
-	ep1 := r.net.Endpoint(1)
+	ep1 := r.ep(1)
 	var (
 		early threads.SyncVar // written by a message that lands before the read
 		late  threads.SyncVar // written by a message the reader must park for
 		order []string
 	)
-	hEarly := r.net.Register("conf.early", func(th *threads.Thread, _ am.Msg) {
+	hEarly := r.register("conf.early", func(th *threads.Thread, _ am.Msg) {
 		order = append(order, "early")
 		early.Write(th, 1)
 	})
-	hLate := r.net.Register("conf.late", func(th *threads.Thread, _ am.Msg) {
+	hLate := r.register("conf.late", func(th *threads.Thread, _ am.Msg) {
 		order = append(order, "late")
 		late.Write(th, 2)
 	})
 	var ackSeen bool // node 0 state, set by node 0's handler
-	hAck := r.net.Register("conf.ack", func(_ *threads.Thread, _ am.Msg) {
+	hAck := r.register("conf.ack", func(_ *threads.Thread, _ am.Msg) {
 		ackSeen = true
 	})
 	r.scheds[0].Start("sender", func(th *threads.Thread) {
-		ep0 := r.net.Endpoint(0)
+		ep0 := r.ep(0)
 		ep0.RequestShort(th, 1, hEarly, [4]uint64{})
 		// Wait for node 1's ack (its main thread is provably past the
 		// non-parking read) before sending the message it must park for.
@@ -539,7 +625,7 @@ func parkUnpark(t *testing.T, f Factory) {
 			ep1.WaitMessage(th)
 		}
 	})
-	if err := r.m.Run(); err != nil {
+	if err := r.run(); err != nil {
 		t.Fatalf("Run: %v", err)
 	}
 	if got1 != 1 || got2 != 2 {

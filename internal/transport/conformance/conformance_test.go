@@ -54,3 +54,36 @@ func TestNetLoopback(t *testing.T) {
 		return machine.NewWithBackend(cfg, n, be)
 	})
 }
+
+// TestNetShmSharded runs the full suite across two co-resident netlive
+// shards wired by the shared-memory ring fast path: every cross-shard frame
+// in the suite rides an mmap'd SPSC ring instead of a socket. Shard 0 is
+// built first (it creates the rings and the rendezvous sockets); the worker
+// shard attaches. Single-node cases degenerate to one shard, where shm
+// disables itself.
+func TestNetShmSharded(t *testing.T) {
+	RunSharded(t, func(cfg machine.Config, n int) []*machine.Machine {
+		nps := (n + 1) / 2
+		shards := (n + nps - 1) / nps
+		dir := t.TempDir()
+		ms := make([]*machine.Machine, shards)
+		for s := 0; s < shards; s++ {
+			sh := s
+			be, err := netlive.New(n, netlive.Options{
+				NodesPerShard: nps,
+				Shard:         &sh,
+				Dir:           dir,
+				NoSpawn:       true,
+				Live:          live.Options{Watchdog: 20 * time.Second},
+			})
+			if err != nil {
+				t.Fatalf("netlive.New shard %d: %v", sh, err)
+			}
+			if shards > 1 && !be.ShmActive() {
+				t.Fatalf("shard %d: shm rings inactive in sharded configuration", sh)
+			}
+			ms[s] = machine.NewWithBackend(cfg, n, be)
+		}
+		return ms
+	})
+}

@@ -1,0 +1,50 @@
+//go:build linux
+
+package live
+
+import (
+	"syscall"
+	"unsafe"
+)
+
+// cpuMask is a kernel cpu_set_t large enough for 1024 CPUs.
+type cpuMask [16]uint64
+
+// setAffinity binds the calling OS thread to the given CPU set via raw
+// sched_setaffinity (pid 0 = this thread). CPUs outside the mask's range
+// are ignored; an effectively empty set is a no-op rather than an EINVAL
+// from the kernel. Callers must have locked the goroutine to its thread.
+func setAffinity(cpus []int) {
+	var mask cpuMask
+	set := 0
+	for _, c := range cpus {
+		if c >= 0 && c < len(mask)*64 {
+			mask[c/64] |= 1 << (uint(c) % 64)
+			set++
+		}
+	}
+	if set == 0 {
+		return
+	}
+	_, _, _ = syscall.RawSyscall(syscall.SYS_SCHED_SETAFFINITY, 0,
+		uintptr(unsafe.Sizeof(mask)), uintptr(unsafe.Pointer(&mask)))
+}
+
+// threadAffinity reports the calling OS thread's current CPU set (tests).
+func threadAffinity() []int {
+	var mask cpuMask
+	_, _, errno := syscall.RawSyscall(syscall.SYS_SCHED_GETAFFINITY, 0,
+		uintptr(unsafe.Sizeof(mask)), uintptr(unsafe.Pointer(&mask)))
+	if errno != 0 {
+		return nil
+	}
+	var out []int
+	for w, bits := range mask {
+		for b := 0; b < 64; b++ {
+			if bits&(1<<uint(b)) != 0 {
+				out = append(out, w*64+b)
+			}
+		}
+	}
+	return out
+}

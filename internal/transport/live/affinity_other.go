@@ -1,0 +1,11 @@
+//go:build !linux
+
+package live
+
+// setAffinity is a no-op off Linux: Options.CPUAffinity degrades to plain
+// OS-thread pinning (the goroutine is still locked to a thread; the kernel
+// placement is left to the scheduler).
+func setAffinity(cpus []int) {}
+
+// threadAffinity reports nil off Linux (tests skip).
+func threadAffinity() []int { return nil }

@@ -59,6 +59,14 @@ type Options struct {
 	// so a run that never finishes leaks only the stuck procs themselves.
 	// Zero means the 5s default.
 	Teardown time.Duration
+	// CPUAffinity, when non-empty, binds every proc goroutine and delivery
+	// worker of this backend to the given CPU set (sched_setaffinity on
+	// Linux; a no-op elsewhere). Each bound goroutine locks its OS thread
+	// first so the mask sticks to a dedicated thread, and the thread is
+	// retired with the goroutine rather than returned to the runtime's pool
+	// with a narrowed mask. The netlive backend's CPUsPerShard knob fills
+	// this per shard so shard boundaries align with cores/NUMA domains.
+	CPUAffinity []int
 }
 
 // Backend is the live transport. Construct with New.
@@ -110,7 +118,16 @@ func New(n int, opts Options) *Backend {
 		nd := &lnode{id: i, met: metrics.NewRegistry()}
 		nd.q.cond = sync.NewCond(&nd.q.mu)
 		b.nodes = append(b.nodes, nd)
-		go nd.deliveryLoop(opts.Batch)
+		go func() {
+			// Delivery callbacks run node context too: bind the worker to the
+			// same CPU set as the procs. The locked thread dies with the
+			// goroutine, taking its narrowed mask with it.
+			if len(opts.CPUAffinity) > 0 {
+				runtime.LockOSThread()
+				setAffinity(opts.CPUAffinity)
+			}
+			nd.deliveryLoop(opts.Batch)
+		}()
 	}
 	return b
 }
@@ -316,7 +333,13 @@ func (b *Backend) Go(node int, name string, fn func(transport.Proc)) transport.P
 	b.mu.Unlock()
 	b.wg.Add(1)
 	go func() {
-		if b.opts.PinOSThread {
+		if len(b.opts.CPUAffinity) > 0 {
+			// No matching Unlock: a thread whose affinity mask was narrowed
+			// must not rejoin the runtime's thread pool, so it is retired
+			// when the proc goroutine exits.
+			runtime.LockOSThread()
+			setAffinity(b.opts.CPUAffinity)
+		} else if b.opts.PinOSThread {
 			runtime.LockOSThread()
 			defer runtime.UnlockOSThread()
 		}

@@ -182,3 +182,36 @@ func TestClockAdvances(t *testing.T) {
 		t.Fatalf("clock advanced %v across a 2ms sleep", after-before)
 	}
 }
+
+// TestCPUAffinityAppliesToProcs: with Options.CPUAffinity set, a proc's OS
+// thread runs under the narrowed kernel CPU mask (linux; skipped where
+// sched_getaffinity is unavailable). The thread is locked and retired with
+// the goroutine, so the narrowed mask never leaks back into the pool.
+func TestCPUAffinityAppliesToProcs(t *testing.T) {
+	if threadAffinity() == nil {
+		t.Skip("no thread affinity introspection on this platform")
+	}
+	b := New(1, Options{Watchdog: 5 * time.Second, CPUAffinity: []int{0}})
+	var got []int
+	b.Go(0, "pinned", func(p transport.Proc) { got = threadAffinity() })
+	if err := b.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("proc thread affinity = %v, want [0]", got)
+	}
+}
+
+// TestSetAffinityEmptySetIsNoOp: CPUs beyond the mask's range are ignored
+// rather than handed to the kernel as an empty (EINVAL) set.
+func TestSetAffinityEmptySetIsNoOp(t *testing.T) {
+	if threadAffinity() == nil {
+		t.Skip("no thread affinity introspection on this platform")
+	}
+	before := threadAffinity()
+	setAffinity([]int{1 << 20}) // out of range: filtered, no syscall
+	after := threadAffinity()
+	if len(before) != len(after) {
+		t.Fatalf("no-op setAffinity changed the mask: %v -> %v", before, after)
+	}
+}

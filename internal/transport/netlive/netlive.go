@@ -34,6 +34,21 @@
 // handler, which enqueues into the destination node's (thread-safe) inbox
 // and wakes it through the live backend's delivery worker.
 //
+// # The shared-memory fast path
+//
+// Co-resident shards (the default deployment: one machine, many processes)
+// skip the socket for data frames entirely. The parent creates one mmap'd
+// single-producer single-consumer ring per ordered shard pair in the
+// rendezvous directory before spawning; every shard attaches every ring it
+// touches at New. A cross-shard packet is marshaled by the sending proc
+// directly into a ring slot and consumed in place by the receiving shard's
+// ring reader — same frame fields, zero syscalls, zero copies beyond the
+// marshal itself. Consumers spin briefly then park; a producer that catches
+// a parked consumer rings a kDoorbell control frame over the peer socket,
+// which also keeps carrying the control plane (quiesce, stats) and all
+// frames when the fast path is off (Options.DisableShm, MPMD_NETLIVE_NOSHM,
+// a non-unix host, or a single shard). See shmring.go and DESIGN.md.
+//
 // # Lifecycle
 //
 // Runtimes call Topology.LocalQuiesced when their local node programs have
@@ -54,6 +69,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -72,6 +88,10 @@ const (
 	EnvDir   = "MPMD_NETLIVE_DIR"
 	EnvNodes = "MPMD_NETLIVE_NODES"
 	EnvNPS   = "MPMD_NETLIVE_NPS"
+	// EnvNoShm (any non-empty value) disables the shared-memory ring fast
+	// path. The parent propagates it to children whenever its own fast path
+	// is off, so a shard pair can never disagree about the transport.
+	EnvNoShm = "MPMD_NETLIVE_NOSHM"
 )
 
 // Options tune the net backend. The zero value is a single-shard (loopback)
@@ -100,6 +120,22 @@ type Options struct {
 	// DialTimeout bounds how long a writer waits for a peer's socket to
 	// appear. Zero means 10s.
 	DialTimeout time.Duration
+	// DisableShm turns off the shared-memory ring fast path: every
+	// cross-shard frame takes the socket writer. The MPMD_NETLIVE_NOSHM
+	// environment variable has the same effect (and is what the parent sets
+	// for re-exec'd children when its own fast path is off).
+	DisableShm bool
+	// ShmRingBytes sizes each directed ring's data area in bytes. Zero means
+	// 1 MiB; values are clamped to at least 4 KiB and rounded up to a
+	// multiple of 8. A frame larger than a quarter of the ring takes the
+	// socket path.
+	ShmRingBytes int
+	// CPUsPerShard > 0 pins this shard's procs and delivery workers to the
+	// CPU block [shard*CPUsPerShard, (shard+1)*CPUsPerShard), wrapped onto
+	// the host's CPU count, by filling Live.CPUAffinity when that is empty.
+	// Keeps co-resident shards from migrating onto each other's cores so
+	// the shm rings behave like the paper's dedicated per-node processors.
+	CPUsPerShard int
 }
 
 // frameKind is the frame discriminator on the wire. Every switch over it
@@ -116,6 +152,7 @@ const (
 	kAllDone   = frameKind(3) // empty
 	kStats     = frameKind(4) // u32 shard, JSON machine.ShardStats (worker -> parent)
 	kStatsReq  = frameKind(5) // empty (parent -> worker: report your stats now)
+	kDoorbell  = frameKind(6) // u32 shard (sender: wake your parked consumer of my outbound ring)
 )
 
 // packetHdrLen is the kPacket body header: src, dst, size.
@@ -134,6 +171,10 @@ type Backend struct {
 	ln       net.Listener
 	peers    []*peer // indexed by shard; nil for self
 	children []*exec.Cmd
+
+	// shm is the shared-memory ring plane (nil when the fast path is off:
+	// loopback, DisableShm, MPMD_NETLIVE_NOSHM, or a non-unix host).
+	shm *shmPlane
 
 	// remote is the machine's arrival upcall (SetRemoteHandler). Atomic:
 	// reader goroutines may already be accepting peer connections while the
@@ -213,6 +254,10 @@ func New(n int, opts Options) (*Backend, error) {
 		}
 	}
 
+	if opts.CPUsPerShard > 0 && len(opts.Live.CPUAffinity) == 0 {
+		opts.Live.CPUAffinity = affinityBlock(shard, opts.CPUsPerShard)
+	}
+
 	b := &Backend{
 		inner:  live.New(n, opts.Live),
 		n:      n,
@@ -279,6 +324,13 @@ func New(n int, opts Options) (*Backend, error) {
 		b.peers[s] = newPeer(b, s)
 	}
 
+	// Ring mesh before spawning: a re-exec'd child's attach must find every
+	// ring already initialized.
+	if err := b.shmSetup(); err != nil {
+		b.shutdownSockets()
+		return nil, err
+	}
+
 	if shard == 0 && !opts.NoSpawn && opts.Shard == nil {
 		if err := b.spawnChildren(); err != nil {
 			b.shutdownSockets()
@@ -286,6 +338,18 @@ func New(n int, opts Options) (*Backend, error) {
 		}
 	}
 	return b, nil
+}
+
+// affinityBlock is shard s's CPU set under Options.CPUsPerShard: a block of
+// per consecutive CPUs starting at s*per, wrapped onto the host's CPU count
+// (oversubscribed hosts share cores rather than erroring).
+func affinityBlock(shard, per int) []int {
+	ncpu := runtime.NumCPU()
+	cpus := make([]int, 0, per)
+	for k := 0; k < per; k++ {
+		cpus = append(cpus, (shard*per+k)%ncpu)
+	}
+	return cpus
 }
 
 func (b *Backend) sockPath(shard int) string {
@@ -313,6 +377,11 @@ func (b *Backend) spawnChildren() error {
 			EnvNodes+"="+strconv.Itoa(b.n),
 			EnvNPS+"="+strconv.Itoa(b.nps),
 		)
+		if b.shm == nil {
+			// Parent runs without the fast path (option, env, or platform):
+			// children must too, or the pair would strand ring frames.
+			cmd.Env = append(cmd.Env, EnvNoShm+"=1")
+		}
 		cmd.Stdout = os.Stderr
 		cmd.Stderr = os.Stderr
 		if err := cmd.Start(); err != nil {
@@ -373,6 +442,7 @@ func (b *Backend) Run() error {
 	if b.ln != nil {
 		go b.acceptLoop()
 	}
+	b.shmStart()
 	err := b.inner.Run()
 	if b.shards > 1 && b.shard != 0 {
 		// Final stats report: every local proc has finished, so the snapshot
@@ -416,9 +486,25 @@ func (b *Backend) waitChildren() {
 	}
 }
 
-// shutdownSockets closes writers, accepted connections, and the listener,
-// and removes the rendezvous dir on the parent that created it.
+// shutdownSockets tears down the shm ring plane, then closes writers,
+// accepted connections, and the listener, and removes the rendezvous dir on
+// the parent that created it. It runs on every exit path — a stalled run's
+// janitor included — so a wedged machine leaks neither ring mappings nor
+// reader/consumer goroutines.
 func (b *Backend) shutdownSockets() {
+	b.shmShutdown()
+	// Bounded flush before closing: frames queued during teardown (the
+	// quiesce broadcast, doorbells, final stats) should reach the wire, but
+	// a dead peer must not wedge the janitor.
+	flushT := b.opts.DialTimeout
+	if flushT > 2*time.Second {
+		flushT = 2 * time.Second
+	}
+	for _, p := range b.peers {
+		if p != nil {
+			p.flush(flushT)
+		}
+	}
 	for _, p := range b.peers {
 		if p != nil {
 			p.close()
@@ -726,6 +812,8 @@ func (b *Backend) readLoop(conn net.Conn) {
 			b.statsMu.Unlock()
 		case kStatsReq:
 			b.sendStats()
+		case kDoorbell:
+			b.shmWake(int(binary.LittleEndian.Uint32(body)))
 		default:
 			b.addErr(fmt.Errorf("netlive: unknown frame kind %d", kind))
 		}

@@ -1,6 +1,9 @@
 package netlive
 
 import (
+	"os"
+	"runtime"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -24,16 +27,20 @@ type shardRig struct {
 	scheds map[int]*threads.Scheduler
 }
 
-func newShardRig(t *testing.T, n, nps, shard int, dir string) *shardRig {
+func newShardRig(t *testing.T, n, nps, shard int, dir string, mods ...func(*Options)) *shardRig {
 	t.Helper()
 	s := shard
-	be, err := New(n, Options{
+	opts := Options{
 		NodesPerShard: nps,
 		Shard:         &s,
 		Dir:           dir,
 		NoSpawn:       true,
 		Live:          live.Options{Watchdog: 20 * time.Second},
-	})
+	}
+	for _, mod := range mods {
+		mod(&opts)
+	}
+	be, err := New(n, opts)
 	if err != nil {
 		t.Fatalf("New shard %d: %v", shard, err)
 	}
@@ -48,10 +55,11 @@ func newShardRig(t *testing.T, n, nps, shard int, dir string) *shardRig {
 	return r
 }
 
-// TestTopology pins the shard arithmetic.
+// TestTopology pins the shard arithmetic. DisableShm: a lone worker shard
+// with no parent would otherwise wait out the ring-attach deadline.
 func TestTopology(t *testing.T) {
 	s := 1
-	be, err := New(5, Options{NodesPerShard: 2, Shard: &s, Dir: t.TempDir(), NoSpawn: true})
+	be, err := New(5, Options{NodesPerShard: 2, Shard: &s, Dir: t.TempDir(), NoSpawn: true, DisableShm: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,11 +97,19 @@ func TestLoopbackSingleShard(t *testing.T) {
 }
 
 // TestTwoShardsInProcess runs a 2-shard × 2-nodes-per-shard machine as two
-// backends inside this test process, connected by real Unix sockets: node 0
-// (shard 0) blasts node 2 (shard 1) with ordered shorts and patterned bulk
-// payloads; node 2's handler verifies and acks. This is the serialized wire
-// path under -race, without the re-exec harness.
+// backends inside this test process: node 0 (shard 0) blasts node 2
+// (shard 1) with ordered shorts and patterned bulk payloads; node 2's
+// handler verifies and acks. Both transports run under -race, without the
+// re-exec harness: the shm subtest exercises the mmap'd ring path end to
+// end, the socket subtest pins the DisableShm fallback.
 func TestTwoShardsInProcess(t *testing.T) {
+	t.Run("shm", func(t *testing.T) { twoShardsTraffic(t, true) })
+	t.Run("socket", func(t *testing.T) {
+		twoShardsTraffic(t, false, func(o *Options) { o.DisableShm = true })
+	})
+}
+
+func twoShardsTraffic(t *testing.T, wantShm bool, mods ...func(*Options)) {
 	const (
 		n     = 4
 		nps   = 2
@@ -101,8 +117,11 @@ func TestTwoShardsInProcess(t *testing.T) {
 		bytes = 1 << 10
 	)
 	dir := t.TempDir()
-	a := newShardRig(t, n, nps, 0, dir)
-	b := newShardRig(t, n, nps, 1, dir)
+	a := newShardRig(t, n, nps, 0, dir, mods...)
+	b := newShardRig(t, n, nps, 1, dir, mods...)
+	if a.be.ShmActive() != wantShm || b.be.ShmActive() != wantShm {
+		t.Fatalf("ShmActive = %v/%v, want %v", a.be.ShmActive(), b.be.ShmActive(), wantShm)
+	}
 
 	pattern := func(i, j int) byte { return byte(i*13 + j*7) }
 
@@ -179,6 +198,187 @@ func TestTwoShardsInProcess(t *testing.T) {
 		if v != uint64(i) {
 			t.Fatalf("short %d carried %d: cross-shard delivery reordered", i, v)
 		}
+	}
+	// The data frames traveled the transport the configuration promised.
+	snapA, snapB := a.be.MetricsSnapshot(), b.be.MetricsSnapshot()
+	if wantShm {
+		if snapA.Counter(metrics.CtrShmFramesOut) == 0 || snapB.Counter(metrics.CtrShmFramesIn) == 0 {
+			t.Fatalf("shm enabled but rings carried no frames: out=%d in=%d",
+				snapA.Counter(metrics.CtrShmFramesOut), snapB.Counter(metrics.CtrShmFramesIn))
+		}
+	} else {
+		if snapA.Counter(metrics.CtrShmFramesOut) != 0 || snapB.Counter(metrics.CtrShmFramesIn) != 0 {
+			t.Fatal("shm disabled but ring counters moved")
+		}
+	}
+}
+
+// TestShmRingWraparoundAliasing forces the ring through many wraps and
+// full-ring producer waits: an 8 KiB ring carrying 200 patterned 1 KiB bulks
+// holds only a handful of records at a time. The receiving handler scans its
+// payload twice with a yield between the passes — the payload slice points
+// directly into the mapped ring, so if the producer could reuse a slot before
+// the handler returned (head published too early), the second pass would see
+// the next frame's bytes.
+func TestShmRingWraparoundAliasing(t *testing.T) {
+	const (
+		n     = 4
+		nps   = 2
+		k     = 200
+		bytes = 1 << 10
+	)
+	small := func(o *Options) { o.ShmRingBytes = 8 << 10 }
+	dir := t.TempDir()
+	a := newShardRig(t, n, nps, 0, dir, small)
+	b := newShardRig(t, n, nps, 1, dir, small)
+	if !a.be.ShmActive() || !b.be.ShmActive() {
+		t.Fatal("shm not active")
+	}
+
+	pattern := func(i, j int) byte { return byte(i*31 + j*11) }
+	var hAck am.HandlerID
+	got := 0
+	bad := ""
+	hBulk := b.net.Register("w.bulk", func(th *threads.Thread, m am.Msg) {
+		i := int(m.A[0])
+		sum1 := 0
+		for j, by := range m.Payload {
+			if by != pattern(i, j) {
+				bad = "payload corrupted in flight"
+			}
+			sum1 += int(by)
+		}
+		runtime.Gosched() // give a racing producer every chance to clobber the slot
+		sum2 := 0
+		for _, by := range m.Payload {
+			sum2 += int(by)
+		}
+		if sum1 != sum2 {
+			bad = "ring slot reused under a running handler (aliasing)"
+		}
+		got++
+		b.net.Endpoint(2).RequestShort(th, 0, hAck, [4]uint64{uint64(i)})
+	})
+	_ = a.net.Register("w.bulk", func(*threads.Thread, am.Msg) {})
+	acks := 0
+	hAck = a.net.Register("w.ack", func(*threads.Thread, am.Msg) { acks++ })
+	_ = b.net.Register("w.ack", func(*threads.Thread, am.Msg) {})
+
+	a.scheds[0].Start("sender", func(th *threads.Thread) {
+		ep := a.net.Endpoint(0)
+		buf := make([]byte, bytes)
+		for i := 0; i < k; i++ {
+			for j := range buf {
+				buf[j] = pattern(i, j)
+			}
+			ep.RequestBulk(th, 2, hBulk, buf, [4]uint64{uint64(i)})
+		}
+		ep.PollUntil(th, func() bool { return acks == k })
+	})
+	b.scheds[2].Start("receiver", func(th *threads.Thread) {
+		b.net.Endpoint(2).PollUntil(th, func() bool { return got == k })
+	})
+
+	var wg sync.WaitGroup
+	var errA, errB error
+	wg.Add(2)
+	go func() { defer wg.Done(); errA = a.m.Run() }()
+	go func() { defer wg.Done(); errB = b.m.Run() }()
+	wg.Wait()
+	if errA != nil || errB != nil {
+		t.Fatalf("Run: shard0=%v shard1=%v", errA, errB)
+	}
+	if bad != "" {
+		t.Fatal(bad)
+	}
+	if got != k || acks != k {
+		t.Fatalf("bulks=%d acks=%d, want %d each", got, acks, k)
+	}
+	// k records through an 8 KiB ring means the tail lapped it many times.
+	if out := a.be.MetricsSnapshot().Counter(metrics.CtrShmFramesOut); out < k {
+		t.Fatalf("shm frames out = %d, want >= %d", out, k)
+	}
+}
+
+// ringMappings counts this process's live shm ring mappings (linux: parsed
+// out of /proc/self/maps; -1 elsewhere, callers skip).
+func ringMappings(t *testing.T) int {
+	t.Helper()
+	maps, err := os.ReadFile("/proc/self/maps")
+	if err != nil {
+		return -1
+	}
+	count := 0
+	for _, line := range strings.Split(string(maps), "\n") {
+		if strings.Contains(line, "ring-") && strings.Contains(line, ".shm") {
+			count++
+		}
+	}
+	return count
+}
+
+// TestShmStalledTeardownNoLeaks: a run that stalls (watchdog fires, Run
+// returns StallError) must still tear the ring plane down — consumer
+// goroutines exit and every ring mapping is unmapped — just like the live
+// backend's janitor frees its workers. Only the stuck proc itself may
+// outlive the run.
+func TestShmStalledTeardownNoLeaks(t *testing.T) {
+	fast := func(o *Options) {
+		o.Live.Watchdog = 300 * time.Millisecond
+		o.Live.Teardown = 200 * time.Millisecond
+		o.DialTimeout = 2 * time.Second
+	}
+	before := runtime.NumGoroutine()
+	dir := t.TempDir()
+	a := newShardRig(t, 4, 2, 0, dir, fast)
+	b := newShardRig(t, 4, 2, 1, dir, fast)
+	if !a.be.ShmActive() || !b.be.ShmActive() {
+		t.Fatal("shm not active")
+	}
+	mapped := ringMappings(t)
+	if mapped == 0 {
+		t.Fatal("no ring mappings after attach")
+	}
+
+	a.be.Go(0, "stuck", func(p transport.Proc) { p.Park() }) // parked forever
+	var wg sync.WaitGroup
+	var errA, errB error
+	wg.Add(2)
+	go func() { defer wg.Done(); errA = a.m.Run() }()
+	go func() { defer wg.Done(); errB = b.m.Run() }()
+	wg.Wait()
+	if errA == nil {
+		t.Fatal("stalled shard 0 run returned nil, want StallError")
+	}
+	_ = errB // the worker shard may or may not surface the parent's stall
+
+	if mapped = ringMappings(t); mapped > 0 {
+		t.Fatalf("%d ring mappings survived teardown", mapped)
+	}
+	// The shm consumers, peer writers, and readers must all be gone. Two
+	// goroutines legitimately outlive a stalled run, both pre-dating the shm
+	// plane: the stuck proc itself and live.Run's completion waiter, which
+	// blocks on the proc WaitGroup the stuck proc never leaves.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if g := runtime.NumGoroutine(); g <= before+2 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	stacks := make([]byte, 1<<20)
+	stacks = stacks[:runtime.Stack(stacks, true)]
+	t.Fatalf("goroutines before=%d after stalled teardown=%d: shm plane leaked\n%s",
+		before, runtime.NumGoroutine(), stacks)
+}
+
+// TestAffinityBlock pins the CPUsPerShard -> CPU set arithmetic.
+func TestAffinityBlock(t *testing.T) {
+	ncpu := runtime.NumCPU()
+	got := affinityBlock(1, 2)
+	want := []int{2 % ncpu, 3 % ncpu}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("affinityBlock(1,2) = %v, want %v", got, want)
 	}
 }
 
@@ -259,9 +459,20 @@ func TestTwoShardsStats(t *testing.T) {
 	if cs.Metrics != metrics.Merge(cs.Shards[0].Metrics, cs.Shards[1].Metrics) {
 		t.Fatal("merged metrics != merge of shard metrics")
 	}
+	// The data frames (pings one way, acks the other) rode the shm rings on
+	// both sides, and the worker's counters reached the parent through the
+	// kStats payload — the wire told us, not local bookkeeping.
 	for i, ss := range cs.Shards {
-		if ss.Metrics.Counter(metrics.CtrFramesOut) == 0 || ss.Metrics.Counter(metrics.CtrFramesIn) == 0 {
-			t.Fatalf("shard %d reported no socket frames after cross-shard traffic", i)
+		if ss.Metrics.Counter(metrics.CtrShmFramesOut) == 0 || ss.Metrics.Counter(metrics.CtrShmFramesIn) == 0 {
+			t.Fatalf("shard %d reported no shm data frames: out=%d in=%d", i,
+				ss.Metrics.Counter(metrics.CtrShmFramesOut), ss.Metrics.Counter(metrics.CtrShmFramesIn))
 		}
+	}
+	// The control plane still crosses the socket: the worker's kStats frame
+	// is socket-carried, so the parent's post-run snapshot must count it.
+	// (Parent-outbound socket frames — doorbells — are opportunistic and not
+	// asserted.)
+	if cs.Shards[0].Metrics.Counter(metrics.CtrFramesIn) == 0 {
+		t.Fatal("parent counted no inbound socket frames; kStats must cross the socket")
 	}
 }

@@ -1,0 +1,24 @@
+//go:build !unix
+
+package netlive
+
+import "repro/internal/transport"
+
+// shmPlane is absent on platforms without the mmap'd ring fast path; every
+// cross-shard frame takes the socket path.
+type shmPlane struct{}
+
+func (b *Backend) shmSetup() error { return nil }
+func (b *Backend) shmStart()       {}
+func (b *Backend) shmShutdown()    {}
+func (b *Backend) shmWake(int)     {}
+
+// ShmActive reports whether the shared-memory fast path is carrying this
+// backend's cross-shard packets; never on this platform.
+func (b *Backend) ShmActive() bool { return false }
+
+// DeliverSlot implements transport.SlotSender; without rings every frame
+// falls back to the pooled DeliverRemote socket path.
+func (b *Backend) DeliverSlot(src, dst, size int, wp transport.FrameMarshaler) bool {
+	return false
+}

@@ -1,0 +1,14 @@
+//go:build linux
+
+package netlive
+
+import "syscall"
+
+// osYield releases the CPU to any other runnable OS task — crucially,
+// including the peer shard's *process*, which runtime.Gosched can never
+// reach. On few-core hosts the ring consumer's spin is useless without it:
+// the producer lives in another address space and only runs when this one
+// gives up the core.
+func osYield() {
+	syscall.Syscall(syscall.SYS_SCHED_YIELD, 0, 0, 0)
+}

@@ -1,0 +1,12 @@
+//go:build !linux
+
+package netlive
+
+import "runtime"
+
+// osYield falls back to an in-process yield where sched_yield is not
+// portably reachable; the park-and-doorbell slow path still guarantees
+// progress.
+func osYield() {
+	runtime.Gosched()
+}

@@ -103,6 +103,36 @@ type ShardBackend interface {
 	SetRemoteHandler(fn func(src, dst, size int, payload []byte))
 }
 
+// FrameMarshaler is a packet payload that can serialize itself into
+// caller-provided memory (structurally identical to the machine layer's
+// WirePayload, restated here so the transport seam does not import the
+// machine). EncodeWire consumes the payload: pooled resources it holds are
+// released, and the caller must not touch it afterwards.
+type FrameMarshaler interface {
+	// WireLen returns the serialized length.
+	WireLen() int
+	// EncodeWire serializes into b (len(b) >= WireLen()) and returns the
+	// bytes written, consuming the payload.
+	EncodeWire(b []byte) int
+}
+
+// SlotSender is an optional extension of sharded backends with a zero-copy
+// frame fast path: instead of encoding into a pooled frame and handing it
+// to DeliverRemote, the machine layer offers the payload's marshaler and
+// the backend serializes it directly into transport-owned memory (a
+// shared-memory ring slot on the netlive backend).
+type SlotSender interface {
+	// DeliverSlot marshals wp straight into a transport slot bound for the
+	// shard owning dst and reports true. False means no slot path to that
+	// shard exists right now (not co-resident, disabled, or the ring is
+	// unusable); wp has NOT been consumed and the caller must fall back to
+	// the DeliverRemote frame path. Per-sender delivery order to a given
+	// destination is preserved among slot-delivered frames; a configuration
+	// switches between slot and frame paths only at construction, never
+	// mid-stream, so the two paths do not reorder against each other.
+	DeliverSlot(src, dst, size int, wp FrameMarshaler) bool
+}
+
 // MetricsSource is an optional Backend extension for backends that record
 // wall-clock metrics (the live and netlive backends). The simulator does not
 // implement it — its virtual time is already the full instrumented story —
