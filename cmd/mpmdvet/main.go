@@ -2,10 +2,18 @@
 // wire.Buf ownership flow (bufown), nil-gated metrics record sites (nilgate),
 // allocation-free //mpmd:hotpath functions (hotpath), word-resolvable wire
 // structs (wirewords), fenced accounting cells (acctdirect), lock-guarded
-// fields (lockguard), a cycle-free lock acquisition order (lockorder), no
-// mixed atomic/plain access (atomicmix), no blocking under a //mpmd:cpu mutex
-// (blockhold), and exhaustive switches over //mpmdvet:exhaustive constants
-// (framekind).
+// fields and //mpmdvet:requires call-site contracts (lockguard), a cycle-free
+// lock acquisition order (lockorder), no mixed atomic/plain access
+// (atomicmix), no blocking under a //mpmd:cpu mutex (blockhold), exhaustive
+// switches over //mpmdvet:exhaustive constants (framekind), and sync/atomic
+// access to //mpmdvet:shared cross-process shm fields (shmatomic).
+//
+// The allocation, blocking, lock-effect, and buffer-ownership checks are
+// whole-program: a call-graph summary layer (internal/analysis/callgraph)
+// propagates facts bottom-up over SCCs, through method values and
+// CHA-bounded interface calls, and violations print the witness chain to the
+// leaf operation. //mpmd:coldpath marks a function as allocating by design
+// and cuts the chain there.
 //
 // Two modes share the same passes:
 //
@@ -23,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/suite"
@@ -67,7 +76,19 @@ func main() {
 		}
 	}
 	if *baselinePath != "" {
-		base, err := analysis.LoadBaseline(*baselinePath)
+		// A relative baseline path resolves against the module root, not the
+		// cwd, so `mpmdvet -baseline=mpmdvet_baseline.json` works from any
+		// directory inside the module.
+		path := *baselinePath
+		if !filepath.IsAbs(path) {
+			root, err := analysis.ModuleRoot(dir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mpmdvet:", err)
+				os.Exit(1)
+			}
+			path = filepath.Join(root, path)
+		}
+		base, err := analysis.LoadBaseline(path)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mpmdvet:", err)
 			os.Exit(1)

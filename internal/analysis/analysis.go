@@ -22,6 +22,8 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sync"
+	"time"
 )
 
 // Analyzer describes one mpmdvet pass.
@@ -32,6 +34,12 @@ type Analyzer struct {
 	Doc string
 	// Run applies the pass to one type-checked package.
 	Run func(*Pass) error
+	// Transitive marks a pass whose whole-program layer (call-graph
+	// summaries) can only fire in the standalone driver, where every package
+	// is loaded with sources. The unitchecker sees one unit at a time, so it
+	// skips unused-pragma reporting for these passes: a pragma may suppress a
+	// finding only the whole-program run produces.
+	Transitive bool
 }
 
 // Pass is the interface between one Analyzer run and the driver: one
@@ -42,8 +50,54 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Prog is the whole loaded package set; transitive passes build the call
+	// graph and its summaries from it (cached across passes via Prog.Fact).
+	Prog *Program
 
 	report func(Diagnostic)
+}
+
+// Program is the full set of packages one driver invocation loaded, plus a
+// cache for facts derived from it (the call graph, bottom-up summaries).
+// The standalone driver builds one Program for the whole tree; the
+// unitchecker builds one per unit (a single package), so cross-package
+// transitive checks degrade to intra-package there — Whole distinguishes the
+// two so passes can gate diagnostics that only make sense with the full set
+// in view (e.g. "interface has no implementers").
+type Program struct {
+	Pkgs  []*Package
+	Whole bool
+
+	mu    sync.Mutex
+	facts map[any]*factEntry
+}
+
+type factEntry struct {
+	once sync.Once
+	val  any
+}
+
+// NewProgram wraps a loaded package set.
+func NewProgram(pkgs []*Package, whole bool) *Program {
+	return &Program{Pkgs: pkgs, Whole: whole, facts: map[any]*factEntry{}}
+}
+
+// Fact returns the cached fact under key, building it once on first request.
+// Keys are comparable sentinel values (typically an unexported zero-size
+// struct type per fact), so independent passes share one computation. The map
+// lock is not held while build runs, so one fact's build may request other
+// facts (a summary asking for the call graph); only a self-referential build
+// (same key) would deadlock.
+func (p *Program) Fact(key any, build func() any) any {
+	p.mu.Lock()
+	e, ok := p.facts[key]
+	if !ok {
+		e = &factEntry{}
+		p.facts[key] = e
+	}
+	p.mu.Unlock()
+	e.once.Do(func() { e.val = build() })
+	return e.val
 }
 
 // Diagnostic is one finding at a position.
@@ -59,9 +113,12 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 }
 
 // RunAnalyzers applies every analyzer to the package and returns the
-// unfiltered diagnostics in deterministic (position) order.
-func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+// unfiltered diagnostics in deterministic (position) order, plus the wall
+// time spent per pass. Shared program facts (the call graph, its summaries)
+// are built lazily and charged to the first pass that requests them.
+func RunAnalyzers(prog *Program, pkg *Package, analyzers []*Analyzer) ([]Diagnostic, map[string]time.Duration, error) {
 	var diags []Diagnostic
+	wall := make(map[string]time.Duration, len(analyzers))
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer:  a,
@@ -69,14 +126,18 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Files:     pkg.Files,
 			Pkg:       pkg.Pkg,
 			TypesInfo: pkg.Info,
+			Prog:      prog,
 			report:    func(d Diagnostic) { diags = append(diags, d) },
 		}
-		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+		start := time.Now()
+		err := a.Run(pass)
+		wall[a.Name] += time.Since(start)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
 		}
 	}
 	sortDiags(diags)
-	return diags, nil
+	return diags, wall, nil
 }
 
 // Package is one loaded, type-checked package (see load.go and

@@ -1,0 +1,52 @@
+package callgraph
+
+// Summary computes one per-function fact bottom-up over the graph. Compute
+// derives a node's fact from its body and its callees' facts (via get, which
+// returns the zero F for out-of-set or not-yet-computed callees). Equal
+// decides convergence inside a cycle.
+type Summary[F any] interface {
+	Compute(n *Node, get func(*Node) F) F
+	Equal(a, b F) bool
+}
+
+// maxRounds bounds per-SCC iteration. Real lattices here (booleans, small
+// lock sets) converge in 2-3 rounds; the cap is a guard against a
+// non-monotone Compute, not a tuning knob.
+const maxRounds = 32
+
+// Propagate runs the summary over every node in bottom-up SCC order and
+// returns the fact map. Singleton SCCs compute once; cyclic SCCs iterate
+// members in deterministic order until no member's fact changes.
+func Propagate[F any](g *Graph, s Summary[F]) map[*Node]F {
+	facts := map[*Node]F{}
+	get := func(n *Node) F { return facts[n] }
+	for _, scc := range g.SCCs {
+		if len(scc) == 1 && !selfCalls(scc[0]) {
+			facts[scc[0]] = s.Compute(scc[0], get)
+			continue
+		}
+		for round := 0; round < maxRounds; round++ {
+			changed := false
+			for _, n := range scc {
+				next := s.Compute(n, get)
+				if !s.Equal(facts[n], next) {
+					facts[n] = next
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+	return facts
+}
+
+func selfCalls(n *Node) bool {
+	for _, e := range n.Out {
+		if e.Callee == n {
+			return true
+		}
+	}
+	return false
+}

@@ -36,6 +36,19 @@ const (
 	//	cond sync.Cond //mpmdvet:cond nd.mu
 	CondDirective = "//mpmdvet:cond"
 
+	// RequiresDirective on a function declares a lock contract enforced at
+	// call sites: every caller must provably hold the named lock (path
+	// rooted at the receiver or a parameter) when calling.
+	//
+	//	//mpmdvet:requires s.mu
+	//	func bump(s *S) { s.n++ }
+	//
+	// Inside the body it seeds the entry lockset exactly like
+	// LockedDirective; the difference is enforcement direction — locked is
+	// trusted caller documentation, requires is checked against every call
+	// site the lock-effect summary can see (lockguard's transitive layer).
+	RequiresDirective = "//mpmdvet:requires"
+
 	// CPUDirective marks a mutex field as a node CPU: holding it models
 	// occupying the processor, so blockhold forbids blocking operations
 	// under it.
@@ -186,17 +199,23 @@ func hasDirective(cg *ast.CommentGroup, directive string) bool {
 
 // LockedPaths returns the //mpmdvet:locked path arguments in a function's
 // doc comment, in order.
-func LockedPaths(doc *ast.CommentGroup) []string {
+func LockedPaths(doc *ast.CommentGroup) []string { return directivePaths(doc, LockedDirective) }
+
+// RequiresPaths returns the //mpmdvet:requires path arguments in a
+// function's doc comment, in order.
+func RequiresPaths(doc *ast.CommentGroup) []string { return directivePaths(doc, RequiresDirective) }
+
+func directivePaths(doc *ast.CommentGroup, directive string) []string {
 	if doc == nil {
 		return nil
 	}
 	var out []string
 	for _, c := range doc.List {
 		text := strings.TrimSpace(c.Text)
-		if text != LockedDirective && !strings.HasPrefix(text, LockedDirective+" ") {
+		if text != directive && !strings.HasPrefix(text, directive+" ") {
 			continue
 		}
-		rest := strings.TrimSpace(strings.TrimPrefix(text, LockedDirective))
+		rest := strings.TrimSpace(strings.TrimPrefix(text, directive))
 		if f := strings.Fields(rest); len(f) > 0 {
 			out = append(out, f[0])
 		} else {
@@ -206,34 +225,43 @@ func LockedPaths(doc *ast.CommentGroup) []string {
 	return out
 }
 
-// EntryLocks resolves a function's //mpmdvet:locked annotations into the
-// lockset held at entry. The root of each path must name the receiver or a
-// parameter; the rest walks struct fields to a sync.Mutex or sync.RWMutex.
-// Unresolvable paths produce a warning and are skipped.
+// EntryLocks resolves a function's //mpmdvet:locked and //mpmdvet:requires
+// annotations into the lockset held at entry (requires is locked plus
+// call-site enforcement; both license the body the same way). The root of
+// each path must name the receiver or a parameter; the rest walks struct
+// fields to a sync.Mutex or sync.RWMutex. Unresolvable paths produce a
+// warning and are skipped.
 func EntryLocks(info *types.Info, pkg *types.Package, fd *ast.FuncDecl, a *Annotations) LockSet {
-	paths := LockedPaths(fd.Doc)
-	if len(paths) == 0 {
-		return LockSet{}
-	}
 	s := LockSet{}
-	for _, path := range paths {
-		if path == "" {
-			a.warnf(fd.Pos(), "%s needs a lock path rooted at the receiver or a parameter", LockedDirective)
-			continue
+	for _, directive := range []string{LockedDirective, RequiresDirective} {
+		for _, path := range directivePaths(fd.Doc, directive) {
+			if path == "" {
+				a.warnf(fd.Pos(), "%s needs a lock path rooted at the receiver or a parameter", directive)
+				continue
+			}
+			segs := strings.Split(path, ".")
+			root := lookupParam(info, fd, segs[0])
+			if root == nil {
+				a.warnf(fd.Pos(), "%s %s: %q is not the receiver or a parameter of %s",
+					directive, path, segs[0], fd.Name.Name)
+				continue
+			}
+			if len(segs) == 1 {
+				// The root itself is the lock: a mutex receiver or parameter.
+				if !isMutexType(root.Type()) {
+					a.warnf(fd.Pos(), "%s %s: path does not resolve to a sync.Mutex or sync.RWMutex", directive, path)
+					continue
+				}
+				s[analysis.VarKey(root)] = HeldLock{Class: root, Pos: fd.Pos()}
+				continue
+			}
+			key, class, ok := resolveFieldPath(pkg, analysis.VarKey(root), root.Type(), segs[1:])
+			if !ok || class == nil || !isMutexType(class.Type()) {
+				a.warnf(fd.Pos(), "%s %s: path does not resolve to a sync.Mutex or sync.RWMutex field", directive, path)
+				continue
+			}
+			s[key] = HeldLock{Class: class, Pos: fd.Pos()}
 		}
-		segs := strings.Split(path, ".")
-		root := lookupParam(info, fd, segs[0])
-		if root == nil {
-			a.warnf(fd.Pos(), "%s %s: %q is not the receiver or a parameter of %s",
-				LockedDirective, path, segs[0], fd.Name.Name)
-			continue
-		}
-		key, class, ok := resolveFieldPath(pkg, analysis.VarKey(root), root.Type(), segs[1:])
-		if !ok || class == nil || !isMutexType(class.Type()) {
-			a.warnf(fd.Pos(), "%s %s: path does not resolve to a sync.Mutex or sync.RWMutex field", LockedDirective, path)
-			continue
-		}
-		s[key] = HeldLock{Class: class, Pos: fd.Pos()}
 	}
 	return s
 }

@@ -1,0 +1,402 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/callgraph"
+)
+
+// The lock-effect summary: a bottom-up fixpoint over the call graph that
+// gives every function three caller-resolvable locksets —
+//
+//   - Requires: declared //mpmdvet:requires contracts, enforced by lockguard
+//     at every call site the graph can see;
+//   - Acquires: locks held at every exit but not at entry (the function nets
+//     the caller these — a helper that wraps Lock);
+//   - Releases: declared-held entry locks no longer held at exit (a helper
+//     that wraps Unlock).
+//
+// Effects are expressed relative to the callee's receiver or parameters so
+// a caller can re-resolve them against its own argument expressions; locks
+// rooted anywhere else (globals, locals that escape) are not representable
+// and drop out of the summary — a documented under-approximation, not an
+// error.
+
+// Req is one lock in a function's summary, in caller-resolvable form: a
+// root (the receiver, or a parameter by index) plus the field path from the
+// root to the mutex. Segs is nil when the root itself is the mutex (a
+// *sync.Mutex parameter).
+type Req struct {
+	RecvRoot bool
+	Param    int // parameter index when !RecvRoot
+	Segs     []string
+	RLock    bool
+	// Path is the callee-side display path ("s.mu"); Pos the declaring
+	// directive (Requires) or acquisition site (Acquires/Releases).
+	Path string
+	Pos  token.Pos
+}
+
+func reqEqual(a, b Req) bool {
+	if a.RecvRoot != b.RecvRoot || a.Param != b.Param || a.RLock != b.RLock || len(a.Segs) != len(b.Segs) {
+		return false
+	}
+	for i := range a.Segs {
+		if a.Segs[i] != b.Segs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func reqsEqual(a, b []Req) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !reqEqual(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func sortReqs(rs []Req) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].RecvRoot != rs[j].RecvRoot {
+			return rs[i].RecvRoot
+		}
+		if rs[i].Param != rs[j].Param {
+			return rs[i].Param < rs[j].Param
+		}
+		return strings.Join(rs[i].Segs, ".") < strings.Join(rs[j].Segs, ".")
+	})
+}
+
+// LockFact is one function's lock-effect summary.
+type LockFact struct {
+	Requires []Req
+	Acquires []Req
+	Releases []Req
+}
+
+type lockFactsKey struct{}
+
+// LockFacts computes the lock-effect summary of every function in the
+// program's call graph, cached on the Program.
+func LockFacts(prog *analysis.Program) map[*callgraph.Node]LockFact {
+	return prog.Fact(lockFactsKey{}, func() any {
+		g := callgraph.Of(prog)
+		ls := &lockSummary{graph: g, annots: map[*analysis.Package]*Annotations{}}
+		return callgraph.Propagate[LockFact](g, ls)
+	}).(map[*callgraph.Node]LockFact)
+}
+
+type lockSummary struct {
+	graph *callgraph.Graph
+	// annots caches per-package annotations. These copies exist only to
+	// resolve entry locksets; their Warnings are discarded (lockguard
+	// reports warnings from its own per-package collection exactly once).
+	annots map[*analysis.Package]*Annotations
+}
+
+func (ls *lockSummary) annotsOf(pkg *analysis.Package) *Annotations {
+	a, ok := ls.annots[pkg]
+	if !ok {
+		a = CollectAnnotations(pkg.Info, pkg.Files)
+		ls.annots[pkg] = a
+	}
+	return a
+}
+
+func (ls *lockSummary) Equal(a, b LockFact) bool {
+	return reqsEqual(a.Requires, b.Requires) &&
+		reqsEqual(a.Acquires, b.Acquires) &&
+		reqsEqual(a.Releases, b.Releases)
+}
+
+func (ls *lockSummary) Compute(n *callgraph.Node, get func(*callgraph.Node) LockFact) LockFact {
+	var fact LockFact
+	fd := n.Decl
+	if fd == nil || fd.Body == nil {
+		return fact
+	}
+	pkg := n.Pkg
+	a := ls.annotsOf(pkg)
+	fact.Requires = declaredReqs(pkg, fd)
+	entry := EntryLocks(pkg.Info, pkg.Pkg, fd, a)
+	fx := func(s LockSet, call *ast.CallExpr) {
+		ApplyLockEffects(pkg.Info, pkg.Pkg, ls.graph, get, s, call)
+	}
+	exit, ok := exitLocks(pkg.Info, fd.Body, entry, fx)
+	if ok {
+		for key, h := range exit {
+			if _, was := entry[key]; was {
+				continue
+			}
+			if r, ok := keyToReq(fd, pkg.Info, key, h); ok {
+				fact.Acquires = append(fact.Acquires, r)
+			}
+		}
+		for key, h := range entry {
+			if _, still := exit[key]; !still {
+				if r, ok := keyToReq(fd, pkg.Info, key, h); ok {
+					fact.Releases = append(fact.Releases, r)
+				}
+			}
+		}
+	}
+	sortReqs(fact.Requires)
+	sortReqs(fact.Acquires)
+	sortReqs(fact.Releases)
+	return fact
+}
+
+// exitLocks joins the locksets at every reachable exit — return statements
+// and the fall-off-the-brace node. ok is false when no exit is reachable
+// (the function never returns; callers observe no effect).
+func exitLocks(info *types.Info, body *ast.BlockStmt, entry LockSet, fx Effects) (LockSet, bool) {
+	var exit LockSet
+	found := false
+	WalkLockedFx(info, body, entry, fx, func(s LockSet, n ast.Node) {
+		switch n.(type) {
+		case *Fall, *ast.ReturnStmt:
+			if !found {
+				exit = cloneLocks(s)
+				found = true
+			} else {
+				joinLocks(exit, s)
+			}
+		}
+	})
+	return exit, found
+}
+
+// declaredReqs parses a function's //mpmdvet:requires paths into Reqs.
+// Unresolvable paths are skipped here; EntryLocks warns about them through
+// lockguard's annotation collection.
+func declaredReqs(pkg *analysis.Package, fd *ast.FuncDecl) []Req {
+	var out []Req
+	for _, c := range requireComments(fd.Doc) {
+		path := c.path
+		if path == "" {
+			continue
+		}
+		segs := strings.Split(path, ".")
+		recvRoot, idx, root, ok := paramRoot(pkg.Info, fd, segs[0])
+		if !ok {
+			continue
+		}
+		r := Req{RecvRoot: recvRoot, Param: idx, Path: path, Pos: c.pos}
+		if len(segs) == 1 {
+			if !isMutexType(root.Type()) {
+				continue
+			}
+		} else {
+			r.Segs = segs[1:]
+			key, class, ok := resolveFieldPath(pkg.Pkg, analysis.VarKey(root), root.Type(), r.Segs)
+			if !ok || class == nil || !isMutexType(class.Type()) {
+				continue
+			}
+			// Re-derive the segments from the resolved key so embedded-field
+			// hops spliced by the lookup survive the round trip to callers.
+			r.Segs = strings.Split(strings.TrimPrefix(key, analysis.VarKey(root)+"."), ".")
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+type requireComment struct {
+	path string
+	pos  token.Pos
+}
+
+func requireComments(doc *ast.CommentGroup) []requireComment {
+	if doc == nil {
+		return nil
+	}
+	var out []requireComment
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text != RequiresDirective && !strings.HasPrefix(text, RequiresDirective+" ") {
+			continue
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(text, RequiresDirective))
+		rc := requireComment{pos: c.Pos()}
+		if f := strings.Fields(rest); len(f) > 0 {
+			rc.path = f[0]
+		}
+		out = append(out, rc)
+	}
+	return out
+}
+
+// paramRoot finds the receiver or parameter named name and its argument
+// index (running over all parameter names, matching call-site positions).
+func paramRoot(info *types.Info, fd *ast.FuncDecl, name string) (recvRoot bool, idx int, root *types.Var, ok bool) {
+	if fd.Recv != nil {
+		for _, f := range fd.Recv.List {
+			for _, id := range f.Names {
+				if id.Name == name {
+					v, _ := info.Defs[id].(*types.Var)
+					return true, 0, v, v != nil
+				}
+			}
+		}
+	}
+	i := 0
+	for _, f := range fd.Type.Params.List {
+		if len(f.Names) == 0 {
+			i++
+			continue
+		}
+		for _, id := range f.Names {
+			if id.Name == name {
+				v, _ := info.Defs[id].(*types.Var)
+				return false, i, v, v != nil
+			}
+			i++
+		}
+	}
+	return false, 0, nil, false
+}
+
+// keyToReq converts a lockset key rooted at the function's receiver or a
+// parameter back into caller-resolvable form. Keys rooted anywhere else
+// (globals, locals) are not expressible and report ok=false.
+func keyToReq(fd *ast.FuncDecl, info *types.Info, key string, h HeldLock) (Req, bool) {
+	try := func(recvRoot bool, idx int, v *types.Var, rootName string) (Req, bool) {
+		vk := analysis.VarKey(v)
+		if key == vk {
+			return Req{RecvRoot: recvRoot, Param: idx, RLock: h.RLock, Path: rootName, Pos: h.Pos}, true
+		}
+		if strings.HasPrefix(key, vk+".") {
+			segs := strings.Split(key[len(vk)+1:], ".")
+			return Req{RecvRoot: recvRoot, Param: idx, Segs: segs, RLock: h.RLock,
+				Path: rootName + "." + strings.Join(segs, "."), Pos: h.Pos}, true
+		}
+		return Req{}, false
+	}
+	if fd.Recv != nil {
+		for _, f := range fd.Recv.List {
+			for _, id := range f.Names {
+				if v, isVar := info.Defs[id].(*types.Var); isVar {
+					if r, ok := try(true, 0, v, id.Name); ok {
+						return r, true
+					}
+				}
+			}
+		}
+	}
+	i := 0
+	for _, f := range fd.Type.Params.List {
+		if len(f.Names) == 0 {
+			i++
+			continue
+		}
+		for _, id := range f.Names {
+			if v, isVar := info.Defs[id].(*types.Var); isVar {
+				if r, ok := try(false, i, v, id.Name); ok {
+					return r, true
+				}
+			}
+			i++
+		}
+	}
+	return Req{}, false
+}
+
+// ResolveReq maps one summary Req onto a call site: the lockset key (and
+// the mutex's class declaration) the caller-side lock would have. ok is
+// false when the argument expression is not keyable (a call result, an
+// index expression) or the receiver path is a promoted-method hop.
+func ResolveReq(info *types.Info, pkg *types.Package, call *ast.CallExpr, r Req) (key string, class *types.Var, ok bool) {
+	var root ast.Expr
+	if r.RecvRoot {
+		sel, isSel := call.Fun.(*ast.SelectorExpr)
+		if !isSel {
+			return "", nil, false
+		}
+		if s := info.Selections[sel]; s != nil && len(s.Index()) > 1 {
+			// Promoted method: the declared receiver is an embedded field of
+			// sel.X, so the root path differs. Splicing it is possible but
+			// not needed yet; bail conservatively.
+			return "", nil, false
+		}
+		root = sel.X
+	} else {
+		if r.Param >= len(call.Args) {
+			return "", nil, false
+		}
+		root = call.Args[r.Param]
+	}
+	// Passing a lock is passing its address: &s.mu keys as s.mu, matching
+	// the entry the caller's s.mu.Lock() put in the set.
+	if u, isU := ast.Unparen(root).(*ast.UnaryExpr); isU && u.Op == token.AND {
+		root = u.X
+	}
+	base, ok := analysis.ExprKey(info, root)
+	if !ok {
+		return "", nil, false
+	}
+	if len(r.Segs) == 0 {
+		return base, baseVar(info, root), true
+	}
+	key, class, ok = resolveFieldPath(pkg, base, typeOf(info, root), r.Segs)
+	if !ok || class == nil {
+		return "", nil, false
+	}
+	return key, class, true
+}
+
+// CallerPath renders a Req against a call site for diagnostics ("s.mu" in
+// the caller's terms), falling back to the callee-side path.
+func CallerPath(call *ast.CallExpr, r Req) string {
+	var root ast.Expr
+	if r.RecvRoot {
+		if sel, isSel := call.Fun.(*ast.SelectorExpr); isSel {
+			root = sel.X
+		}
+	} else if r.Param < len(call.Args) {
+		root = call.Args[r.Param]
+	}
+	if root == nil {
+		return r.Path
+	}
+	if u, isU := ast.Unparen(root).(*ast.UnaryExpr); isU && u.Op == token.AND {
+		root = u.X
+	}
+	text := types.ExprString(ast.Unparen(root))
+	if len(r.Segs) > 0 {
+		text += "." + strings.Join(r.Segs, ".")
+	}
+	return text
+}
+
+// ApplyLockEffects applies a call's summarized net lock effect to the
+// caller's lockset. Only single static in-set callees are applied:
+// interface calls, function values, and out-of-set callees have no visible
+// effect (documented under-approximation).
+func ApplyLockEffects(info *types.Info, tpkg *types.Package, g *callgraph.Graph, get func(*callgraph.Node) LockFact, s LockSet, call *ast.CallExpr) {
+	site := g.Sites[call]
+	if site == nil || site.Kind != callgraph.KindStatic || len(site.Callees) != 1 {
+		return
+	}
+	f := get(site.Callees[0])
+	for _, r := range f.Releases {
+		if key, _, ok := ResolveReq(info, tpkg, call, r); ok {
+			delete(s, key)
+		}
+	}
+	for _, r := range f.Acquires {
+		if key, class, ok := ResolveReq(info, tpkg, call, r); ok {
+			s[key] = HeldLock{Class: class, RLock: r.RLock, Pos: call.Pos()}
+		}
+	}
+}

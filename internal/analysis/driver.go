@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"time"
 )
 
 // Summary is the machine-readable result of one standalone mpmdvet run; CI
@@ -19,6 +20,19 @@ type Summary struct {
 	// SuppressedByPass counts the pragma suppressions per pass — the number
 	// CI ratchets against the committed baseline.
 	SuppressedByPass map[string]int `json:"suppressed_by_pass"`
+
+	// Passes breaks the run down per pass: wall time summed over all
+	// packages (call-graph and summary construction is charged to the first
+	// pass that requests it), surviving diagnostics, and pragma
+	// suppressions.
+	Passes map[string]PassStat `json:"passes"`
+}
+
+// PassStat is one pass's aggregate cost and yield across a run.
+type PassStat struct {
+	WallMS      float64 `json:"wall_ms"`
+	Diagnostics int     `json:"diagnostics"`
+	Suppressed  int     `json:"suppressed"`
 }
 
 // Line renders the one-line human summary the driver prints after a run.
@@ -45,18 +59,23 @@ func Run(w io.Writer, dir string, analyzers []*Analyzer, patterns ...string) (*S
 	if err != nil {
 		return nil, false, err
 	}
-	sum := &Summary{ByPass: map[string]int{}}
+	prog := NewProgram(pkgs, true)
+	sum := &Summary{ByPass: map[string]int{}, Passes: map[string]PassStat{}}
+	wallByPass := map[string]time.Duration{}
 	clean := true
 	for _, pkg := range pkgs {
 		sum.Packages++
-		diags, err := RunAnalyzers(pkg, analyzers)
+		diags, wall, err := RunAnalyzers(prog, pkg, analyzers)
 		if err != nil {
 			return nil, false, err
+		}
+		for name, d := range wall {
+			wallByPass[name] += d
 		}
 		ignores, malformed := CollectIgnores(pkg.Fset, pkg.Files)
 		kept, suppressed := ignores.Filter(diags)
 		kept = append(kept, malformed...)
-		kept = append(kept, ignores.Unused()...)
+		kept = append(kept, ignores.Unused(nil)...)
 		sortDiags(kept)
 		for _, d := range kept {
 			clean = false
@@ -73,6 +92,13 @@ func Run(w io.Writer, dir string, analyzers []*Analyzer, patterns ...string) (*S
 	for _, s := range sum.Suppressed {
 		sum.SuppressedByPass[s.Pass]++
 	}
+	for _, a := range analyzers {
+		sum.Passes[a.Name] = PassStat{
+			WallMS:      float64(wallByPass[a.Name]) / float64(time.Millisecond),
+			Diagnostics: sum.ByPass[a.Name],
+			Suppressed:  sum.SuppressedByPass[a.Name],
+		}
+	}
 	return sum, clean, nil
 }
 
@@ -83,6 +109,13 @@ func Run(w io.Writer, dir string, analyzers []*Analyzer, patterns ...string) (*S
 // should be tightened. Both directions fail, so the file stays exact.
 type Baseline struct {
 	SuppressedByPass map[string]int `json:"suppressed_by_pass"`
+
+	// TreeBenchMS pins the committed full-tree run time (one Run over
+	// ./... on the reference CI machine, milliseconds, set with slack).
+	// The budget gate fails when a run exceeds twice this value, so a
+	// pass whose summaries blow up the fixpoint is caught in the same
+	// change that introduces it.
+	TreeBenchMS float64 `json:"tree_bench_ms"`
 }
 
 // LoadBaseline reads a committed baseline file.

@@ -76,10 +76,18 @@ func LoadPackages(dir string, tests bool, patterns ...string) ([]*Package, error
 	}
 
 	roots := chooseRoots(pkgs, tests)
-	fset := token.NewFileSet()
+	ld := newLoader(token.NewFileSet(), exports)
+	for _, lp := range roots {
+		ld.byID[lp.ImportPath] = lp
+		// A root also provides its plain import path, so a later root that
+		// imports "p" resolves to the source-checked "p [p.test]" variant
+		// (a superset of p's declarations) instead of a second, identity-
+		// distinct copy from export data.
+		ld.plain[plainPath(lp.ImportPath)] = lp.ImportPath
+	}
 	var loaded []*Package
 	for _, lp := range roots {
-		pkg, err := checkPackage(fset, lp, exports)
+		pkg, err := ld.check(lp.ImportPath)
 		if err != nil {
 			return nil, err
 		}
@@ -87,6 +95,136 @@ func LoadPackages(dir string, tests bool, patterns ...string) ([]*Package, error
 	}
 	sort.Slice(loaded, func(i, j int) bool { return loaded[i].ID < loaded[j].ID })
 	return loaded, nil
+}
+
+func plainPath(id string) string {
+	if i := strings.Index(id, " ["); i >= 0 {
+		return id[:i] // "p [p.test]" -> "p"
+	}
+	return id
+}
+
+// loader type-checks the chosen roots in one shared identity space: a root's
+// in-module imports resolve to the source-checked *types.Package of the root
+// that provides them (checked on demand, so any listing order works), and
+// everything else comes from one shared export-data importer. One identity
+// per named type program-wide is what makes cross-package interface
+// satisfaction (callgraph CHA bounding) and cross-package summary facts
+// meaningful; per-package importers would give every root a private copy of
+// every dependency.
+type loader struct {
+	fset    *token.FileSet
+	exports map[string]string
+	byID    map[string]*listPkg
+	plain   map[string]string // plain import path -> providing root ID
+	checked map[string]*Package
+	pending map[string]bool // import-cycle guard (should never trip)
+	gc      types.Importer
+}
+
+func newLoader(fset *token.FileSet, exports map[string]string) *loader {
+	return &loader{
+		fset:    fset,
+		exports: exports,
+		byID:    map[string]*listPkg{},
+		plain:   map[string]string{},
+		checked: map[string]*Package{},
+		pending: map[string]bool{},
+		gc: importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+			e, ok := exports[path]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+			return os.Open(e)
+		}),
+	}
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+func (ld *loader) check(id string) (*Package, error) {
+	if pkg, ok := ld.checked[id]; ok {
+		return pkg, nil
+	}
+	lp := ld.byID[id]
+	if ld.pending[id] {
+		return nil, fmt.Errorf("import cycle through %s", id)
+	}
+	ld.pending[id] = true
+	defer delete(ld.pending, id)
+	pkg, err := ld.checkPackage(lp)
+	if err != nil {
+		return nil, err
+	}
+	ld.checked[id] = pkg
+	return pkg, nil
+}
+
+// resolve maps one import of lp to a types.Package: the package's ImportMap
+// first (test-variant and vendor redirection), then a source-checked root,
+// then export data.
+func (ld *loader) resolve(lp *listPkg, path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if mapped, ok := lp.ImportMap[path]; ok {
+		path = mapped
+	}
+	rootID := ""
+	if _, ok := ld.byID[path]; ok {
+		rootID = path
+	} else if id, ok := ld.plain[path]; ok {
+		rootID = id
+	}
+	if rootID != "" && rootID != lp.ImportPath {
+		pkg, err := ld.check(rootID)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Pkg, nil
+	}
+	return ld.gc.Import(path)
+}
+
+// checkPackage parses and type-checks one listed package.
+func (ld *loader) checkPackage(lp *listPkg) (*Package, error) {
+	if len(lp.GoFiles) == 0 {
+		return nil, fmt.Errorf("package %s has no Go files (build error?)", lp.ImportPath)
+	}
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(lp.Dir, name)
+		}
+		f, err := parser.ParseFile(ld.fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %v", path, err)
+		}
+		files = append(files, f)
+	}
+	info := NewInfo()
+	conf := types.Config{
+		Importer: importerFunc(func(path string) (*types.Package, error) {
+			return ld.resolve(lp, path)
+		}),
+	}
+	importPath := plainPath(lp.ImportPath)
+	tpkg, err := conf.Check(importPath, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", lp.ImportPath, err)
+	}
+	return &Package{
+		ID:         lp.ImportPath,
+		ImportPath: importPath,
+		Fset:       ld.fset,
+		Files:      files,
+		Pkg:        tpkg,
+		Info:       info,
+	}, nil
 }
 
 // chooseRoots picks the analysis units from a -deps listing: every
@@ -97,7 +235,10 @@ func chooseRoots(pkgs []*listPkg, tests bool) []*listPkg {
 	testVariantOf := map[string]bool{}
 	if tests {
 		for _, p := range pkgs {
-			if p.ForTest != "" && !p.DepOnly && !strings.HasSuffix(p.ImportPath, "_test") {
+			// The in-package variant "p [p.test]" has plain path p; the
+			// external test package is "p_test [p.test]" and supersedes
+			// nothing.
+			if p.ForTest != "" && !p.DepOnly && plainPath(p.ImportPath) == p.ForTest {
 				testVariantOf[p.ForTest] = true
 			}
 		}
@@ -109,64 +250,14 @@ func chooseRoots(pkgs []*listPkg, tests bool) []*listPkg {
 			continue
 		case strings.HasSuffix(p.ImportPath, ".test"):
 			continue // synthesized test main
-		case p.Error != nil && len(p.GoFiles) == 0:
-			continue
+		case len(p.GoFiles) == 0:
+			continue // nothing to analyze (e.g. a test-only directory's plain package)
 		case p.ForTest == "" && testVariantOf[p.ImportPath]:
 			continue // the test variant supersedes it
 		}
 		roots = append(roots, p)
 	}
 	return roots
-}
-
-// checkPackage parses and type-checks one listed package against the export
-// data of its dependencies.
-func checkPackage(fset *token.FileSet, lp *listPkg, exports map[string]string) (*Package, error) {
-	if len(lp.GoFiles) == 0 {
-		return nil, fmt.Errorf("package %s has no Go files (build error?)", lp.ImportPath)
-	}
-	var files []*ast.File
-	for _, name := range lp.GoFiles {
-		path := name
-		if !filepath.IsAbs(path) {
-			path = filepath.Join(lp.Dir, name)
-		}
-		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
-		if err != nil {
-			return nil, fmt.Errorf("parse %s: %v", path, err)
-		}
-		files = append(files, f)
-	}
-	lookup := func(path string) (io.ReadCloser, error) {
-		if mapped, ok := lp.ImportMap[path]; ok {
-			path = mapped
-		}
-		e, ok := exports[path]
-		if !ok {
-			return nil, fmt.Errorf("no export data for %q (dependency of %s)", path, lp.ImportPath)
-		}
-		return os.Open(e)
-	}
-	info := NewInfo()
-	conf := types.Config{
-		Importer: importer.ForCompiler(fset, "gc", lookup),
-	}
-	importPath := lp.ImportPath
-	if i := strings.Index(importPath, " ["); i >= 0 {
-		importPath = importPath[:i] // "p [p.test]" -> "p"
-	}
-	tpkg, err := conf.Check(importPath, fset, files, info)
-	if err != nil {
-		return nil, fmt.Errorf("typecheck %s: %v", lp.ImportPath, err)
-	}
-	return &Package{
-		ID:         lp.ImportPath,
-		ImportPath: importPath,
-		Fset:       fset,
-		Files:      files,
-		Pkg:        tpkg,
-		Info:       info,
-	}, nil
 }
 
 // LoadFixture parses the .go files of one fixture directory as a single
@@ -213,6 +304,26 @@ func LoadFixture(fset *token.FileSet, dir, importPath string, exports map[string
 		Pkg:        tpkg,
 		Info:       info,
 	}, nil
+}
+
+// ModuleRoot walks up from dir to the nearest directory containing go.mod,
+// so path flags (e.g. cmd/mpmdvet's -baseline) resolve identically from any
+// working directory inside the module.
+func ModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
 }
 
 // ModuleExports builds the ImportPath -> export-data map for every package

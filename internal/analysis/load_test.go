@@ -32,8 +32,8 @@ func TestLoadPackagesBadDir(t *testing.T) {
 }
 
 func TestCheckPackageNoGoFiles(t *testing.T) {
-	fset := token.NewFileSet()
-	_, err := checkPackage(fset, &listPkg{ImportPath: "empty"}, nil)
+	ld := newLoader(token.NewFileSet(), nil)
+	_, err := ld.checkPackage(&listPkg{ImportPath: "empty"})
 	if err == nil || !strings.Contains(err.Error(), "no Go files") {
 		t.Fatalf("expected a no-Go-files error, got %v", err)
 	}
@@ -43,10 +43,10 @@ func TestCheckPackageParseError(t *testing.T) {
 	dir := writeModule(t, map[string]string{
 		"a.go": "package a\nfunc broken( {\n",
 	})
-	fset := token.NewFileSet()
-	_, err := checkPackage(fset, &listPkg{
+	ld := newLoader(token.NewFileSet(), nil)
+	_, err := ld.checkPackage(&listPkg{
 		ImportPath: "broken", Dir: dir, GoFiles: []string{"a.go"},
-	}, nil)
+	})
 	if err == nil || !strings.Contains(err.Error(), "parse") {
 		t.Fatalf("expected a parse error, got %v", err)
 	}
@@ -56,10 +56,10 @@ func TestCheckPackageMissingExportData(t *testing.T) {
 	dir := writeModule(t, map[string]string{
 		"a.go": "package a\n\nimport \"fmt\"\n\nvar _ = fmt.Sprintf\n",
 	})
-	fset := token.NewFileSet()
-	_, err := checkPackage(fset, &listPkg{
+	ld := newLoader(token.NewFileSet(), map[string]string{}) // no export data for fmt
+	_, err := ld.checkPackage(&listPkg{
 		ImportPath: "needsfmt", Dir: dir, GoFiles: []string{"a.go"},
-	}, map[string]string{}) // no export data for fmt
+	})
 	if err == nil || !strings.Contains(err.Error(), "no export data") {
 		t.Fatalf("expected a no-export-data error, got %v", err)
 	}

@@ -12,6 +12,14 @@
 //   - Wait on the sync.Cond tied (//mpmdvet:cond) to the held CPU mutex
 //     itself: Wait releases that lock while parked, which is the one
 //     legitimate way to block "on CPU"
+//
+// The transitive layer consults a bottom-up may-block summary over the call
+// graph: a call made while a CPU mutex is held, into an in-set callee that
+// can block anywhere downstream, is reported with the witness chain down to
+// the parking operation. Deferred calls and go statements are excluded on
+// both layers (registering is instant; a spawned goroutine parks itself, not
+// the CPU holder), as are calls through plain function values (no tracking —
+// a documented bound of the analysis).
 package blockhold
 
 import (
@@ -19,23 +27,28 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sort"
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/callgraph"
 	"repro/internal/analysis/cfg"
 )
 
 var Analyzer = &analysis.Analyzer{
 	Name: "blockhold",
 	Doc: "report blocking operations (channel ops, net I/O, sleeps, waits, " +
-		"unbounded loops) while a //mpmd:cpu mutex is held",
-	Run: run,
+		"unbounded loops) while a //mpmd:cpu mutex is held, transitively through in-set callees",
+	Run:        run,
+	Transitive: true,
 }
 
 type checker struct {
 	pass   *analysis.Pass
 	info   *types.Info
 	annots *cfg.Annotations
+	graph  *callgraph.Graph
+	facts  map[*callgraph.Node]BlockFact
 	// nonBlocking holds the comm statements of selects that carry a default
 	// clause: those are polls.
 	nonBlocking map[ast.Stmt]bool
@@ -50,40 +63,22 @@ func run(pass *analysis.Pass) error {
 		pass:        pass,
 		info:        pass.TypesInfo,
 		annots:      annots,
+		graph:       callgraph.Of(pass.Prog),
+		facts:       Facts(pass.Prog),
 		nonBlocking: map[ast.Stmt]bool{},
 	}
 	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			sel, ok := n.(*ast.SelectStmt)
-			if !ok {
-				return true
-			}
-			hasDefault := false
-			for _, cl := range sel.Body.List {
-				if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
-					hasDefault = true
-				}
-			}
-			if !hasDefault {
-				return true
-			}
-			for _, cl := range sel.Body.List {
-				if cc, ok := cl.(*ast.CommClause); ok && cc.Comm != nil {
-					c.nonBlocking[cc.Comm] = true
-				}
-			}
-			return true
-		})
+		collectPolls(f, c.nonBlocking)
 	}
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.FuncDecl:
 				if n.Body != nil {
-					c.body(n.Body, cfg.EntryLocks(pass.TypesInfo, pass.Pkg, n, annots))
+					c.body(n.Body, cfg.EntryLocks(pass.TypesInfo, pass.Pkg, n, annots), c.selfNode(n))
 				}
 			case *ast.FuncLit:
-				c.body(n.Body, cfg.LockSet{})
+				c.body(n.Body, cfg.LockSet{}, nil)
 			}
 			return true
 		})
@@ -91,7 +86,38 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-func (c *checker) body(body *ast.BlockStmt, entry cfg.LockSet) {
+// collectPolls marks the comm statements of selects carrying a default
+// clause under root.
+func collectPolls(root ast.Node, nonBlocking map[ast.Stmt]bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		hasDefault := false
+		for _, cl := range sel.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			return true
+		}
+		for _, cl := range sel.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok && cc.Comm != nil {
+				nonBlocking[cc.Comm] = true
+			}
+		}
+		return true
+	})
+}
+
+func (c *checker) selfNode(fd *ast.FuncDecl) *callgraph.Node {
+	fn, _ := c.info.Defs[fd.Name].(*types.Func)
+	return c.graph.NodeOf(fn)
+}
+
+func (c *checker) body(body *ast.BlockStmt, entry cfg.LockSet, self *callgraph.Node) {
 	cfg.WalkLocked(c.info, body, entry, func(s cfg.LockSet, n ast.Node) {
 		_, held, ok := s.HoldsClass(func(v *types.Var) bool { return c.annots.CPU[v] })
 		if !ok {
@@ -123,13 +149,14 @@ func (c *checker) body(body *ast.BlockStmt, entry cfg.LockSet) {
 		if stmt, isStmt := n.(ast.Stmt); isStmt && c.nonBlocking[stmt] {
 			return
 		}
-		c.scan(n, s, held)
+		c.scan(n, s, held, self)
 	})
 }
 
-// scan walks one flat node's expressions for blocking operations. Nested
-// function literals are separate functions with their own locksets.
-func (c *checker) scan(n ast.Node, s cfg.LockSet, held cfg.HeldLock) {
+// scan walks one flat node's expressions for blocking operations — direct
+// ones, and calls whose may-block summary is dirty. Nested function literals
+// are separate functions with their own locksets.
+func (c *checker) scan(n ast.Node, s cfg.LockSet, held cfg.HeldLock, self *callgraph.Node) {
 	ast.Inspect(n, func(m ast.Node) bool {
 		switch m := m.(type) {
 		case *ast.FuncLit:
@@ -141,28 +168,189 @@ func (c *checker) scan(n ast.Node, s cfg.LockSet, held cfg.HeldLock) {
 				c.flag(m.Pos(), "channel receive", held)
 			}
 		case *ast.CallExpr:
-			if desc, blocking := c.classifyCall(m, s); blocking {
+			if desc, blocking := classifyCall(c.info, c.annots, m, s); blocking {
 				c.flag(m.Pos(), desc, held)
+				return true
 			}
+			c.transitive(m, held, self)
 		}
 		return true
 	})
 }
 
-// classifyCall reports whether the call is a blocking operation under a held
-// CPU lock, with a human description.
-func (c *checker) classifyCall(call *ast.CallExpr, s cfg.LockSet) (string, bool) {
+// transitive reports a call into an in-set callee that can block downstream,
+// with the witness chain to the parking operation.
+func (c *checker) transitive(call *ast.CallExpr, held cfg.HeldLock, self *callgraph.Node) {
+	site := c.graph.Sites[call]
+	if site == nil {
+		return
+	}
+	if site.NoImpl && c.pass.Prog.Whole {
+		c.flag(call.Pos(), fmt.Sprintf(
+			"interface call %s (no implementers in the analyzed packages; blocking behavior unverified)",
+			site.Iface), held)
+		return
+	}
+	for _, callee := range site.Callees {
+		if callee == self {
+			continue
+		}
+		f := c.facts[callee]
+		if f.What == "" {
+			continue
+		}
+		chain := witnessChain(c.facts, callee)
+		c.flag(call.Pos(), callgraph.ChainString(chain, f.What, f.Pos), held)
+		break // one witness per call site
+	}
+}
+
+// BlockFact is the may-block summary of one function: What/Pos describe the
+// leaf parking operation ("" = never blocks), Via the callee it is reached
+// through (nil when it is in the function's own body).
+type BlockFact struct {
+	What string
+	Pos  token.Pos
+	Via  *callgraph.Node
+}
+
+type blockFactsKey struct{}
+
+// Facts computes (once per Program) the may-block summary for every function
+// in the analyzed set.
+func Facts(prog *analysis.Program) map[*callgraph.Node]BlockFact {
+	return prog.Fact(blockFactsKey{}, func() any {
+		g := callgraph.Of(prog)
+		return callgraph.Propagate[BlockFact](g, &blockSummary{
+			annots: map[*analysis.Package]*cfg.Annotations{},
+		})
+	}).(map[*callgraph.Node]BlockFact)
+}
+
+type blockSummary struct {
+	annots map[*analysis.Package]*cfg.Annotations
+}
+
+func (s *blockSummary) annotsOf(pkg *analysis.Package) *cfg.Annotations {
+	a, ok := s.annots[pkg]
+	if !ok {
+		a = cfg.CollectAnnotations(pkg.Info, pkg.Files)
+		s.annots[pkg] = a
+	}
+	return a
+}
+
+func (s *blockSummary) Compute(n *callgraph.Node, get func(*callgraph.Node) BlockFact) BlockFact {
+	annots := s.annotsOf(n.Pkg)
+	if what, pos, ok := firstBlocking(n.Pkg, annots, n.Decl); ok {
+		return BlockFact{What: what, Pos: pos}
+	}
+	for _, e := range n.Out {
+		switch e.Kind {
+		case callgraph.KindMethodValue, callgraph.KindGo, callgraph.KindDefer:
+			// References don't run here; spawned goroutines park themselves;
+			// defers run at exit (registration is instant) — all excluded,
+			// matching the intraprocedural layer.
+			continue
+		}
+		if f := get(e.Callee); f.What != "" {
+			return BlockFact{What: f.What, Pos: f.Pos, Via: e.Callee}
+		}
+	}
+	return BlockFact{}
+}
+
+func (s *blockSummary) Equal(a, b BlockFact) bool { return a == b }
+
+// witnessChain follows Via links from the first dirty callee down to the
+// owner of the parking operation, guarding against pick-cycles.
+func witnessChain(facts map[*callgraph.Node]BlockFact, start *callgraph.Node) []*callgraph.Node {
+	var chain []*callgraph.Node
+	seen := map[*callgraph.Node]bool{}
+	for n := start; n != nil && !seen[n]; n = facts[n].Via {
+		seen[n] = true
+		chain = append(chain, n)
+	}
+	return chain
+}
+
+// firstBlocking returns the position-first blocking operation in fd's body,
+// in the intraprocedural layer's vocabulary, regardless of held locks — the
+// summary answers "can this callee park the goroutine at all"; the call-site
+// check supplies the held-CPU context. Cond waits sanctioned by the
+// function's own declared entry locks (//mpmdvet:locked on a //mpmd:cpu
+// mutex with a tied cond) stay exempt.
+func firstBlocking(pkg *analysis.Package, annots *cfg.Annotations, fd *ast.FuncDecl) (string, token.Pos, bool) {
+	nonBlocking := map[ast.Stmt]bool{}
+	collectPolls(fd.Body, nonBlocking)
+	entry := cfg.EntryLocks(pkg.Info, pkg.Pkg, fd, annots)
+	type hit struct {
+		what string
+		pos  token.Pos
+	}
+	var hits []hit
+	add := func(what string, pos token.Pos) { hits = append(hits, hit{what, pos}) }
+	cfg.WalkLocked(pkg.Info, fd.Body, entry, func(s cfg.LockSet, n ast.Node) {
+		switch n := n.(type) {
+		case *cfg.Fall:
+			return
+		case *ast.DeferStmt, *ast.GoStmt:
+			return
+		case *ast.RangeStmt:
+			if t := typeOf(pkg.Info, n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					add("range over a channel", n.Pos())
+				}
+			}
+			return
+		case *ast.ForStmt:
+			if n.Cond == nil {
+				add("unbounded loop", n.Pos())
+			}
+			return
+		}
+		if stmt, isStmt := n.(ast.Stmt); isStmt && nonBlocking[stmt] {
+			return
+		}
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.SendStmt:
+				add("channel send", m.Arrow)
+			case *ast.UnaryExpr:
+				if m.Op == token.ARROW {
+					add("channel receive", m.Pos())
+				}
+			case *ast.CallExpr:
+				if desc, blocking := classifyCall(pkg.Info, annots, m, s); blocking {
+					add(desc, m.Pos())
+				}
+			}
+			return true
+		})
+	})
+	if len(hits) == 0 {
+		return "", token.NoPos, false
+	}
+	sort.Slice(hits, func(i, j int) bool { return hits[i].pos < hits[j].pos })
+	return hits[0].what, hits[0].pos, true
+}
+
+// classifyCall reports whether the call is a blocking operation, with a
+// human description. The lockset sanctions Cond.Wait on a held CPU mutex.
+func classifyCall(info *types.Info, annots *cfg.Annotations, call *ast.CallExpr, s cfg.LockSet) (string, bool) {
 	// Cond.Wait: blocking unless it waits on the held CPU lock itself.
-	if op, condKey, class, ok := cfg.MutexOp(c.info, call); ok {
+	if op, condKey, class, ok := cfg.MutexOp(info, call); ok {
 		if op != cfg.OpWait {
 			// Lock/Unlock ordering is lockorder's concern.
 			return "", false
 		}
-		lockKey, known := c.condLock(condKey, class)
+		lockKey, known := condLock(annots, condKey, class)
 		if !known {
 			return "sync.Cond.Wait on a cond with no //mpmdvet:cond annotation", true
 		}
-		if h, isHeld := s[lockKey]; isHeld && c.annots.CPU[h.Class] {
+		if h, isHeld := s[lockKey]; isHeld && annots.CPU[h.Class] {
 			return "", false
 		}
 		return "sync.Cond.Wait on a lock other than the held CPU mutex", true
@@ -173,7 +361,7 @@ func (c *checker) classifyCall(call *ast.CallExpr, s cfg.LockSet) (string, bool)
 	}
 	// Package-qualified calls: time.Sleep and anything in net.
 	if id, ok := sel.X.(*ast.Ident); ok {
-		if pn, ok := c.info.Uses[id].(*types.PkgName); ok {
+		if pn, ok := info.Uses[id].(*types.PkgName); ok {
 			path := pn.Imported().Path()
 			if path == "time" && sel.Sel.Name == "Sleep" {
 				return "time.Sleep", true
@@ -185,7 +373,7 @@ func (c *checker) classifyCall(call *ast.CallExpr, s cfg.LockSet) (string, bool)
 		}
 	}
 	// Method calls: WaitGroup.Wait and net.Conn (or any net type) methods.
-	selection := c.info.Selections[sel]
+	selection := info.Selections[sel]
 	if selection == nil || selection.Kind() != types.MethodVal {
 		return "", false
 	}
@@ -203,8 +391,8 @@ func (c *checker) classifyCall(call *ast.CallExpr, s cfg.LockSet) (string, bool)
 
 // condLock derives the lockset key of the mutex a cond is tied to: the
 // cond's own key with its last segment replaced by the //mpmdvet:cond path.
-func (c *checker) condLock(condKey string, class *types.Var) (string, bool) {
-	path, ok := c.annots.Conds[class]
+func condLock(annots *cfg.Annotations, condKey string, class *types.Var) (string, bool) {
+	path, ok := annots.Conds[class]
 	if !ok {
 		return "", false
 	}

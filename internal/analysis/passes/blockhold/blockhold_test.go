@@ -13,3 +13,7 @@ func TestBlockhold(t *testing.T) {
 		t.Errorf("expected exactly 1 pragma-suppressed diagnostic (the escape-hatch case), got %d", n)
 	}
 }
+
+func TestBlockholdTransitive(t *testing.T) {
+	analysistest.Run(t, blockhold.Analyzer, "chain")
+}

@@ -22,6 +22,15 @@
 //     channel — or capturing it in an escaping closure — without Retain
 //   - returning (or falling off the end of a function) while still owning a
 //     buffer the function got from wire.Get/wire.Copy: the error-path leak
+//
+// Ownership transfer at call sites is driven by the per-function transfer
+// summary (summary.go): a call with a single static in-set callee consults
+// the callee's computed takes/returns-owned facts, so passing an owned
+// buffer to a helper that only borrows it (reads Bytes/Len, never releases
+// or forwards) keeps the release obligation with the caller — a leak the
+// old hand-annotated transfer-in convention silently waved through.
+// Interface calls, function values, and out-of-set callees keep the
+// conservative convention: passing transfers, returned buffers are owned.
 package bufown
 
 import (
@@ -31,14 +40,17 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/callgraph"
 	"repro/internal/analysis/cfg"
 )
 
 var Analyzer = &analysis.Analyzer{
 	Name: "bufown",
 	Doc: "check wire.Buf ownership flow: no double Release, no use after final Release, " +
-		"no unretained stores of borrowed payload buffers, no owned-buffer leaks on return paths",
-	Run: run,
+		"no unretained stores of borrowed payload buffers, no owned-buffer leaks on return paths; " +
+		"ownership transfer at call sites follows the callee's summarized takes/returns-owned facts",
+	Run:        run,
+	Transitive: true,
 }
 
 type state uint8
@@ -130,13 +142,16 @@ func run(pass *analysis.Pass) error {
 	if analysis.PkgPathMatches(pass.Pkg, "internal/wire") {
 		return nil // the pool itself manipulates refcounts below the contract
 	}
+	g := callgraph.Of(pass.Prog)
+	facts := Facts(pass.Prog)
+	lookup := func(n *callgraph.Node) OwnFact { return facts[n] }
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			fd, ok := n.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
 				return true
 			}
-			a := &analyzer{pass: pass, info: pass.TypesInfo}
+			a := &analyzer{pass: pass, info: pass.TypesInfo, graph: g, facts: lookup}
 			e := env{}
 			// Seed parameters (including the receiver) of type *wire.Buf as
 			// transfer-in ownership; borrowed payload fields seed lazily.
@@ -173,9 +188,41 @@ func seedFieldList(a *analyzer, e env, fl *ast.FieldList) {
 type analyzer struct {
 	pass *analysis.Pass
 	info *types.Info
+	// graph and facts wire in the ownership-transfer summary: call sites
+	// with a single static in-set callee consult the callee's OwnFact
+	// instead of the blanket transfer-on-pass convention. Both may be nil
+	// (then every call falls back to the convention).
+	graph *callgraph.Graph
+	facts func(*callgraph.Node) OwnFact
+	// onReturn, when set, observes the env at each return statement before
+	// results are marked transferred (the summary's returns-owned probe).
+	onReturn func(e env, n *ast.ReturnStmt)
 	// mute suppresses diagnostics while the fixpoint driver iterates; the
 	// reporting sweep clears it so each violation fires exactly once.
 	mute bool
+}
+
+// factFor resolves the ownership summary of a call's single static in-set
+// callee. ok is false for interface calls, function values, multi-callee
+// sites, and out-of-set callees — those keep the transfer-in convention.
+func (a *analyzer) factFor(call *ast.CallExpr) (OwnFact, bool) {
+	if a.graph == nil || a.facts == nil {
+		return OwnFact{}, false
+	}
+	site := a.graph.Sites[call]
+	if site == nil || site.Kind != callgraph.KindStatic || len(site.Callees) != 1 {
+		return OwnFact{}, false
+	}
+	return a.facts(site.Callees[0]), true
+}
+
+// takes reports whether the call consumes ownership of argument i.
+func (a *analyzer) takes(call *ast.CallExpr, i int) bool {
+	f, ok := a.factFor(call)
+	if !ok || i >= len(f.Takes) {
+		return true // unknown callee or variadic tail: the old convention
+	}
+	return f.Takes[i]
 }
 
 func (a *analyzer) reportf(pos token.Pos, format string, args ...any) {
@@ -286,6 +333,11 @@ func (a *analyzer) transfer(e env, n ast.Node) {
 	case *ast.ReturnStmt:
 		for _, r := range n.Results {
 			a.expr(e, r)
+		}
+		if a.onReturn != nil {
+			a.onReturn(e, n)
+		}
+		for _, r := range n.Results {
 			if k, ok := a.key(e, r); ok {
 				v := e[k]
 				v.st = stGone // returning transfers ownership to the caller
@@ -365,10 +417,16 @@ func (a *analyzer) assignOne(e env, lhs ast.Expr, rhs ast.Expr) {
 			e[lk] = e[rk]
 			return
 		}
-		if _, isCall := ast.Unparen(rhs).(*ast.CallExpr); isCall {
+		if call, isCall := ast.Unparen(rhs).(*ast.CallExpr); isCall {
 			// A call handing back a *wire.Buf confers ownership (wire.Get,
-			// wire.Copy, or any constructor following the contract).
-			e[lk] = varInfo{st: stOwned}
+			// wire.Copy, or any constructor following the contract) — unless
+			// the callee's summary says the result is a borrow (it hands out
+			// someone else's payload).
+			st := stOwned
+			if f, ok := a.factFor(call); ok && len(f.ReturnsOwned) == 1 && !f.ReturnsOwned[0] {
+				st = stBorrowed
+			}
+			e[lk] = varInfo{st: st}
 			return
 		}
 		e[lk] = varInfo{st: stUnknown}
@@ -508,7 +566,7 @@ func (a *analyzer) call(e env, call *ast.CallExpr) {
 		}
 	}
 	a.expr(e, call.Fun)
-	for _, arg := range call.Args {
+	for i, arg := range call.Args {
 		if fl, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
 			a.closure(e, fl, true) // closure handed to a callee: escapes
 			continue
@@ -519,9 +577,13 @@ func (a *analyzer) call(e env, call *ast.CallExpr) {
 			switch v.st {
 			case stOwned, stParam:
 				// Passing an owned buffer is the send/transfer idiom: the
-				// callee now owns it.
-				v.st = stGone
-				e[k] = v
+				// callee now owns it — unless its summary proves it only
+				// borrows the argument, in which case the caller keeps the
+				// release obligation.
+				if a.takes(call, i) {
+					v.st = stGone
+					e[k] = v
+				}
 			case stReleased:
 				a.reportf(arg.Pos(), "passes a wire.Buf after its final Release")
 			}

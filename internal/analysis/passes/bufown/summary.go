@@ -1,0 +1,170 @@
+package bufown
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/callgraph"
+)
+
+// The ownership-transfer summary. For every function in the program's call
+// graph it records, per *wire.Buf parameter, whether the body consumes the
+// reference (releases it, forwards it, stores it, returns it — Takes), and
+// per *wire.Buf result whether the returned buffer carries an ownership the
+// caller must discharge (ReturnsOwned; false when every return hands out a
+// borrowed payload). Facts are computed by running the pass's own abstract
+// interpreter over the body with diagnostics muted and observing what the
+// parameter's state degraded to at exit, iterated bottom-up over SCCs so
+// helpers-calling-helpers compose.
+
+// OwnFact is one function's transfer summary. Takes is indexed like
+// call-site arguments (the receiver is not included — a bare *wire.Buf
+// receiver only occurs inside internal/wire, which is out of scope).
+type OwnFact struct {
+	Takes        []bool
+	ReturnsOwned []bool
+}
+
+type ownFactsKey struct{}
+
+// Facts computes the ownership-transfer summary of every function in the
+// program's call graph, cached on the Program.
+func Facts(prog *analysis.Program) map[*callgraph.Node]OwnFact {
+	return prog.Fact(ownFactsKey{}, func() any {
+		g := callgraph.Of(prog)
+		return callgraph.Propagate[OwnFact](g, &ownSummary{graph: g})
+	}).(map[*callgraph.Node]OwnFact)
+}
+
+type ownSummary struct {
+	graph *callgraph.Graph
+}
+
+func (os *ownSummary) Equal(a, b OwnFact) bool {
+	return boolsEqual(a.Takes, b.Takes) && boolsEqual(a.ReturnsOwned, b.ReturnsOwned)
+}
+
+func boolsEqual(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (os *ownSummary) Compute(n *callgraph.Node, get func(*callgraph.Node) OwnFact) OwnFact {
+	fd := n.Decl
+	if fd == nil {
+		return OwnFact{}
+	}
+	nparams, bufParams := paramShape(n.Pkg.Info, fd)
+	nresults, bufResults := resultShape(n.Pkg.Info, fd)
+	fact := OwnFact{Takes: make([]bool, nparams), ReturnsOwned: make([]bool, nresults)}
+	for i := range fact.Takes {
+		fact.Takes[i] = true
+	}
+	for i := range fact.ReturnsOwned {
+		fact.ReturnsOwned[i] = true
+	}
+	if len(bufParams) == 0 && len(bufResults) == 0 {
+		return fact // nothing buffer-shaped crosses this boundary
+	}
+	if analysis.PkgPathMatches(n.Pkg.Pkg, "internal/wire") || fd.Body == nil {
+		// The pool itself follows the documented contract (Get/Copy return
+		// owned; sinks consume); bodiless declarations get the same default.
+		return fact
+	}
+
+	a := &analyzer{info: n.Pkg.Info, graph: os.graph, facts: get, mute: true}
+	// Probe returns before results are marked transferred: a result whose
+	// state is borrowed on every return path is a borrow hand-out.
+	allBorrowed := make([]bool, nresults)
+	sawReturn := make([]bool, nresults)
+	for _, i := range bufResults {
+		allBorrowed[i] = true
+	}
+	a.onReturn = func(e env, ret *ast.ReturnStmt) {
+		if len(ret.Results) != nresults {
+			return // naked return of named results: keep the owned default
+		}
+		for _, i := range bufResults {
+			sawReturn[i] = true
+			if k, ok := a.key(e, ret.Results[i]); ok && e[k].st == stBorrowed {
+				continue
+			}
+			allBorrowed[i] = false
+		}
+	}
+	e := env{}
+	seedFieldList(a, e, fd.Recv)
+	seedFieldList(a, e, fd.Type.Params)
+	exit := a.runFlow(e, fd.Body, true)
+
+	for i, p := range bufParams {
+		if k, ok := analysis.ExprKey(a.info, p.ident); ok {
+			if st, tracked := exit[k]; tracked && st.st == stParam && !st.deferred {
+				// The body left the parameter untouched or only read it:
+				// ownership stays with the caller.
+				fact.Takes[i] = false
+			}
+		}
+	}
+	for _, i := range bufResults {
+		if sawReturn[i] && allBorrowed[i] {
+			fact.ReturnsOwned[i] = false
+		}
+	}
+	return fact
+}
+
+type bufParam struct {
+	ident *ast.Ident
+}
+
+// paramShape counts the call-site argument positions and maps *wire.Buf
+// parameters to their position.
+func paramShape(info *types.Info, fd *ast.FuncDecl) (int, map[int]bufParam) {
+	bufs := map[int]bufParam{}
+	i := 0
+	for _, f := range fd.Type.Params.List {
+		if len(f.Names) == 0 {
+			i++
+			continue
+		}
+		for _, id := range f.Names {
+			if obj := info.Defs[id]; obj != nil && isBufPtr(obj.Type()) {
+				bufs[i] = bufParam{ident: id}
+			}
+			i++
+		}
+	}
+	return i, bufs
+}
+
+// resultShape counts the result positions and lists the *wire.Buf ones.
+func resultShape(info *types.Info, fd *ast.FuncDecl) (int, []int) {
+	if fd.Type.Results == nil {
+		return 0, nil
+	}
+	var bufs []int
+	i := 0
+	for _, f := range fd.Type.Results.List {
+		count := len(f.Names)
+		if count == 0 {
+			count = 1
+		}
+		t := info.Types[f.Type].Type
+		for j := 0; j < count; j++ {
+			if t != nil && isBufPtr(t) {
+				bufs = append(bufs, i)
+			}
+			i++
+		}
+	}
+	return i, bufs
+}

@@ -23,9 +23,15 @@ type holder struct {
 
 var savedGlobal *wire.Buf
 
-func send(b *wire.Buf)  {}
-func spawn(fn func())   {}
-func use(b *wire.Buf)   {}
+// send consumes its argument (the transfer-out sink); the summary proves it
+// takes ownership, so passing an owned buffer discharges the obligation.
+func send(b *wire.Buf) { b.Release() }
+
+func spawn(fn func()) {}
+
+// use only borrows: reads, never releases or forwards.
+func use(b *wire.Buf) { _ = b.Len() }
+
 func sink(p []byte) int { return len(p) }
 
 // --- positives -------------------------------------------------------------
@@ -144,6 +150,36 @@ func slotUseAfterRelease(region []byte) int {
 	b.Bind(region)
 	b.Release()
 	return sink(b.Bytes()) // want `after its final Release`
+}
+
+// --- transfer summary ------------------------------------------------------
+
+// peek borrows: the summary records takes=false for its parameter.
+func peek(b *wire.Buf) int { return b.Len() }
+
+// payload hands out a borrowed field: returns-owned is false.
+func payload(m msg) *wire.Buf { return m.PayloadBuf }
+
+func releaseAfterBorrowingCall() {
+	b := wire.Get(8)
+	_ = peek(b) // peek only borrows: b is still this function's to release
+	b.Release()
+}
+
+func leakThroughBorrowingCall() {
+	b := wire.Get(8)
+	_ = peek(b) // the old transfer-in convention hid this leak
+} // want `leaks at end of function`
+
+func storeHandedOutBorrowWithoutRetain(m msg) {
+	pb := payload(m)
+	savedGlobal = pb // want `without Retain`
+}
+
+func retainHandedOutBorrow(m msg) {
+	pb := payload(m)
+	pb.Retain()
+	savedGlobal = pb
 }
 
 // The escape hatch: a deliberate violation justified in place is suppressed

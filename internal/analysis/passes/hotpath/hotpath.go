@@ -1,6 +1,7 @@
 // Package hotpath turns the benchmark-only 0 allocs/op gate into a
 // compile-time check: a function whose doc comment carries the
-// //mpmd:hotpath directive must not contain allocating constructs.
+// //mpmd:hotpath directive must not contain allocating constructs, and must
+// not call anything in the analyzed set that does.
 //
 // What counts as allocating (conservatively, without the compiler's escape
 // analysis):
@@ -14,6 +15,18 @@
 //   - boxing a non-pointer concrete value into an interface (call arguments,
 //     assignments, returns)
 //
+// The transitive layer consults a bottom-up may-allocate summary over the
+// call graph: a call from a hot function to an in-set callee that allocates
+// anywhere downstream is reported with the full witness chain
+// ("push → marshal → call into package fmt allocates (codec.go:42)").
+// Interface calls are bounded by the implementers in the analyzed set; a
+// hot-path interface call with zero in-set implementers is itself reported
+// (whole-program runs only) because nothing was verified. Callees marked
+// //mpmd:hotpath are trusted (their own check covers them); callees marked
+// //mpmd:coldpath are exempt by declaration — the annotation documents that
+// the function allocates by design and must not be reached from a warm
+// path's steady state.
+//
 // Arguments of panic(...) are exempt: a panicking path is already off the
 // warm path. Anything intentionally cold inside a hot function (trace hooks,
 // slow-path branches) takes a //mpmdvet:ignore hotpath <reason> pragma so the
@@ -21,15 +34,22 @@
 package hotpath
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/callgraph"
 )
 
 // Directive marks a function as warm-path: checked allocation-free.
 const Directive = "//mpmd:hotpath"
+
+// ColdDirective marks a function as allocating by design: the may-allocate
+// summary treats it as clean so hot callers are not charged for it, on the
+// declared understanding that warm steady-state traffic never reaches it.
+const ColdDirective = "//mpmd:coldpath"
 
 // allocPkgs are stdlib packages whose entry points allocate by design.
 var allocPkgs = map[string]bool{
@@ -43,51 +63,187 @@ var allocPkgs = map[string]bool{
 var Analyzer = &analysis.Analyzer{
 	Name: "hotpath",
 	Doc: "check that //mpmd:hotpath functions contain no allocating constructs " +
-		"(closures, escaping composite literals, make/new, fmt, interface boxing, foreign append)",
-	Run: run,
+		"(closures, escaping composite literals, make/new, fmt, interface boxing, foreign append), " +
+		"transitively through in-set callees not marked //mpmd:hotpath or //mpmd:coldpath",
+	Run:        run,
+	Transitive: true,
+}
+
+// Finding is one allocating construct in a function body, with the message
+// the analyzer prints after its "hot path <fn>: " prefix.
+type Finding struct {
+	Pos  token.Pos
+	What string
 }
 
 func run(pass *analysis.Pass) error {
+	g := callgraph.Of(pass.Prog)
+	facts := Facts(pass.Prog)
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
 				continue
 			}
-			if !analysis.FuncDocHasDirective(fd.Doc, Directive) {
+			hot := analysis.FuncDocHasDirective(fd.Doc, Directive)
+			cold := analysis.FuncDocHasDirective(fd.Doc, ColdDirective)
+			if hot && cold {
+				pass.Reportf(fd.Pos(), "%s is marked both %s and %s", fd.Name.Name, Directive, ColdDirective)
 				continue
 			}
-			c := &checker{pass: pass, info: pass.TypesInfo, fn: fd}
-			c.check(fd.Body)
+			if !hot {
+				continue
+			}
+			for _, fnd := range Scan(pass.TypesInfo, fd) {
+				pass.Reportf(fnd.Pos, "hot path %s: %s", fd.Name.Name, fnd.What)
+			}
+			transitive(pass, g, facts, fd)
 		}
 	}
 	return nil
 }
 
-type checker struct {
-	pass *analysis.Pass
+// transitive reports calls from a hot function into in-set callees whose
+// may-allocate summary is dirty, with the witness chain down to the
+// allocating construct. The walk mirrors Scan's exemptions: function-literal
+// bodies (the literal itself was already flagged) and panic arguments.
+func transitive(pass *analysis.Pass, g *callgraph.Graph, facts map[*callgraph.Node]AllocFact, fd *ast.FuncDecl) {
+	self := g.NodeOf(pass.TypesInfo.Defs[fd.Name].(*types.Func))
+	analysis.WalkStack(fd.Body, func(n ast.Node, _ []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if isPanicCall(n) {
+				return false
+			}
+			site := g.Sites[n]
+			if site == nil {
+				return true
+			}
+			if site.NoImpl && pass.Prog.Whole {
+				pass.Reportf(n.Pos(), "hot path %s: interface call %s has no implementers in the analyzed packages; allocation-freedom cannot be verified",
+					fd.Name.Name, site.Iface)
+				return true
+			}
+			for _, callee := range site.Callees {
+				if callee == self {
+					continue
+				}
+				f := facts[callee]
+				if f.What == "" {
+					continue
+				}
+				chain := witnessChain(facts, callee)
+				pass.Reportf(n.Pos(), "hot path %s: %s", fd.Name.Name,
+					callgraph.ChainString(chain, f.What, f.Pos))
+				break // one witness per call site
+			}
+		}
+		return true
+	})
+}
+
+// AllocFact is the may-allocate summary of one function: What/Pos describe
+// the leaf allocating construct ("" = allocation-free), Via the callee the
+// allocation is reached through (nil when it is in the function's own body).
+type AllocFact struct {
+	What string
+	Pos  token.Pos
+	Via  *callgraph.Node
+}
+
+type allocFactsKey struct{}
+
+// Facts computes (once per Program) the may-allocate summary for every
+// function in the analyzed set.
+func Facts(prog *analysis.Program) map[*callgraph.Node]AllocFact {
+	return prog.Fact(allocFactsKey{}, func() any {
+		g := callgraph.Of(prog)
+		return callgraph.Propagate[AllocFact](g, &allocSummary{scans: map[*callgraph.Node][]Finding{}})
+	}).(map[*callgraph.Node]AllocFact)
+}
+
+type allocSummary struct {
+	scans map[*callgraph.Node][]Finding
+}
+
+func (s *allocSummary) Compute(n *callgraph.Node, get func(*callgraph.Node) AllocFact) AllocFact {
+	// Hot nodes are trusted clean: their own body is checked directly, and
+	// their pragma-suppressed cold branches must not cascade into callers.
+	// Cold nodes are exempt by declaration.
+	if analysis.FuncDocHasDirective(n.Decl.Doc, Directive) ||
+		analysis.FuncDocHasDirective(n.Decl.Doc, ColdDirective) {
+		return AllocFact{}
+	}
+	findings, ok := s.scans[n]
+	if !ok {
+		findings = Scan(n.Pkg.Info, n.Decl)
+		s.scans[n] = findings
+	}
+	if len(findings) > 0 {
+		return AllocFact{What: findings[0].What, Pos: findings[0].Pos}
+	}
+	for _, e := range n.Out {
+		if e.Kind == callgraph.KindMethodValue {
+			continue // a reference, not a call from this body
+		}
+		if f := get(e.Callee); f.What != "" {
+			return AllocFact{What: f.What, Pos: f.Pos, Via: e.Callee}
+		}
+	}
+	return AllocFact{}
+}
+
+func (s *allocSummary) Equal(a, b AllocFact) bool { return a == b }
+
+// witnessChain follows Via links from the first dirty callee down to the
+// owner of the allocating construct. The seen set guards against pick-cycles
+// in mutually-recursive components.
+func witnessChain(facts map[*callgraph.Node]AllocFact, start *callgraph.Node) []*callgraph.Node {
+	var chain []*callgraph.Node
+	seen := map[*callgraph.Node]bool{}
+	for n := start; n != nil && !seen[n]; n = facts[n].Via {
+		seen[n] = true
+		chain = append(chain, n)
+	}
+	return chain
+}
+
+// Scan returns the allocating constructs in fn's body, in source order, with
+// messages matching what the analyzer reports (minus the "hot path <fn>: "
+// prefix). It is the syntactic layer both the direct check and the
+// may-allocate summary share.
+func Scan(info *types.Info, fn *ast.FuncDecl) []Finding {
+	c := &scanner{info: info, fn: fn}
+	c.check(fn.Body)
+	return c.out
+}
+
+type scanner struct {
 	info *types.Info
 	fn   *ast.FuncDecl
+	out  []Finding
 }
 
-func (c *checker) reportf(pos token.Pos, format string, args ...any) {
-	c.pass.Reportf(pos, "hot path %s: "+format, append([]any{c.fn.Name.Name}, args...)...)
+func (c *scanner) addf(pos token.Pos, format string, args ...any) {
+	c.out = append(c.out, Finding{Pos: pos, What: fmt.Sprintf(format, args...)})
 }
 
-func (c *checker) check(body *ast.BlockStmt) {
+func (c *scanner) check(body *ast.BlockStmt) {
 	analysis.WalkStack(body, func(n ast.Node, stack []ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.FuncLit:
-			c.reportf(n.Pos(), "closure literal allocates its captures")
+			c.addf(n.Pos(), "closure literal allocates its captures")
 			return false // don't double-report inside
 		case *ast.GoStmt:
-			c.reportf(n.Pos(), "go statement allocates a goroutine")
+			c.addf(n.Pos(), "go statement allocates a goroutine")
 		case *ast.CompositeLit:
 			switch c.litKind(n, stack) {
 			case litHeap:
-				c.reportf(n.Pos(), "composite literal escapes to the heap")
+				c.addf(n.Pos(), "composite literal escapes to the heap")
 			case litMapOrSlice:
-				c.reportf(n.Pos(), "map/slice literal allocates")
+				c.addf(n.Pos(), "map/slice literal allocates")
 			}
 		case *ast.CallExpr:
 			c.callExpr(n)
@@ -96,7 +252,7 @@ func (c *checker) check(body *ast.BlockStmt) {
 			}
 		case *ast.BinaryExpr:
 			if n.Op == token.ADD && c.isStringType(n) && !c.isConst(n) {
-				c.reportf(n.Pos(), "non-constant string concatenation allocates")
+				c.addf(n.Pos(), "non-constant string concatenation allocates")
 			}
 		case *ast.AssignStmt:
 			c.assign(n)
@@ -118,7 +274,7 @@ const (
 // litKind classifies a composite literal: map/slice literals always
 // allocate; struct/array literals allocate only when their address is taken
 // (the &T{...} parent) — a plain value literal lives on the stack.
-func (c *checker) litKind(lit *ast.CompositeLit, stack []ast.Node) litClass {
+func (c *scanner) litKind(lit *ast.CompositeLit, stack []ast.Node) litClass {
 	tv, ok := c.info.Types[lit]
 	if ok {
 		switch tv.Type.Underlying().(type) {
@@ -142,7 +298,7 @@ func (c *checker) litKind(lit *ast.CompositeLit, stack []ast.Node) litClass {
 	return litStack
 }
 
-func (c *checker) callExpr(call *ast.CallExpr) {
+func (c *scanner) callExpr(call *ast.CallExpr) {
 	if isPanicCall(call) {
 		return // panicking paths are off the warm path (subtree skipped by check)
 	}
@@ -152,21 +308,21 @@ func (c *checker) callExpr(call *ast.CallExpr) {
 		switch fun.Name {
 		case "make":
 			if c.isBuiltin(fun) {
-				c.reportf(call.Pos(), "make allocates")
+				c.addf(call.Pos(), "make allocates")
 			}
 		case "new":
 			if c.isBuiltin(fun) {
-				c.reportf(call.Pos(), "new allocates")
+				c.addf(call.Pos(), "new allocates")
 			}
 		case "append":
 			if c.isBuiltin(fun) && !c.isSelfAppend(call) {
-				c.reportf(call.Pos(), "append into a foreign slice may grow and allocate (only `x = append(x, …)` reuse is allowed)")
+				c.addf(call.Pos(), "append into a foreign slice may grow and allocate (only `x = append(x, …)` reuse is allowed)")
 			}
 		}
 	case *ast.SelectorExpr:
 		if id, ok := fun.X.(*ast.Ident); ok {
 			if obj, ok := c.info.Uses[id].(*types.PkgName); ok && allocPkgs[obj.Imported().Path()] {
-				c.reportf(call.Pos(), "call into package %s allocates", obj.Imported().Path())
+				c.addf(call.Pos(), "call into package %s allocates", obj.Imported().Path())
 				flagged = true
 			}
 		}
@@ -178,7 +334,7 @@ func (c *checker) callExpr(call *ast.CallExpr) {
 			from := argTv.Type.Underlying()
 			if isString(to) && isByteSlice(from) || isByteSlice(to) && isString(from) {
 				if argTv.Value == nil { // constant conversions fold away
-					c.reportf(call.Pos(), "string/[]byte conversion copies and allocates")
+					c.addf(call.Pos(), "string/[]byte conversion copies and allocates")
 				}
 			}
 		}
@@ -192,7 +348,7 @@ func (c *checker) callExpr(call *ast.CallExpr) {
 	}
 }
 
-func (c *checker) checkArgsBoxing(call *ast.CallExpr, sig *types.Signature) {
+func (c *scanner) checkArgsBoxing(call *ast.CallExpr, sig *types.Signature) {
 	params := sig.Params()
 	for i, arg := range call.Args {
 		var pt types.Type
@@ -215,7 +371,7 @@ func (c *checker) checkArgsBoxing(call *ast.CallExpr, sig *types.Signature) {
 // boxing reports converting a non-pointer concrete value into an interface:
 // the value escapes into the interface's data word via a heap copy. Pointers,
 // interfaces, and nil are free.
-func (c *checker) boxing(val ast.Expr, dst types.Type) {
+func (c *scanner) boxing(val ast.Expr, dst types.Type) {
 	if _, ok := dst.Underlying().(*types.Interface); !ok {
 		return
 	}
@@ -234,10 +390,10 @@ func (c *checker) boxing(val ast.Expr, dst types.Type) {
 		// checks catch the common cases.
 		return
 	}
-	c.reportf(val.Pos(), "boxing %s into interface %s allocates", tv.Type, dst)
+	c.addf(val.Pos(), "boxing %s into interface %s allocates", tv.Type, dst)
 }
 
-func (c *checker) assign(s *ast.AssignStmt) {
+func (c *scanner) assign(s *ast.AssignStmt) {
 	if len(s.Lhs) != len(s.Rhs) {
 		return
 	}
@@ -248,7 +404,7 @@ func (c *checker) assign(s *ast.AssignStmt) {
 	}
 }
 
-func (c *checker) returns(s *ast.ReturnStmt) {
+func (c *scanner) returns(s *ast.ReturnStmt) {
 	sig := c.info.Defs[c.fn.Name]
 	fn, ok := sig.(*types.Func)
 	if !ok {
@@ -265,7 +421,7 @@ func (c *checker) returns(s *ast.ReturnStmt) {
 
 // isSelfAppend reports the x = append(x, ...) reuse idiom; the enclosing
 // assignment is found via the append call's position inside it.
-func (c *checker) isSelfAppend(call *ast.CallExpr) bool {
+func (c *scanner) isSelfAppend(call *ast.CallExpr) bool {
 	if len(call.Args) == 0 {
 		return false
 	}
@@ -294,17 +450,17 @@ func (c *checker) isSelfAppend(call *ast.CallExpr) bool {
 	return found
 }
 
-func (c *checker) isBuiltin(id *ast.Ident) bool {
+func (c *scanner) isBuiltin(id *ast.Ident) bool {
 	_, ok := c.info.Uses[id].(*types.Builtin)
 	return ok
 }
 
-func (c *checker) isStringType(e ast.Expr) bool {
+func (c *scanner) isStringType(e ast.Expr) bool {
 	tv, ok := c.info.Types[e]
 	return ok && isString(tv.Type.Underlying())
 }
 
-func (c *checker) isConst(e ast.Expr) bool {
+func (c *scanner) isConst(e ast.Expr) bool {
 	tv, ok := c.info.Types[e]
 	return ok && tv.Value != nil
 }

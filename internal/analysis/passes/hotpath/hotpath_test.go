@@ -13,3 +13,7 @@ func TestHotpath(t *testing.T) {
 		t.Errorf("expected exactly 1 pragma-suppressed diagnostic (the trace-gated case), got %d", n)
 	}
 }
+
+func TestHotpathTransitive(t *testing.T) {
+	analysistest.Run(t, hotpath.Analyzer, "chain")
+}

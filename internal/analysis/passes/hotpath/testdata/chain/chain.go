@@ -1,0 +1,79 @@
+// Package chain exercises the transitive hotpath layer: allocations reached
+// through in-set calls are reported at the hot call site with the full
+// witness chain, //mpmd:coldpath callees are exempt by declaration, and
+// interface calls are bounded by the fixture's own implementers.
+package chain
+
+import "fmt"
+
+type codec struct{ scratch []byte }
+
+// marshal allocates two hops below push: the witness chain must name every
+// link down to the fmt call.
+func (c *codec) marshal(n int) string {
+	return fmt.Sprintf("%d", n)
+}
+
+func (c *codec) encode(n int) string {
+	return c.marshal(n)
+}
+
+//mpmd:hotpath
+func push(c *codec, n int) string {
+	return c.encode(n) // want `hot path push: \(\*codec\)\.encode → \(\*codec\)\.marshal → call into package fmt allocates \(chain\.go:14\)`
+}
+
+// spill allocates by design: it grows the scratch slice on the slow path.
+//
+//mpmd:coldpath slow-path growth, unreachable in steady state
+func spill(c *codec, b []byte) {
+	c.scratch = append(c.scratch, b...)
+}
+
+//mpmd:hotpath
+func pushWithSpill(c *codec, b []byte) {
+	if cap(c.scratch) < len(b) {
+		spill(c, b) // coldpath callee: exempt, no diagnostic
+	}
+}
+
+// --- interface bounding ----------------------------------------------------
+
+type sink interface{ consume(n int) }
+
+type quietSink struct{ total int }
+
+func (s *quietSink) consume(n int) { s.total += n }
+
+type loudSink struct{}
+
+func (loudSink) consume(n int) { fmt.Println(n) }
+
+//mpmd:hotpath
+func drain(s sink, n int) {
+	s.consume(n) // want `hot path drain: \(loudSink\)\.consume → call into package fmt allocates \(chain\.go:50\)`
+}
+
+type phantom interface{ vanish() }
+
+//mpmd:hotpath
+func ghost(p phantom) {
+	p.vanish() // want `interface call phantom.vanish has no implementers in the analyzed packages`
+}
+
+// --- hot callee trusted, recursion terminates -------------------------------
+
+// step is hot itself: its own check owns its body; callers do not re-charge it.
+//
+//mpmd:hotpath
+func step(n int) int {
+	if n == 0 {
+		return 0
+	}
+	return step(n - 1)
+}
+
+//mpmd:hotpath
+func walkDown(n int) int {
+	return step(n) // hot callee: trusted, no diagnostic
+}

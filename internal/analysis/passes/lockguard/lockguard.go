@@ -13,14 +13,33 @@
 // check clean. Writes under an RLock are reported separately: a read lock
 // licenses reads only.
 //
+// The transitive layer rides on the lock-effect summary (cfg.LockFacts over
+// the program call graph):
+//
+//   - //mpmdvet:requires <path> on a function is a checked contract: every
+//     call site the graph resolves must provably hold the named lock (the
+//     path, rooted at the callee's receiver or a parameter, is re-resolved
+//     against the caller's argument expressions). Inside the body it seeds
+//     the entry lockset like //mpmdvet:locked.
+//   - Helper functions that net-acquire or net-release a receiver- or
+//     parameter-rooted lock have that effect applied at statement-level
+//     static call sites, so lock()/unlock() wrappers are understood by the
+//     must-hold walk instead of hiding the lock from it.
+//
+// Bounds, by design: effects and contracts flow only through single static
+// in-set callees; calls in go/defer statements are exempt from requires
+// enforcement (a goroutine does not inherit the caller's locks, and defers
+// run at exit where the set is unknown); locks not rooted at the receiver
+// or a parameter (globals) are not summarizable.
+//
 // Construction sites are exempt by shape: composite-literal keys
 // (&Proc{done: …}) are not selector accesses, matching the convention that
 // a value is unshared until published. Accesses whose base is not a
 // variable/field path (a call result, a map element) cannot be proven and
 // are skipped — keep guarded fields reachable through named paths.
 //
-// Malformed or unresolvable concurrency annotations (guard/locked/cond/cpu)
-// are reported by this pass, once per package.
+// Malformed or unresolvable concurrency annotations (guard/locked/cond/cpu/
+// requires) are reported by this pass, once per package.
 package lockguard
 
 import (
@@ -28,20 +47,33 @@ import (
 	"go/types"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/callgraph"
 	"repro/internal/analysis/cfg"
 )
 
 var Analyzer = &analysis.Analyzer{
 	Name: "lockguard",
 	Doc: "check that //mpmdvet:guard fields are only accessed with their mutex held " +
-		"(lockset analysis; //mpmdvet:locked seeds entry locks, cond.Wait preserves them)",
-	Run: run,
+		"(lockset analysis; //mpmdvet:locked seeds entry locks, cond.Wait preserves them) " +
+		"and that //mpmdvet:requires contracts hold at every resolvable call site, with " +
+		"helper lock effects applied transitively through the call-graph summary",
+	Run:        run,
+	Transitive: true,
 }
 
 func run(pass *analysis.Pass) error {
 	annots := cfg.CollectAnnotations(pass.TypesInfo, pass.Files)
-	c := &checker{pass: pass, info: pass.TypesInfo, annots: annots}
-	if len(annots.Guards) > 0 {
+	g := callgraph.Of(pass.Prog)
+	facts := cfg.LockFacts(pass.Prog)
+	hasContracts := false
+	for _, f := range facts {
+		if len(f.Requires) > 0 {
+			hasContracts = true
+			break
+		}
+	}
+	c := &checker{pass: pass, info: pass.TypesInfo, annots: annots, graph: g, facts: facts}
+	if len(annots.Guards) > 0 || hasContracts {
 		for _, f := range pass.Files {
 			ast.Inspect(f, func(n ast.Node) bool {
 				switch n := n.(type) {
@@ -70,10 +102,15 @@ type checker struct {
 	pass   *analysis.Pass
 	info   *types.Info
 	annots *cfg.Annotations
+	graph  *callgraph.Graph
+	facts  map[*callgraph.Node]cfg.LockFact
 }
 
 func (c *checker) body(body *ast.BlockStmt, entry cfg.LockSet) {
-	cfg.WalkLocked(c.info, body, entry, c.node)
+	fx := func(s cfg.LockSet, call *ast.CallExpr) {
+		cfg.ApplyLockEffects(c.info, c.pass.Pkg, c.graph, func(n *callgraph.Node) cfg.LockFact { return c.facts[n] }, s, call)
+	}
+	cfg.WalkLockedFx(c.info, body, entry, fx, c.node)
 }
 
 // node checks one flat CFG node's expressions against the pre-state.
@@ -111,19 +148,70 @@ func (c *checker) node(s cfg.LockSet, n ast.Node) {
 	}
 }
 
-// tree walks a node subtree checking guarded-field selectors. writes marks
-// expressions that are assignment targets (write accesses). FuncLit bodies
-// are skipped — they are analyzed as their own functions.
+// tree walks a node subtree checking guarded-field selectors and requires
+// contracts at calls. writes marks expressions that are assignment targets
+// (write accesses). FuncLit bodies are skipped — they are analyzed as their
+// own functions. Calls spawned or deferred are exempt from contract checks
+// (see the package doc's bounds).
 func (c *checker) tree(s cfg.LockSet, root ast.Node, writes map[ast.Expr]bool) {
+	var exempt map[*ast.CallExpr]bool
 	ast.Inspect(root, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.FuncLit:
 			return false
+		case *ast.GoStmt:
+			if exempt == nil {
+				exempt = map[*ast.CallExpr]bool{}
+			}
+			exempt[n.Call] = true
+		case *ast.DeferStmt:
+			if exempt == nil {
+				exempt = map[*ast.CallExpr]bool{}
+			}
+			exempt[n.Call] = true
+		case *ast.CallExpr:
+			if !exempt[n] {
+				c.contract(s, n)
+			}
 		case *ast.SelectorExpr:
 			c.selector(s, n, writes[n])
 		}
 		return true
 	})
+}
+
+// contract enforces every resolvable //mpmdvet:requires declaration of the
+// call's possible callees against the pre-state lockset.
+func (c *checker) contract(s cfg.LockSet, call *ast.CallExpr) {
+	site := c.graph.Sites[call]
+	if site == nil || site.Kind == callgraph.KindMethodValue {
+		return // not a call the graph resolved, or a value reference, not a call
+	}
+	for _, callee := range site.Callees {
+		for _, r := range c.facts[callee].Requires {
+			key, _, ok := cfg.ResolveReq(c.info, c.pass.Pkg, call, r)
+			if !ok {
+				continue // argument path not keyable: cannot prove either way
+			}
+			if _, held := s[key]; held {
+				continue
+			}
+			pos := c.pass.Fset.Position(r.Pos)
+			c.pass.Reportf(call.Pos(),
+				"call to %s requires %s held (%s, declared at %s:%d): not provably held at this call",
+				callee.Name(), cfg.CallerPath(call, r), cfg.RequiresDirective,
+				shortName(pos.Filename), pos.Line)
+		}
+	}
+}
+
+func shortName(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
 }
 
 func (c *checker) selector(s cfg.LockSet, sel *ast.SelectorExpr, isWrite bool) {

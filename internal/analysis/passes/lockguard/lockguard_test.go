@@ -13,3 +13,7 @@ func TestLockguard(t *testing.T) {
 		t.Errorf("expected exactly 1 pragma-suppressed diagnostic (the escape-hatch case), got %d", n)
 	}
 }
+
+func TestLockguardTransitive(t *testing.T) {
+	analysistest.Run(t, lockguard.Analyzer, "chain")
+}

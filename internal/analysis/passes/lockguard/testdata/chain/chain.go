@@ -1,0 +1,103 @@
+// Package chain exercises lockguard's transitive layer: //mpmdvet:requires
+// contracts enforced at call sites, and helper lock effects (net acquire /
+// release) applied through the call-graph summary.
+package chain
+
+import "sync"
+
+type store struct {
+	mu sync.Mutex
+	n  int //mpmdvet:guard mu
+}
+
+// bump mutates guarded state on the caller's behalf; the contract makes
+// every call site prove the lock.
+//
+//mpmdvet:requires s.mu
+func bump(s *store) {
+	s.n++ // clean: requires seeds the entry lockset
+}
+
+func goodCaller(s *store) {
+	s.mu.Lock()
+	bump(s)
+	s.mu.Unlock()
+}
+
+func badCaller(s *store) {
+	bump(s) // want `call to bump requires s\.mu held \(//mpmdvet:requires, declared at chain\.go:\d+\): not provably held at this call`
+}
+
+// bumpLocked is the method form of the same contract.
+//
+//mpmdvet:requires st.mu
+func (st *store) bumpLocked() {
+	st.n++
+}
+
+func badMethodCaller(s *store) {
+	s.bumpLocked() // want `call to \(\*store\)\.bumpLocked requires s\.mu held`
+}
+
+// lock is a net-acquire helper: the summary sees mu held at every exit, so
+// callers get the lock in their set without an inline mu.Lock().
+func lock(s *store) {
+	s.mu.Lock()
+}
+
+// unlock releases on the caller's behalf; requires doubles as the release
+// root (entry-held, gone at exit).
+//
+//mpmdvet:requires s.mu
+func unlock(s *store) {
+	s.mu.Unlock()
+}
+
+func viaHelpers(s *store) {
+	lock(s)
+	bump(s) // clean: lock's net-acquire effect reached this site
+	unlock(s)
+}
+
+func afterUnlockHelper(s *store) {
+	lock(s)
+	unlock(s)
+	s.n++ // want `field n is guarded by mu \(//mpmdvet:guard\): not provably held at this access`
+}
+
+// lockIndirect acquires through another helper: effects compose bottom-up
+// through the summary fixpoint.
+func lockIndirect(s *store) {
+	lock(s)
+}
+
+func viaIndirect(s *store) {
+	lockIndirect(s)
+	s.n++ // clean: the nested net-acquire composes
+	s.mu.Unlock()
+}
+
+// withLock shows a contract rooted at a bare mutex parameter.
+//
+//mpmdvet:requires mu
+func withLock(mu *sync.Mutex) {
+	_ = mu
+}
+
+func goodParamCaller(s *store) {
+	s.mu.Lock()
+	withLock(&s.mu)
+	s.mu.Unlock()
+}
+
+func badParamCaller(s *store) {
+	withLock(&s.mu) // want `call to withLock requires s\.mu held`
+}
+
+// Deferred and spawned calls are exempt: a goroutine does not inherit the
+// caller's locks, and defers run at exit where the set is unknown.
+func deferredUnlock(s *store) {
+	lock(s)
+	defer unlock(s) // clean: exempt, and the deferred release keeps mu held below
+	s.n++           // clean
+}

@@ -1,0 +1,177 @@
+// Package shmatomic enforces sync/atomic access to fields that alias
+// mmap'd cross-process memory. A field (or a whole struct) declared with
+// //mpmdvet:shared is read and written concurrently by another *process*
+// through a shared mapping — the Go race detector cannot see the peer, and a
+// plain load or store is a real data race with it, not a style issue.
+//
+// Legal access forms for a shared field:
+//
+//   - calling a method of a sync/atomic wrapper type through it
+//     (r.tail.Load(), r.parked.CompareAndSwap(1, 0)) — including when the
+//     field is a pointer to the wrapper, the shape mapRing builds by casting
+//     header offsets
+//   - passing its address directly to a sync/atomic function
+//     (atomic.AddUint64(&h.seq, 1)) for plain-typed fields
+//   - composite-literal construction (the struct is being built, nothing is
+//     shared yet)
+//
+// Everything else — plain reads, plain writes, taking the address for any
+// other purpose — is reported.
+package shmatomic
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Directive marks a struct field (on the field) or every field of a struct
+// (on the type declaration) as residing in cross-process shared memory.
+const Directive = "//mpmdvet:shared"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "shmatomic",
+	Doc: "check that //mpmdvet:shared fields (mmap'd cross-process memory) are only " +
+		"accessed through sync/atomic",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	shared := collectShared(pass)
+	if len(shared) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		sanctioned := map[*ast.SelectorExpr]bool{}
+		// First sweep: mark the selector expressions used in a sanctioned
+		// form, mirroring atomicmix's two-phase shape.
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			// r.tail.Load(): the method's receiver expression is the field
+			// selector, and the method belongs to an atomic wrapper type.
+			if m, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if recv, ok := ast.Unparen(m.X).(*ast.SelectorExpr); ok {
+					if isAtomicWrapper(pass.TypesInfo, recv) {
+						sanctioned[recv] = true
+					}
+				}
+			}
+			// atomic.AddUint64(&h.seq, 1): &field directly in a sync/atomic
+			// package call.
+			if atomicCallee(pass.TypesInfo, call) {
+				for _, arg := range call.Args {
+					if u, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && u.Op == token.AND {
+						if sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr); ok {
+							sanctioned[sel] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s := pass.TypesInfo.Selections[sel]
+			if s == nil || s.Kind() != types.FieldVal {
+				return true
+			}
+			field, ok := s.Obj().(*types.Var)
+			if !ok || !shared[field] {
+				return true
+			}
+			if sanctioned[sel] {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "field %s is declared %s (mmap'd cross-process memory): access it through sync/atomic",
+				field.Name(), Directive)
+			return true
+		})
+	}
+	return nil
+}
+
+// collectShared gathers the *types.Var of every //mpmdvet:shared field in
+// the package: annotated fields, plus all fields of annotated structs.
+func collectShared(pass *analysis.Pass) map[*types.Var]bool {
+	shared := map[*types.Var]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				// A directive on the type declaration (either the TypeSpec's
+				// own doc or a single-spec GenDecl's doc) shares every field.
+				all := hasDirective(ts.Doc) || (len(gd.Specs) == 1 && hasDirective(gd.Doc))
+				for _, field := range st.Fields.List {
+					if !all && !hasDirective(field.Doc) && !hasDirective(field.Comment) {
+						continue
+					}
+					for _, name := range field.Names {
+						if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+							shared[v] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return shared
+}
+
+func hasDirective(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		text := strings.TrimSpace(c.Text)
+		if text == Directive || strings.HasPrefix(text, Directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// isAtomicWrapper reports whether the selector's type (after one pointer
+// deref) is a named type of package sync/atomic (Uint64, Uint32, Bool, ...).
+func isAtomicWrapper(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := types.Unalias(tv.Type)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	named, ok := t.(*types.Named)
+	return ok && analysis.PkgPathMatches(named.Obj().Pkg(), "sync/atomic")
+}
+
+// atomicCallee reports whether the call's callee is a function of package
+// sync/atomic.
+func atomicCallee(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	return ok && analysis.PkgPathMatches(fn.Pkg(), "sync/atomic")
+}

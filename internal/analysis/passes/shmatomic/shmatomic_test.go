@@ -1,0 +1,12 @@
+package shmatomic_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/shmatomic"
+)
+
+func TestShmatomic(t *testing.T) {
+	analysistest.Run(t, shmatomic.Analyzer, "a")
+}

@@ -1,0 +1,75 @@
+// Package a exercises the shmatomic pass: //mpmdvet:shared fields model
+// mmap'd cross-process memory and must only be touched through sync/atomic.
+package a
+
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
+// ring mirrors the shmRing shape: header cursors reached through pointers to
+// atomic wrappers cast over the mapping.
+type ring struct {
+	raw    []byte
+	tail   *atomic.Uint64 //mpmdvet:shared
+	head   *atomic.Uint64 //mpmdvet:shared
+	parked *atomic.Uint32 //mpmdvet:shared
+}
+
+// hdr models a header embedded by value with plain-typed shared words.
+//
+//mpmdvet:shared
+type hdr struct {
+	seq  uint64
+	mark uint32
+}
+
+func mapRing(raw []byte) *ring {
+	return &ring{
+		raw:  raw,
+		tail: (*atomic.Uint64)(unsafe.Pointer(&raw[64])), // composite literal: construction is fine
+		head: (*atomic.Uint64)(unsafe.Pointer(&raw[128])),
+	}
+}
+
+// --- legal forms ------------------------------------------------------------
+
+func publish(r *ring, n uint64) {
+	r.tail.Store(r.tail.Load() + n)
+	if r.parked.Load() == 1 && r.parked.CompareAndSwap(1, 0) {
+		_ = n
+	}
+}
+
+func bump(h *hdr) uint64 {
+	atomic.AddUint64(&h.seq, 1)
+	atomic.StoreUint32(&h.mark, 2)
+	return atomic.LoadUint64(&h.seq)
+}
+
+// --- violations -------------------------------------------------------------
+
+func plainRead(r *ring) uint64 {
+	p := r.tail // want `field tail is declared //mpmdvet:shared`
+	return p.Load()
+}
+
+func plainHdrRead(h *hdr) uint64 {
+	return h.seq // want `field seq is declared //mpmdvet:shared`
+}
+
+func plainHdrWrite(h *hdr) {
+	h.seq = 7 // want `field seq is declared //mpmdvet:shared`
+}
+
+func escapedAddr(h *hdr) *uint64 {
+	return &h.seq // want `field seq is declared //mpmdvet:shared`
+}
+
+func derefStore(r *ring) {
+	*r.head = atomic.Uint64{} // want `field head is declared //mpmdvet:shared`
+}
+
+func unshared(r *ring) int {
+	return len(r.raw) // raw is not annotated: plain access is fine
+}

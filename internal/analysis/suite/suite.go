@@ -14,6 +14,7 @@ import (
 	"repro/internal/analysis/passes/lockguard"
 	"repro/internal/analysis/passes/lockorder"
 	"repro/internal/analysis/passes/nilgate"
+	"repro/internal/analysis/passes/shmatomic"
 	"repro/internal/analysis/passes/wirewords"
 )
 
@@ -29,6 +30,7 @@ func Analyzers() []*analysis.Analyzer {
 		lockguard.Analyzer,
 		lockorder.Analyzer,
 		nilgate.Analyzer,
+		shmatomic.Analyzer,
 		wirewords.Analyzer,
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/suite"
@@ -50,15 +51,52 @@ func TestTreeClean(t *testing.T) {
 	}
 }
 
-// BenchmarkMpmdvetTree times a full ten-pass run over the whole module —
-// load, type-check, analyze, filter pragmas. Loading dominates; the number to
-// watch across changes is the marginal cost of adding a pass.
+// BenchmarkMpmdvetTree times a full eleven-pass run over the whole module —
+// load, type-check, build the call graph and summaries, analyze, filter
+// pragmas. Loading dominates; the number to watch across changes is the
+// marginal cost of adding a pass or a summary.
 func BenchmarkMpmdvetTree(b *testing.B) {
 	root := moduleRoot(b)
 	for i := 0; i < b.N; i++ {
 		if _, _, err := analysis.Run(io.Discard, root, suite.Analyzers()); err != nil {
 			b.Fatalf("mpmdvet over ./...: %v", err)
 		}
+	}
+}
+
+// TestMpmdvetTreeBudget is the CI perf ratchet for BenchmarkMpmdvetTree:
+// the best of three full-tree runs must stay under twice the committed
+// tree_bench_ms in mpmdvet_baseline.json, so a summary fixpoint or loader
+// regression that blows up the vet time fails the change that caused it.
+// Gated behind MPMDVET_BENCH_GATE=1 because wall-time assertions are only
+// meaningful on the dedicated CI runner, not a loaded dev box.
+func TestMpmdvetTreeBudget(t *testing.T) {
+	if os.Getenv("MPMDVET_BENCH_GATE") != "1" {
+		t.Skip("set MPMDVET_BENCH_GATE=1 to enforce the tree-run time budget")
+	}
+	root := moduleRoot(t)
+	base, err := analysis.LoadBaseline(filepath.Join(root, "mpmdvet_baseline.json"))
+	if err != nil {
+		t.Fatalf("committed baseline: %v", err)
+	}
+	if base.TreeBenchMS <= 0 {
+		t.Fatalf("mpmdvet_baseline.json pins no tree_bench_ms — commit a measured value")
+	}
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		if _, _, err := analysis.Run(io.Discard, root, suite.Analyzers()); err != nil {
+			t.Fatalf("mpmdvet over ./...: %v", err)
+		}
+		if el := time.Since(start); el < best {
+			best = el
+		}
+	}
+	budget := time.Duration(2 * base.TreeBenchMS * float64(time.Millisecond))
+	t.Logf("best of 3 tree runs: %v (budget %v, committed %gms)", best, budget, base.TreeBenchMS)
+	if best > budget {
+		t.Errorf("tree run took %v, over the %v budget (2x committed %gms) — "+
+			"find the regression or re-pin tree_bench_ms in the same change", best, budget, base.TreeBenchMS)
 	}
 }
 

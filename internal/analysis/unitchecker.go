@@ -111,14 +111,25 @@ func runUnit(cfgPath string, analyzers []*Analyzer) {
 		fatalf("%v", err)
 	}
 
-	diags, err := RunAnalyzers(pkg, analyzers)
+	diags, _, err := RunAnalyzers(NewProgram([]*Package{pkg}, false), pkg, analyzers)
 	if err != nil {
 		fatalf("%v", err)
 	}
 	ignores, malformed := CollectIgnores(pkg.Fset, pkg.Files)
 	kept, _ := ignores.Filter(diags)
 	kept = append(kept, malformed...)
-	kept = append(kept, ignores.Unused()...)
+	// Pragmas naming a transitive pass may suppress whole-program findings
+	// this single-unit view cannot produce; the standalone driver (and its
+	// baseline ratchet) polices those for staleness instead.
+	transitive := map[string]bool{}
+	for _, a := range analyzers {
+		if a.Transitive {
+			transitive[a.Name] = true
+		}
+	}
+	kept = append(kept, ignores.Unused(func(pass string) bool {
+		return transitive[pass] || (pass == "all" && len(transitive) > 0)
+	})...)
 	sortDiags(kept)
 
 	if len(kept) > 0 {

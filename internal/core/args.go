@@ -82,6 +82,8 @@ func (a *F64Slice) Encode(b []byte) int {
 }
 
 // Decode implements Arg.
+//
+//mpmd:coldpath grows the destination only when the payload outruns its capacity; warm decodes reuse it
 func (a *F64Slice) Decode(b []byte) int {
 	n := int(getU64(b))
 	if cap(a.V) < n {
@@ -114,6 +116,8 @@ func (a *Bytes) Encode(b []byte) int {
 }
 
 // Decode implements Arg.
+//
+//mpmd:coldpath grows the destination only when the payload outruns its capacity; warm decodes reuse it
 func (a *Bytes) Decode(b []byte) int {
 	n := int(getU64(b))
 	if cap(a.V) < n {
@@ -141,6 +145,8 @@ func (a *Str) Encode(b []byte) int {
 }
 
 // Decode implements Arg.
+//
+//mpmd:coldpath a string argument must copy out of the recycled wire buffer; strings are immutable
 func (a *Str) Decode(b []byte) int {
 	n := int(getU64(b))
 	a.V = string(b[8 : 8+n])

@@ -312,8 +312,8 @@ func (rt *Runtime) lookupMethod(gp GPtr, method string) *boundMethod {
 // dispatchLocal runs an RMI whose target lives on the calling node: no
 // marshalling, no messages, but threaded/atomic semantics are preserved.
 // The returned completion lets local futures join exactly like remote ones.
-// Not //mpmd:hotpath: local dispatch spawns threads and builds completions by
-// design; the allocation-free contract covers the remote wire path.
+//
+//mpmd:coldpath local dispatch spawns threads and builds completions by design; the allocation-free contract covers the remote wire path
 func (rt *Runtime) dispatchLocal(t *threads.Thread, n *nodeRT, bm *boundMethod, gp GPtr, args []Arg, ret Arg, mode callMode) *completion {
 	self := n.objs.Get(gp.obj)
 	run := func(t2 *threads.Thread) {
@@ -359,6 +359,8 @@ func (rt *Runtime) dispatchLocal(t *threads.Thread, n *nodeRT, bm *boundMethod, 
 
 // objLock returns (lazily creating) the per-object lock used by atomic
 // methods.
+//
+//mpmd:coldpath allocates once per object on its first atomic method; later calls return the cached lock
 func (n *nodeRT) objLock(obj int32) *threads.Mutex {
 	l, ok := n.objLocks[obj]
 	if !ok {
@@ -495,6 +497,8 @@ func (rt *Runtime) handleInvoke(t *threads.Thread, m am.Msg) {
 
 // stage models the cold-path copy from the static buffer area into an
 // R-buffer.
+//
+//mpmd:coldpath the modeled cold staging copy; its make only fires when the R-buffer must grow
 func (rt *Runtime) stage(t *threads.Thread, n *nodeRT, rb *tham.RBuf, argBytes []byte) {
 	lockPair(t, &n.bufLock)
 	chargeRuntime(t, time.Duration(len(argBytes))*t.Cfg().MemCopyPerByte)

@@ -30,6 +30,8 @@ const (
 )
 
 // String returns the label used in reports.
+//
+//mpmd:coldpath report/trace formatter; every hot-path caller is gated on tracing being enabled
 func (c Category) String() string {
 	switch c {
 	case CatCPU:

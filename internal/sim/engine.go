@@ -183,6 +183,8 @@ func (p *Proc) switchToEngine() {
 // Sleep advances the process's virtual time by d. Other processes and events
 // run in the interim. d must be non-negative; Sleep(0) yields to any events
 // scheduled at the current instant that were enqueued before this one.
+//
+//mpmd:coldpath the timer closure is discrete-event engine machinery, not a modeled allocation
 func (p *Proc) Sleep(d Time) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative sleep %v in proc %s", d, p.name))
@@ -209,6 +211,8 @@ func (p *Proc) Park() {
 // Unpark makes a parked process runnable at the current virtual time. If the
 // process is not parked, a single permit is recorded and the next Park
 // returns immediately. Safe to call from event callbacks or other processes.
+//
+//mpmd:coldpath the dispatch closure is discrete-event engine machinery, not a modeled allocation
 func (p *Proc) Unpark() {
 	if p.dead {
 		panic("sim: Unpark of dead proc " + p.name)

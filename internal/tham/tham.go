@@ -176,6 +176,8 @@ func (b *BufMgr) StaticArea() []byte { return b.staticArea }
 
 // AllocRBuf allocates a persistent receive buffer of at least n bytes for a
 // newly resolved method and records the allocation.
+//
+//mpmd:coldpath first-invocation path: the persistent R-buffer is allocated once per method
 func (b *BufMgr) AllocRBuf(n int) *RBuf {
 	if n < 256 {
 		n = 256
@@ -197,6 +199,8 @@ func (b *BufMgr) RBuf(id int32) *RBuf {
 
 // Reuse records a warm invocation landing directly in a persistent buffer,
 // growing it if the arguments outgrew the original allocation.
+//
+//mpmd:coldpath reallocates only when arguments outgrow the persistent buffer
 func (b *BufMgr) Reuse(rb *RBuf, n int) {
 	if cap(rb.Data) < n {
 		rb.Data = make([]byte, n)

@@ -868,6 +868,8 @@ func newPeer(b *Backend, shard int) *peer {
 }
 
 // push queues a frame (never blocks) and lazily starts the writer.
+//
+//mpmd:coldpath its only allocation is the one-time lazy start of the per-peer writer goroutine
 func (p *peer) push(f outFrame) {
 	f.at = p.b.inner.Now()
 	p.mu.Lock()

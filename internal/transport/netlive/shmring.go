@@ -86,9 +86,9 @@ type shmRing struct {
 	raw    []byte
 	data   []byte
 	capB   uint64
-	tail   *atomic.Uint64
-	head   *atomic.Uint64
-	parked *atomic.Uint32
+	tail   *atomic.Uint64 //mpmdvet:shared — producer cursor in the mapped header, read by the peer process
+	head   *atomic.Uint64 //mpmdvet:shared — consumer cursor in the mapped header
+	parked *atomic.Uint32 //mpmdvet:shared — consumer park flag, CAS'd by producers
 }
 
 func mapRing(raw []byte) *shmRing {
@@ -488,6 +488,8 @@ func (tx *shmTx) reserve(rec uint64, timeout time.Duration) (uint64, bool) {
 
 // shmRingFailed latches a dead ring (reserve timed out or teardown raced
 // the send) and records the event once.
+//
+//mpmd:coldpath failure latch; runs at most once per ring, after the fast path has given up on it
 func (b *Backend) shmRingFailed(tx *shmTx) {
 	if tx.full.CompareAndSwap(false, true) && !tx.quit.Load() {
 		b.addErr(fmt.Errorf("netlive: shm ring to shard %d made no progress within %v; falling back to sockets", tx.peer, b.opts.DialTimeout))

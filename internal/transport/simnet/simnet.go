@@ -51,6 +51,8 @@ func (b *Backend) Go(node int, name string, fn func(transport.Proc)) transport.P
 
 // Deliver implements transport.Backend: one event at now+modelLatency that
 // enqueues and notifies, exactly as the pre-seam machine layer did.
+//
+//mpmd:coldpath the event closure is discrete-event engine machinery; live backends deliver without it
 func (b *Backend) Deliver(dst int, modelLatency time.Duration, enqueue, notify func()) {
 	b.eng.After(modelLatency, func() {
 		enqueue()

@@ -52,6 +52,8 @@ const classSlot = -2
 
 // Get returns a buffer holding n payload bytes (contents undefined) with a
 // reference count of one.
+//
+//mpmd:coldpath allocates only on a pool miss; the steady state recycles pooled buffers
 func Get(n int) *Buf {
 	for i, size := range classSizes {
 		if n <= size {
@@ -216,6 +218,8 @@ func (r *Ring[T]) grow() {
 
 // resize moves the queued elements into a backing array of the given size
 // (which must hold them) with the head rewound to 0.
+//
+//mpmd:coldpath amortized capacity change; the steady state stays within the backing array
 func (r *Ring[T]) resize(size int) {
 	next := make([]T, size)
 	for i := 0; i < r.n; i++ {
